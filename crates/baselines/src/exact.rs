@@ -1,0 +1,124 @@
+//! Exhaustive simple-path influence oracle.
+//!
+//! Sums the probabilities of **all simple paths** from every topic node to
+//! the target — the literal `I(t,v)` of Definition 1 under a simple-path
+//! semantics. Exponential; usable only on fixture-scale graphs, where it
+//! validates the other engines (e.g. the Example-1 value 0.137).
+
+use crate::TopicInfluence;
+use pit_graph::{CsrGraph, NodeId, TopicId};
+use pit_topics::TopicSpace;
+
+/// Brute-force oracle over a graph + topic space.
+pub struct ExactOracle<'a> {
+    graph: &'a CsrGraph,
+    space: &'a TopicSpace,
+}
+
+impl<'a> ExactOracle<'a> {
+    /// Create the oracle. Intended for graphs of at most a few dozen nodes.
+    pub fn new(graph: &'a CsrGraph, space: &'a TopicSpace) -> Self {
+        ExactOracle { graph, space }
+    }
+
+    /// Sum of simple-path probabilities from `src` to `dst` (0 when equal).
+    pub fn path_prob_sum(&self, src: NodeId, dst: NodeId) -> f64 {
+        sum_simple_path_probs(self.graph, src, dst)
+    }
+}
+
+impl TopicInfluence for ExactOracle<'_> {
+    fn topic_influence(&self, topic: TopicId, user: NodeId) -> f64 {
+        let vt = self.space.topic_nodes(topic);
+        if vt.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = vt
+            .iter()
+            .map(|&u| sum_simple_path_probs(self.graph, u, user))
+            .sum();
+        total / vt.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+}
+
+/// DFS over all simple paths, accumulating products of edge probabilities.
+pub fn sum_simple_path_probs(g: &CsrGraph, src: NodeId, dst: NodeId) -> f64 {
+    if src == dst {
+        return 0.0;
+    }
+    fn dfs(g: &CsrGraph, cur: NodeId, dst: NodeId, prob: f64, on_path: &mut [bool], acc: &mut f64) {
+        if cur == dst {
+            *acc += prob;
+            return;
+        }
+        on_path[cur.index()] = true;
+        for (nxt, p) in g.out_edges(cur).iter() {
+            if !on_path[nxt.index()] {
+                dfs(g, nxt, dst, prob * p, on_path, acc);
+            }
+        }
+        on_path[cur.index()] = false;
+    }
+    let mut acc = 0.0;
+    let mut on_path = vec![false; g.node_count()];
+    dfs(g, src, dst, 1.0, &mut on_path, &mut acc);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::{fixtures, GraphBuilder, TermId};
+    use pit_topics::TopicSpaceBuilder;
+
+    #[test]
+    fn example1_value() {
+        let g = fixtures::figure1_graph();
+        let mut b = TopicSpaceBuilder::new(g.node_count(), 1);
+        for nodes in &fixtures::figure1_topics() {
+            let t = b.add_topic(vec![TermId(0)]);
+            for &n in nodes {
+                b.assign(n, t);
+            }
+        }
+        let space = b.build();
+        let oracle = ExactOracle::new(&g, &space);
+        let t1 = oracle.topic_influence(TopicId(0), fixtures::user(3));
+        assert!((t1 - 0.137).abs() < 1e-3, "t1 = {t1}");
+    }
+
+    #[test]
+    fn diamond_counts_both_paths() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        let g = b.build().unwrap();
+        assert!((sum_simple_path_probs(&g, NodeId(0), NodeId(3)) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_do_not_diverge() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        let g = b.build().unwrap();
+        // Only the simple path 0→1→2 counts.
+        assert!((sum_simple_path_probs(&g, NodeId(0), NodeId(2)) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_influence_is_zero() {
+        let g = fixtures::figure1_graph();
+        assert_eq!(
+            sum_simple_path_probs(&g, fixtures::user(3), fixtures::user(3)),
+            0.0
+        );
+    }
+}

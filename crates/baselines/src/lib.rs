@@ -1,0 +1,109 @@
+//! # pit-baselines
+//!
+//! The three comparison systems of the paper's evaluation (Section 6.1),
+//! implemented from scratch, plus an exhaustive simple-path oracle for tiny
+//! graphs:
+//!
+//! * [`BaseMatrix`] — iterated sparse matrix-vector influence propagation
+//!   (6 iterations in the paper); the *ground truth* on the small dataset.
+//! * [`BaseDijkstra`] — max-probability paths from every topic node to the
+//!   query user via a single reverse Dijkstra, widened with first-hop
+//!   deviations (the paper's "replace a sub-path with an alternative path"
+//!   heuristic).
+//! * [`BasePropagation`] — exact-by-index: sums the personalized propagation
+//!   index entries of *all* topic nodes (no summarization), which is why it
+//!   must load every topic node per query — the cost the paper contrasts
+//!   against RCL-A/LRW-A.
+//! * [`exact`] — brute-force enumeration of all simple paths; practical only
+//!   on fixture-sized graphs, used to validate everything else.
+//!
+//! All engines expose [`TopicInfluence`] and share the [`rank_top_k`] search
+//! wrapper, so the evaluation harness can swap them freely.
+
+pub mod dijkstra;
+pub mod exact;
+pub mod matrix;
+pub mod propagation;
+
+pub use dijkstra::BaseDijkstra;
+pub use matrix::BaseMatrix;
+pub use propagation::BasePropagation;
+
+use pit_graph::{NodeId, TopicId};
+use pit_topics::{KeywordQuery, TopicSpace};
+
+/// A (topic, score) result entry shared by all baseline engines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankedTopic {
+    /// The topic.
+    pub topic: TopicId,
+    /// Aggregated influence of the topic on the query user.
+    pub score: f64,
+}
+
+/// Anything that can score a topic's influence on a user.
+pub trait TopicInfluence {
+    /// `I(t, v)` under this engine's model.
+    fn topic_influence(&self, topic: TopicId, user: NodeId) -> f64;
+
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared top-k search driver: score every q-related topic with `engine`,
+/// rank descending (ties by topic id), return the first `k`.
+pub fn rank_top_k<E: TopicInfluence + ?Sized>(
+    engine: &E,
+    space: &TopicSpace,
+    query: &KeywordQuery,
+    k: usize,
+) -> Vec<RankedTopic> {
+    let mut scored: Vec<RankedTopic> = query
+        .related_topics(space)
+        .into_iter()
+        .map(|t| RankedTopic {
+            topic: t,
+            score: engine.topic_influence(t, query.user),
+        })
+        .collect();
+    scored.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.topic.cmp(&b.topic)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::TermId;
+    use pit_topics::TopicSpaceBuilder;
+
+    struct Fixed;
+    impl TopicInfluence for Fixed {
+        fn topic_influence(&self, topic: TopicId, _user: NodeId) -> f64 {
+            // topic 1 strongest, then 0, then 2.
+            match topic.0 {
+                0 => 0.5,
+                1 => 0.9,
+                _ => 0.1,
+            }
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn rank_top_k_orders_and_truncates() {
+        let mut b = TopicSpaceBuilder::new(2, 1);
+        for _ in 0..3 {
+            let t = b.add_topic(vec![TermId(0)]);
+            b.assign(NodeId(0), t);
+        }
+        let space = b.build();
+        let q = KeywordQuery::new(NodeId(1), vec![TermId(0)]);
+        let top = rank_top_k(&Fixed, &space, &q, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].topic, TopicId(1));
+        assert_eq!(top[1].topic, TopicId(0));
+    }
+}

@@ -1,0 +1,207 @@
+//! **BaseMatrix** — iterated sparse matrix-vector influence propagation.
+//!
+//! The paper's ground-truth method (adapted from Liu et al., CIKM 2010): the
+//! topic's local weight vector (`1/|V_t|` on each topic node) is multiplied
+//! through the transition matrix for a fixed number of iterations (6 in the
+//! paper), and the per-iteration arrivals at the query user are aggregated.
+//! Equivalently, the score is `Σ_{i=1..I} (x₀ Pⁱ)(v)` — every walk of length
+//! ≤ I contributes its probability product.
+//!
+//! Memory: one dense `f64` vector pair per evaluation (the paper notes the
+//! dense-ish propagation is what made BaseMatrix need 120 GB at 3 M nodes —
+//! here the vectors are `O(|V|)` per topic and the cost shows up as time).
+
+use crate::TopicInfluence;
+use pit_graph::{CsrGraph, NodeId, TopicId};
+use pit_topics::TopicSpace;
+
+/// BaseMatrix engine.
+pub struct BaseMatrix<'a> {
+    graph: &'a CsrGraph,
+    space: &'a TopicSpace,
+    iterations: usize,
+}
+
+impl<'a> BaseMatrix<'a> {
+    /// Create the engine with the paper's default of 6 iterations.
+    pub fn new(graph: &'a CsrGraph, space: &'a TopicSpace) -> Self {
+        Self::with_iterations(graph, space, 6)
+    }
+
+    /// Create the engine with an explicit iteration horizon.
+    pub fn with_iterations(graph: &'a CsrGraph, space: &'a TopicSpace, iterations: usize) -> Self {
+        assert!(iterations >= 1, "need at least one propagation iteration");
+        BaseMatrix {
+            graph,
+            space,
+            iterations,
+        }
+    }
+
+    /// The full influence vector of `topic` over every node: entry `v` is
+    /// the aggregated influence `I(t, v)`. One dense propagation pass.
+    pub fn influence_vector(&self, topic: TopicId) -> Vec<f64> {
+        let vt = self.space.topic_nodes(topic);
+        if vt.is_empty() {
+            return vec![0.0; self.graph.node_count()];
+        }
+        let mut x = vec![0.0f64; self.graph.node_count()];
+        let w0 = 1.0 / vt.len() as f64;
+        for &u in vt {
+            x[u.index()] = w0;
+        }
+        self.propagate_vector(x)
+    }
+
+    /// Propagate an arbitrary initial weight vector through the transition
+    /// matrix for the configured number of iterations, returning the
+    /// per-node aggregated arrivals `Σ_{i=1..I} (x₀ Pⁱ)(v)`.
+    ///
+    /// This is also how the summarization error of Definition 1 is measured:
+    /// seed the vector with the representative weights instead of the uniform
+    /// topic-node weights and compare the two outputs (see `pit-eval`).
+    ///
+    /// # Panics
+    /// Panics if `x0.len()` differs from the node count.
+    pub fn propagate_vector(&self, mut x: Vec<f64>) -> Vec<f64> {
+        let n = self.graph.node_count();
+        assert_eq!(x.len(), n, "initial vector must cover every node");
+        let mut acc = vec![0.0f64; n];
+        let mut y = vec![0.0f64; n];
+        for _ in 0..self.iterations {
+            y.iter_mut().for_each(|e| *e = 0.0);
+            for u in self.graph.nodes() {
+                let xu = x[u.index()];
+                if xu == 0.0 {
+                    continue;
+                }
+                for (v, p) in self.graph.out_edges(u).iter() {
+                    y[v.index()] += xu * p;
+                }
+            }
+            for (a, &b) in acc.iter_mut().zip(y.iter()) {
+                *a += b;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        acc
+    }
+
+    /// Transient working-set estimate for one evaluation, in bytes
+    /// (three dense vectors) — the space metric of Figures 13/14.
+    pub fn working_set_bytes(&self) -> usize {
+        3 * self.graph.node_count() * std::mem::size_of::<f64>()
+    }
+}
+
+impl TopicInfluence for BaseMatrix<'_> {
+    fn topic_influence(&self, topic: TopicId, user: NodeId) -> f64 {
+        self.influence_vector(topic)[user.index()]
+    }
+
+    fn name(&self) -> &'static str {
+        "BaseMatrix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactOracle;
+    use pit_graph::{fixtures, GraphBuilder, TermId};
+    use pit_topics::TopicSpaceBuilder;
+
+    fn fig1() -> (pit_graph::CsrGraph, pit_topics::TopicSpace) {
+        let g = fixtures::figure1_graph();
+        let mut b = TopicSpaceBuilder::new(g.node_count(), 1);
+        for nodes in &fixtures::figure1_topics() {
+            let t = b.add_topic(vec![TermId(0)]);
+            for &n in nodes {
+                b.assign(n, t);
+            }
+        }
+        (g, b.build())
+    }
+
+    #[test]
+    fn example1_matches_paper() {
+        // Figure 1 is acyclic, so 6-iteration matrix propagation equals the
+        // exact simple-path sum: t1 → user 3 is 0.137, and the ordering is
+        // t2 > t1 > t3 as in Example 1.
+        let (g, space) = fig1();
+        let m = BaseMatrix::new(&g, &space);
+        let u3 = fixtures::user(3);
+        let t1 = m.topic_influence(TopicId(0), u3);
+        let t2 = m.topic_influence(TopicId(1), u3);
+        let t3 = m.topic_influence(TopicId(2), u3);
+        assert!((t1 - 0.137).abs() < 1e-3, "t1 = {t1}");
+        assert!(t2 > t1 && t1 > t3, "ordering violated: {t2} {t1} {t3}");
+    }
+
+    #[test]
+    fn agrees_with_exact_oracle_on_dag() {
+        let (g, space) = fig1();
+        // Figure 1's longest simple path has 7 hops (15→9→8→13→12→10→6→3),
+        // so equality with the path oracle needs a horizon ≥ 7; the default
+        // 6 truncates that one path by 0.000192.
+        let m = BaseMatrix::with_iterations(&g, &space, 8);
+        let oracle = ExactOracle::new(&g, &space);
+        for t in space.topics() {
+            for v in g.nodes() {
+                let a = m.topic_influence(t, v);
+                let b = oracle.topic_influence(t, v);
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "topic {t} user {v}: matrix {a} vs exact {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_bound_path_length() {
+        // Path 0→1→2→3 with prob 1.0 edges; topic at node 0.
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut tb = TopicSpaceBuilder::new(4, 1);
+        let t = tb.add_topic(vec![TermId(0)]);
+        tb.assign(NodeId(0), t);
+        let space = tb.build();
+        // With 2 iterations node 3 (3 hops away) is unreached.
+        let short = BaseMatrix::with_iterations(&g, &space, 2);
+        assert_eq!(short.topic_influence(t, NodeId(3)), 0.0);
+        assert_eq!(short.topic_influence(t, NodeId(2)), 1.0);
+        let long = BaseMatrix::with_iterations(&g, &space, 3);
+        assert_eq!(long.topic_influence(t, NodeId(3)), 1.0);
+    }
+
+    #[test]
+    fn cyclic_graphs_count_revisits() {
+        // 0→1 (1.0), 1→0 (1.0): from topic {0}, node 1 is reached at
+        // iterations 1, 3, 5 → influence 3.0 after 6 iterations. This is the
+        // walk semantics of matrix propagation (vs. simple-path semantics).
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut tb = TopicSpaceBuilder::new(2, 1);
+        let t = tb.add_topic(vec![TermId(0)]);
+        tb.assign(NodeId(0), t);
+        let space = tb.build();
+        let m = BaseMatrix::new(&g, &space);
+        assert!((m.topic_influence(t, NodeId(1)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_topic_zero_influence() {
+        let g = fixtures::figure1_graph();
+        let mut tb = TopicSpaceBuilder::new(g.node_count(), 1);
+        let t = tb.add_topic(vec![TermId(0)]);
+        let space = tb.build();
+        let m = BaseMatrix::new(&g, &space);
+        assert_eq!(m.topic_influence(t, fixtures::user(3)), 0.0);
+    }
+}

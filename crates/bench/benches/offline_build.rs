@@ -1,0 +1,37 @@
+//! Criterion benchmarks for offline index construction: the sampled-walk
+//! index (Algorithm 6) and the personalized propagation index (Section 5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_datasets::{generate, paper_specs};
+use pit_index::{PropIndexConfig, PropagationIndex};
+use pit_walk::{WalkConfig, WalkIndex, WalkIndexParts};
+
+fn offline_build(c: &mut Criterion) {
+    let spec = &paper_specs(1500)[0]; // data_2k
+    let ds = generate(spec);
+
+    let mut group = c.benchmark_group("offline_build_data2k");
+    group.sample_size(10);
+
+    for r in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("walk_index", r), &r, |b, &r| {
+            b.iter(|| {
+                WalkIndex::build_parts(&ds.graph, WalkConfig::new(4, r), WalkIndexParts::ALL)
+            });
+        });
+    }
+
+    for theta in [0.1f64, 0.05, 0.01] {
+        group.bench_with_input(
+            BenchmarkId::new("propagation_index", format!("theta_{theta}")),
+            &theta,
+            |b, &theta| {
+                b.iter(|| PropagationIndex::build(&ds.graph, PropIndexConfig::with_theta(theta)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, offline_build);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the online search path (Figure-5
+//! methods on a data_2k-sized environment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_bench::{Env, EnvConfig, Method, MethodSet};
+use pit_datasets::paper_specs;
+use pit_topics::KeywordQuery;
+
+fn bench_cfg() -> EnvConfig {
+    EnvConfig {
+        scale: 1500, // large datasets shrink to 1000 nodes; data_2k stays 2000
+        n_query_terms: 3,
+        n_query_users: 5,
+        walk_l: 4,
+        walk_r: 16,
+        theta: 0.05,
+        rep_target: 16,
+        lambda: 0.85,
+        seed: 0xBE7C,
+    }
+}
+
+fn online_search(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let spec = &paper_specs(cfg.scale)[0]; // data_2k
+    let env = Env::build(spec, &cfg, MethodSet::ALL);
+    let query: KeywordQuery = env.workload.queries().next().expect("workload non-empty");
+
+    let mut group = c.benchmark_group("online_search_data2k");
+    group.sample_size(20);
+    for method in [
+        Method::LrwA,
+        Method::RclA,
+        Method::BasePropagation,
+        Method::BaseDijkstra,
+        Method::BaseMatrix,
+    ] {
+        for k in [10usize, 100] {
+            group.bench_with_input(BenchmarkId::new(method.name(), k), &k, |b, &k| {
+                b.iter(|| env.run_query(method, &query, k, None));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, online_search);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the online searcher's cost centers: loading the
+//! per-query representative map and the Γ-table absorb step, measured
+//! through full searches at contrasting candidate-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_bench::{Env, EnvConfig, Method, MethodSet};
+use pit_datasets::paper_specs;
+use pit_topics::KeywordQuery;
+
+fn search_internals(c: &mut Criterion) {
+    let cfg = EnvConfig {
+        scale: 1500,
+        n_query_terms: 3,
+        n_query_users: 5,
+        walk_l: 4,
+        walk_r: 16,
+        theta: 0.01,
+        rep_target: 16,
+        lambda: 0.85,
+        seed: 0x51AC,
+    };
+    let spec = &paper_specs(cfg.scale)[0]; // data_2k (4000 topics)
+    let env = Env::build(spec, &cfg, MethodSet::SUMMARIZED);
+    let query: KeywordQuery = env.workload.queries().next().expect("workload non-empty");
+
+    let mut group = c.benchmark_group("search_internals");
+    group.sample_size(20);
+
+    // Contrast the load+probe cost across materialized set sizes: k is held
+    // constant, only the per-topic representative count varies.
+    for reps in [4usize, 16, 64] {
+        let cut = env.reps_for(Method::LrwA).truncated(reps);
+        group.bench_with_input(
+            BenchmarkId::new("search_by_rep_count", reps),
+            &reps,
+            |b, _| {
+                b.iter(|| env.run_query(Method::LrwA, &query, 10, Some(&cut)));
+            },
+        );
+    }
+
+    // Contrast across k (pruning pressure).
+    for k in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("search_by_k", k), &k, |b, &k| {
+            b.iter(|| env.run_query(Method::LrwA, &query, k, None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, search_internals);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks for per-topic summarization (the Figure-15/16
+//! cost centers): RCL-A clustering + centroid selection vs. LRW-A
+//! diversified PageRank + absorbing migration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_datasets::{generate, paper_specs};
+use pit_graph::TopicId;
+use pit_summarize::{
+    LrwConfig, LrwSummarizer, RclConfig, RclSummarizer, SummarizeContext, Summarizer,
+};
+use pit_walk::{WalkConfig, WalkIndex, WalkIndexParts};
+
+fn summarizers(c: &mut Criterion) {
+    let spec = &paper_specs(1500)[0]; // data_2k
+    let ds = generate(spec);
+    let walks = WalkIndex::build_parts(&ds.graph, WalkConfig::new(4, 16), WalkIndexParts::ALL);
+    let ctx = SummarizeContext {
+        graph: &ds.graph,
+        space: &ds.space,
+        walks: &walks,
+    };
+    // A mid-popularity topic: head topics have thousands of nodes and are
+    // RCL-A's worst case, measured separately.
+    let mut by_size: Vec<(usize, TopicId)> = ds
+        .space
+        .topics()
+        .map(|t| (ds.space.topic_nodes(t).len(), t))
+        .collect();
+    by_size.sort_unstable();
+    let median_topic = by_size[by_size.len() / 2].1;
+    let head_topic = by_size.last().expect("topics exist").1;
+
+    let mut group = c.benchmark_group("summarize_per_topic_data2k");
+    group.sample_size(10);
+    for (label, topic) in [("median", median_topic), ("head", head_topic)] {
+        group.bench_with_input(BenchmarkId::new("LRW-A", label), &topic, |b, &topic| {
+            let s = LrwSummarizer::new(LrwConfig {
+                rep_count: Some(16),
+                ..LrwConfig::default()
+            });
+            b.iter(|| s.summarize(&ctx, topic));
+        });
+        group.bench_with_input(BenchmarkId::new("RCL-A", label), &topic, |b, &topic| {
+            let s = RclSummarizer::new(RclConfig {
+                c_size: 16,
+                ..RclConfig::default()
+            });
+            b.iter(|| s.summarize(&ctx, topic));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, summarizers);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --figure 5          # one figure
+//! repro --figure all        # the full Section-6 suite
+//! repro --scale 30          # dataset scale divisor (default 30)
+//! repro --terms 5 --users 10 --reps 66 --walk-r 32 --walk-l 5 --theta 0.05
+//! ```
+//!
+//! Installs the counting global allocator so the space figures (13–14)
+//! report real peak transient heap.
+
+use pit_bench::figures::ablation::{run_ablation, ALL_ABLATIONS};
+use pit_bench::figures::{run_figure, ALL_FIGURES};
+use pit_bench::{EnvCache, EnvConfig};
+
+#[global_allocator]
+static ALLOC: pit_eval::alloc::CountingAllocator = pit_eval::alloc::CountingAllocator;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--figure N|all] [--scale S] [--terms T] [--users U] \
+         [--ablation NAME|all] [--reps R] [--walk-l L] [--walk-r R] [--theta F] [--seed S]\n\
+         figures: {ALL_FIGURES:?} (4 = dataset table, 5-9 timing, 10-12 precision, \
+         13-14 space, 15-16 construction)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures: Vec<u32> = Vec::new();
+    let mut ablations: Vec<String> = Vec::new();
+    let mut cfg = EnvConfig::default();
+    let mut explicit_reps = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match flag {
+            "--figure" | "-f" => {
+                let v = value(i);
+                if v == "all" {
+                    figures.extend_from_slice(&ALL_FIGURES);
+                } else {
+                    figures.push(v.parse().unwrap_or_else(|_| usage()));
+                }
+                i += 2;
+            }
+            "--ablation" | "-a" => {
+                let v = value(i);
+                if v == "all" {
+                    ablations.extend(ALL_ABLATIONS.iter().map(|s| s.to_string()));
+                } else {
+                    ablations.push(v.to_string());
+                }
+                i += 2;
+            }
+            "--scale" => {
+                cfg.scale = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--terms" => {
+                cfg.n_query_terms = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--users" => {
+                cfg.n_query_users = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--reps" => {
+                cfg.rep_target = value(i).parse().unwrap_or_else(|_| usage());
+                explicit_reps = true;
+                i += 2;
+            }
+            "--walk-l" => {
+                cfg.walk_l = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--walk-r" => {
+                cfg.walk_r = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--lambda" => {
+                cfg.lambda = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--theta" => {
+                cfg.theta = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if figures.is_empty() && ablations.is_empty() {
+        figures.extend_from_slice(&ALL_FIGURES);
+    }
+    if !explicit_reps {
+        // Default the materialized representative target to the paper's
+        // 2000-per-topic divided by the scale (Figure 9's setting), so the
+        // 1000-rep figures can truncate downward.
+        cfg.rep_target = (2000 / cfg.scale).max(4);
+    }
+
+    eprintln!(
+        "[repro] scale={} terms={} users={} reps/topic={} L={} R={} θ={} λ={}",
+        cfg.scale,
+        cfg.n_query_terms,
+        cfg.n_query_users,
+        cfg.rep_target,
+        cfg.walk_l,
+        cfg.walk_r,
+        cfg.theta,
+        cfg.lambda
+    );
+    let mut cache = EnvCache::new(cfg);
+    for f in figures {
+        let start = std::time::Instant::now();
+        let out = run_figure(&mut cache, f);
+        println!("{out}");
+        eprintln!(
+            "[repro] figure {f} took {:.1}s\n",
+            start.elapsed().as_secs_f64()
+        );
+    }
+    for a in ablations {
+        let start = std::time::Instant::now();
+        let out = run_ablation(&mut cache, &a);
+        println!("{out}");
+        eprintln!(
+            "[repro] ablation {a} took {:.1}s\n",
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

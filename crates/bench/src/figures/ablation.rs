@@ -1,0 +1,254 @@
+//! Ablation experiments for the design choices DESIGN.md calls out.
+//!
+//! Not figures from the paper — these justify (a) the upper-bound pruning
+//! rule of Algorithm 10, (b) the topic-rooted PageRank initialization
+//! (DESIGN.md §8 divergence 2), and (c) the walk next-hop policy.
+
+use crate::harness::{EnvCache, Method, DATA_3M};
+use pit_eval::table::{human_ms, Table};
+use pit_search_core::{PersonalizedSearcher, SearchConfig, TopicRepIndex};
+use pit_summarize::{LrwConfig, LrwSummarizer, PageRankInit, SummarizeContext};
+use pit_topics::KeywordQuery;
+use pit_walk::{WalkConfig, WalkIndex, WalkIndexParts, WalkPolicy};
+use std::time::Instant;
+
+const QUERY_CAP: usize = 8;
+
+/// Run one ablation by name.
+///
+/// # Panics
+/// Panics on an unknown name (supported: `prune`, `init`, `policy`).
+pub fn run_ablation(cache: &mut EnvCache, name: &str) -> String {
+    match name {
+        "prune" => ablate_pruning(cache),
+        "init" => ablate_pagerank_init(cache),
+        "policy" => ablate_walk_policy(cache),
+        "refine" => ablate_centroid_refinement(cache),
+        other => panic!("unknown ablation {other} (supported: prune, init, policy, refine)"),
+    }
+}
+
+/// All ablation names.
+pub const ALL_ABLATIONS: [&str; 4] = ["prune", "init", "policy", "refine"];
+
+/// (d) RCL-A centroid hill-climbing (the paper's optional Section-3.2
+/// refinement): precision and per-topic cost with and without it.
+fn ablate_centroid_refinement(cache: &mut EnvCache) -> String {
+    use pit_summarize::{RclConfig, RclSummarizer};
+    let cfg = *cache.config();
+    let env = cache.env(DATA_3M);
+    let k = cfg.scaled_k(300);
+    let ctx = SummarizeContext {
+        graph: &env.dataset.graph,
+        space: &env.dataset.space,
+        walks: &env.walks,
+    };
+    let mut table = Table::new(&[
+        "centroid refinement",
+        "precision vs BasePropagation",
+        "summarize time (all workload topics)",
+    ]);
+    for (label, refine) in [("off (Algorithm 4)", false), ("hill-climb (opt. 2)", true)] {
+        let t0 = Instant::now();
+        let reps = TopicRepIndex::build_for_topics(
+            &ctx,
+            &RclSummarizer::new(RclConfig {
+                c_size: cfg.rep_target,
+                refine_centroids: refine,
+                ..RclConfig::default()
+            }),
+            &env.workload_topics,
+        )
+        .truncated(cfg.rep_target);
+        let build = t0.elapsed();
+        let p = env.mean_precision(
+            Method::RclA,
+            Method::BasePropagation,
+            k,
+            QUERY_CAP,
+            Some(&reps),
+        );
+        table.row_owned(vec![
+            label.to_string(),
+            format!("{p:.3}"),
+            human_ms(build.as_secs_f64() * 1e3),
+        ]);
+    }
+    format!(
+        "Ablation `refine`: RCL-A centroid hill-climbing on data_3m/scale (k = {k})\n{}",
+        table.render()
+    )
+}
+
+/// (a) Pruning: same results, less work.
+fn ablate_pruning(cache: &mut EnvCache) -> String {
+    let cfg = *cache.config();
+    let env = cache.env(DATA_3M);
+    // The smallest paper k — the most contested top-k and therefore the most
+    // expansion work for pruning to save.
+    let k = cfg.scaled_k(100);
+    let reps = env.reps_for(Method::LrwA);
+    let queries: Vec<KeywordQuery> = env.workload.queries().take(QUERY_CAP).collect();
+
+    let mut table = Table::new(&[
+        "pruning",
+        "mean time",
+        "mean probed tables",
+        "mean pruned topics",
+        "top-k identical",
+    ]);
+    let mut reference: Vec<Vec<pit_graph::TopicId>> = Vec::new();
+    for prune in [false, true] {
+        let searcher = PersonalizedSearcher::new(
+            &env.dataset.space,
+            &env.prop,
+            reps,
+            SearchConfig {
+                k,
+                max_expand_rounds: 4,
+                prune,
+            },
+        );
+        let mut probed = 0usize;
+        let mut pruned = 0usize;
+        let mut identical = true;
+        let start = Instant::now();
+        for (i, q) in queries.iter().enumerate() {
+            let out = searcher.search(q);
+            probed += out.probed_tables;
+            pruned += out.pruned_topics;
+            let topics: Vec<_> = out.top_k.iter().map(|s| s.topic).collect();
+            if prune {
+                identical &= topics == reference[i];
+            } else {
+                reference.push(topics);
+            }
+        }
+        let mean_ms = start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+        table.row_owned(vec![
+            if prune { "on" } else { "off" }.to_string(),
+            human_ms(mean_ms),
+            format!("{:.1}", probed as f64 / queries.len() as f64),
+            format!("{:.1}", pruned as f64 / queries.len() as f64),
+            if prune {
+                identical.to_string()
+            } else {
+                "(reference)".to_string()
+            },
+        ]);
+    }
+    format!(
+        "Ablation `prune`: Algorithm-10 upper-bound pruning on data_3m/scale \
+         (k = {k}, {QUERY_CAP} queries)\n{}",
+        table.render()
+    )
+}
+
+/// (b) Topic-rooted vs. all-ones PageRank initialization (DESIGN.md §8.2):
+/// precision against BasePropagation.
+fn ablate_pagerank_init(cache: &mut EnvCache) -> String {
+    let cfg = *cache.config();
+    let env = cache.env(DATA_3M);
+    let k = cfg.scaled_k(300);
+    let ctx = SummarizeContext {
+        graph: &env.dataset.graph,
+        space: &env.dataset.space,
+        walks: &env.walks,
+    };
+    let mut table = Table::new(&["PageRank init", "precision vs BasePropagation"]);
+    for (label, init) in [
+        ("topic-rooted (ours)", PageRankInit::TopicPrior),
+        ("all-ones (Algorithm 7 as printed)", PageRankInit::AllOnes),
+    ] {
+        let reps = TopicRepIndex::build_for_topics(
+            &ctx,
+            &LrwSummarizer::new(LrwConfig {
+                rep_count: Some(cfg.rep_target),
+                init,
+                ..LrwConfig::default()
+            }),
+            &env.workload_topics,
+        );
+        let p = env.mean_precision(
+            Method::LrwA,
+            Method::BasePropagation,
+            k,
+            QUERY_CAP,
+            Some(&reps),
+        );
+        table.row_owned(vec![label.to_string(), format!("{p:.3}")]);
+    }
+    format!(
+        "Ablation `init`: LRW-A PageRank initialization on data_3m/scale (k = {k})\n{}",
+        table.render()
+    )
+}
+
+/// (c) Uniform vs. transition-weighted walks feeding LRW-A.
+fn ablate_walk_policy(cache: &mut EnvCache) -> String {
+    let cfg = *cache.config();
+    let env = cache.env(DATA_3M);
+    let k = cfg.scaled_k(300);
+    let mut table = Table::new(&["walk policy", "precision vs BasePropagation"]);
+    for (label, policy) in [
+        (
+            "uniform neighbor (Algorithm 6)",
+            WalkPolicy::UniformNeighbor,
+        ),
+        ("transition-weighted", WalkPolicy::TransitionWeighted),
+    ] {
+        let walks = WalkIndex::build_parts(
+            &env.dataset.graph,
+            WalkConfig::new(cfg.walk_l, cfg.walk_r)
+                .with_seed(cfg.seed)
+                .with_policy(policy),
+            WalkIndexParts::FOR_LRW,
+        );
+        let ctx = SummarizeContext {
+            graph: &env.dataset.graph,
+            space: &env.dataset.space,
+            walks: &walks,
+        };
+        let reps = TopicRepIndex::build_for_topics(
+            &ctx,
+            &LrwSummarizer::new(LrwConfig {
+                rep_count: Some(cfg.rep_target),
+                ..LrwConfig::default()
+            }),
+            &env.workload_topics,
+        );
+        let p = env.mean_precision(
+            Method::LrwA,
+            Method::BasePropagation,
+            k,
+            QUERY_CAP,
+            Some(&reps),
+        );
+        table.row_owned(vec![label.to_string(), format!("{p:.3}")]);
+    }
+    format!(
+        "Ablation `policy`: walk next-hop policy feeding LRW-A on data_3m/scale (k = {k})\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ablations_render() {
+        let mut cache = crate::harness::tiny_test_cache();
+        for name in ALL_ABLATIONS {
+            let out = run_ablation(&mut cache, name);
+            assert!(out.contains("Ablation"), "{name}:\n{out}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_ablation_panics() {
+        let mut cache = crate::harness::tiny_test_cache();
+        let _ = run_ablation(&mut cache, "nope");
+    }
+}

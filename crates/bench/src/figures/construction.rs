@@ -1,0 +1,179 @@
+//! Figures 15–16 — offline index-construction cost.
+
+use crate::harness::{EnvCache, DATA_3M};
+use pit_eval::table::{human_bytes, human_ms, Table};
+use pit_graph::TopicId;
+use pit_summarize::{
+    LrwConfig, LrwSummarizer, RclConfig, RclSummarizer, SummarizeContext, Summarizer,
+};
+use pit_walk::{WalkConfig, WalkIndex, WalkIndexParts};
+use std::time::Instant;
+
+/// Topics measured per cell (the paper reports per-topic averages).
+const TOPICS_PER_CELL: usize = 3;
+
+/// Pick representative topics for per-topic cost measurements: the median
+/// |V_t| entries of the workload topics, so one monster head topic doesn't
+/// dominate the averages.
+fn sample_topics(env: &crate::harness::Env) -> Vec<TopicId> {
+    let mut by_size: Vec<(usize, TopicId)> = env
+        .workload_topics
+        .iter()
+        .map(|&t| (env.dataset.space.topic_nodes(t).len(), t))
+        .collect();
+    by_size.sort_unstable();
+    let mid = by_size.len() / 2;
+    by_size
+        .iter()
+        .skip(mid.saturating_sub(TOPICS_PER_CELL / 2))
+        .take(TOPICS_PER_CELL)
+        .map(|&(_, t)| t)
+        .collect()
+}
+
+fn mean_per_topic_ms<S: Summarizer>(
+    ctx: &SummarizeContext<'_>,
+    summarizer: &S,
+    topics: &[TopicId],
+) -> f64 {
+    let start = Instant::now();
+    for &t in topics {
+        std::hint::black_box(summarizer.summarize(ctx, t));
+    }
+    start.elapsed().as_secs_f64() * 1e3 / topics.len() as f64
+}
+
+/// Figure 15 — per-topic summarization cost vs. the RCL-A probe sample rate
+/// (1 %, 5 %, 10 %) and the LRW-A walk sample count `R`. The paper's table
+/// reports time and space per topic; space here is the dominant resident
+/// structure (the walk index) plus the graph.
+pub fn fig15(cache: &mut EnvCache) -> String {
+    let cfg = *cache.config();
+    let env = cache.env(DATA_3M);
+    let topics = sample_topics(env);
+    let ctx = SummarizeContext {
+        graph: &env.dataset.graph,
+        space: &env.dataset.space,
+        walks: &env.walks,
+    };
+
+    let mut rcl_table = Table::new(&["|V'|/|V| in RCL-A", "1%", "5%", "10%"]);
+    let mut time_row = vec!["Time / topic".to_string()];
+    for rate in [0.01f64, 0.05, 0.10] {
+        let s = RclSummarizer::new(RclConfig {
+            c_size: cfg.rep_target.max(2),
+            sample_rate: rate,
+            ..RclConfig::default()
+        });
+        time_row.push(human_ms(mean_per_topic_ms(&ctx, &s, &topics)));
+    }
+    rcl_table.row_owned(time_row);
+    let space = human_bytes(env.walks.heap_size_bytes() + env.dataset.graph.heap_size_bytes());
+    rcl_table.row_owned(vec![
+        "Space (walk index + graph)".to_string(),
+        space.clone(),
+        space.clone(),
+        space,
+    ]);
+
+    // LRW-A: R sweep needs a walk index per R. Paper values 100/200/300 are
+    // divided by ~3 to keep a single-core full-suite run tractable; the
+    // claim under test (time insensitive to R, space growing with R)
+    // is shape-level.
+    let r_values = [16usize, 32, 64];
+    let mut lrw_table = Table::new(&["R in LRW-A", "R=16", "R=32", "R=64"]);
+    let mut time_row = vec!["Time / topic".to_string()];
+    let mut space_row = vec!["Space (walk index)".to_string()];
+    for &r in &r_values {
+        let walks = WalkIndex::build_parts(
+            &env.dataset.graph,
+            WalkConfig::new(cfg.walk_l, r).with_seed(cfg.seed),
+            WalkIndexParts::FOR_LRW,
+        );
+        let ctx_r = SummarizeContext {
+            graph: &env.dataset.graph,
+            space: &env.dataset.space,
+            walks: &walks,
+        };
+        let s = LrwSummarizer::new(LrwConfig {
+            rep_count: Some(cfg.rep_target.max(2)),
+            ..LrwConfig::default()
+        });
+        time_row.push(human_ms(mean_per_topic_ms(&ctx_r, &s, &topics)));
+        space_row.push(human_bytes(walks.heap_size_bytes()));
+    }
+    lrw_table.row_owned(time_row);
+    lrw_table.row_owned(space_row);
+
+    format!(
+        "Figure 15: Effect of sample rate on per-topic summarization (data_3m/scale, \
+         {TOPICS_PER_CELL} median topics per cell)\n{}\n{}",
+        rcl_table.render(),
+        lrw_table.render()
+    )
+}
+
+/// Figure 16 — per-topic index-construction time as the walk length `L`
+/// varies, for RCL-A vs. LRW-A.
+pub fn fig16(cache: &mut EnvCache) -> String {
+    let cfg = *cache.config();
+    let env = cache.env(DATA_3M);
+    let topics = sample_topics(env);
+    let ls = [2usize, 3, 4, 5];
+    let mut table = Table::new(&["method", "L=2", "L=3", "L=4", "L=5"]);
+    let mut rcl_row = vec!["RCL-A".to_string()];
+    let mut lrw_row = vec!["LRW-A".to_string()];
+    for &l in &ls {
+        let walks = WalkIndex::build_parts(
+            &env.dataset.graph,
+            WalkConfig::new(l, cfg.walk_r).with_seed(cfg.seed),
+            WalkIndexParts::ALL,
+        );
+        let ctx = SummarizeContext {
+            graph: &env.dataset.graph,
+            space: &env.dataset.space,
+            walks: &walks,
+        };
+        let rcl = RclSummarizer::new(RclConfig {
+            c_size: cfg.rep_target.max(2),
+            ..RclConfig::default()
+        });
+        rcl_row.push(human_ms(mean_per_topic_ms(&ctx, &rcl, &topics)));
+        let lrw = LrwSummarizer::new(LrwConfig {
+            rep_count: Some(cfg.rep_target.max(2)),
+            ..LrwConfig::default()
+        });
+        lrw_row.push(human_ms(mean_per_topic_ms(&ctx, &lrw, &topics)));
+    }
+    table.row_owned(rcl_row);
+    table.row_owned(lrw_row);
+    format!(
+        "Figure 16: Per-topic construction time vs walk length L (data_3m/scale, \
+         {TOPICS_PER_CELL} median topics per cell)\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> EnvCache {
+        crate::harness::tiny_test_cache()
+    }
+
+    #[test]
+    fn fig15_renders_both_tables() {
+        let out = fig15(&mut tiny_cache());
+        assert!(out.contains("RCL-A"));
+        assert!(out.contains("R=64"));
+        assert!(out.contains("Space"));
+    }
+
+    #[test]
+    fn fig16_renders_l_sweep() {
+        let out = fig16(&mut tiny_cache());
+        assert!(out.contains("L=5"));
+        assert!(out.contains("LRW-A"));
+    }
+}

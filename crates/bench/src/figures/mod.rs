@@ -1,0 +1,41 @@
+//! One module per Section-6 experiment family; every public `figNN` function
+//! renders the corresponding paper table/figure as text.
+
+pub mod ablation;
+pub mod construction;
+pub mod datasets;
+pub mod quality;
+pub mod space;
+pub mod timing;
+
+use crate::harness::EnvCache;
+
+/// Run one figure by number, returning its rendered output.
+///
+/// # Panics
+/// Panics on a figure number outside 4–16 (1–3 are worked examples covered
+/// by unit tests, not benchmarks).
+pub fn run_figure(cache: &mut EnvCache, figure: u32) -> String {
+    match figure {
+        4 => datasets::fig04(cache),
+        5 => timing::fig05(cache),
+        6 => timing::fig06(cache),
+        7 => timing::fig07(cache),
+        8 => timing::fig08(cache),
+        9 => timing::fig09(cache),
+        10 => quality::fig10(cache),
+        11 => quality::fig11(cache),
+        12 => quality::fig12(cache),
+        13 => space::fig13(cache),
+        14 => space::fig14(cache),
+        15 => construction::fig15(cache),
+        16 => construction::fig16(cache),
+        other => panic!(
+            "figure {other} is not an experiment (supported: 4-16; figures 1-3 \
+             are worked examples verified by unit tests)"
+        ),
+    }
+}
+
+/// All experiment figure numbers in order.
+pub const ALL_FIGURES: [u32; 13] = [4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];

@@ -1,0 +1,121 @@
+//! Figures 10–12 — PIT-Search effectiveness (precision against a ground
+//! truth).
+
+use crate::harness::{EnvCache, Method, DATA_2K, DATA_3M};
+use pit_eval::Table;
+
+const SMALL_QUERY_CAP: usize = 20;
+const LARGE_QUERY_CAP: usize = 16;
+
+/// Figure 10 — precision on data_2k against the BaseMatrix ground truth,
+/// k ∈ {10, 20, 50, 100}.
+pub fn fig10(cache: &mut EnvCache) -> String {
+    let env = cache.env(DATA_2K);
+    let ks = [10usize, 20, 50, 100];
+    let mut table = Table::new(&["method", "k=10", "k=20", "k=50", "k=100"]);
+    let mut ndcg_table = Table::new(&["method", "k=10", "k=20", "k=50", "k=100"]);
+    for m in [
+        Method::BaseDijkstra,
+        Method::BasePropagation,
+        Method::RclA,
+        Method::LrwA,
+    ] {
+        let mut cells = vec![m.name().to_string()];
+        let mut ndcg_cells = vec![m.name().to_string()];
+        for &k in &ks {
+            let (p, n) = env.mean_quality(m, Method::BaseMatrix, k, SMALL_QUERY_CAP, None);
+            cells.push(format!("{p:.3}"));
+            ndcg_cells.push(format!("{n:.3}"));
+        }
+        table.row_owned(cells);
+        ndcg_table.row_owned(ndcg_cells);
+    }
+    format!(
+        "Figure 10: Effectiveness on data_2k (precision vs BaseMatrix ground truth, \
+         {SMALL_QUERY_CAP} queries)\n{}\nFigure 10 (supplementary): NDCG@k on the same runs\n{}",
+        table.render(),
+        ndcg_table.render()
+    )
+}
+
+/// Figure 11 — precision on data_3m (scaled) against BasePropagation
+/// (BaseMatrix is infeasible there, as in the paper), k ∈ {100…500}.
+pub fn fig11(cache: &mut EnvCache) -> String {
+    let cfg = *cache.config();
+    let env = cache.env(DATA_3M);
+    let ks: Vec<usize> = [100usize, 200, 300, 500]
+        .iter()
+        .map(|&k| cfg.scaled_k(k))
+        .collect();
+    let mut table = Table::new(&["method", "k=100", "k=200", "k=300", "k=500"]);
+    for m in [Method::BaseDijkstra, Method::RclA, Method::LrwA] {
+        let mut cells = vec![m.name().to_string()];
+        for &k in &ks {
+            let p = env.mean_precision(m, Method::BasePropagation, k, LARGE_QUERY_CAP, None);
+            cells.push(format!("{p:.3}"));
+        }
+        table.row_owned(cells);
+    }
+    format!(
+        "Figure 11: Effectiveness on data_3m/scale (precision vs BasePropagation, \
+         {LARGE_QUERY_CAP} queries; paper k shown, actual k = {ks:?})\n{}",
+        table.render()
+    )
+}
+
+/// Figure 12 — precision at k = 100 vs. the materialized representative-set
+/// size (paper sweep 1000–6000, scaled).
+pub fn fig12(cache: &mut EnvCache) -> String {
+    let paper_sizes = [1000usize, 2000, 4000, 6000];
+    let cfg = *cache.config();
+    let scaled: Vec<usize> = paper_sizes.iter().map(|&s| cfg.scaled_reps(s)).collect();
+    let env = cache.env(DATA_3M);
+    let k = cfg.scaled_k(100);
+    let mut table = Table::new(&["method", "reps=1000", "reps=2000", "reps=4000", "reps=6000"]);
+    for m in [Method::RclA, Method::LrwA] {
+        let full = env.build_reps(m, *scaled.last().expect("non-empty sweep"));
+        let mut cells = vec![m.name().to_string()];
+        for &target in &scaled {
+            let cut = full.truncated(target);
+            let p = env.mean_precision(m, Method::BasePropagation, k, LARGE_QUERY_CAP, Some(&cut));
+            cells.push(format!("{p:.3}"));
+        }
+        table.row_owned(cells);
+    }
+    format!(
+        "Figure 12: Effectiveness vs representative-set size on data_3m/scale \
+         (paper k = 100, actual k = {k}, actual sizes = {scaled:?})\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> EnvCache {
+        crate::harness::tiny_test_cache()
+    }
+
+    #[test]
+    fn fig10_values_are_probabilities() {
+        let out = fig10(&mut tiny_cache());
+        assert!(out.contains("LRW-A"));
+        // Every numeric cell parses as a probability.
+        for tok in out.split_whitespace() {
+            if let Ok(v) = tok.parse::<f64>() {
+                if tok.contains('.') {
+                    assert!((0.0..=1.0).contains(&v), "{v} out of range:\n{out}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_and_12_render() {
+        let mut cache = tiny_cache();
+        assert!(fig11(&mut cache).contains("BaseDijkstra"));
+        let out = fig12(&mut cache);
+        assert!(out.contains("RCL-A") && out.contains("reps=6000"));
+    }
+}

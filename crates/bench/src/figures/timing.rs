@@ -1,0 +1,190 @@
+//! Figures 5–9 — PIT-Search efficiency and scalability.
+
+use crate::harness::{EnvCache, Method, MethodSet, DATA_1_2M, DATA_2K, DATA_350K, DATA_3M};
+use pit_eval::table::{human_ms, Table};
+
+/// Queries per (method, k) cell; keeps BaseMatrix/BaseDijkstra cells from
+/// dominating a full-suite run on one core.
+const SMALL_QUERY_CAP: usize = 25;
+const LARGE_QUERY_CAP: usize = 8;
+
+/// Figure 5 — query time on data_2k, five methods, k ∈ {10, 20, 50, 100}.
+pub fn fig05(cache: &mut EnvCache) -> String {
+    let env = cache.env(DATA_2K);
+    let ks = [10usize, 20, 50, 100];
+    let mut table = Table::new(&["method", "k=10", "k=20", "k=50", "k=100"]);
+    for m in MethodSet::ALL.methods() {
+        let mut cells = vec![m.name().to_string()];
+        for &k in &ks {
+            let t = env.mean_query_time(m, k, SMALL_QUERY_CAP, None);
+            cells.push(human_ms(t.mean_ms()));
+        }
+        table.row_owned(cells);
+    }
+    format!(
+        "Figure 5: Time Cost of PIT-Search using data_2k (mean over {SMALL_QUERY_CAP} queries)\n{}",
+        table.render()
+    )
+}
+
+/// Figure 6 — query time on data_3m (scaled), k ∈ {100, 200, 300, 500},
+/// without BaseMatrix (as in the paper).
+pub fn fig06(cache: &mut EnvCache) -> String {
+    let cfg = *cache.config();
+    let env = cache.env(DATA_3M);
+    let ks: Vec<usize> = [100usize, 200, 300, 500]
+        .iter()
+        .map(|&k| cfg.scaled_k(k))
+        .collect();
+    let mut table = Table::new(&["method", "k=100", "k=200", "k=300", "k=500"]);
+    for m in MethodSet::NO_MATRIX.methods() {
+        let mut cells = vec![m.name().to_string()];
+        for &k in &ks {
+            let t = env.mean_query_time(m, k, LARGE_QUERY_CAP, None);
+            cells.push(human_ms(t.mean_ms()));
+        }
+        table.row_owned(cells);
+    }
+    format!(
+        "Figure 6: Time Cost of PIT-Search using data_3m/scale (mean over {LARGE_QUERY_CAP} \
+         queries; paper k shown, actual k = {ks:?})\n{}",
+        table.render()
+    )
+}
+
+/// Figure 7 — top-100 query time vs. the materialized representative-set
+/// size (paper sweep 1000–6000, divided by the scale factor). Baselines are
+/// insensitive to the knob and shown once for reference.
+pub fn fig07(cache: &mut EnvCache) -> String {
+    let paper_sizes = [1000usize, 2000, 4000, 6000];
+    let cfg = *cache.config();
+    let scaled: Vec<usize> = paper_sizes.iter().map(|&s| cfg.scaled_reps(s)).collect();
+    let env = cache.env(DATA_3M);
+    let k = cfg.scaled_k(100);
+
+    let mut table = Table::new(&["method", "reps=1000", "reps=2000", "reps=4000", "reps=6000"]);
+    for m in [Method::RclA, Method::LrwA] {
+        // Build the largest target once, truncate downward.
+        let full = env.build_reps(m, *scaled.last().expect("non-empty sweep"));
+        let mut cells = vec![m.name().to_string()];
+        for &target in &scaled {
+            let cut = full.truncated(target);
+            let t = env.mean_query_time(m, k, LARGE_QUERY_CAP, Some(&cut));
+            cells.push(human_ms(t.mean_ms()));
+        }
+        table.row_owned(cells);
+    }
+    for m in [Method::BaseDijkstra, Method::BasePropagation] {
+        let t = env.mean_query_time(m, k, LARGE_QUERY_CAP, None);
+        let cell = human_ms(t.mean_ms());
+        table.row_owned(vec![
+            format!("{} (flat)", m.name()),
+            cell.clone(),
+            cell.clone(),
+            cell.clone(),
+            cell,
+        ]);
+    }
+    format!(
+        "Figure 7: Top-100 time vs representative-set size on data_3m/scale \
+         (paper sizes shown; actual = size/scale = {scaled:?})\n{}",
+        table.render()
+    )
+}
+
+/// Figure 8 — scalability across all four datasets at 1000 (scaled)
+/// representatives, k = 100.
+pub fn fig08(cache: &mut EnvCache) -> String {
+    scalability(cache, 1000, "Figure 8")
+}
+
+/// Figure 9 — the same sweep at 2000 (scaled) representatives.
+pub fn fig09(cache: &mut EnvCache) -> String {
+    scalability(cache, 2000, "Figure 9")
+}
+
+fn scalability(cache: &mut EnvCache, paper_reps: usize, label: &str) -> String {
+    let cfg = *cache.config();
+    let target = cfg.scaled_reps(paper_reps);
+    let mut table = Table::new(&["method", "data_2k", "data_350k", "data_1.2m", "data_3m"]);
+    let mut rows: Vec<Vec<String>> = MethodSet::ALL
+        .methods()
+        .iter()
+        .map(|m| vec![m.name().to_string()])
+        .collect();
+    for idx in [DATA_2K, DATA_350K, DATA_1_2M, DATA_3M] {
+        let env = cache.env(idx);
+        let cap = if idx == DATA_2K {
+            SMALL_QUERY_CAP
+        } else {
+            LARGE_QUERY_CAP
+        };
+        for (row, &m) in rows.iter_mut().zip(MethodSet::ALL.methods().iter()) {
+            if m == Method::BaseMatrix && idx != DATA_2K {
+                row.push("—".to_string()); // paper also omits BaseMatrix here
+                continue;
+            }
+            let over;
+            let reps_override = match m {
+                Method::RclA | Method::LrwA => {
+                    over = env.reps_for(m).truncated(target);
+                    Some(&over)
+                }
+                _ => None,
+            };
+            let t = env.mean_query_time(m, 100, cap, reps_override);
+            row.push(human_ms(t.mean_ms()));
+        }
+    }
+    for row in rows {
+        table.row_owned(row);
+    }
+    format!(
+        "{label}: Scalability of top-100 PIT-Search, {paper_reps} (paper) = {target} (scaled) \
+         representatives per topic\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> EnvCache {
+        crate::harness::tiny_test_cache()
+    }
+
+    #[test]
+    fn fig05_has_all_methods() {
+        let out = fig05(&mut tiny_cache());
+        for m in [
+            "BaseMatrix",
+            "BaseDijkstra",
+            "BasePropagation",
+            "RCL-A",
+            "LRW-A",
+        ] {
+            assert!(out.contains(m), "missing {m}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn fig06_excludes_matrix() {
+        let out = fig06(&mut tiny_cache());
+        assert!(!out.contains("BaseMatrix"));
+        assert!(out.contains("LRW-A"));
+    }
+
+    #[test]
+    fn fig07_and_scalability_render() {
+        let mut cache = tiny_cache();
+        let out = fig07(&mut cache);
+        assert!(out.contains("reps=6000"));
+        let out = fig08(&mut cache);
+        assert!(out.contains("data_350k"));
+        assert!(
+            out.contains("—"),
+            "BaseMatrix must be omitted on large sets"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # pit-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's Section 6, at a configurable scale factor (DESIGN.md §3 maps each
+//! figure to its module here). The `repro` binary drives it:
+//!
+//! ```text
+//! repro --figure 5            # one figure
+//! repro --figure all          # everything
+//! repro --scale 30 --figure 8 # cheaper datasets (divide paper sizes by 30)
+//! ```
+//!
+//! Scaled runs reproduce the *shape* of each result (method ordering, growth
+//! trends, crossovers), not the paper's absolute numbers — see
+//! EXPERIMENTS.md for the recorded comparison.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{Env, EnvCache, EnvConfig, Method, MethodSet};

@@ -1,0 +1,95 @@
+//! Flag parsing for the `pit` binary — small, dependency-free, testable.
+
+use std::collections::BTreeMap;
+
+/// A parsed invocation: subcommand plus `--flag value` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Parsed {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// Flag values keyed by flag name (without the leading dashes).
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Parse `args` (without the program name).
+///
+/// # Errors
+/// Returns a message when no subcommand is given, a flag is missing its
+/// value, or a bare positional argument appears after the subcommand.
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| "missing subcommand".to_string())?
+        .clone();
+    if command.starts_with('-') {
+        return Err(format!("expected a subcommand, got flag {command}"));
+    }
+    let mut flags = BTreeMap::new();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {flag}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} is missing its value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(Parsed { command, flags })
+}
+
+impl Parsed {
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse(&argv("query --engine /tmp/e --user 7 --k 10")).unwrap();
+        assert_eq!(p.command, "query");
+        assert_eq!(p.require("engine").unwrap(), "/tmp/e");
+        assert_eq!(p.num::<usize>("k", 3).unwrap(), 10);
+        assert_eq!(p.num::<usize>("absent", 42).unwrap(), 42);
+        assert_eq!(p.get("user"), Some("7"));
+        assert_eq!(p.get("nope"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("--engine x")).is_err());
+        assert!(parse(&argv("query --engine")).is_err());
+        assert!(parse(&argv("query stray")).is_err());
+        let p = parse(&argv("query --k ten")).unwrap();
+        assert!(p.num::<usize>("k", 1).is_err());
+        assert!(p.require("engine").is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Subcommand implementations for the `pit` binary.
+
+use crate::args::Parsed;
+use pit::store;
+use pit::{PitEngine, SummarizerKind};
+use pit_datasets::paper_specs;
+use pit_graph::stats::GraphStats;
+use pit_graph::NodeId;
+use pit_index::PropIndexConfig;
+use pit_summarize::{LrwConfig, RclConfig};
+use pit_walk::WalkConfig;
+use std::fs;
+use std::path::Path;
+
+/// `pit generate` — synthesize a Figure-4 corpus and write its snapshots.
+pub fn generate(p: &Parsed) -> Result<(), String> {
+    let name = p.require("dataset")?;
+    let out = Path::new(p.require("out")?);
+    let scale: usize = p.num("scale", 30)?;
+    let specs = paper_specs(scale);
+    let spec = specs.iter().find(|s| s.name == name).ok_or_else(|| {
+        format!(
+            "unknown dataset {name}; available: {}",
+            specs
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    eprintln!("generating {} ({} nodes)…", spec.name, spec.nodes);
+    let ds = pit_datasets::generate(spec);
+    fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    fs::write(
+        out.join("graph.pitg"),
+        pit_graph::snapshot::encode(&ds.graph),
+    )
+    .map_err(|e| e.to_string())?;
+    fs::write(
+        out.join("topics.pitt"),
+        pit_topics::snapshot::encode_space(&ds.space),
+    )
+    .map_err(|e| e.to_string())?;
+    fs::write(
+        out.join("vocab.pitv"),
+        pit_topics::snapshot::encode_vocab(&ds.vocab),
+    )
+    .map_err(|e| e.to_string())?;
+    let stats = GraphStats::compute(&ds.graph);
+    println!(
+        "wrote {}: |V|={}, |E|={}, topics={}, terms={}",
+        out.display(),
+        stats.node_count,
+        stats.edge_count,
+        ds.space.topic_count(),
+        ds.vocab.len()
+    );
+    Ok(())
+}
+
+/// `pit build` — run the offline stage over a saved corpus.
+pub fn build(p: &Parsed) -> Result<(), String> {
+    let corpus = Path::new(p.require("corpus")?);
+    let out = Path::new(p.require("out")?);
+    let theta: f64 = p.num("theta", 0.01)?;
+    let walk_l: usize = p.num("walk-l", 5)?;
+    let walk_r: usize = p.num("walk-r", 32)?;
+    let reps: usize = p.num("reps", 64)?;
+    let summarizer = match p.get("summarizer").unwrap_or("lrw") {
+        "lrw" => SummarizerKind::Lrw(LrwConfig {
+            rep_count: Some(reps),
+            ..LrwConfig::default()
+        }),
+        "rcl" => SummarizerKind::Rcl(RclConfig {
+            c_size: reps,
+            ..RclConfig::default()
+        }),
+        other => return Err(format!("unknown summarizer {other} (lrw|rcl)")),
+    };
+
+    let graph = pit_graph::snapshot::decode(
+        &fs::read(corpus.join("graph.pitg")).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let space = pit_topics::snapshot::decode_space(
+        &fs::read(corpus.join("topics.pitt")).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let vocab_path = corpus.join("vocab.pitv");
+    let vocab = if vocab_path.exists() {
+        Some(
+            pit_topics::snapshot::decode_vocab(&fs::read(vocab_path).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        None
+    };
+
+    eprintln!(
+        "building offline stage ({}, θ={theta}, L={walk_l}, R={walk_r}, {reps} reps/topic)…",
+        summarizer.name()
+    );
+    let t0 = std::time::Instant::now();
+    let engine = PitEngine::builder()
+        .walk(WalkConfig::new(walk_l, walk_r))
+        .propagation(PropIndexConfig::with_theta(theta))
+        .summarizer(summarizer)
+        .build_with_vocab(graph, space, vocab);
+    eprintln!("offline stage took {:.1}s", t0.elapsed().as_secs_f64());
+    store::save_engine(out, &engine).map_err(|e| e.to_string())?;
+    println!(
+        "wrote engine to {} ({} of resident indexes)",
+        out.display(),
+        pit_eval::table::human_bytes(engine.index_bytes())
+    );
+    Ok(())
+}
+
+/// `pit query` — top-k personalized influential topics for one user.
+pub fn query(p: &Parsed) -> Result<(), String> {
+    let engine = load(p)?;
+    let user: u32 = p.num("user", u32::MAX)?;
+    if user == u32::MAX {
+        return Err("missing required flag --user".into());
+    }
+    if user as usize >= engine.graph().node_count() {
+        return Err(format!(
+            "user {user} out of range (graph has {} users)",
+            engine.graph().node_count()
+        ));
+    }
+    let keywords: Vec<&str> = p.require("keywords")?.split(',').collect();
+    let k: usize = p.num("k", 10)?;
+    let t0 = std::time::Instant::now();
+    let out = engine.search_keywords(NodeId(user), &keywords, k)?;
+    let dt = t0.elapsed();
+    println!(
+        "user {user}, q={keywords:?}: {} candidate topics, {} pruned, answered in {:.2} ms",
+        out.candidate_topics,
+        out.pruned_topics,
+        dt.as_secs_f64() * 1e3
+    );
+    for (rank, s) in out.top_k.iter().enumerate() {
+        let members = engine.space().topic_nodes(s.topic).len();
+        println!(
+            "  {:>3}. topic {:<6} influence {:.6}  ({} users discuss it)",
+            rank + 1,
+            s.topic.to_string(),
+            s.score,
+            members
+        );
+    }
+    Ok(())
+}
+
+/// `pit audience` — inverse search: who is the topic influential for?
+pub fn audience(p: &Parsed) -> Result<(), String> {
+    let engine = load(p)?;
+    let topic: u32 = p.num("topic", u32::MAX)?;
+    if topic == u32::MAX {
+        return Err("missing required flag --topic".into());
+    }
+    if topic as usize >= engine.space().topic_count() {
+        return Err(format!(
+            "topic {topic} out of range (space has {} topics)",
+            engine.space().topic_count()
+        ));
+    }
+    let keyword = p.require("keyword")?;
+    let k: usize = p.num("k", 3)?;
+    let sample: usize = p.num("sample", 200)?;
+    let vocab = engine
+        .vocab()
+        .ok_or_else(|| "engine was built without a vocabulary".to_string())?;
+    let term = vocab
+        .get(keyword)
+        .ok_or_else(|| format!("unknown keyword {keyword}"))?;
+    let n = engine.graph().node_count();
+    let stride = (n / sample.max(1)).max(1);
+    let candidates: Vec<NodeId> = (0..n).step_by(stride).map(NodeId::from_index).collect();
+    let candidate_count = candidates.len();
+    let hits = pit_search_core::find_audience(
+        engine.space(),
+        engine.propagation(),
+        engine.reps(),
+        pit_graph::TopicId(topic),
+        &[term],
+        candidates,
+        k,
+    );
+    println!(
+        "topic {topic} is in the personal top-{k} of {} / {candidate_count} sampled users",
+        hits.len()
+    );
+    for hit in hits.iter().take(20) {
+        println!(
+            "  user {:<8} rank {}  influence {:.6}",
+            hit.user, hit.rank, hit.score
+        );
+    }
+    Ok(())
+}
+
+/// `pit stats` — engine inventory.
+pub fn stats(p: &Parsed) -> Result<(), String> {
+    let engine = load(p)?;
+    let g = GraphStats::compute(engine.graph());
+    println!(
+        "graph:   |V|={}, |E|={}, degrees {}..{}, components {}",
+        g.node_count, g.edge_count, g.min_degree, g.max_degree, g.weak_components
+    );
+    println!(
+        "topics:  {} topics over {} terms, avg |V_t| = {:.1}",
+        engine.space().topic_count(),
+        engine.space().term_count(),
+        engine.space().avg_topic_node_count()
+    );
+    println!(
+        "walks:   L={}, R={}, {}",
+        engine.walks().l(),
+        engine.walks().r(),
+        pit_eval::table::human_bytes(engine.walks().heap_size_bytes())
+    );
+    println!(
+        "gamma:   θ={}, {} entries, {}",
+        engine.propagation().config().theta,
+        engine.propagation().total_entries(),
+        pit_eval::table::human_bytes(engine.propagation().heap_size_bytes())
+    );
+    println!(
+        "reps:    {} ({} total representatives, {})",
+        engine.summarizer().name(),
+        engine.reps().total_reps(),
+        pit_eval::table::human_bytes(engine.reps().heap_size_bytes())
+    );
+    Ok(())
+}
+
+fn load(p: &Parsed) -> Result<PitEngine, String> {
+    let dir = Path::new(p.require("engine")?);
+    store::load_engine(dir).map_err(|e| e.to_string())
+}

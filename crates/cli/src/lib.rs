@@ -1,0 +1,5 @@
+//! Library surface of the `pit` binary: flag parsing and subcommand
+//! implementations, exposed so the command layer is testable in-process.
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,55 @@
+//! `pit` — command-line interface to the PIT-Search engine.
+//!
+//! ```text
+//! pit generate --dataset data_2k --scale 30 --out corpus/      # synthesize a corpus
+//! pit build    --corpus corpus/ --out engine/ [--summarizer lrw|rcl]
+//!              [--theta 0.01] [--walk-l 5] [--walk-r 32] [--reps 64]
+//! pit query    --engine engine/ --user 3 --keywords query-0 [--k 10]
+//! pit audience --engine engine/ --topic 0 --keyword query-0 [--k 3] [--sample 200]
+//! pit stats    --engine engine/
+//! ```
+
+use pit_cli::{args, commands};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "build" => commands::build(&parsed),
+        "query" => commands::query(&parsed),
+        "audience" => commands::audience(&parsed),
+        "stats" => commands::stats(&parsed),
+        "help" | "--help" | "-h" => {
+            usage();
+            return;
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "pit — personalized influential topic search\n\
+         \n\
+         subcommands:\n\
+         \x20 generate --dataset NAME --out DIR [--scale S]       synthesize a corpus\n\
+         \x20          NAME ∈ data_2k | data_350k | data_1.2m | data_3m\n\
+         \x20 build    --corpus DIR --out DIR [--summarizer lrw|rcl] [--theta F]\n\
+         \x20          [--walk-l L] [--walk-r R] [--reps N]        run the offline stage\n\
+         \x20 query    --engine DIR --user N --keywords a,b [--k K]\n\
+         \x20 audience --engine DIR --topic T --keyword WORD [--k K] [--sample N]\n\
+         \x20 stats    --engine DIR"
+    );
+}

@@ -1,0 +1,277 @@
+//! Graph + topic-space generation from a [`DatasetSpec`].
+
+use crate::spec::{DatasetKind, DatasetSpec};
+use pit_graph::stats::{weak_components, GraphStats};
+use pit_graph::{CsrGraph, GraphBuilder, NodeId, ProbabilityModel};
+use pit_topics::{generate_topic_space, TopicSpace, Vocabulary};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+/// A fully generated dataset: graph, topics, vocabulary and provenance.
+pub struct Dataset {
+    /// The spec this dataset was generated from.
+    pub spec: DatasetSpec,
+    /// The social graph.
+    pub graph: CsrGraph,
+    /// The topic space over the graph's nodes.
+    pub space: TopicSpace,
+    /// Keyword vocabulary (hub query terms first).
+    pub vocab: Vocabulary,
+}
+
+impl Dataset {
+    /// The Figure-4 summary row: (name, size, degree range, type).
+    pub fn figure4_row(&self) -> (String, usize, String, &'static str) {
+        let stats = GraphStats::compute(&self.graph);
+        (
+            self.spec.name.clone(),
+            stats.node_count,
+            format!("{}-{}", stats.min_degree, stats.max_degree),
+            self.spec.type_label(),
+        )
+    }
+}
+
+/// Generate a dataset deterministically from its spec.
+pub fn generate(spec: &DatasetSpec) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut builder = match spec.kind {
+        DatasetKind::PowerLaw { edges_per_node } => {
+            preferential_attachment(spec.nodes, edges_per_node, &mut rng)
+        }
+        DatasetKind::DegreeBand { lo, hi } => degree_band(spec.nodes, lo, hi, &mut rng),
+    };
+    repair_connectivity(&mut builder, &mut rng);
+    let graph = builder
+        .build_with_model(ProbabilityModel::WeightedCascade, &mut rng)
+        .expect("generated graph is valid");
+    let (space, vocab) = generate_topic_space(spec.nodes, &spec.topics);
+    Dataset {
+        spec: spec.clone(),
+        graph,
+        space,
+        vocab,
+    }
+}
+
+/// Directed preferential attachment: each arriving node attaches
+/// `edges_per_node` follow edges toward endpoints sampled proportionally to
+/// current degree (via the standard endpoint-list trick). A follow of `p` by
+/// `n` creates the influence edge `p → n`; with probability 0.25 the
+/// reciprocal edge is added too (followers also influence followees,
+/// weakly), giving the graph non-trivial cycles like a real social network.
+fn preferential_attachment(
+    nodes: usize,
+    edges_per_node: usize,
+    rng: &mut SmallRng,
+) -> GraphBuilder {
+    assert!(nodes >= 2, "need at least two nodes");
+    let m = edges_per_node.max(1);
+    let mut b = GraphBuilder::with_capacity(nodes, nodes * m);
+    // Endpoint multiset: every edge endpoint appears once; sampling uniform
+    // from it is sampling ∝ degree.
+    let mut endpoints: Vec<u32> = vec![0, 1];
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let add = |b: &mut GraphBuilder,
+               seen: &mut FxHashSet<(u32, u32)>,
+               endpoints: &mut Vec<u32>,
+               s: u32,
+               d: u32| {
+        if s != d && seen.insert((s, d)) {
+            b.add_edge_unweighted(NodeId(s), NodeId(d))
+                .expect("generator edge valid");
+            endpoints.push(s);
+            endpoints.push(d);
+        }
+    };
+    add(&mut b, &mut seen, &mut endpoints, 0, 1);
+    for n in 2..nodes as u32 {
+        for _ in 0..m {
+            let p = endpoints[rng.gen_range(0..endpoints.len())];
+            // Popular node influences the newcomer.
+            add(&mut b, &mut seen, &mut endpoints, p, n);
+            if rng.gen::<f64>() < 0.25 {
+                add(&mut b, &mut seen, &mut endpoints, n, p);
+            }
+        }
+    }
+    b
+}
+
+/// Degree-banded generation: every node gets an out-degree uniform in
+/// `[lo, hi]` toward uniformly random distinct targets.
+fn degree_band(nodes: usize, lo: usize, hi: usize, rng: &mut SmallRng) -> GraphBuilder {
+    assert!(lo >= 1 && hi >= lo, "invalid degree band [{lo}, {hi}]");
+    assert!(nodes > hi, "band upper bound must be below the node count");
+    let mut b = GraphBuilder::with_capacity(nodes, nodes * (lo + hi) / 2);
+    let mut targets: FxHashSet<u32> = FxHashSet::default();
+    for u in 0..nodes as u32 {
+        let d = rng.gen_range(lo..=hi);
+        targets.clear();
+        while targets.len() < d {
+            let v = rng.gen_range(0..nodes as u32);
+            if v != u {
+                targets.insert(v);
+            }
+        }
+        for &v in &targets {
+            b.add_edge_unweighted(NodeId(u), NodeId(v))
+                .expect("generator edge valid");
+        }
+    }
+    b
+}
+
+/// Bridge every non-giant weak component to the giant one (the paper: "To
+/// ensure each generated dataset is a connected graph, a few synthetic edges
+/// among the close nodes across disconnected components are added").
+fn repair_connectivity(b: &mut GraphBuilder, rng: &mut SmallRng) {
+    // Build a temporary graph to find components. Cheap relative to
+    // generation; runs once.
+    let snapshot = b.clone().build_with_model(
+        ProbabilityModel::Uniform(0.5),
+        &mut SmallRng::seed_from_u64(0),
+    );
+    let Ok(snapshot) = snapshot else {
+        return;
+    };
+    let (labels, count) = weak_components(&snapshot);
+    if count <= 1 {
+        return;
+    }
+    // Giant = most frequent label.
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let giant = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .expect("at least one component");
+    // One representative per minor component.
+    let mut rep: Vec<Option<u32>> = vec![None; count];
+    for (node, &l) in labels.iter().enumerate() {
+        if rep[l as usize].is_none() {
+            rep[l as usize] = Some(node as u32);
+        }
+    }
+    let giant_nodes: Vec<u32> = labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l == giant)
+        .map(|(n, _)| n as u32)
+        .collect();
+    for (l, r) in rep.into_iter().enumerate() {
+        if l as u32 == giant {
+            continue;
+        }
+        let Some(r) = r else { continue };
+        let anchor = giant_nodes[rng.gen_range(0..giant_nodes.len())];
+        // Bridge both ways so influence can flow into and out of the
+        // repaired component.
+        let _ = b.add_edge_unweighted(NodeId(anchor), NodeId(r));
+        let _ = b.add_edge_unweighted(NodeId(r), NodeId(anchor));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{paper_specs, scaled_topic_config};
+
+    fn small_spec(kind: DatasetKind, nodes: usize) -> DatasetSpec {
+        DatasetSpec {
+            name: "test".into(),
+            nodes,
+            kind,
+            topics: scaled_topic_config(nodes, 7),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed_and_connected() {
+        let ds = generate(&small_spec(
+            DatasetKind::PowerLaw { edges_per_node: 3 },
+            3_000,
+        ));
+        let stats = GraphStats::compute(&ds.graph);
+        assert_eq!(stats.node_count, 3_000);
+        assert_eq!(stats.weak_components, 1, "must be connected after repair");
+        // Heavy tail: max degree far above the mean.
+        assert!(
+            stats.max_degree as f64 > 10.0 * stats.avg_degree,
+            "max {} vs avg {}",
+            stats.max_degree,
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn degree_band_respects_band() {
+        let ds = generate(&small_spec(
+            DatasetKind::DegreeBand { lo: 5, hi: 10 },
+            2_000,
+        ));
+        // Out-degree within the band (+2 possible repair edges).
+        for u in ds.graph.nodes() {
+            let d = ds.graph.out_degree(u);
+            assert!(
+                (5..=12).contains(&d),
+                "node {u} out-degree {d} outside band"
+            );
+        }
+        let stats = GraphStats::compute(&ds.graph);
+        assert_eq!(stats.weak_components, 1);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = small_spec(DatasetKind::PowerLaw { edges_per_node: 3 }, 1_500);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn weighted_cascade_probabilities() {
+        let ds = generate(&small_spec(DatasetKind::DegreeBand { lo: 4, hi: 8 }, 1_200));
+        // Each in-edge of v carries 1/in_degree(v).
+        for v in ds.graph.nodes().take(100) {
+            let indeg = ds.graph.in_degree(v);
+            for (_, p) in ds.graph.in_edges(v).iter() {
+                assert!((p - 1.0 / indeg as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn topics_cover_nodes() {
+        let ds = generate(&small_spec(
+            DatasetKind::PowerLaw { edges_per_node: 3 },
+            1_200,
+        ));
+        assert_eq!(ds.space.node_count(), 1_200);
+        assert!(ds.space.topic_count() >= 100);
+        for t in ds.space.topics() {
+            assert!(!ds.space.topic_nodes(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn figure4_rows_render() {
+        let spec = &paper_specs(100)[0]; // data_2k, small for test speed
+        let ds = generate(spec);
+        let (name, size, degrees, kind) = ds.figure4_row();
+        assert_eq!(name, "data_2k");
+        assert_eq!(size, 2_000);
+        assert!(degrees.contains('-'));
+        assert!(kind.contains("power law"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Ranking-quality metrics.
+
+use self::sorted::contains_sorted;
+use pit_graph::TopicId;
+
+/// Precision@k as the paper uses it (Section 6.4): the fraction of the
+/// method's top-k that also appears in the ground truth's top-k, as **sets**
+/// (order within the top-k is not graded).
+///
+/// Both slices are truncated to `k`; an empty ground truth yields 1.0 when
+/// the result is empty too, else 0.0.
+pub fn precision_at_k(result: &[TopicId], truth: &[TopicId], k: usize) -> f64 {
+    let result = &result[..result.len().min(k)];
+    let truth = &truth[..truth.len().min(k)];
+    if result.is_empty() {
+        return if truth.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut truth_sorted: Vec<TopicId> = truth.to_vec();
+    truth_sorted.sort_unstable();
+    let hits = result
+        .iter()
+        .filter(|&&t| contains_sorted(&truth_sorted, t))
+        .count();
+    hits as f64 / result.len() as f64
+}
+
+/// Jaccard similarity of two top-k sets.
+pub fn jaccard(a: &[TopicId], b: &[TopicId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut sa: Vec<TopicId> = a.to_vec();
+    sa.sort_unstable();
+    sa.dedup();
+    let mut sb: Vec<TopicId> = b.to_vec();
+    sb.sort_unstable();
+    sb.dedup();
+    let inter = sa.iter().filter(|&&t| contains_sorted(&sb, t)).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Recall@k: the fraction of the ground truth's top-k that the result's
+/// top-k recovers. With both lists truncated to the same `k` this equals
+/// precision@k whenever both lists are full-length; they diverge when the
+/// result returns fewer than `k` items.
+pub fn recall_at_k(result: &[TopicId], truth: &[TopicId], k: usize) -> f64 {
+    let result = &result[..result.len().min(k)];
+    let truth = &truth[..truth.len().min(k)];
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut result_sorted: Vec<TopicId> = result.to_vec();
+    result_sorted.sort_unstable();
+    let hits = truth
+        .iter()
+        .filter(|&&t| contains_sorted(&result_sorted, t))
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// NDCG@k with binary relevance against the ground truth's top-k *set*:
+/// an item of the truth set at result rank `i` (0-based) contributes
+/// `1 / log2(i + 2)`, normalized by the ideal DCG. Equals 1.0 exactly when
+/// the result packs the truth items into the leading positions (their order
+/// among themselves does not matter under binary relevance) and 0.0 when the
+/// sets are disjoint.
+pub fn ndcg_at_k(result: &[TopicId], truth: &[TopicId], k: usize) -> f64 {
+    let result = &result[..result.len().min(k)];
+    let truth = &truth[..truth.len().min(k)];
+    if truth.is_empty() {
+        return if result.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut truth_sorted: Vec<TopicId> = truth.to_vec();
+    truth_sorted.sort_unstable();
+    let dcg: f64 = result
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| contains_sorted(&truth_sorted, t))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..truth.len())
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+/// Kendall rank-correlation (tau-a) between two rankings restricted to their
+/// common items. Returns 1.0 for identical order, −1.0 for reversed, and
+/// `None` when fewer than two common items exist.
+pub fn kendall_tau(a: &[TopicId], b: &[TopicId]) -> Option<f64> {
+    // Positions in b for items present in both.
+    let pos_b = |t: TopicId| b.iter().position(|&x| x == t);
+    let common: Vec<usize> = a.iter().filter_map(|&t| pos_b(t)).collect();
+    let n = common.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if common[i] < common[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / pairs)
+}
+
+/// Minimal helper namespace so the metric code reads declaratively without
+/// pulling a hash crate into this lightweight module.
+mod sorted {
+    use pit_graph::TopicId;
+
+    /// Binary search membership in a sorted slice.
+    pub fn contains_sorted(sorted: &[TopicId], t: TopicId) -> bool {
+        sorted.binary_search(&t).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ids: &[u32]) -> Vec<TopicId> {
+        ids.iter().map(|&i| TopicId(i)).collect()
+    }
+
+    #[test]
+    fn precision_basics() {
+        assert_eq!(precision_at_k(&t(&[1, 2, 3]), &t(&[1, 2, 3]), 3), 1.0);
+        assert_eq!(precision_at_k(&t(&[1, 2, 3]), &t(&[3, 2, 1]), 3), 1.0);
+        assert_eq!(precision_at_k(&t(&[1, 2, 4]), &t(&[1, 2, 3]), 3), 2.0 / 3.0);
+        assert_eq!(precision_at_k(&t(&[9, 8]), &t(&[1, 2]), 2), 0.0);
+    }
+
+    #[test]
+    fn precision_truncates_to_k() {
+        // Only the first 2 of each list count.
+        assert_eq!(precision_at_k(&t(&[1, 2, 99]), &t(&[2, 1, 98]), 2), 1.0);
+        assert_eq!(precision_at_k(&t(&[1, 99, 2]), &t(&[1, 2, 99]), 2), 0.5);
+    }
+
+    #[test]
+    fn precision_empty_cases() {
+        assert_eq!(precision_at_k(&[], &[], 5), 1.0);
+        assert_eq!(precision_at_k(&[], &t(&[1]), 5), 0.0);
+        assert_eq!(precision_at_k(&t(&[1]), &[], 5), 0.0);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&t(&[1, 2]), &t(&[2, 1])), 1.0);
+        assert_eq!(jaccard(&t(&[1, 2]), &t(&[3, 4])), 0.0);
+        assert_eq!(jaccard(&t(&[1, 2, 3]), &t(&[2, 3, 4])), 0.5);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn kendall_basics() {
+        assert_eq!(kendall_tau(&t(&[1, 2, 3]), &t(&[1, 2, 3])), Some(1.0));
+        assert_eq!(kendall_tau(&t(&[1, 2, 3]), &t(&[3, 2, 1])), Some(-1.0));
+        assert_eq!(kendall_tau(&t(&[1]), &t(&[1])), None);
+        assert_eq!(kendall_tau(&t(&[1, 2]), &t(&[3, 4])), None);
+        // Partial overlap: common = {1, 3} in both orders.
+        assert_eq!(kendall_tau(&t(&[1, 9, 3]), &t(&[1, 3, 8])), Some(1.0));
+    }
+
+    #[test]
+    fn recall_basics() {
+        assert_eq!(recall_at_k(&t(&[1, 2, 3]), &t(&[3, 2, 1]), 3), 1.0);
+        assert_eq!(recall_at_k(&t(&[1]), &t(&[1, 2]), 2), 0.5);
+        assert_eq!(recall_at_k(&[], &t(&[1, 2]), 2), 0.0);
+        assert_eq!(recall_at_k(&t(&[9]), &[], 2), 1.0);
+        // Short result vs full truth: recall < precision.
+        let r = t(&[1]);
+        let tr = t(&[1, 2, 3]);
+        assert_eq!(precision_at_k(&r, &tr, 3), 1.0);
+        assert_eq!(recall_at_k(&r, &tr, 3), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn ndcg_basics() {
+        // Perfect match = 1.
+        assert!((ndcg_at_k(&t(&[1, 2, 3]), &t(&[1, 2, 3]), 3) - 1.0).abs() < 1e-12);
+        // Set match in any order is still 1 (binary relevance, full prefix).
+        assert!((ndcg_at_k(&t(&[3, 1, 2]), &t(&[1, 2, 3]), 3) - 1.0).abs() < 1e-12);
+        // No overlap = 0.
+        assert_eq!(ndcg_at_k(&t(&[7, 8]), &t(&[1, 2]), 2), 0.0);
+        // A relevant item placed late scores less than placed first.
+        let early = ndcg_at_k(&t(&[1, 8, 9]), &t(&[1, 2, 3]), 3);
+        let late = ndcg_at_k(&t(&[8, 9, 1]), &t(&[1, 2, 3]), 3);
+        assert!(early > late && late > 0.0);
+        // Bounded.
+        assert!((0.0..=1.0).contains(&early));
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        let a = t(&[5, 1, 9, 7]);
+        let b = t(&[9, 5, 2, 7]);
+        let p = precision_at_k(&a, &b, 4);
+        assert!((0.0..=1.0).contains(&p));
+        let j = jaccard(&a, &b);
+        assert!((0.0..=1.0).contains(&j));
+        let k = kendall_tau(&a, &b).unwrap();
+        assert!((-1.0..=1.0).contains(&k));
+    }
+}

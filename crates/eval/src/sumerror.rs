@@ -1,0 +1,98 @@
+//! The Definition-1 summarization objective.
+//!
+//! `error(t) = Σ_{v ∈ V} |I(t, v) − I*(t, v)|` where `I` propagates the
+//! uniform topic-node weights and `I*` propagates the representative weights
+//! — both through the same matrix engine, so the comparison isolates the
+//! quality of the summarization itself (which nodes were chosen and how the
+//! local influence was migrated onto them).
+
+use pit_baselines::BaseMatrix;
+use pit_graph::TopicId;
+use pit_summarize::RepresentativeSet;
+
+/// Total absolute influence deviation of the summary from the exact topic
+/// influence, over all nodes. Lower is better; 0 means the representatives
+/// reproduce the topic's influence field exactly.
+pub fn summarization_error(
+    matrix: &BaseMatrix<'_>,
+    topic: TopicId,
+    reps: &RepresentativeSet,
+) -> f64 {
+    let exact = matrix.influence_vector(topic);
+    let n = exact.len();
+    let mut x0 = vec![0.0f64; n];
+    for (node, w) in reps.iter() {
+        x0[node.index()] += w;
+    }
+    let approx = matrix.propagate_vector(x0);
+    exact
+        .iter()
+        .zip(approx.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::{fixtures, NodeId, TermId};
+    use pit_topics::TopicSpaceBuilder;
+
+    fn fig1() -> (pit_graph::CsrGraph, pit_topics::TopicSpace) {
+        let g = fixtures::figure1_graph();
+        let mut b = TopicSpaceBuilder::new(g.node_count(), 1);
+        for nodes in &fixtures::figure1_topics() {
+            let t = b.add_topic(vec![TermId(0)]);
+            for &n in nodes {
+                b.assign(n, t);
+            }
+        }
+        (g, b.build())
+    }
+
+    #[test]
+    fn perfect_summary_has_zero_error() {
+        // Representatives = the topic nodes themselves with uniform weights.
+        let (g, space) = fig1();
+        let m = BaseMatrix::new(&g, &space);
+        let t = TopicId(0);
+        let vt = space.topic_nodes(t);
+        let reps =
+            RepresentativeSet::new(t, vt.iter().map(|&n| (n, 1.0 / vt.len() as f64)).collect());
+        let err = summarization_error(&m, t, &reps);
+        assert!(err < 1e-12, "error = {err}");
+    }
+
+    #[test]
+    fn empty_summary_error_equals_total_influence() {
+        let (g, space) = fig1();
+        let m = BaseMatrix::new(&g, &space);
+        let t = TopicId(0);
+        let reps = RepresentativeSet::new(t, vec![]);
+        let err = summarization_error(&m, t, &reps);
+        let total: f64 = m.influence_vector(t).iter().sum();
+        assert!((err - total).abs() < 1e-12);
+        assert!(err > 0.0);
+    }
+
+    #[test]
+    fn closer_summary_scores_better() {
+        let (g, space) = fig1();
+        let m = BaseMatrix::new(&g, &space);
+        let t = TopicId(0);
+        let vt = space.topic_nodes(t);
+        // Summary A: two actual topic nodes at weight 1/|V_t| each.
+        let good = RepresentativeSet::new(
+            t,
+            vt.iter()
+                .take(2)
+                .map(|&n| (n, 1.0 / vt.len() as f64))
+                .collect(),
+        );
+        // Summary B: one unrelated node carrying everything.
+        let bad = RepresentativeSet::new(t, vec![(NodeId(10), 1.0)]);
+        let ge = summarization_error(&m, t, &good);
+        let be = summarization_error(&m, t, &bad);
+        assert!(ge < be, "good {ge} >= bad {be}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixed-width text tables for paper-style experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+///
+/// ```
+/// use pit_eval::Table;
+/// let mut t = Table::new(&["method", "k=10", "k=100"]);
+/// t.row(&["LRW-A", "20 ms", "21 ms"]);
+/// let s = t.render();
+/// assert!(s.contains("LRW-A"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; missing cells render empty, extra cells are kept and
+    /// widen the table.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Append a row of already-owned strings (convenient with `format!`).
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a separator line under the headers.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let consider = |cells: &[String], widths: &mut [usize]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        consider(&self.headers, &mut widths);
+        for r in &self.rows {
+            consider(r, &mut widths);
+        }
+
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}");
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            // No trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            write_row(&mut out, r, &widths);
+        }
+        out
+    }
+}
+
+/// Format a byte count with a binary-prefix unit.
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Format a millisecond value adaptively (µs under 1 ms, seconds over 10 s).
+pub fn human_ms(ms: f64) -> String {
+    if ms < 1.0 {
+        format!("{:.0} µs", ms * 1000.0)
+    } else if ms < 10_000.0 {
+        format!("{ms:.1} ms")
+    } else {
+        format!("{:.1} s", ms / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxx", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row share column offsets.
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxx"));
+        assert_eq!(
+            lines[1].chars().filter(|&c| c == '-').count(),
+            lines[1].len()
+        );
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1", "2", "3"]);
+        t.row(&[]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+        assert!(human_bytes(5 * 1024 * 1024 * 1024).contains("GiB"));
+    }
+
+    #[test]
+    fn human_ms_units() {
+        assert_eq!(human_ms(0.25), "250 µs");
+        assert_eq!(human_ms(12.34), "12.3 ms");
+        assert_eq!(human_ms(25_000.0), "25.0 s");
+    }
+}

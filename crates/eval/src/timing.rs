@@ -1,0 +1,87 @@
+//! Repeated-run wall-clock measurement.
+
+use std::time::{Duration, Instant};
+
+/// Aggregate of repeated timed runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Number of runs measured.
+    pub runs: usize,
+    /// Total elapsed time.
+    pub total: Duration,
+    /// Mean per-run time.
+    pub mean: Duration,
+    /// Fastest run.
+    pub min: Duration,
+    /// Slowest run.
+    pub max: Duration,
+}
+
+impl Measurement {
+    /// Mean time in milliseconds (the unit the paper's figures report).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+
+    /// Mean time in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e6
+    }
+}
+
+/// Run `f` `runs` times and aggregate the wall-clock timings. The closure's
+/// return value is passed through `std::hint::black_box` so the work cannot
+/// be optimized away.
+pub fn measure<T>(runs: usize, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(runs >= 1, "need at least one run");
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    for _ in 0..runs {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let dt = start.elapsed();
+        total += dt;
+        min = min.min(dt);
+        max = max.max(dt);
+    }
+    Measurement {
+        runs,
+        total,
+        mean: total / runs as u32,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let m = measure(5, || {
+            std::thread::sleep(Duration::from_millis(1));
+            42
+        });
+        assert_eq!(m.runs, 5);
+        assert!(m.min <= m.mean && m.mean <= m.max);
+        assert!(m.total >= Duration::from_millis(5));
+        assert!(m.mean_ms() >= 1.0);
+        assert!(m.mean_us() >= 1000.0);
+    }
+
+    #[test]
+    fn single_run() {
+        let m = measure(1, || ());
+        assert_eq!(m.runs, 1);
+        assert_eq!(m.total, m.mean);
+        assert_eq!(m.min, m.max);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_runs_rejected() {
+        let _ = measure(0, || ());
+    }
+}

@@ -1,0 +1,246 @@
+//! Incremental graph construction with validation.
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::ids::NodeId;
+use crate::prob::ProbabilityModel;
+use rand::Rng;
+use rustc_hash::FxHashMap;
+
+/// Builds a [`CsrGraph`] from an edge list.
+///
+/// Validation performed at `add_edge` time: endpoints in range, probability
+/// finite and in `[0, 1]`, no self-loops. Duplicate edges with the *same*
+/// weight are silently deduplicated at `build`; conflicting duplicates are an
+/// error.
+///
+/// ```
+/// use pit_graph::{GraphBuilder, NodeId};
+/// let mut b = GraphBuilder::new(2);
+/// b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+/// assert!(b.add_edge(NodeId(0), NodeId(0), 0.5).is_err()); // self-loop
+/// assert!(b.add_edge(NodeId(0), NodeId(1), 1.5).is_err()); // bad prob
+/// let g = b.build().unwrap();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with exactly `node_count` nodes
+    /// (ids `0..node_count`).
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Start a builder with pre-reserved edge capacity.
+    pub fn with_capacity(node_count: usize, edge_capacity: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: Vec::with_capacity(edge_capacity),
+        }
+    }
+
+    /// Number of nodes the final graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a directed edge `from -> to` with transition probability `prob`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, prob: f64) -> Result<()> {
+        if from.index() >= self.node_count {
+            return Err(GraphError::NodeOutOfRange {
+                node: from,
+                node_count: self.node_count,
+            });
+        }
+        if to.index() >= self.node_count {
+            return Err(GraphError::NodeOutOfRange {
+                node: to,
+                node_count: self.node_count,
+            });
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop { node: from });
+        }
+        if !prob.is_finite() || !(0.0..=1.0).contains(&prob) {
+            return Err(GraphError::InvalidProbability { from, to, prob });
+        }
+        self.edges.push((from, to, prob));
+        Ok(())
+    }
+
+    /// Add a directed edge whose probability will be assigned later by
+    /// [`GraphBuilder::build_with_model`]. Stored with a placeholder of 0.
+    pub fn add_edge_unweighted(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        self.add_edge(from, to, 0.0)
+    }
+
+    /// Whether the builder already contains a `from -> to` edge.
+    ///
+    /// Linear in the number of added edges — intended for generators that
+    /// sample few candidate duplicates, not for hot paths.
+    pub fn contains_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edges.iter().any(|&(s, d, _)| s == from && d == to)
+    }
+
+    /// Finalize the graph with the explicit weights supplied to `add_edge`.
+    pub fn build(self) -> Result<CsrGraph> {
+        self.finish(None::<(&ProbabilityModel, &mut rand::rngs::mock::StepRng)>)
+    }
+
+    /// Finalize the graph, re-assigning probabilities with `model` first.
+    pub fn build_with_model<R: Rng>(
+        self,
+        model: ProbabilityModel,
+        rng: &mut R,
+    ) -> Result<CsrGraph> {
+        self.finish(Some((&model, rng)))
+    }
+
+    fn finish<R: Rng>(mut self, model: Option<(&ProbabilityModel, &mut R)>) -> Result<CsrGraph> {
+        if self.node_count == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+
+        // Deduplicate. Conflicting duplicate weights are an error; identical
+        // duplicates collapse.
+        let mut seen: FxHashMap<(NodeId, NodeId), f64> = FxHashMap::default();
+        seen.reserve(self.edges.len());
+        let mut dedup = Vec::with_capacity(self.edges.len());
+        for &(s, d, p) in &self.edges {
+            match seen.get(&(s, d)) {
+                None => {
+                    seen.insert((s, d), p);
+                    dedup.push((s, d, p));
+                }
+                Some(&old) if (old - p).abs() < 1e-12 => { /* identical dup, drop */ }
+                Some(_) => return Err(GraphError::DuplicateEdge { from: s, to: d }),
+            }
+        }
+        self.edges = dedup;
+
+        if let Some((model, rng)) = model {
+            let mut indeg = vec![0u32; self.node_count];
+            for &(_, v, _) in &self.edges {
+                indeg[v.index()] += 1;
+            }
+            model.assign(&mut self.edges, &indeg, rng);
+            // Re-validate: an explicit model may leave zero placeholders.
+            for &(s, d, p) in &self.edges {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(GraphError::InvalidProbability {
+                        from: s,
+                        to: d,
+                        prob: p,
+                    });
+                }
+            }
+        }
+
+        Ok(CsrGraph::from_parts(self.node_count, self.edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        let e = b.add_edge(NodeId(0), NodeId(5), 0.2).unwrap_err();
+        assert!(matches!(e, GraphError::NodeOutOfRange { .. }));
+        let e = b.add_edge(NodeId(5), NodeId(0), 0.2).unwrap_err();
+        assert!(matches!(e, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_bad_prob() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(
+            b.add_edge(NodeId(1), NodeId(1), 0.3),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(NodeId(0), NodeId(1), f64::NAN),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(NodeId(0), NodeId(1), -0.1),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(
+            GraphBuilder::new(0).build(),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn identical_duplicates_collapse() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.4).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 0.4).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn conflicting_duplicates_error() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.4).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn build_with_weighted_cascade() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_unweighted(NodeId(0), NodeId(2)).unwrap();
+        b.add_edge_unweighted(NodeId(1), NodeId(2)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = b
+            .build_with_model(ProbabilityModel::WeightedCascade, &mut rng)
+            .unwrap();
+        assert!((g.edge_prob(NodeId(0), NodeId(2)).unwrap() - 0.5).abs() < 1e-12);
+        assert!((g.edge_prob(NodeId(1), NodeId(2)).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_with_explicit_rejects_placeholder_zero() {
+        // add_edge_unweighted leaves prob = 0.0 which Explicit keeps; 0.0 is
+        // allowed by validation ([0,1]), so this should succeed.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_unweighted(NodeId(0), NodeId(1)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = b
+            .build_with_model(ProbabilityModel::Explicit, &mut rng)
+            .unwrap();
+        assert_eq!(g.edge_prob(NodeId(0), NodeId(1)), Some(0.0));
+    }
+
+    #[test]
+    fn contains_edge_works() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.4).unwrap();
+        assert!(b.contains_edge(NodeId(0), NodeId(1)));
+        assert!(!b.contains_edge(NodeId(1), NodeId(0)));
+    }
+}

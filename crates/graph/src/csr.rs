@@ -1,0 +1,420 @@
+//! Immutable compressed-sparse-row (CSR) directed graph.
+//!
+//! The PIT-Search pipeline traverses the graph in both directions:
+//!
+//! * **forward** (out-edges) for random walks and influence propagation
+//!   (`Λ(u,v)` is the probability that `u`'s influence transitions to `v`);
+//! * **backward** (in-edges) for the reverse BFS that materializes the
+//!   personalized influence propagation index of Section 5.1.
+//!
+//! Both directions are therefore stored as CSR arrays. The structure is
+//! immutable after [`crate::GraphBuilder::build`]; all query methods are
+//! `O(1)` plus the size of the returned slice.
+
+use crate::error::{GraphError, Result};
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Immutable directed graph with per-edge transition probabilities, stored in
+/// CSR form for both adjacency directions.
+///
+/// Out-edges of `u` are the pairs `(v, Λ(u,v))`; in-edges of `v` are the pairs
+/// `(u, Λ(u,v))`. Edge targets within one node's slice are sorted by id, which
+/// enables binary-searched `edge_prob` lookups.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `out_offsets[u] .. out_offsets[u+1]` delimits `u`'s out-edge slice.
+    out_offsets: Vec<u32>,
+    /// Targets of out-edges, grouped per source, sorted within a group.
+    out_targets: Vec<NodeId>,
+    /// Transition probability of each out-edge, parallel to `out_targets`.
+    out_probs: Vec<f64>,
+    /// `in_offsets[v] .. in_offsets[v+1]` delimits `v`'s in-edge slice.
+    in_offsets: Vec<u32>,
+    /// Sources of in-edges, grouped per target, sorted within a group.
+    in_sources: Vec<NodeId>,
+    /// Transition probability of each in-edge, parallel to `in_sources`.
+    in_probs: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Build directly from validated, deduplicated parts. Used by the builder.
+    pub(crate) fn from_parts(node_count: usize, mut edges: Vec<(NodeId, NodeId, f64)>) -> Self {
+        // Sort by (src, dst) for the out-CSR.
+        edges.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        let m = edges.len();
+
+        let mut out_offsets = vec![0u32; node_count + 1];
+        for &(s, _, _) in &edges {
+            out_offsets[s.index() + 1] += 1;
+        }
+        for i in 0..node_count {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_probs = Vec::with_capacity(m);
+        for &(_, d, p) in &edges {
+            out_targets.push(d);
+            out_probs.push(p);
+        }
+
+        // Re-sort by (dst, src) for the in-CSR.
+        edges.sort_unstable_by_key(|&(s, d, _)| (d, s));
+        let mut in_offsets = vec![0u32; node_count + 1];
+        for &(_, d, _) in &edges {
+            in_offsets[d.index() + 1] += 1;
+        }
+        for i in 0..node_count {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = Vec::with_capacity(m);
+        let mut in_probs = Vec::with_capacity(m);
+        for &(s, _, p) in &edges {
+            in_sources.push(s);
+            in_probs.push(p);
+        }
+
+        CsrGraph {
+            out_offsets,
+            out_targets,
+            out_probs,
+            in_offsets,
+            in_sources,
+            in_probs,
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all node ids `0..node_count`.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        (self.out_offsets[u.index() + 1] - self.out_offsets[u.index()]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]) as usize
+    }
+
+    /// Out-neighbors of `u` with their transition probabilities, sorted by id.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> OutEdges<'_> {
+        let lo = self.out_offsets[u.index()] as usize;
+        let hi = self.out_offsets[u.index() + 1] as usize;
+        OutEdges {
+            targets: &self.out_targets[lo..hi],
+            probs: &self.out_probs[lo..hi],
+        }
+    }
+
+    /// In-neighbors of `v` with their transition probabilities, sorted by id.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> OutEdges<'_> {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        OutEdges {
+            targets: &self.in_sources[lo..hi],
+            probs: &self.in_probs[lo..hi],
+        }
+    }
+
+    /// Out-neighbor ids of `u` (no probabilities), sorted.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.out_offsets[u.index()] as usize;
+        let hi = self.out_offsets[u.index() + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbor ids of `v` (no probabilities), sorted.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Transition probability `Λ(u,v)`, or `None` if the edge is absent.
+    ///
+    /// Binary search over `u`'s sorted out-edge slice: `O(log out_degree(u))`.
+    pub fn edge_prob(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let lo = self.out_offsets[u.index()] as usize;
+        let hi = self.out_offsets[u.index() + 1] as usize;
+        let slice = &self.out_targets[lo..hi];
+        slice.binary_search(&v).ok().map(|i| self.out_probs[lo + i])
+    }
+
+    /// Whether the directed edge `u -> v` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_prob(u, v).is_some()
+    }
+
+    /// Validate a node id against this graph.
+    #[inline]
+    pub fn check_node(&self, n: NodeId) -> Result<()> {
+        if n.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: n,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Sum of out-edge probabilities of `u` (≤ 1 under normalized models,
+    /// but arbitrary for explicit weights).
+    pub fn out_prob_mass(&self, u: NodeId) -> f64 {
+        let lo = self.out_offsets[u.index()] as usize;
+        let hi = self.out_offsets[u.index() + 1] as usize;
+        self.out_probs[lo..hi].iter().sum()
+    }
+
+    /// Iterate all edges as `(src, dst, prob)` triples in `(src, dst)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.out_edges(u)
+                .iter()
+                .map(move |(v, p)| (u, v, p))
+                .collect::<Vec<_>>()
+        })
+    }
+
+    /// Copy this graph back into a builder, e.g. to apply an edge delta and
+    /// rebuild (CSR graphs are immutable; a rebuild is `O(|V| + |E|)`, far
+    /// cheaper than refreshing the derived indexes).
+    pub fn to_builder(&self) -> crate::builder::GraphBuilder {
+        let mut b =
+            crate::builder::GraphBuilder::with_capacity(self.node_count(), self.edge_count());
+        for (u, v, p) in self.edges() {
+            b.add_edge(u, v, p).expect("existing edge is valid");
+        }
+        b
+    }
+
+    /// Forward BFS: every node reachable from any of `sources` within
+    /// `max_depth` hops (sources included). Sorted output.
+    pub fn downstream_within(&self, sources: &[NodeId], max_depth: usize) -> Vec<NodeId> {
+        let mut dist = vec![u32::MAX; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            if dist[s.index()] == u32::MAX {
+                dist[s.index()] = 0;
+                queue.push_back(s);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            out.push(u);
+            let du = dist[u.index()];
+            if du as usize >= max_depth {
+                continue;
+            }
+            for &w in self.out_neighbors(u) {
+                if dist[w.index()] == u32::MAX {
+                    dist[w.index()] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Estimated resident heap size of the CSR arrays, in bytes.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.out_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.out_targets.capacity() * std::mem::size_of::<NodeId>()
+            + self.out_probs.capacity() * std::mem::size_of::<f64>()
+            + self.in_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.in_sources.capacity() * std::mem::size_of::<NodeId>()
+            + self.in_probs.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Borrowed view over one node's edge slice: parallel `(target, prob)` arrays.
+#[derive(Clone, Copy, Debug)]
+pub struct OutEdges<'a> {
+    targets: &'a [NodeId],
+    probs: &'a [f64],
+}
+
+impl<'a> OutEdges<'a> {
+    /// Number of edges in the slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The `i`-th `(neighbor, probability)` pair.
+    #[inline]
+    pub fn get(&self, i: usize) -> (NodeId, f64) {
+        (self.targets[i], self.probs[i])
+    }
+
+    /// Neighbor ids only.
+    #[inline]
+    pub fn targets(&self) -> &'a [NodeId] {
+        self.targets
+    }
+
+    /// Probabilities only.
+    #[inline]
+    pub fn probs(&self) -> &'a [f64] {
+        self.probs
+    }
+
+    /// Iterate `(neighbor, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + 'a {
+        self.targets.iter().copied().zip(self.probs.iter().copied())
+    }
+}
+
+impl<'a> std::ops::Index<usize> for OutEdges<'a> {
+    type Output = NodeId;
+    fn index(&self, i: usize) -> &NodeId {
+        &self.targets[i]
+    }
+}
+
+// Allow `g.out_edges(u)[0]` style tuple access in tests via a helper.
+impl<'a> OutEdges<'a> {
+    /// First `(neighbor, probability)` pair; panics when empty.
+    pub fn first(&self) -> (NodeId, f64) {
+        self.get(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1 (0.5), 0 -> 2 (0.3), 1 -> 3 (0.7), 2 -> 3 (0.2)
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.3).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn out_edges_sorted_and_correct() {
+        let g = diamond();
+        let e = g.out_edges(NodeId(0));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.get(0), (NodeId(1), 0.5));
+        assert_eq!(e.get(1), (NodeId(2), 0.3));
+        assert!(g.out_edges(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn in_edges_mirror_out_edges() {
+        let g = diamond();
+        let e = g.in_edges(NodeId(3));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.get(0), (NodeId(1), 0.7));
+        assert_eq!(e.get(1), (NodeId(2), 0.2));
+        assert!(g.in_edges(NodeId(0)).is_empty());
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn edge_prob_lookup() {
+        let g = diamond();
+        assert_eq!(g.edge_prob(NodeId(0), NodeId(2)), Some(0.3));
+        assert_eq!(g.edge_prob(NodeId(2), NodeId(0)), None);
+        assert!(g.has_edge(NodeId(1), NodeId(3)));
+        assert!(!g.has_edge(NodeId(3), NodeId(1)));
+    }
+
+    #[test]
+    fn prob_mass() {
+        let g = diamond();
+        assert!((g.out_prob_mass(NodeId(0)) - 0.8).abs() < 1e-12);
+        assert_eq!(g.out_prob_mass(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all_in_order() {
+        let g = diamond();
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(
+            all,
+            vec![
+                (NodeId(0), NodeId(1), 0.5),
+                (NodeId(0), NodeId(2), 0.3),
+                (NodeId(1), NodeId(3), 0.7),
+                (NodeId(2), NodeId(3), 0.2),
+            ]
+        );
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = diamond();
+        assert!(g.check_node(NodeId(3)).is_ok());
+        assert!(matches!(
+            g.check_node(NodeId(4)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn isolated_nodes_are_fine() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        for u in g.nodes() {
+            assert_eq!(g.out_degree(u), 0);
+            assert_eq!(g.in_degree(u), 0);
+        }
+    }
+
+    #[test]
+    fn heap_size_is_positive_and_scales() {
+        let small = diamond().heap_size_bytes();
+        let mut b = GraphBuilder::new(1000);
+        for i in 0..999u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let big = b.build().unwrap().heap_size_bytes();
+        assert!(small > 0);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,253 @@
+//! Hand-built graphs reproducing the paper's running examples.
+//!
+//! The paper's figures give path probabilities rather than a full edge list,
+//! so the fixtures here choose edge weights consistent with every number the
+//! text states:
+//!
+//! * [`figure1_graph`] — the 15-user network of Figure 1 / Example 1. With the
+//!   weights below, the exact influence of topic `t1` on User 3 is
+//!   `(0.06 + 0.6 + 0.00006 + 0.024 + 0.00096 + 0.00096) / 5 ≈ 0.137`,
+//!   matching the paper's worked table, and the topic ordering for User 3 is
+//!   `t2 > t1 > t3` (paper: 0.188 > 0.137 > 0.065).
+//! * [`figure3_graph`] — the 12-node network of Figure 3 used to illustrate
+//!   the personalized propagation index. With `θ = 0.05` and start node 8 the
+//!   reverse-BFS tree covers exactly `Γ(8) = {1, 4, 5, 7, 9, 11, 12}`, node 11
+//!   is the only *marked* (expandable) node, and `maxEP = 0.10` — all three
+//!   facts the paper's Section 5.2 trace relies on.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+
+/// Convert the paper's 1-based user numbering to a [`NodeId`].
+///
+/// # Panics
+/// Panics if `n == 0` (the paper numbers users from 1).
+#[inline]
+pub fn user(n: u32) -> NodeId {
+    assert!(n >= 1, "paper user numbering starts at 1");
+    NodeId(n - 1)
+}
+
+/// The 15-user social network of the paper's Figure 1.
+///
+/// Topic memberships used by Example 1 (see `figure1_topics`):
+/// `t1` (Apple Phone) = users {2, 5, 13, 9, 15}, `t2` (Samsung Phone) =
+/// users {1, 4, 13}, `t3` (HTC Phone) = users {6, 11, 13, 14}.
+pub fn figure1_graph() -> CsrGraph {
+    let mut b = GraphBuilder::new(15);
+    let mut e = |s: u32, d: u32, p: f64| {
+        b.add_edge(user(s), user(d), p).expect("fixture edge valid");
+    };
+    e(2, 1, 0.2);
+    e(1, 3, 0.3);
+    e(5, 3, 0.6);
+    e(5, 7, 0.05);
+    e(7, 13, 0.05);
+    e(13, 12, 0.4);
+    e(12, 10, 0.5);
+    e(10, 6, 0.4);
+    e(6, 3, 0.3);
+    e(9, 8, 0.2);
+    e(8, 13, 0.2);
+    e(15, 9, 1.0);
+    e(4, 5, 0.4);
+    e(4, 14, 0.8);
+    e(13, 14, 0.5);
+    e(11, 7, 0.7);
+    b.build().expect("figure 1 fixture builds")
+}
+
+/// Topic node sets for Example 1, as `(topic index, members)` with members in
+/// the paper's 1-based numbering. Order: `t1`, `t2`, `t3`.
+pub fn figure1_topics() -> [Vec<NodeId>; 3] {
+    [
+        vec![user(2), user(5), user(13), user(9), user(15)],
+        vec![user(1), user(4), user(13)],
+        vec![user(6), user(11), user(13), user(14)],
+    ]
+}
+
+/// The 12-node network of the paper's Figure 3 (propagation-index example).
+///
+/// Designed so that, with threshold `θ = 0.05`, the reverse BFS from node 8
+/// (paper numbering) yields the lookup table:
+///
+/// | node | aggregated propagation to 8 |
+/// |------|------------------------------|
+/// | 7    | 0.500 |
+/// | 9    | 0.400 |
+/// | 12   | 0.300 |
+/// | 5    | 0.320 (0.20 via 7 + 0.12 via 12) |
+/// | 1    | 0.280 (0.12 via 9 + 0.10 via 5→7 + 0.06 via 5→12) |
+/// | 4    | 0.327 (0.075 + 0.108 + 0.09 + 0.054) |
+/// | 11   | 0.100 — **marked**: its in-edge 10→11 arrives below θ |
+pub fn figure3_graph() -> CsrGraph {
+    let mut b = GraphBuilder::new(12);
+    let mut e = |s: u32, d: u32, p: f64| {
+        b.add_edge(user(s), user(d), p).expect("fixture edge valid");
+    };
+    // Direct in-edges of 8.
+    e(7, 8, 0.5);
+    e(9, 8, 0.4);
+    e(12, 8, 0.3);
+    // Second ring.
+    e(5, 7, 0.4);
+    e(11, 7, 0.2);
+    e(1, 9, 0.3);
+    e(4, 12, 0.25);
+    e(5, 12, 0.4);
+    // Third ring.
+    e(1, 5, 0.5);
+    e(4, 1, 0.9);
+    // Below-threshold feeder into 11: 10→11→7→8 = 0.3*0.2*0.5 = 0.03 < θ,
+    // which is what marks node 11 as expandable.
+    e(10, 11, 0.3);
+    // Periphery not reaching 8 above θ.
+    e(2, 3, 0.5);
+    e(3, 6, 0.5);
+    e(6, 10, 0.5);
+    e(6, 2, 0.2);
+    b.build().expect("figure 3 fixture builds")
+}
+
+/// The threshold `θ` the paper uses in the Figure 3 example.
+pub const FIGURE3_THETA: f64 = 0.05;
+
+/// The representative node sets of the Section 5.2 search trace
+/// (`S1 = {1,3,5,12}`, `S2 = {7,9,10}`, `S3 = {2,4,6}`), 1-based.
+pub fn figure3_rep_sets() -> [Vec<NodeId>; 3] {
+    [
+        vec![user(1), user(3), user(5), user(12)],
+        vec![user(7), user(9), user(10)],
+        vec![user(2), user(4), user(6)],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_numbering_is_one_based() {
+        assert_eq!(user(1), NodeId(0));
+        assert_eq!(user(15), NodeId(14));
+    }
+
+    #[test]
+    #[should_panic]
+    fn user_zero_panics() {
+        let _ = user(0);
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let g = figure1_graph();
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 16);
+        // The strong 5 -> 3 edge from the worked example.
+        assert_eq!(g.edge_prob(user(5), user(3)), Some(0.6));
+    }
+
+    /// Recompute the Example-1 path table by brute-force enumeration of
+    /// simple paths from each t1 node to User 3 and check the aggregate
+    /// matches the paper's final score 0.137 (±0.001).
+    #[test]
+    fn figure1_t1_influence_matches_paper() {
+        let g = figure1_graph();
+        let [t1, _, _] = figure1_topics();
+        let target = user(3);
+        let mut total = 0.0f64;
+        for &src in &t1 {
+            total += sum_simple_path_probs(&g, src, target);
+        }
+        let score = total / t1.len() as f64;
+        assert!((score - 0.137).abs() < 1e-3, "expected ~0.137, got {score}");
+    }
+
+    #[test]
+    fn figure1_topic_ordering_for_user3() {
+        let g = figure1_graph();
+        let topics = figure1_topics();
+        let target = user(3);
+        let scores: Vec<f64> = topics
+            .iter()
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .map(|&s| sum_simple_path_probs(&g, s, target))
+                    .sum::<f64>()
+                    / nodes.len() as f64
+            })
+            .collect();
+        // Paper: t2 (0.188) > t1 (0.137) > t3 (0.065).
+        assert!(scores[1] > scores[0], "t2 must beat t1: {scores:?}");
+        assert!(scores[0] > scores[2], "t1 must beat t3: {scores:?}");
+        assert!((scores[1] - 0.188).abs() < 2e-3, "t2 ≈ 0.188: {scores:?}");
+    }
+
+    #[test]
+    fn figure1_user7_prefers_t3_and_user14_prefers_t2() {
+        let g = figure1_graph();
+        let topics = figure1_topics();
+        for (target, expected_best) in [(user(7), 2usize), (user(14), 1usize)] {
+            let scores: Vec<f64> = topics
+                .iter()
+                .map(|nodes| {
+                    nodes
+                        .iter()
+                        .map(|&s| sum_simple_path_probs(&g, s, target))
+                        .sum::<f64>()
+                        / nodes.len() as f64
+                })
+                .collect();
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(best, expected_best, "target {target}: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn figure3_shape() {
+        let g = figure3_graph();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_prob(user(7), user(8)), Some(0.5));
+        assert_eq!(g.in_degree(user(8)), 3);
+    }
+
+    /// Exhaustive sum of simple-path probabilities from `src` to `dst`
+    /// (practical only on tiny fixtures).
+    fn sum_simple_path_probs(g: &CsrGraph, src: NodeId, dst: NodeId) -> f64 {
+        fn dfs(
+            g: &CsrGraph,
+            cur: NodeId,
+            dst: NodeId,
+            prob: f64,
+            on_path: &mut Vec<bool>,
+            acc: &mut f64,
+        ) {
+            if cur == dst {
+                *acc += prob;
+                return;
+            }
+            on_path[cur.index()] = true;
+            for (nxt, p) in g.out_edges(cur).iter() {
+                if !on_path[nxt.index()] {
+                    dfs(g, nxt, dst, prob * p, on_path, acc);
+                }
+            }
+            on_path[cur.index()] = false;
+        }
+        if src == dst {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut on_path = vec![false; g.node_count()];
+        dfs(g, src, dst, 1.0, &mut on_path, &mut acc);
+        acc
+    }
+}

@@ -1,0 +1,112 @@
+//! Strongly-typed identifiers used across the PIT-Search workspace.
+//!
+//! All identifiers are `u32` newtypes: a social graph at the paper's scale
+//! (3 M nodes) fits comfortably in 32 bits, and halving the index footprint
+//! relative to `usize` matters for the walk and propagation indexes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a social user (a node of the graph).
+///
+/// Dense: valid ids are `0..graph.node_count()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a topic in the topic space `T`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopicId(pub u32);
+
+/// Identifier of a query term (keyword) in the term vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+macro_rules! id_impls {
+    ($t:ident, $tag:literal) => {
+        impl $t {
+            /// The `usize` index of this id, for slice/array indexing.
+            #[inline(always)]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit in `u32`.
+            #[inline(always)]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(
+                    i <= u32::MAX as usize,
+                    concat!($tag, " index overflows u32")
+                );
+                $t(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $t {
+            #[inline(always)]
+            fn from(v: u32) -> Self {
+                $t(v)
+            }
+        }
+
+        impl From<$t> for u32 {
+            #[inline(always)]
+            fn from(v: $t) -> u32 {
+                v.0
+            }
+        }
+    };
+}
+
+id_impls!(NodeId, "NodeId");
+id_impls!(TopicId, "TopicId");
+id_impls!(TermId, "TermId");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(u32::from(n), 42);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Compile-time property really, but check Display/Debug formatting.
+        assert_eq!(format!("{}", TopicId(7)), "7");
+        assert_eq!(format!("{:?}", TopicId(7)), "TopicId(7)");
+        assert_eq!(format!("{:?}", TermId(3)), "TermId(3)");
+        assert_eq!(format!("{:?}", NodeId(1)), "NodeId(1)");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(TopicId(0) < TopicId(u32::MAX));
+    }
+
+    #[test]
+    fn hashable_in_fx_map() {
+        let mut m = rustc_hash::FxHashMap::default();
+        m.insert(NodeId(5), 1.0f64);
+        assert_eq!(m.get(&NodeId(5)), Some(&1.0));
+    }
+}

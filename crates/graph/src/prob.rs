@@ -1,0 +1,187 @@
+//! Transition-probability models for `Λ`.
+//!
+//! The paper takes `Λ` as given ("Λ maintains the transition probability of
+//! edges in E"), and derives edge probabilities from the social data. When we
+//! generate synthetic networks we need a concrete model; these are the
+//! standard choices from the influence-propagation literature the paper
+//! builds on (Kempe et al.'s independent-cascade conventions).
+
+use crate::ids::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How transition probabilities are assigned to edges.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ProbabilityModel {
+    /// The classic *weighted cascade*: `Λ(u,v) = 1 / in_degree(v)`. Influence
+    /// arriving at a popular node is diluted across its followers.
+    WeightedCascade,
+    /// Constant probability `p` on every edge (*uniform IC model*).
+    Uniform(f64),
+    /// Independent uniform draw in `[lo, hi]` per edge (what the paper's
+    /// Figure 1 example resembles: heterogeneous hand-assigned weights).
+    RandomRange { lo: f64, hi: f64 },
+    /// Random draw per edge, then each node's out-edge mass normalized to 1,
+    /// making `Λ` a proper row-stochastic random-walk matrix.
+    RandomOutNormalized,
+    /// Keep the weights supplied explicitly to the builder.
+    Explicit,
+}
+
+impl ProbabilityModel {
+    /// Assign probabilities to `edges` in place according to the model.
+    ///
+    /// `in_degree[v]` must hold the final in-degree of every node when the
+    /// model is [`ProbabilityModel::WeightedCascade`].
+    pub fn assign<R: Rng>(
+        &self,
+        edges: &mut [(NodeId, NodeId, f64)],
+        in_degree: &[u32],
+        rng: &mut R,
+    ) {
+        match *self {
+            ProbabilityModel::WeightedCascade => {
+                for (_, v, p) in edges.iter_mut() {
+                    let d = in_degree[v.index()].max(1);
+                    *p = 1.0 / d as f64;
+                }
+            }
+            ProbabilityModel::Uniform(q) => {
+                for (_, _, p) in edges.iter_mut() {
+                    *p = q;
+                }
+            }
+            ProbabilityModel::RandomRange { lo, hi } => {
+                for (_, _, p) in edges.iter_mut() {
+                    *p = rng.gen_range(lo..=hi);
+                }
+            }
+            ProbabilityModel::RandomOutNormalized => {
+                for (_, _, p) in edges.iter_mut() {
+                    *p = rng.gen_range(0.05f64..1.0);
+                }
+                // Normalize per source. Edges are not necessarily grouped, so
+                // accumulate out-mass first.
+                let n = in_degree.len();
+                let mut mass = vec![0.0f64; n];
+                for &(u, _, p) in edges.iter() {
+                    mass[u.index()] += p;
+                }
+                for (u, _, p) in edges.iter_mut() {
+                    let m = mass[u.index()];
+                    if m > 0.0 {
+                        *p /= m;
+                    }
+                }
+            }
+            ProbabilityModel::Explicit => {}
+        }
+    }
+
+    /// Whether this model guarantees every edge probability lies in `(0, 1]`.
+    pub fn always_valid(&self) -> bool {
+        match *self {
+            ProbabilityModel::WeightedCascade | ProbabilityModel::RandomOutNormalized => true,
+            ProbabilityModel::Uniform(p) => p > 0.0 && p <= 1.0,
+            ProbabilityModel::RandomRange { lo, hi } => lo > 0.0 && hi <= 1.0 && lo <= hi,
+            ProbabilityModel::Explicit => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_edges() -> Vec<(NodeId, NodeId, f64)> {
+        vec![
+            (NodeId(0), NodeId(1), 0.0),
+            (NodeId(0), NodeId(2), 0.0),
+            (NodeId(1), NodeId(2), 0.0),
+            (NodeId(3), NodeId(2), 0.0),
+        ]
+    }
+
+    fn in_degrees(edges: &[(NodeId, NodeId, f64)], n: usize) -> Vec<u32> {
+        let mut d = vec![0u32; n];
+        for &(_, v, _) in edges {
+            d[v.index()] += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn weighted_cascade_is_one_over_indegree() {
+        let mut edges = sample_edges();
+        let indeg = in_degrees(&edges, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        ProbabilityModel::WeightedCascade.assign(&mut edges, &indeg, &mut rng);
+        // Node 2 has in-degree 3, node 1 has in-degree 1.
+        assert!((edges[0].2 - 1.0).abs() < 1e-12); // 0->1
+        assert!((edges[1].2 - 1.0 / 3.0).abs() < 1e-12); // 0->2
+        assert!((edges[3].2 - 1.0 / 3.0).abs() < 1e-12); // 3->2
+    }
+
+    #[test]
+    fn uniform_sets_constant() {
+        let mut edges = sample_edges();
+        let indeg = in_degrees(&edges, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        ProbabilityModel::Uniform(0.1).assign(&mut edges, &indeg, &mut rng);
+        assert!(edges.iter().all(|&(_, _, p)| (p - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn random_range_within_bounds_and_deterministic() {
+        let mut e1 = sample_edges();
+        let mut e2 = sample_edges();
+        let indeg = in_degrees(&e1, 4);
+        let model = ProbabilityModel::RandomRange { lo: 0.2, hi: 0.8 };
+        model.assign(&mut e1, &indeg, &mut SmallRng::seed_from_u64(7));
+        model.assign(&mut e2, &indeg, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(e1, e2, "same seed must give same probabilities");
+        assert!(e1.iter().all(|&(_, _, p)| (0.2..=0.8).contains(&p)));
+    }
+
+    #[test]
+    fn out_normalized_sums_to_one_per_source() {
+        let mut edges = sample_edges();
+        let indeg = in_degrees(&edges, 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        ProbabilityModel::RandomOutNormalized.assign(&mut edges, &indeg, &mut rng);
+        let mass0: f64 = edges
+            .iter()
+            .filter(|&&(u, _, _)| u == NodeId(0))
+            .map(|&(_, _, p)| p)
+            .sum();
+        let mass1: f64 = edges
+            .iter()
+            .filter(|&&(u, _, _)| u == NodeId(1))
+            .map(|&(_, _, p)| p)
+            .sum();
+        assert!((mass0 - 1.0).abs() < 1e-12);
+        assert!((mass1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_preserves_weights() {
+        let mut edges = vec![(NodeId(0), NodeId(1), 0.42)];
+        let indeg = vec![0, 1];
+        let mut rng = SmallRng::seed_from_u64(1);
+        ProbabilityModel::Explicit.assign(&mut edges, &indeg, &mut rng);
+        assert_eq!(edges[0].2, 0.42);
+    }
+
+    #[test]
+    fn validity_flags() {
+        assert!(ProbabilityModel::WeightedCascade.always_valid());
+        assert!(ProbabilityModel::Uniform(0.5).always_valid());
+        assert!(!ProbabilityModel::Uniform(0.0).always_valid());
+        assert!(!ProbabilityModel::Uniform(1.5).always_valid());
+        assert!(ProbabilityModel::RandomRange { lo: 0.1, hi: 0.9 }.always_valid());
+        assert!(!ProbabilityModel::RandomRange { lo: 0.0, hi: 0.9 }.always_valid());
+        assert!(!ProbabilityModel::Explicit.always_valid());
+    }
+}

@@ -1,0 +1,140 @@
+//! Compact binary snapshots of a graph.
+//!
+//! The paper's offline stage is re-run "after a period of time when the
+//! social network and topics have changed" (Section 4.4); persisting the graph
+//! between offline runs avoids regenerating synthetic datasets for every
+//! benchmark invocation. Format: little-endian, versioned, length-prefixed
+//! edge list — deliberately boring and validated on load.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::ids::NodeId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"PITG";
+const VERSION: u8 = 1;
+
+/// Format limit on the node count: ids are `u32`, and bounding the header
+/// field keeps a corrupt snapshot from requesting an absurd allocation
+/// before validation can reject it (2^26 ≈ 67 M nodes is 20× the paper's
+/// full-scale dataset).
+pub const MAX_NODES: usize = 1 << 26;
+
+/// Serialize `g` into a self-describing byte buffer.
+pub fn encode(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + g.edge_count() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(g.node_count() as u32);
+    buf.put_u64_le(g.edge_count() as u64);
+    for (u, v, p) in g.edges() {
+        buf.put_u32_le(u.0);
+        buf.put_u32_le(v.0);
+        buf.put_f64_le(p);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a graph previously produced by [`encode`].
+pub fn decode(mut data: &[u8]) -> Result<CsrGraph> {
+    let corrupt = |msg: &str| GraphError::CorruptSnapshot(msg.to_string());
+    if data.len() < 4 + 1 + 4 + 8 {
+        return Err(corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(GraphError::CorruptSnapshot(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let node_count = data.get_u32_le() as usize;
+    let edge_count = data.get_u64_le() as usize;
+    if node_count > MAX_NODES {
+        return Err(corrupt("node count exceeds format limit"));
+    }
+    if data.remaining() != edge_count.saturating_mul(16) {
+        return Err(corrupt("edge payload length mismatch"));
+    }
+    let mut b = GraphBuilder::with_capacity(node_count, edge_count);
+    for _ in 0..edge_count {
+        let u = NodeId(data.get_u32_le());
+        let v = NodeId(data.get_u32_le());
+        let p = data.get_f64_le();
+        b.add_edge(u, v, p)
+            .map_err(|e| GraphError::CorruptSnapshot(format!("invalid edge: {e}")))?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_graph;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = figure1_graph();
+        let bytes = encode(&g);
+        let g2 = decode(&bytes).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let g = figure1_graph();
+        let mut bytes = encode(&g).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode(&bytes),
+            Err(GraphError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = figure1_graph();
+        let bytes = encode(&g);
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 3]),
+            Err(GraphError::CorruptSnapshot(_))
+        ));
+        assert!(matches!(
+            decode(&bytes[..5]),
+            Err(GraphError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let g = figure1_graph();
+        let mut bytes = encode(&g).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            decode(&bytes),
+            Err(GraphError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_probability_payload() {
+        let g = figure1_graph();
+        let mut bytes = encode(&g).to_vec();
+        // Corrupt first edge probability with NaN.
+        let prob_offset = 4 + 1 + 4 + 8 + 8;
+        bytes[prob_offset..prob_offset + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(GraphError::CorruptSnapshot(_))
+        ));
+    }
+}

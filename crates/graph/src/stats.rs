@@ -1,0 +1,186 @@
+//! Graph summary statistics (degree distributions, connectivity probes).
+//!
+//! Used when generating and validating the synthetic datasets of the paper's
+//! Figure 4 ("Summary of Datasets Used": node counts and degree ranges).
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Summary statistics over a [`CsrGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub node_count: usize,
+    /// `|E|`.
+    pub edge_count: usize,
+    /// Minimum total degree (in + out) over all nodes.
+    pub min_degree: usize,
+    /// Maximum total degree (in + out) over all nodes.
+    pub max_degree: usize,
+    /// Mean total degree.
+    pub avg_degree: f64,
+    /// Number of nodes with zero in- and out-degree.
+    pub isolated_nodes: usize,
+    /// Number of weakly connected components.
+    pub weak_components: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`. `O(|V| + |E|)`.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.node_count();
+        let mut min_d = usize::MAX;
+        let mut max_d = 0usize;
+        let mut sum_d = 0usize;
+        let mut isolated = 0usize;
+        for u in g.nodes() {
+            let d = g.out_degree(u) + g.in_degree(u);
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+            sum_d += d;
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        if n == 0 {
+            min_d = 0;
+        }
+        GraphStats {
+            node_count: n,
+            edge_count: g.edge_count(),
+            min_degree: min_d,
+            max_degree: max_d,
+            avg_degree: if n == 0 { 0.0 } else { sum_d as f64 / n as f64 },
+            isolated_nodes: isolated,
+            weak_components: weak_component_count(g),
+        }
+    }
+}
+
+/// Number of weakly connected components (directions ignored).
+pub fn weak_component_count(g: &CsrGraph) -> usize {
+    weak_components(g).1
+}
+
+/// Weak-component label per node plus the component count.
+///
+/// Labels are dense in `0..count`, assigned in discovery order.
+pub fn weak_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = count;
+        queue.push_back(NodeId::from_index(start));
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = count;
+                    queue.push_back(v);
+                }
+            }
+            for &v in g.in_neighbors(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Histogram of total degrees, bucketed logarithmically
+/// (`bucket i` holds degrees in `[2^i, 2^{i+1})`; bucket 0 holds degree 0–1).
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for u in g.nodes() {
+        let d = g.out_degree(u) + g.in_degree(u);
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_components() -> CsrGraph {
+        // Component A: 0 -> 1 -> 2, component B: 3 -> 4, node 5 isolated.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_basic() {
+        let g = two_components();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.node_count, 6);
+        assert_eq!(s.edge_count, 3);
+        assert_eq!(s.isolated_nodes, 1);
+        assert_eq!(s.weak_components, 3);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.max_degree, 2); // node 1 has in 1 + out 1
+        assert!((s.avg_degree - 1.0).abs() < 1e-12); // 6 endpoints / 6 nodes
+    }
+
+    #[test]
+    fn weak_components_labels_are_consistent() {
+        let g = two_components();
+        let (labels, count) = weak_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[0], labels[5]);
+        assert_ne!(labels[3], labels[5]);
+    }
+
+    #[test]
+    fn single_component_when_connected() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(weak_component_count(&g), 1);
+    }
+
+    #[test]
+    fn degree_histogram_buckets() {
+        let g = two_components();
+        let hist = degree_histogram(&g);
+        // Degrees: node0=1, node1=2, node2=1, node3=1, node4=1, node5=0.
+        // Bucket 0 (deg 0-1): 5 nodes, bucket 1 (deg 2-3): 1 node.
+        assert_eq!(hist, vec![5, 1]);
+    }
+
+    #[test]
+    fn direction_is_ignored_for_weak_connectivity() {
+        // 0 -> 1 and 2 -> 1: weakly one component even though 0 cannot reach 2.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(1), 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(weak_component_count(&g), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-node materialization: the lookup table `Γ(v)` plus the marked subset.
+
+use pit_graph::NodeId;
+
+/// The materialized propagation table of one node `v`: for each nearby node
+/// `u`, the aggregated probability that `u`'s influence propagates to `v`
+/// over paths with probability ≥ θ, plus the marked subset `Γ*(v)` of nodes
+/// with unexplored upstream influence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodePropagation {
+    /// Sorted by node id; `(u, aggregated propagation probability)`.
+    pub(crate) entries: Vec<(NodeId, f64)>,
+    /// Sorted subset of entry nodes that are marked for expansion.
+    pub(crate) marked: Vec<NodeId>,
+}
+
+impl NodePropagation {
+    /// Build from unsorted parts (used by the index builder).
+    pub(crate) fn new(mut entries: Vec<(NodeId, f64)>, mut marked: Vec<NodeId>) -> Self {
+        entries.sort_unstable_by_key(|&(n, _)| n);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate entries must be pre-aggregated"
+        );
+        marked.sort_unstable();
+        marked.dedup();
+        NodePropagation { entries, marked }
+    }
+
+    /// Number of nearby nodes `|Γ(v)|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `Γ(v)` is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The aggregated propagation probability of `u` toward this node
+    /// (the paper's `v.hashmap(u)`), or `None` when `u` is not nearby.
+    pub fn get(&self, u: NodeId) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&u, |&(n, _)| n)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Whether `u ∈ Γ(v)`.
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.entries.binary_search_by_key(&u, |&(n, _)| n).is_ok()
+    }
+
+    /// Iterate `(u, probability)` in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Sorted nearby node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|&(n, _)| n)
+    }
+
+    /// The marked subset `Γ*(v)` (sorted).
+    #[inline]
+    pub fn marked(&self) -> &[NodeId] {
+        &self.marked
+    }
+
+    /// Whether `u` is marked for expansion.
+    pub fn is_marked(&self, u: NodeId) -> bool {
+        self.marked.binary_search(&u).is_ok()
+    }
+
+    /// `maxEP`: the largest propagation value among marked nodes (Algorithm
+    /// 10 line 16); 0 when nothing is marked.
+    pub fn max_marked_prob(&self) -> f64 {
+        self.marked
+            .iter()
+            .filter_map(|&u| self.get(u))
+            .fold(0.0, f64::max)
+    }
+
+    /// Estimated resident heap size in bytes.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(NodeId, f64)>()
+            + self.marked.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodePropagation {
+        NodePropagation::new(
+            vec![(NodeId(7), 0.5), (NodeId(2), 0.3), (NodeId(11), 0.1)],
+            vec![NodeId(11)],
+        )
+    }
+
+    #[test]
+    fn lookup_and_order() {
+        let p = sample();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get(NodeId(7)), Some(0.5));
+        assert_eq!(p.get(NodeId(3)), None);
+        assert!(p.contains(NodeId(2)));
+        let nodes: Vec<NodeId> = p.nodes().collect();
+        assert_eq!(nodes, vec![NodeId(2), NodeId(7), NodeId(11)]);
+    }
+
+    #[test]
+    fn marked_queries() {
+        let p = sample();
+        assert!(p.is_marked(NodeId(11)));
+        assert!(!p.is_marked(NodeId(7)));
+        assert_eq!(p.marked(), &[NodeId(11)]);
+        assert!((p.max_marked_prob() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table() {
+        let p = NodePropagation::default();
+        assert!(p.is_empty());
+        assert_eq!(p.max_marked_prob(), 0.0);
+        assert_eq!(p.get(NodeId(0)), None);
+    }
+
+    #[test]
+    fn duplicate_marks_dedup() {
+        let p = NodePropagation::new(vec![(NodeId(1), 0.2)], vec![NodeId(1), NodeId(1)]);
+        assert_eq!(p.marked(), &[NodeId(1)]);
+    }
+}

@@ -1,0 +1,354 @@
+//! Propagation-index construction (Section 5.1).
+
+use crate::node::NodePropagation;
+use pit_graph::{CsrGraph, NodeId};
+use rustc_hash::FxHashMap;
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PropIndexConfig {
+    /// Path-probability threshold `θ`: a branch stops expanding as soon as
+    /// its cumulative probability drops below this (paper's example: 0.05).
+    pub theta: f64,
+    /// Safety cap on path length (hops). The threshold already bounds the
+    /// enumeration on realistic probability models; the cap guards degenerate
+    /// graphs with probability-1.0 chains. Defaults to 6 — the same horizon
+    /// the paper uses for the BaseMatrix iterations.
+    pub max_depth: usize,
+}
+
+impl Default for PropIndexConfig {
+    fn default() -> Self {
+        PropIndexConfig {
+            theta: 0.05,
+            max_depth: 6,
+        }
+    }
+}
+
+impl PropIndexConfig {
+    /// Config with the given threshold and the default depth cap.
+    pub fn with_theta(theta: f64) -> Self {
+        PropIndexConfig {
+            theta,
+            ..Default::default()
+        }
+    }
+}
+
+/// The full personalized propagation index: one [`NodePropagation`] table per
+/// node, i.e. the paper's "materialize every node" requirement (Section 5,
+/// problem (1)).
+#[derive(Clone, Debug)]
+pub struct PropagationIndex {
+    pub(crate) config: PropIndexConfig,
+    pub(crate) tables: Vec<NodePropagation>,
+}
+
+impl PropagationIndex {
+    /// Materialize the index for every node, in parallel.
+    pub fn build(g: &CsrGraph, config: PropIndexConfig) -> Self {
+        assert!(
+            config.theta > 0.0 && config.theta <= 1.0,
+            "theta must be in (0,1]"
+        );
+        assert!(config.max_depth >= 1, "max_depth must be positive");
+        let n = g.node_count();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let chunk = n.div_ceil(threads);
+
+        let mut chunks: Vec<(usize, Vec<NodePropagation>)> = Vec::with_capacity(threads);
+        crossbeam::scope(|s| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(s.spawn(move |_| {
+                    let mut builder = TableBuilder::new(g, config);
+                    let tables: Vec<NodePropagation> = (lo..hi)
+                        .map(|v| builder.build_for(NodeId::from_index(v)))
+                        .collect();
+                    (lo, tables)
+                }));
+            }
+            for h in handles {
+                chunks.push(h.join().expect("propagation index worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        chunks.sort_by_key(|&(lo, _)| lo);
+        let tables = chunks.into_iter().flat_map(|(_, t)| t).collect();
+        PropagationIndex { config, tables }
+    }
+
+    /// Materialize a single node's table (used by tests and on-demand paths).
+    pub fn build_for(g: &CsrGraph, v: NodeId, config: PropIndexConfig) -> NodePropagation {
+        TableBuilder::new(g, config).build_for(v)
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> &PropIndexConfig {
+        &self.config
+    }
+
+    /// Number of per-node tables (= node count of the graph).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// `Γ(v)` — the materialized table of node `v`.
+    #[inline]
+    pub fn gamma(&self, v: NodeId) -> &NodePropagation {
+        &self.tables[v.index()]
+    }
+
+    /// Recompute the tables of `nodes` against (a possibly updated) `g`,
+    /// leaving every other table untouched — the localized refresh of the
+    /// paper's Section-4.4 maintenance story. For an edge insertion
+    /// `u → v`, the exact affected set is `g.downstream_within(&[v],
+    /// config.max_depth)`: a table `Γ(x)` can only change if some path into
+    /// `x` traverses the new edge, i.e. `x` is reachable from `v` within the
+    /// enumeration depth.
+    ///
+    /// # Panics
+    /// Panics if `g`'s node count differs from the indexed node count.
+    pub fn refresh_nodes(&mut self, g: &CsrGraph, nodes: &[NodeId]) {
+        assert_eq!(
+            g.node_count(),
+            self.tables.len(),
+            "refresh requires the same node universe"
+        );
+        let mut builder = TableBuilder::new(g, self.config);
+        for &v in nodes {
+            self.tables[v.index()] = builder.build_for(v);
+        }
+    }
+
+    /// Total entries across all tables (index size metric, Figures 13/14).
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(NodePropagation::len).sum()
+    }
+
+    /// Estimated resident heap size in bytes.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(NodePropagation::heap_size_bytes)
+            .sum::<usize>()
+            + self.tables.capacity() * std::mem::size_of::<NodePropagation>()
+    }
+}
+
+/// Reusable single-table builder with workhorse buffers.
+struct TableBuilder<'a> {
+    g: &'a CsrGraph,
+    config: PropIndexConfig,
+    on_path: Vec<bool>,
+    agg: FxHashMap<NodeId, f64>,
+}
+
+impl<'a> TableBuilder<'a> {
+    fn new(g: &'a CsrGraph, config: PropIndexConfig) -> Self {
+        TableBuilder {
+            g,
+            config,
+            on_path: vec![false; g.node_count()],
+            agg: FxHashMap::default(),
+        }
+    }
+
+    fn build_for(&mut self, v: NodeId) -> NodePropagation {
+        self.agg.clear();
+        debug_assert!(self.on_path.iter().all(|&b| !b));
+        self.on_path[v.index()] = true;
+        self.dfs(v, 1.0, 0);
+        self.on_path[v.index()] = false;
+
+        let entries: Vec<(NodeId, f64)> = self.agg.drain().collect();
+        // Post-pass marking: x ∈ Γ(v) is expandable iff some in-neighbor of x
+        // is outside Γ(v) ∪ {v} — its upstream influence was cut off.
+        let in_gamma: rustc_hash::FxHashSet<NodeId> = entries.iter().map(|&(n, _)| n).collect();
+        let marked: Vec<NodeId> = entries
+            .iter()
+            .map(|&(x, _)| x)
+            .filter(|&x| {
+                self.g
+                    .in_neighbors(x)
+                    .iter()
+                    .any(|&u| u != v && !in_gamma.contains(&u))
+            })
+            .collect();
+        NodePropagation::new(entries, marked)
+    }
+
+    /// Reverse DFS over in-edges, enumerating simple paths `u ↪ … ↪ v` with
+    /// probability ≥ θ and aggregating per source node.
+    fn dfs(&mut self, current: NodeId, prob: f64, depth: usize) {
+        if depth >= self.config.max_depth {
+            return;
+        }
+        // Iterate by slice index to avoid borrowing `self.g` across the
+        // recursive call.
+        let deg = self.g.in_degree(current);
+        for i in 0..deg {
+            let (u, p) = self.g.in_edges(current).get(i);
+            if self.on_path[u.index()] {
+                continue; // simple paths only
+            }
+            let path_prob = prob * p;
+            if path_prob < self.config.theta {
+                continue; // branch terminated below threshold
+            }
+            *self.agg.entry(u).or_insert(0.0) += path_prob;
+            self.on_path[u.index()] = true;
+            self.dfs(u, path_prob, depth + 1);
+            self.on_path[u.index()] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::fixtures::{self, user, FIGURE3_THETA};
+    use pit_graph::GraphBuilder;
+
+    /// The paper's Figure 3 example: Γ(8), values, marks and maxEP.
+    #[test]
+    fn figure3_example() {
+        let g = fixtures::figure3_graph();
+        let idx = PropagationIndex::build(&g, PropIndexConfig::with_theta(FIGURE3_THETA));
+        let gamma8 = idx.gamma(user(8));
+
+        let mut expect: Vec<(NodeId, f64)> = vec![
+            (user(7), 0.5),
+            (user(9), 0.4),
+            (user(12), 0.3),
+            (user(5), 0.32),
+            (user(1), 0.28),
+            (user(4), 0.327),
+            (user(11), 0.1),
+        ];
+        expect.sort_unstable_by_key(|&(n, _)| n);
+        let got: Vec<(NodeId, f64)> = gamma8.iter().collect();
+        assert_eq!(got.len(), expect.len(), "Γ(8) = {got:?}");
+        for ((gn, gp), (en, ep)) in got.iter().zip(expect.iter()) {
+            assert_eq!(gn, en);
+            assert!((gp - ep).abs() < 1e-9, "node {gn}: got {gp}, want {ep}");
+        }
+        // Only node 11 is marked; maxEP = 0.10 as in the Section 5.2 trace.
+        assert_eq!(gamma8.marked(), &[user(11)]);
+        assert!((gamma8.max_marked_prob() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_prunes_far_nodes() {
+        // Path a→b→c→d with probability 0.3 per hop: Γ(d) at θ=0.05 holds
+        // c (0.3) and b (0.09) but not a (0.027).
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.3).unwrap();
+        }
+        let g = b.build().unwrap();
+        let t = PropagationIndex::build_for(&g, NodeId(3), PropIndexConfig::with_theta(0.05));
+        assert_eq!(t.len(), 2);
+        assert!((t.get(NodeId(2)).unwrap() - 0.3).abs() < 1e-12);
+        assert!((t.get(NodeId(1)).unwrap() - 0.09).abs() < 1e-12);
+        assert_eq!(t.get(NodeId(0)), None);
+        // Node 1 is marked: its in-neighbor 0 is outside Γ.
+        assert_eq!(t.marked(), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn multiple_paths_aggregate() {
+        // Diamond: 0→1→3 (0.5·0.5) and 0→2→3 (0.5·0.4): Γ(3)[0] = 0.45.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        let g = b.build().unwrap();
+        let t = PropagationIndex::build_for(&g, NodeId(3), PropIndexConfig::with_theta(0.01));
+        assert!((t.get(NodeId(0)).unwrap() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_do_not_loop() {
+        // 0→1→0 cycle feeding 1→2; simple-path restriction terminates.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
+        let g = b.build().unwrap();
+        let t = PropagationIndex::build_for(&g, NodeId(2), PropIndexConfig::with_theta(0.01));
+        assert!((t.get(NodeId(1)).unwrap() - 0.9).abs() < 1e-12);
+        assert!((t.get(NodeId(0)).unwrap() - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_cap_bounds_probability_one_chains() {
+        let n = 20;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..(n as u32 - 1) {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cfg = PropIndexConfig {
+            theta: 0.5,
+            max_depth: 4,
+        };
+        let t = PropagationIndex::build_for(&g, NodeId(19), cfg);
+        assert_eq!(t.len(), 4, "depth cap must bound the table");
+        // The frontier node is marked: influence beyond the cap is unexplored.
+        assert!(t.is_marked(NodeId(15)));
+    }
+
+    #[test]
+    fn source_node_not_in_own_table() {
+        let g = fixtures::figure3_graph();
+        let idx = PropagationIndex::build(&g, PropIndexConfig::default());
+        for v in g.nodes() {
+            assert!(!idx.gamma(v).contains(v), "node {v} indexes itself");
+        }
+    }
+
+    #[test]
+    fn full_build_matches_single_builds() {
+        let g = fixtures::figure1_graph();
+        let cfg = PropIndexConfig::with_theta(0.02);
+        let idx = PropagationIndex::build(&g, cfg);
+        for v in g.nodes() {
+            let single = PropagationIndex::build_for(&g, v, cfg);
+            assert_eq!(idx.gamma(v), &single, "mismatch at node {v}");
+        }
+    }
+
+    #[test]
+    fn lower_theta_never_shrinks_tables() {
+        let g = fixtures::figure1_graph();
+        let tight = PropagationIndex::build(&g, PropIndexConfig::with_theta(0.2));
+        let loose = PropagationIndex::build(&g, PropIndexConfig::with_theta(0.01));
+        for v in g.nodes() {
+            assert!(loose.gamma(v).len() >= tight.gamma(v).len());
+        }
+        assert!(loose.total_entries() > tight.total_entries());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_theta_rejected() {
+        let g = fixtures::figure1_graph();
+        let _ = PropagationIndex::build(&g, PropIndexConfig::with_theta(0.0));
+    }
+}

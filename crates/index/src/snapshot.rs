@@ -1,0 +1,203 @@
+//! Binary snapshots of a [`PropagationIndex`].
+//!
+//! Materializing `Γ(v)` for every node is the second expensive offline
+//! artifact (after the walk index); snapshots let deployments rebuild it only
+//! when the graph actually changes. Little-endian, versioned, validated.
+
+use crate::node::NodePropagation;
+use crate::prop::{PropIndexConfig, PropagationIndex};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pit_graph::NodeId;
+
+const MAGIC: &[u8; 4] = b"PITP";
+const VERSION: u8 = 1;
+
+/// Snapshot decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt propagation-index snapshot: {}", self.0)
+    }
+}
+impl std::error::Error for SnapshotError {}
+
+fn err(msg: &str) -> SnapshotError {
+    SnapshotError(msg.to_string())
+}
+
+/// Serialize the index into a self-describing buffer.
+pub fn encode(idx: &PropagationIndex) -> Bytes {
+    let total: usize = idx
+        .tables
+        .iter()
+        .map(|t| 16 + t.entries.len() * 12 + t.marked.len() * 4)
+        .sum();
+    let mut buf = BytesMut::with_capacity(32 + total);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_f64_le(idx.config.theta);
+    buf.put_u32_le(idx.config.max_depth as u32);
+    buf.put_u64_le(idx.tables.len() as u64);
+    for t in &idx.tables {
+        buf.put_u32_le(t.entries.len() as u32);
+        for &(n, p) in &t.entries {
+            buf.put_u32_le(n.0);
+            buf.put_f64_le(p);
+        }
+        buf.put_u32_le(t.marked.len() as u32);
+        for &n in &t.marked {
+            buf.put_u32_le(n.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize an index previously produced by [`encode`].
+pub fn decode(mut data: &[u8]) -> Result<PropagationIndex, SnapshotError> {
+    if data.len() < 4 + 1 + 8 + 4 + 8 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if data.get_u8() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    let theta = data.get_f64_le();
+    let max_depth = data.get_u32_le() as usize;
+    if !(theta > 0.0 && theta <= 1.0) || max_depth == 0 {
+        return Err(err("invalid configuration"));
+    }
+    let n = data.get_u64_le() as usize;
+    // Each table costs at least 8 bytes (two u32 counts); bound n before
+    // allocating so a corrupt count cannot demand an absurd Vec.
+    if n > pit_graph::snapshot::MAX_NODES || n.saturating_mul(8) > data.remaining() {
+        return Err(err("table count exceeds payload"));
+    }
+    let mut tables = Vec::with_capacity(n);
+    for v in 0..n {
+        if data.remaining() < 4 {
+            return Err(err("truncated entry count"));
+        }
+        let e = data.get_u32_le() as usize;
+        if data.remaining() < e * 12 + 4 {
+            return Err(err("truncated entries"));
+        }
+        let mut entries = Vec::with_capacity(e);
+        let mut prev: Option<u32> = None;
+        for _ in 0..e {
+            let node = data.get_u32_le();
+            let p = data.get_f64_le();
+            if node as usize >= n || node as usize == v {
+                return Err(err("entry node out of range"));
+            }
+            if !(p.is_finite() && p > 0.0) {
+                return Err(err("invalid propagation value"));
+            }
+            if prev.is_some_and(|q| q >= node) {
+                return Err(err("entries not strictly sorted"));
+            }
+            prev = Some(node);
+            entries.push((NodeId(node), p));
+        }
+        let m = data.get_u32_le() as usize;
+        if data.remaining() < m * 4 {
+            return Err(err("truncated marks"));
+        }
+        let mut marked = Vec::with_capacity(m);
+        for _ in 0..m {
+            let node = NodeId(data.get_u32_le());
+            if entries.binary_search_by_key(&node, |&(x, _)| x).is_err() {
+                return Err(err("marked node is not an entry"));
+            }
+            marked.push(node);
+        }
+        tables.push(NodePropagation { entries, marked });
+    }
+    if data.has_remaining() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(PropagationIndex {
+        config: PropIndexConfig { theta, max_depth },
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::fixtures::{figure3_graph, user, FIGURE3_THETA};
+
+    fn sample() -> PropagationIndex {
+        PropagationIndex::build(&figure3_graph(), PropIndexConfig::with_theta(FIGURE3_THETA))
+    }
+
+    #[test]
+    fn roundtrip_preserves_tables() {
+        let idx = sample();
+        let restored = decode(&encode(&idx)).unwrap();
+        assert_eq!(restored.len(), idx.len());
+        assert!((restored.config().theta - idx.config().theta).abs() < 1e-15);
+        for v in 0..idx.len() {
+            let v = NodeId(v as u32);
+            assert_eq!(restored.gamma(v), idx.gamma(v), "table {v} differs");
+        }
+        // The Figure-3 facts survive the roundtrip.
+        let g8 = restored.gamma(user(8));
+        assert_eq!(g8.marked(), &[user(11)]);
+        assert!((g8.max_marked_prob() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let idx = sample();
+        let bytes = encode(&idx);
+        let mut b = bytes.to_vec();
+        b[0] = b'Z';
+        assert!(decode(&b).is_err());
+        assert!(decode(&bytes[..10]).is_err());
+        let mut b = bytes.to_vec();
+        b.push(7);
+        assert!(decode(&b).is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_entries() {
+        // Hand-craft a payload with two entries out of order.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"PITP");
+        buf.put_u8(1);
+        buf.put_f64_le(0.05);
+        buf.put_u32_le(6);
+        buf.put_u64_le(3); // 3 nodes
+                           // node 0: entries (2, 0.5), (1, 0.4) — unsorted
+        buf.put_u32_le(2);
+        buf.put_u32_le(2);
+        buf.put_f64_le(0.5);
+        buf.put_u32_le(1);
+        buf.put_f64_le(0.4);
+        buf.put_u32_le(0);
+        assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_marked_non_entry() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"PITP");
+        buf.put_u8(1);
+        buf.put_f64_le(0.05);
+        buf.put_u32_le(6);
+        buf.put_u64_le(2);
+        // node 0: one entry (1, 0.5), marked = [0] which is not an entry.
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        buf.put_f64_le(0.5);
+        buf.put_u32_le(1);
+        buf.put_u32_le(0);
+        assert!(decode(&buf).is_err());
+    }
+}

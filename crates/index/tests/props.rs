@@ -1,0 +1,148 @@
+//! Property-based tests for the personalized propagation index.
+
+use pit_graph::{GraphBuilder, NodeId};
+use pit_index::{PropIndexConfig, PropagationIndex};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (3usize..=14).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.1f64..0.95)
+            .prop_filter("no self-loops", |(a, b, _)| a != b);
+        proptest::collection::vec(edge, n..4 * n).prop_map(move |mut es| {
+            let mut seen = FxHashSet::default();
+            es.retain(|&(a, b, _)| seen.insert((a, b)));
+            (n, es)
+        })
+    })
+}
+
+fn build(
+    n: usize,
+    edges: &[(u32, u32, f64)],
+    theta: f64,
+) -> (pit_graph::CsrGraph, PropagationIndex) {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, p) in edges {
+        b.add_edge(NodeId(u), NodeId(v), p).unwrap();
+    }
+    let g = b.build().unwrap();
+    let idx = PropagationIndex::build(&g, PropIndexConfig::with_theta(theta));
+    (g, idx)
+}
+
+/// Exhaustive thresholded simple-path sum (reference implementation):
+/// aggregate of all simple paths `u ⇢ v` whose *every prefix* keeps the
+/// running product ≥ θ (the same pruning rule the index applies branch-wise),
+/// up to the default depth cap.
+fn reference_gamma(
+    g: &pit_graph::CsrGraph,
+    v: NodeId,
+    theta: f64,
+    max_depth: usize,
+) -> Vec<(NodeId, f64)> {
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        g: &pit_graph::CsrGraph,
+        cur: NodeId,
+        prob: f64,
+        depth: usize,
+        theta: f64,
+        max_depth: usize,
+        on_path: &mut [bool],
+        acc: &mut std::collections::BTreeMap<u32, f64>,
+    ) {
+        if depth >= max_depth {
+            return;
+        }
+        for (u, p) in g.in_edges(cur).iter() {
+            if on_path[u.index()] {
+                continue;
+            }
+            let pp = prob * p;
+            if pp < theta {
+                continue;
+            }
+            *acc.entry(u.0).or_insert(0.0) += pp;
+            on_path[u.index()] = true;
+            dfs(g, u, pp, depth + 1, theta, max_depth, on_path, acc);
+            on_path[u.index()] = false;
+        }
+    }
+    let mut on_path = vec![false; g.node_count()];
+    on_path[v.index()] = true;
+    let mut acc = std::collections::BTreeMap::new();
+    dfs(g, v, 1.0, 0, theta, max_depth, &mut on_path, &mut acc);
+    acc.into_iter().map(|(n, p)| (NodeId(n), p)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The index equals the reference thresholded path aggregation exactly.
+    #[test]
+    fn matches_reference((n, edges) in graph_strategy(), theta_pct in 1u32..20) {
+        let theta = theta_pct as f64 / 100.0;
+        let (g, idx) = build(n, &edges, theta);
+        for v in g.nodes() {
+            let expect = reference_gamma(&g, v, theta, 6);
+            let got: Vec<(NodeId, f64)> = idx.gamma(v).iter().collect();
+            prop_assert_eq!(got.len(), expect.len(), "Γ({}) size mismatch", v);
+            for ((gn, gp), (en, ep)) in got.iter().zip(expect.iter()) {
+                prop_assert_eq!(gn, en);
+                prop_assert!((gp - ep).abs() < 1e-9, "Γ({})[{}]: {} vs {}", v, gn, gp, ep);
+            }
+        }
+    }
+
+    /// Every indexed entry is at least θ (some path cleared the threshold)
+    /// and the source node never indexes itself.
+    #[test]
+    fn entries_cleared_threshold((n, edges) in graph_strategy(), theta_pct in 1u32..20) {
+        let theta = theta_pct as f64 / 100.0;
+        let (g, idx) = build(n, &edges, theta);
+        for v in g.nodes() {
+            prop_assert!(!idx.gamma(v).contains(v));
+            for (_, p) in idx.gamma(v).iter() {
+                prop_assert!(p >= theta - 1e-12, "entry below theta: {}", p);
+            }
+        }
+    }
+
+    /// Marked nodes are exactly the Γ(v) members with an in-neighbor outside
+    /// Γ(v) ∪ {v}.
+    #[test]
+    fn marking_criterion((n, edges) in graph_strategy()) {
+        let theta = 0.05;
+        let (g, idx) = build(n, &edges, theta);
+        for v in g.nodes() {
+            let gamma = idx.gamma(v);
+            let members: FxHashSet<NodeId> = gamma.nodes().collect();
+            for x in gamma.nodes() {
+                let expect = g
+                    .in_neighbors(x)
+                    .iter()
+                    .any(|&u| u != v && !members.contains(&u));
+                prop_assert_eq!(
+                    gamma.is_marked(x), expect,
+                    "marking mismatch at Γ({})[{}]", v, x
+                );
+            }
+        }
+    }
+
+    /// maxEP is the maximum entry value over the marked subset.
+    #[test]
+    fn max_marked_prob_is_max((n, edges) in graph_strategy()) {
+        let (g, idx) = build(n, &edges, 0.03);
+        for v in g.nodes() {
+            let gamma = idx.gamma(v);
+            let expect = gamma
+                .marked()
+                .iter()
+                .filter_map(|&m| gamma.get(m))
+                .fold(0.0f64, f64::max);
+            prop_assert!((gamma.max_marked_prob() - expect).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # pit-search-core
+//!
+//! The online stage of PIT-Search (Section 5.2): given a keyword query `q`
+//! issued by user `v`, return the top-k q-related topics ranked by the
+//! influence of their representative nodes on `v`.
+//!
+//! * [`TopicRepIndex`] — the offline *topic-to-representative-user index*:
+//!   one weighted [`pit_summarize::RepresentativeSet`] per topic, built with
+//!   either summarizer (RCL-A or LRW-A).
+//! * [`PersonalizedSearcher`] — Algorithm 10 (`PERSONALIZED_SEARCH`) with the
+//!   iterative EXPAND of Algorithm 11: probe the query user's materialized
+//!   `Γ(v)` table against each topic's representative set, maintain a score
+//!   heap, prune topics whose upper bound `W_r·maxEP + heap[t]` cannot enter
+//!   the current top-k, and expand through marked nodes only while undecided
+//!   topics remain.
+
+pub mod audience;
+pub mod repindex;
+pub mod searcher;
+pub mod snapshot;
+
+pub use audience::{find_audience, AudienceHit};
+pub use repindex::TopicRepIndex;
+pub use searcher::{PersonalizedSearcher, SearchConfig, SearchOutcome, TopicScore};

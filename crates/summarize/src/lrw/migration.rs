@@ -1,0 +1,188 @@
+//! Local influence migration via absorbing random walks (Algorithm 8).
+//!
+//! Every topic node's `1/|V_t|` of local influence is distributed over the
+//! representative nodes that *absorb* its sampled walks: scanning each stored
+//! walk, the first representative encountered is the absorbing state, and the
+//! closeness `1 / (D + 1)` (D = hop distance along the walk) is recorded in
+//! the association matrix `M`. A backward pass from each representative's own
+//! walks catches topic nodes whose forward walks missed nearby
+//! representatives. Rows of `M` are then normalized into a closeness
+//! distribution `M'`, and representative `j`'s weight is
+//! `Σ_i M'(i,j) · 1/|V_t|` — so one topic node can be represented by several
+//! representatives with different probabilities (fixing RCL-A's hard
+//! single-assignment limitation).
+
+use pit_graph::NodeId;
+use pit_walk::WalkIndex;
+use rustc_hash::FxHashMap;
+
+/// Migrate local influence of `topic_nodes` onto `reps` (both deduplicated;
+/// `reps` sorted). Returns one weight per representative, aligned to `reps`.
+///
+/// Weights are non-negative and sum to at most 1; the total equals
+/// `(covered topic nodes) / |V_t|` where a topic node is covered when at
+/// least one sampled walk connects it to a representative.
+pub fn migrate_influence(walks: &WalkIndex, topic_nodes: &[NodeId], reps: &[NodeId]) -> Vec<f64> {
+    let m = topic_nodes.len();
+    let k = reps.len();
+    if m == 0 || k == 0 {
+        return vec![0.0; k];
+    }
+
+    let rep_idx: FxHashMap<NodeId, u32> = reps
+        .iter()
+        .enumerate()
+        .map(|(j, &r)| (r, j as u32))
+        .collect();
+    let topic_idx: FxHashMap<NodeId, u32> = topic_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as u32))
+        .collect();
+
+    // Sparse rows: matrix[i] maps rep index -> closeness.
+    let mut matrix: Vec<FxHashMap<u32, f64>> = vec![FxHashMap::default(); m];
+
+    let record = |matrix: &mut Vec<FxHashMap<u32, f64>>, i: u32, j: u32, dist: usize| {
+        let closeness = 1.0 / (dist as f64 + 1.0);
+        let cell = matrix[i as usize].entry(j).or_insert(0.0);
+        if closeness > *cell {
+            *cell = closeness;
+        }
+    };
+
+    // Forward pass (Algorithm 8 lines 3–7): topic node walks, first rep
+    // absorbs. A topic node that is itself a representative absorbs at
+    // distance 0.
+    for (i, &v) in topic_nodes.iter().enumerate() {
+        if let Some(&j) = rep_idx.get(&v) {
+            record(&mut matrix, i as u32, j, 0);
+        }
+        for walk in walks.walks(v) {
+            for (d0, node) in walk.iter().enumerate() {
+                if let Some(&j) = rep_idx.get(node) {
+                    record(&mut matrix, i as u32, j, d0 + 1);
+                    break; // absorbing state: walk cannot leave
+                }
+            }
+        }
+    }
+
+    // Backward pass (lines 8–12): representative walks, first topic node
+    // absorbed.
+    for (j, &r) in reps.iter().enumerate() {
+        for walk in walks.walks(r) {
+            for (d0, node) in walk.iter().enumerate() {
+                if let Some(&i) = topic_idx.get(node) {
+                    record(&mut matrix, i, j as u32, d0 + 1);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Normalize rows (lines 13–18) and aggregate columns (lines 19–22).
+    let local = 1.0 / m as f64;
+    let mut weights = vec![0.0f64; k];
+    for row in &matrix {
+        let row_weight: f64 = row.values().sum();
+        if row_weight <= 0.0 {
+            continue; // topic node with no absorbing representative
+        }
+        for (&j, &val) in row {
+            weights[j as usize] += val / row_weight * local;
+        }
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::GraphBuilder;
+    use pit_walk::{WalkConfig, WalkIndex};
+
+    /// Deterministic path 0→1→2→3→4: walks are forced.
+    fn path_walks(n: usize, l: usize) -> WalkIndex {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..(n as u32 - 1) {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        WalkIndex::build(&b.build().unwrap(), WalkConfig::new(l, 4))
+    }
+
+    #[test]
+    fn nearest_rep_absorbs_with_higher_closeness() {
+        // Topic node 0; reps {1, 3}. Forward walk 0→1→… absorbs at 1 with
+        // D = 1 (closeness 0.5); rep 3 is never first, so row = {1: 0.5}.
+        let walks = path_walks(5, 4);
+        let w = migrate_influence(&walks, &[NodeId(0)], &[NodeId(1), NodeId(3)]);
+        assert!(
+            (w[0] - 1.0).abs() < 1e-12,
+            "all weight goes to rep 1: {w:?}"
+        );
+        assert_eq!(w[1], 0.0);
+    }
+
+    #[test]
+    fn backward_pass_catches_upstream_topics() {
+        // Topic node 2, rep 0. Forward walks of 2 go 2→3→4 and never meet 0;
+        // the backward walk of rep 0 (0→1→2→…) absorbs topic 2 at D = 2.
+        let walks = path_walks(5, 4);
+        let w = migrate_influence(&walks, &[NodeId(2)], &[NodeId(0)]);
+        assert!((w[0] - 1.0).abs() < 1e-12, "backward pass missed: {w:?}");
+    }
+
+    #[test]
+    fn topic_node_that_is_rep_self_absorbs() {
+        let walks = path_walks(5, 4);
+        // Node 1 is both topic and rep; rep 3 is downstream (D = 2 → 1/3).
+        // Self-closeness 1/(0+1) = 1 dominates the row after normalization:
+        // 1 / (1 + 1/3) = 0.75.
+        let w = migrate_influence(&walks, &[NodeId(1)], &[NodeId(1), NodeId(3)]);
+        assert!((w[0] - 0.75).abs() < 1e-9, "{w:?}");
+        assert!((w[1] - 0.25).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn weights_sum_to_covered_fraction() {
+        let walks = path_walks(6, 5);
+        // Topic {0, 5}: node 0 reaches rep 2; node 5 is a sink with empty
+        // walks and rep walks (2→3→4→5) absorb it. Both covered → total 1.
+        let w = migrate_influence(&walks, &[NodeId(0), NodeId(5)], &[NodeId(2)]);
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "{w:?}");
+    }
+
+    #[test]
+    fn uncovered_topic_contributes_nothing() {
+        // Two disconnected paths: 0→1 and 2→3. Topic {0, 2}, rep {1}.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        let walks = WalkIndex::build(&b.build().unwrap(), WalkConfig::new(3, 4));
+        let w = migrate_influence(&walks, &[NodeId(0), NodeId(2)], &[NodeId(1)]);
+        // Only topic 0 is covered: weight = 1/2.
+        assert!((w[0] - 0.5).abs() < 1e-12, "{w:?}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let walks = path_walks(3, 2);
+        assert!(migrate_influence(&walks, &[], &[NodeId(0)])
+            .iter()
+            .all(|&w| w == 0.0));
+        assert!(migrate_influence(&walks, &[NodeId(0)], &[]).is_empty());
+    }
+
+    #[test]
+    fn absorbing_stops_at_first_rep() {
+        // Path 0→1→2 with reps {1, 2}: topic 0's walk must credit only rep 1
+        // (the absorbing state), never rep 2 — plus rep 2's backward walk
+        // doesn't reach 0. Row = {rep1: 1/2} → all weight on rep 1.
+        let walks = path_walks(3, 2);
+        let w = migrate_influence(&walks, &[NodeId(0)], &[NodeId(1), NodeId(2)]);
+        assert!((w[0] - 1.0).abs() < 1e-12, "{w:?}");
+        assert_eq!(w[1], 0.0, "{w:?}");
+    }
+}

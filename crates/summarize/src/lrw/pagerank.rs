@@ -1,0 +1,259 @@
+//! Diversified, vertex-reinforced PageRank (Equation 5, Algorithm 7).
+//!
+//! The ranking runs exactly `L` iterations — the paper's argument is that a
+//! node's influence radius is `L` hops, so each node's score should only
+//! aggregate evidence within an L-length radius. At iteration `i` the random
+//! walk is *reinforced* by the time-variant visiting frequency `H[i][·]` from
+//! the sampled-walk index: transitions into frequently-visited nodes are
+//! up-weighted and the per-source normalizer `D_i(u) = Σ_w P0(u,w)·H[i][w]`
+//! keeps each row stochastic over the reinforced mass.
+//!
+//! Two notes on the paper's pseudo-code, both deliberate (DESIGN.md §6):
+//!
+//! * Algorithm 7 line 18 multiplies `PR[v].previous`, but Equation 5 (and
+//!   the vertex-reinforced-walk model it cites) propagate the *source* score
+//!   `P_T(u)`. We follow Equation 5 — using the destination's own score
+//!   would make the recurrence a pointwise fixed point with no propagation.
+//! * Algorithm 7 line 9 initializes every `PR[v].previous` to 1. Because the
+//!   ranking runs only `L` damped iterations, that leaves `≈ λ^L` of the
+//!   final mass *topic-independent* — the top-ranked nodes become the same
+//!   global hubs for every topic, defeating the stated goal of ranking by
+//!   "closeness to the topic nodes V_t" (Section 4.2). We initialize with
+//!   the topic prior `P*` instead (the standard personalized-PageRank /
+//!   DivRank choice), which roots all propagated mass at `V_t`.
+
+use pit_graph::{CsrGraph, NodeId};
+use pit_walk::WalkIndex;
+
+/// How `PR[·].previous` is initialized before the `L` iterations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PageRankInit {
+    /// Topic-rooted: `PR₀ = P*` (our default — see the module docs).
+    #[default]
+    TopicPrior,
+    /// The literal Algorithm 7 line 9: every score starts at 1. Kept for the
+    /// ablation benchmarks; leaves `≈ λ^L` of the final score
+    /// topic-independent.
+    AllOnes,
+}
+
+/// Scores after `L` iterations of Equation 5, with the default topic-rooted
+/// initialization.
+///
+/// * `lambda` — damping `λ` (weight of the reinforced-walk term vs. the
+///   topic-prior jump `P*`).
+/// * `topic_nodes` — `V_t`; the prior `P*(v)` is `1/|V_t|` on them, 0 off.
+pub fn diversified_pagerank(
+    g: &CsrGraph,
+    walks: &WalkIndex,
+    topic_nodes: &[NodeId],
+    lambda: f64,
+) -> Vec<f64> {
+    diversified_pagerank_with_init(g, walks, topic_nodes, lambda, PageRankInit::TopicPrior)
+}
+
+/// As [`diversified_pagerank`], with an explicit initialization policy.
+pub fn diversified_pagerank_with_init(
+    g: &CsrGraph,
+    walks: &WalkIndex,
+    topic_nodes: &[NodeId],
+    lambda: f64,
+    init: PageRankInit,
+) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+    assert!(!topic_nodes.is_empty(), "V_t must be non-empty");
+    let n = g.node_count();
+    let l = walks.l();
+
+    let mut pstar = vec![0.0f64; n];
+    let prior = 1.0 / topic_nodes.len() as f64;
+    for &v in topic_nodes {
+        pstar[v.index()] = prior;
+    }
+
+    // Topic-rooted initialization by default (see the module docs for why
+    // this replaces Algorithm 7's all-ones initialization).
+    let mut prev = match init {
+        PageRankInit::TopicPrior => pstar.clone(),
+        PageRankInit::AllOnes => vec![1.0f64; n],
+    };
+    let mut cur = vec![0.0f64; n];
+    let mut d = vec![0.0f64; n];
+
+    for i in 1..=l {
+        // D_i(u) = Σ_{(u,w) ∈ E} P0(u,w) · H[i][w], one pass over E.
+        for u in g.nodes() {
+            let mut acc = 0.0;
+            for (w, p0) in g.out_edges(u).iter() {
+                acc += p0 * walks.visit_freq(i, w);
+            }
+            d[u.index()] = acc;
+        }
+        // PR_{i}(v) = (1-λ)·P*(v) + λ · Σ_{u→v} P0(u,v)·H[i][v]/D_i(u) · PR_{i-1}(u).
+        for v in g.nodes() {
+            let hv = walks.visit_freq(i, v);
+            let mut pnt = 0.0;
+            if hv > 0.0 {
+                for (u, p0) in g.in_edges(v).iter() {
+                    let du = d[u.index()];
+                    if du > 0.0 {
+                        pnt += p0 * hv / du * prev[u.index()];
+                    }
+                }
+            }
+            cur[v.index()] = (1.0 - lambda) * pstar[v.index()] + lambda * pnt;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev
+}
+
+/// Select the top `count` nodes by score (Algorithm 7 lines 23–27), ties
+/// broken by node id for determinism. Returns node ids sorted by id.
+pub fn top_scored(scores: &[f64], count: usize) -> Vec<NodeId> {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    order.truncate(count);
+    let mut out: Vec<NodeId> = order.into_iter().map(NodeId).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::GraphBuilder;
+    use pit_walk::WalkConfig;
+
+    fn line_with_hub() -> (CsrGraph, WalkIndex) {
+        // Hub 0 exchanges edges with 1, 2, 3; periphery 4 hangs off 3.
+        // The cycles keep walks (and hence H[i][·]) alive for all L
+        // iterations — with pure sinks the reinforced term vanishes and
+        // every score collapses to the prior.
+        let mut b = GraphBuilder::new(5);
+        for x in 1..=3u32 {
+            b.add_edge(NodeId(x), NodeId(0), 0.8).unwrap();
+            b.add_edge(NodeId(0), NodeId(x), 0.3).unwrap();
+        }
+        b.add_edge(NodeId(3), NodeId(4), 0.2).unwrap();
+        b.add_edge(NodeId(4), NodeId(3), 0.2).unwrap();
+        let g = b.build().unwrap();
+        let walks = WalkIndex::build(&g, WalkConfig::new(3, 32).with_seed(5));
+        (g, walks)
+    }
+
+    #[test]
+    fn scores_are_finite_and_nonnegative() {
+        let (g, walks) = line_with_hub();
+        let scores = diversified_pagerank(&g, &walks, &[NodeId(1), NodeId(2), NodeId(3)], 0.85);
+        assert_eq!(scores.len(), 5);
+        for (i, &s) in scores.iter().enumerate() {
+            assert!(s.is_finite() && s >= 0.0, "score[{i}] = {s}");
+        }
+    }
+
+    #[test]
+    fn hub_of_topic_nodes_ranks_high() {
+        let (g, walks) = line_with_hub();
+        let topic = [NodeId(1), NodeId(2), NodeId(3)];
+        let scores = diversified_pagerank(&g, &walks, &topic, 0.85);
+        // Node 0 receives reinforced mass from all three topic nodes and must
+        // outrank the peripheral node 4.
+        assert!(
+            scores[0] > scores[4],
+            "hub {} vs periphery {}",
+            scores[0],
+            scores[4]
+        );
+    }
+
+    #[test]
+    fn lambda_zero_returns_prior() {
+        let (g, walks) = line_with_hub();
+        let topic = [NodeId(1), NodeId(2)];
+        let scores = diversified_pagerank(&g, &walks, &topic, 0.0);
+        assert!((scores[1] - 0.5).abs() < 1e-12);
+        assert!((scores[2] - 0.5).abs() < 1e-12);
+        assert_eq!(scores[0], 0.0);
+        assert_eq!(scores[4], 0.0);
+    }
+
+    #[test]
+    fn prior_pulls_topic_nodes_up() {
+        let (g, walks) = line_with_hub();
+        let with1 = diversified_pagerank(&g, &walks, &[NodeId(1)], 0.5);
+        let with2 = diversified_pagerank(&g, &walks, &[NodeId(2)], 0.5);
+        // Node 1's score is higher when it is the topic node than when 2 is.
+        assert!(with1[1] > with2[1]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, walks) = line_with_hub();
+        let a = diversified_pagerank(&g, &walks, &[NodeId(1)], 0.85);
+        let b = diversified_pagerank(&g, &walks, &[NodeId(1)], 0.85);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_scored_selects_and_sorts() {
+        let scores = vec![0.1, 0.9, 0.3, 0.9, 0.0];
+        // Ties between 1 and 3 break toward the smaller id first; top-3 is
+        // {1, 3, 2}, returned sorted by id.
+        assert_eq!(
+            top_scored(&scores, 3),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(top_scored(&scores, 0), Vec::<NodeId>::new());
+        assert_eq!(top_scored(&scores, 99).len(), 5);
+    }
+
+    #[test]
+    fn all_ones_init_is_less_topic_specific() {
+        // With the literal Algorithm-7 initialization, two different topics
+        // produce more similar score vectors than with topic-rooted init:
+        // the shared global-centrality component dominates.
+        let (g, walks) = line_with_hub();
+        let cosine = |a: &[f64], b: &[f64]| {
+            let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+            dot / (na * nb).max(1e-30)
+        };
+        let rooted_a = diversified_pagerank_with_init(
+            &g,
+            &walks,
+            &[NodeId(1)],
+            0.85,
+            PageRankInit::TopicPrior,
+        );
+        let rooted_b = diversified_pagerank_with_init(
+            &g,
+            &walks,
+            &[NodeId(4)],
+            0.85,
+            PageRankInit::TopicPrior,
+        );
+        let ones_a =
+            diversified_pagerank_with_init(&g, &walks, &[NodeId(1)], 0.85, PageRankInit::AllOnes);
+        let ones_b =
+            diversified_pagerank_with_init(&g, &walks, &[NodeId(4)], 0.85, PageRankInit::AllOnes);
+        assert!(
+            cosine(&ones_a, &ones_b) > cosine(&rooted_a, &rooted_b),
+            "all-ones init should blur topics: ones {} vs rooted {}",
+            cosine(&ones_a, &ones_b),
+            cosine(&rooted_a, &rooted_b)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_topic_rejected() {
+        let (g, walks) = line_with_hub();
+        let _ = diversified_pagerank(&g, &walks, &[], 0.85);
+    }
+}

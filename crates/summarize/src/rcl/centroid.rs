@@ -1,0 +1,326 @@
+//! Central-node selection for a topic-node group (Algorithm 4).
+//!
+//! Candidates are the nodes most frequently "voted" for by the group: a node
+//! `x` receives one vote per group member it can reach within `L` hops
+//! (looked up in the walk reachability index `I_L`). The best candidate is
+//! then chosen by closeness centrality (Definition 3), with distances
+//! computed by a truncated BFS — the paper bounds intra-group distance by
+//! `2L`, so the BFS stops there and unreachable members are charged `2L + 1`.
+
+use pit_graph::{CsrGraph, NodeId};
+use pit_walk::WalkIndex;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Candidate-set cap for the centrality evaluation. Vote ties can put every
+/// reach-set node in the candidate set (all votes = 1 for singleton groups);
+/// the paper's own optimization list (Section 3.2) reduces the candidate set
+/// before the centrality computation, which is the expensive step.
+const MAX_CANDIDATES: usize = 8;
+
+/// Node-visit budget of one truncated BFS. On heavy-tailed graphs a bounded-
+/// depth BFS through a hub can still touch a large fraction of the graph;
+/// members not found within the budget are charged the unreachable penalty,
+/// exactly as if they were beyond the depth bound.
+const MAX_BFS_VISITED: usize = 4_096;
+
+/// Select the central node for `group` (Algorithm 4). Falls back to the
+/// first group member when no node reaches any member in the samples.
+///
+/// # Panics
+/// Panics if `group` is empty.
+pub fn select_central(g: &CsrGraph, walks: &WalkIndex, group: &[NodeId]) -> NodeId {
+    assert!(
+        !group.is_empty(),
+        "cannot select a centroid for an empty group"
+    );
+    let l = walks.l();
+
+    // Lines 1–5: vote counting over the reach sets of the group members.
+    let mut votes: FxHashMap<NodeId, u32> = FxHashMap::default();
+    for &member in group {
+        for &x in walks.reach_set(member) {
+            *votes.entry(x).or_insert(0) += 1;
+        }
+    }
+    if votes.is_empty() {
+        return group[0];
+    }
+
+    // Lines 6–7: candidates are the nodes with the maximum vote count,
+    // capped (ties broken toward smaller ids) per the Section-3.2
+    // candidate-reduction optimization.
+    let max_votes = *votes.values().max().expect("non-empty votes");
+    let mut candidates: Vec<NodeId> = votes
+        .iter()
+        .filter(|&(_, &c)| c == max_votes)
+        .map(|(&n, _)| n)
+        .collect();
+    candidates.sort_unstable(); // deterministic tie-breaking
+    candidates.truncate(MAX_CANDIDATES);
+    // The group members themselves are always candidates: a member is at
+    // distance 0 from itself, so for tight groups it is the closeness-
+    // centrality optimum. (Vote counting alone can never propose members —
+    // the sampled reach sets exclude the walk's start node — which is what
+    // the paper's "probe the nearest neighbor nodes" refinement corrects.)
+    for &m in group.iter().take(MAX_CANDIDATES) {
+        if !candidates.contains(&m) {
+            candidates.push(m);
+        }
+    }
+
+    // Lines 8–14: evaluate closeness centrality per candidate, keep the best.
+    let mut best = group[0];
+    let mut best_c = f64::NEG_INFINITY;
+    for cand in candidates {
+        let c = closeness_centrality(g, cand, group, 2 * l);
+        if c > best_c {
+            best_c = c;
+            best = cand;
+        }
+    }
+    best
+}
+
+/// The paper's optional centroid refinement (Section 3.2, optimization 2):
+/// "the identified central node … can be further adjusted by probing the
+/// nearest neighbor nodes until the new centroid cannot be increased."
+/// Greedy hill-climbing over out- and in-neighbors on closeness centrality,
+/// bounded by `max_steps` moves.
+pub fn refine_by_hill_climb(
+    g: &CsrGraph,
+    walks: &WalkIndex,
+    start: NodeId,
+    group: &[NodeId],
+    max_steps: usize,
+) -> NodeId {
+    let max_depth = 2 * walks.l();
+    let mut current = start;
+    let mut current_c = closeness_centrality(g, current, group, max_depth);
+    for _ in 0..max_steps {
+        let mut best_neighbor = None;
+        let mut best_c = current_c;
+        for &n in g
+            .out_neighbors(current)
+            .iter()
+            .chain(g.in_neighbors(current).iter())
+        {
+            let c = closeness_centrality(g, n, group, max_depth);
+            if c > best_c {
+                best_c = c;
+                best_neighbor = Some(n);
+            }
+        }
+        match best_neighbor {
+            Some(n) => {
+                current = n;
+                current_c = best_c;
+            }
+            None => break, // local optimum: "cannot be increased"
+        }
+    }
+    current
+}
+
+/// Closeness centrality of `v` for the group (Definition 3):
+/// `|V_g| / Σ_j distance(v, v_j)`, distances truncated at `max_depth`
+/// (members beyond it are charged `max_depth + 1`). A candidate co-located
+/// with a member contributes distance 0; if the total distance is 0 the
+/// centrality is `+∞` (the perfect center of a singleton group).
+pub fn closeness_centrality(g: &CsrGraph, v: NodeId, group: &[NodeId], max_depth: usize) -> f64 {
+    let dist = bounded_bfs_distances(g, v, group, max_depth);
+    let total: usize = group
+        .iter()
+        .map(|m| dist.get(m).copied().unwrap_or(max_depth + 1))
+        .sum();
+    if total == 0 {
+        f64::INFINITY
+    } else {
+        group.len() as f64 / total as f64
+    }
+}
+
+/// Forward BFS from `source` over out-edges, stopping at `max_depth` or
+/// after a fixed node-visit budget, returning distances for the
+/// requested `targets` only (early exit once all are found).
+pub fn bounded_bfs_distances(
+    g: &CsrGraph,
+    source: NodeId,
+    targets: &[NodeId],
+    max_depth: usize,
+) -> FxHashMap<NodeId, usize> {
+    let mut wanted: FxHashMap<NodeId, bool> = targets.iter().map(|&t| (t, false)).collect();
+    let mut found: FxHashMap<NodeId, usize> = FxHashMap::default();
+    let mut remaining = wanted.len();
+
+    let mut dist: FxHashMap<NodeId, usize> = FxHashMap::default();
+    dist.insert(source, 0);
+    if let Some(flag) = wanted.get_mut(&source) {
+        if !*flag {
+            *flag = true;
+            found.insert(source, 0);
+            remaining -= 1;
+        }
+    }
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        if remaining == 0 || dist.len() >= MAX_BFS_VISITED {
+            break;
+        }
+        let du = dist[&u];
+        if du == max_depth {
+            continue;
+        }
+        for &w in g.out_neighbors(u) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(du + 1);
+                if let Some(flag) = wanted.get_mut(&w) {
+                    if !*flag {
+                        *flag = true;
+                        found.insert(w, du + 1);
+                        remaining -= 1;
+                    }
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::GraphBuilder;
+    use pit_walk::WalkConfig;
+
+    /// Star-in / star-out hub: hub 0 points to members 1..=4, feeders 5..=8
+    /// point at the members too (so feeders also get votes).
+    fn hub_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(9);
+        for m in 1..=4u32 {
+            b.add_edge(NodeId(0), NodeId(m), 0.5).unwrap();
+        }
+        for (f, m) in [(5u32, 1u32), (6, 2), (7, 3), (8, 4)] {
+            b.add_edge(NodeId(f), NodeId(m), 0.5).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hub_wins_centroid_vote() {
+        let g = hub_graph();
+        let walks = WalkIndex::build(&g, WalkConfig::new(2, 8));
+        let group: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let central = select_central(&g, &walks, &group);
+        // Node 0 reaches all four members (4 votes); each feeder reaches one.
+        assert_eq!(central, NodeId(0));
+    }
+
+    #[test]
+    fn singleton_group_centroid_is_the_member() {
+        let g = hub_graph();
+        let walks = WalkIndex::build(&g, WalkConfig::new(2, 8));
+        // The member itself is at distance 0 — infinite closeness
+        // centrality — so it beats every voted candidate.
+        let central = select_central(&g, &walks, &[NodeId(2)]);
+        assert_eq!(central, NodeId(2));
+    }
+
+    #[test]
+    fn fallback_when_nothing_reaches_group() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let walks = WalkIndex::build(&g, WalkConfig::new(2, 4));
+        assert_eq!(select_central(&g, &walks, &[NodeId(2)]), NodeId(2));
+    }
+
+    #[test]
+    fn bfs_distances_truncate() {
+        // Path 0→1→2→3→4.
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let d = bounded_bfs_distances(&g, NodeId(0), &[NodeId(2), NodeId(4)], 2);
+        assert_eq!(d.get(&NodeId(2)), Some(&2));
+        assert_eq!(d.get(&NodeId(4)), None, "depth 4 exceeds bound 2");
+    }
+
+    #[test]
+    fn closeness_centrality_values() {
+        // Path 0→1→2. Centrality of 0 for group {1,2}: 2 / (1+2) = 2/3.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        let g = b.build().unwrap();
+        let c = closeness_centrality(&g, NodeId(0), &[NodeId(1), NodeId(2)], 4);
+        assert!((c - 2.0 / 3.0).abs() < 1e-12);
+        // Unreachable member charged max_depth + 1 = 5.
+        let c = closeness_centrality(&g, NodeId(2), &[NodeId(0)], 4);
+        assert!((c - 1.0 / 5.0).abs() < 1e-12);
+        // Self-distance 0 → infinite centrality for its own singleton group.
+        assert!(closeness_centrality(&g, NodeId(1), &[NodeId(1)], 4).is_infinite());
+    }
+
+    #[test]
+    fn hill_climb_moves_toward_the_group() {
+        // Path 0→1→2→3→4 with group {3, 4}: starting at 0, each hop toward
+        // the group strictly improves closeness, so refinement should end at
+        // node 3 (distance 0 to 3, 1 to 4).
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let walks = WalkIndex::build(&g, WalkConfig::new(3, 4));
+        let refined = refine_by_hill_climb(&g, &walks, NodeId(0), &[NodeId(3), NodeId(4)], 10);
+        assert_eq!(refined, NodeId(3));
+    }
+
+    #[test]
+    fn hill_climb_respects_step_budget() {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let walks = WalkIndex::build(&g, WalkConfig::new(3, 4));
+        // One step only: from 0 it can reach at most node 1.
+        let refined = refine_by_hill_climb(&g, &walks, NodeId(0), &[NodeId(5)], 1);
+        assert_eq!(refined, NodeId(1));
+        // Zero steps: unchanged.
+        let refined = refine_by_hill_climb(&g, &walks, NodeId(0), &[NodeId(5)], 0);
+        assert_eq!(refined, NodeId(0));
+    }
+
+    #[test]
+    fn hill_climb_stops_at_local_optimum() {
+        // Star: center 0 → leaves 1..4; group = all leaves. Center is
+        // optimal; refinement from the center must stay put.
+        let mut b = GraphBuilder::new(5);
+        for m in 1..=4u32 {
+            b.add_edge(NodeId(0), NodeId(m), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let walks = WalkIndex::build(&g, WalkConfig::new(2, 4));
+        let group: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        assert_eq!(
+            refine_by_hill_climb(&g, &walks, NodeId(0), &group, 10),
+            NodeId(0)
+        );
+    }
+
+    #[test]
+    fn centrality_prefers_closer_candidates() {
+        // 0→2, 1→0→2 … candidate 0 is closer to {2} than candidate 1.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(1), NodeId(0), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        let g = b.build().unwrap();
+        let c0 = closeness_centrality(&g, NodeId(0), &[NodeId(2)], 4);
+        let c1 = closeness_centrality(&g, NodeId(1), &[NodeId(2)], 4);
+        assert!(c0 > c1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Grouping probabilities and the GPLabel matrix (Algorithm 1, lines 1–21).
+//!
+//! Two topic nodes are grouped when enough sampled probe nodes can reach both
+//! of them within `L` hops. The three grouping variants of Section 3.1:
+//!
+//! * `GP+(u,v)` — fraction of probes reaching **both** `u` and `v`;
+//! * `GP−(u,v)` — fraction reaching exactly one of them;
+//! * `GP*(u,v) = 1 − GP+ − GP−` — fraction reaching neither ("don't know").
+//!
+//! Rules (Section 3.1):
+//! 1. group if `GP+ ≥ GP−` and `GP+ ≥ GP*`;
+//! 2. split if `GP− ≥ GP+` and `GP− ≥ GP*`;
+//! 3. otherwise (when `GP* > GP+ ≥ GP−`) group with probability
+//!    `GP+ / (GP+ + GP*) = GP+ / (1 − GP−)` (Property 1 guarantees this
+//!    favors grouping whenever `GP+ ≥ GP−`);
+//! 4. hard clustering — enforced later by `NO_OVERLAP_GROUPING`.
+
+use pit_graph::{CsrGraph, NodeId};
+use pit_walk::WalkIndex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample the probe set `V' ⊆ V` with per-node probability proportional to
+/// degree (Section 6.1: "each node is sampled with a probability proportional
+/// to the degree of the node"). Expected size ≈ `rate · |V|`. Sorted output.
+pub fn sample_probe_set(g: &CsrGraph, rate: f64, seed: u64) -> Vec<NodeId> {
+    assert!((0.0..=1.0).contains(&rate), "sample rate must be in [0,1]");
+    let n = g.node_count();
+    let total_degree: usize = g.nodes().map(|u| g.out_degree(u) + g.in_degree(u)).sum();
+    if total_degree == 0 || rate == 0.0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let scale = rate * n as f64 / total_degree as f64;
+    let mut probe = Vec::with_capacity((rate * n as f64) as usize + 1);
+    for u in g.nodes() {
+        let d = (g.out_degree(u) + g.in_degree(u)) as f64;
+        let p = (d * scale).min(1.0);
+        if rng.gen::<f64>() < p {
+            probe.push(u);
+        }
+    }
+    probe
+}
+
+/// For each node in `nodes`, the sorted intersection of its reach set
+/// `I_L[node]` (walk origins reaching it within `L` hops) with `probe`
+/// (which must be sorted).
+pub fn probe_reach(walks: &WalkIndex, probe: &[NodeId], nodes: &[NodeId]) -> Vec<Vec<NodeId>> {
+    debug_assert!(
+        probe.windows(2).all(|w| w[0] < w[1]),
+        "probe must be sorted"
+    );
+    nodes
+        .iter()
+        .map(|&v| {
+            let reach = walks.reach_set(v);
+            intersect_sorted(reach, probe)
+        })
+        .collect()
+}
+
+/// `(GP+, GP−)` for two probe-restricted reach sets (both sorted).
+/// `GP* = 1 − GP+ − GP−`.
+pub fn grouping_probs(ru: &[NodeId], rv: &[NodeId], probe_size: usize) -> (f64, f64) {
+    if probe_size == 0 {
+        return (0.0, 0.0);
+    }
+    let common = count_intersection(ru, rv);
+    let only_u = ru.len() - common;
+    let only_v = rv.len() - common;
+    let denom = probe_size as f64;
+    (common as f64 / denom, (only_u + only_v) as f64 / denom)
+}
+
+/// Symmetric boolean matrix: `labels[u][v] == true` means the pair is grouped.
+#[derive(Clone, Debug)]
+pub struct GpLabels {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl GpLabels {
+    /// All-false matrix over `n` topic nodes.
+    pub fn new(n: usize) -> Self {
+        GpLabels {
+            n,
+            bits: vec![false; n * n],
+        }
+    }
+
+    /// Number of topic nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether topic-node indices `i` and `j` are grouped. `(i, i)` is true
+    /// by convention.
+    #[inline]
+    pub fn grouped(&self, i: usize, j: usize) -> bool {
+        i == j || self.bits[i * self.n + j]
+    }
+
+    pub(crate) fn set(&mut self, i: usize, j: usize) {
+        self.bits[i * self.n + j] = true;
+        self.bits[j * self.n + i] = true;
+    }
+}
+
+/// Compute the GPLabel matrix over the topic nodes whose probe-restricted
+/// reach sets are given (Algorithm 1 lines 5–21).
+pub fn compute_labels(reaches: &[Vec<NodeId>], probe_size: usize, seed: u64) -> GpLabels {
+    let n = reaches.len();
+    let mut labels = GpLabels::new(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (gp, gm) = grouping_probs(&reaches[i], &reaches[j], probe_size);
+            if apply_rules(gp, gm, &mut rng) {
+                labels.set(i, j);
+            }
+        }
+    }
+    labels
+}
+
+/// Rules 1–3 on a single pair. Returns whether the pair is grouped.
+pub(crate) fn apply_rules(gp: f64, gm: f64, rng: &mut SmallRng) -> bool {
+    let gstar = (1.0 - gp - gm).max(0.0);
+    if gp >= gm && gp >= gstar {
+        true // Rule 1
+    } else if gm >= gp && gm >= gstar {
+        false // Rule 2
+    } else if gp >= gm {
+        // Rule 3: GP* dominates; group probabilistically.
+        let pr = if 1.0 - gm > 0.0 { gp / (1.0 - gm) } else { 0.0 };
+        rng.gen::<f64>() <= pr
+    } else {
+        false
+    }
+}
+
+/// Sorted-slice intersection (allocating).
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Sorted-slice intersection size (non-allocating).
+fn count_intersection(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::GraphBuilder;
+    use pit_walk::WalkConfig;
+
+    #[test]
+    fn grouping_probs_basic() {
+        let ru = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let rv = vec![NodeId(1), NodeId(2), NodeId(3)];
+        let (gp, gm) = grouping_probs(&ru, &rv, 10);
+        assert!((gp - 0.2).abs() < 1e-12); // {1,2} common
+        assert!((gm - 0.2).abs() < 1e-12); // {0} and {3}
+    }
+
+    #[test]
+    fn grouping_probs_empty_probe() {
+        assert_eq!(grouping_probs(&[], &[], 0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn rule1_groups_clear_in() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // GP+ = 0.6, GP- = 0.1, GP* = 0.3 → rule 1.
+        assert!(apply_rules(0.6, 0.1, &mut rng));
+    }
+
+    #[test]
+    fn rule2_splits_clear_out() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // GP- dominates.
+        assert!(!apply_rules(0.1, 0.6, &mut rng));
+    }
+
+    #[test]
+    fn rule3_is_probabilistic() {
+        // GP+ = 0.2, GP- = 0.1, GP* = 0.7 → rule 3 with Pr = 0.2/0.9 ≈ 0.22.
+        let mut yes = 0;
+        for seed in 0..2000 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            if apply_rules(0.2, 0.1, &mut rng) {
+                yes += 1;
+            }
+        }
+        let frac = yes as f64 / 2000.0;
+        assert!(
+            (frac - 0.2 / 0.9).abs() < 0.05,
+            "rule-3 acceptance {frac} far from expected {}",
+            0.2 / 0.9
+        );
+    }
+
+    #[test]
+    fn property1_grouping_beats_splitting_probability() {
+        // Property 1: if GP+ ≥ GP−, then GP+/(GP+ + GP*) ≥ GP−/(GP− + GP*).
+        for &(gp, gm) in &[(0.2f64, 0.1f64), (0.3, 0.3), (0.05, 0.0), (0.4, 0.2)] {
+            let gs = 1.0 - gp - gm;
+            if gp >= gm && gs > 0.0 {
+                assert!(
+                    gp / (gp + gs) >= gm / (gm + gs) - 1e-12,
+                    "property 1 violated at ({gp}, {gm})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_sampling_scales_with_rate() {
+        let mut b = GraphBuilder::new(500);
+        for i in 0..499u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let small = sample_probe_set(&g, 0.05, 42).len();
+        let large = sample_probe_set(&g, 0.5, 42).len();
+        assert!(large > small);
+        // Expected sizes ~25 and ~250.
+        assert!((5..=70).contains(&small), "small probe = {small}");
+        assert!((150..=400).contains(&large), "large probe = {large}");
+    }
+
+    #[test]
+    fn probe_sampling_prefers_high_degree() {
+        // Star: node 0 has degree 200, leaves degree 1. Over many seeds node 0
+        // must be sampled far more often than any single leaf.
+        let mut b = GraphBuilder::new(201);
+        for i in 1..=200u32 {
+            b.add_edge(NodeId(i), NodeId(0), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut hub = 0;
+        let mut leaf = 0;
+        for seed in 0..200 {
+            let probe = sample_probe_set(&g, 0.05, seed);
+            if probe.contains(&NodeId(0)) {
+                hub += 1;
+            }
+            if probe.contains(&NodeId(7)) {
+                leaf += 1;
+            }
+        }
+        assert!(hub > 150, "hub sampled only {hub}/200");
+        assert!(leaf < hub / 2, "leaf sampled {leaf} vs hub {hub}");
+    }
+
+    #[test]
+    fn probe_reach_intersects_with_probe() {
+        // Path 0→1→2→3; probe = {0, 2}; reach(3) within L=3 = {0,1,2};
+        // restricted = {0, 2}.
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let walks = WalkIndex::build(&g, WalkConfig::new(3, 2));
+        let probe = vec![NodeId(0), NodeId(2)];
+        let reaches = probe_reach(&walks, &probe, &[NodeId(3)]);
+        assert_eq!(reaches[0], vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn labels_symmetric_and_reflexive() {
+        let reaches = vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(5)],
+        ];
+        let labels = compute_labels(&reaches, 4, 9);
+        assert!(labels.grouped(0, 0));
+        assert_eq!(labels.grouped(0, 1), labels.grouped(1, 0));
+        // Nodes 0 and 1 share their whole probe reach: GP+ = 0.5, GP- = 0,
+        // GP* = 0.5 → rule 1 groups them.
+        assert!(labels.grouped(0, 1));
+        // Node 2 shares nothing with 0: GP+ = 0, GP- = 0.75 ≥ GP* → split.
+        assert!(!labels.grouped(0, 2));
+    }
+}

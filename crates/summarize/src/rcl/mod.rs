@@ -1,0 +1,286 @@
+//! **RCL-A** — approximate random clustering (Section 3, Algorithm 5).
+//!
+//! Offline pipeline per topic:
+//! 1. cluster the topic nodes `V_t` by common probe reachability
+//!    ([`grouping`], [`setree`] — Algorithms 1–3);
+//! 2. select one central node per cluster by vote + closeness centrality
+//!    ([`centroid`] — Algorithm 4);
+//! 3. weight each central node by the fraction of topic nodes its cluster
+//!    holds (Algorithm 5 line 5).
+//!
+//! The limitations the paper lists in Section 3.3 (influence skew between
+//! large and small clusters, hard single-assignment, cost of centroid
+//! computation) are exactly what LRW-A addresses; keeping RCL-A faithful —
+//! including its cost profile — is required to reproduce Figures 15 and 16.
+
+pub mod centroid;
+pub mod grouping;
+pub mod setree;
+
+use crate::repset::RepresentativeSet;
+use crate::{SummarizeContext, Summarizer};
+use pit_graph::{NodeId, TopicId};
+use setree::SeTree;
+
+/// RCL-A parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RclConfig {
+    /// Target number of clusters `C_Size` (Algorithm 1 input). The group-size
+    /// cap of Algorithm 3 is `⌈|V_t| / c_size⌉`.
+    pub c_size: usize,
+    /// Probe sample rate `|V'| / |V|` (the paper evaluates 1 %, 5 %, 10 %).
+    pub sample_rate: f64,
+    /// Budget on set-enumeration tree nodes (practical cap; see
+    /// [`setree::SeTree::build`]).
+    pub max_tree_nodes: usize,
+    /// Refine each selected centroid by greedy hill-climbing on closeness
+    /// centrality over its graph neighbors — the paper's optional
+    /// optimization (2) in Section 3.2. Off by default (the literal
+    /// Algorithm 4); the `centroid-refine` ablation measures its effect.
+    pub refine_centroids: bool,
+    /// Cap on the number of topic nodes entering the O(|V_t|²) pairwise
+    /// grouping. Head topics on large graphs can have tens of thousands of
+    /// topic nodes; when `|V_t|` exceeds this cap a uniform sample of `V_t`
+    /// is clustered instead and cluster weights are normalized over the
+    /// sample — one more sampling layer on an already "approximate random
+    /// clustering" (the cost limitation is one the paper itself lists in
+    /// Section 3.3). Documented in DESIGN.md §6.
+    pub max_cluster_input: usize,
+    /// Seed for probe sampling and Rule-3 randomization.
+    pub seed: u64,
+}
+
+impl Default for RclConfig {
+    fn default() -> Self {
+        RclConfig {
+            c_size: 16,
+            sample_rate: 0.05,
+            max_tree_nodes: 100_000,
+            refine_centroids: false,
+            max_cluster_input: 256,
+            seed: 0x0C1A_55ED,
+        }
+    }
+}
+
+/// The RCL-A summarizer (Algorithm 5, offline part).
+#[derive(Clone, Debug)]
+pub struct RclSummarizer {
+    config: RclConfig,
+}
+
+impl RclSummarizer {
+    /// Create a summarizer with the given configuration.
+    pub fn new(config: RclConfig) -> Self {
+        assert!(config.c_size >= 1, "need at least one cluster");
+        assert!(
+            (0.0..=1.0).contains(&config.sample_rate),
+            "sample rate must be in [0,1]"
+        );
+        RclSummarizer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RclConfig {
+        &self.config
+    }
+
+    /// Cluster the topic nodes of `topic` (Algorithms 1–3) and return the
+    /// clusters as node groups. Exposed for the clustering-quality tests and
+    /// the ablation benchmarks.
+    pub fn cluster_topic_nodes(
+        &self,
+        ctx: &SummarizeContext<'_>,
+        topic: TopicId,
+    ) -> Vec<Vec<NodeId>> {
+        let full_vt = ctx.space.topic_nodes(topic);
+        if full_vt.is_empty() {
+            return Vec::new();
+        }
+        // Cap the pairwise-clustering input (see `RclConfig::max_cluster_input`).
+        let sampled: Vec<pit_graph::NodeId>;
+        let vt: &[pit_graph::NodeId] = if full_vt.len() > self.config.max_cluster_input {
+            let stride = full_vt.len() as f64 / self.config.max_cluster_input as f64;
+            sampled = (0..self.config.max_cluster_input)
+                .map(|i| full_vt[(i as f64 * stride) as usize])
+                .collect();
+            &sampled
+        } else {
+            full_vt
+        };
+        let probe =
+            grouping::sample_probe_set(ctx.graph, self.config.sample_rate, self.config.seed);
+        let reaches = grouping::probe_reach(ctx.walks, &probe, vt);
+        let labels = grouping::compute_labels(&reaches, probe.len(), self.config.seed ^ 0xA5A5);
+        let max_group = vt.len().div_ceil(self.config.c_size);
+        let tree = SeTree::build(&labels, max_group, self.config.max_tree_nodes);
+        tree.no_overlap_grouping(max_group)
+            .into_iter()
+            .map(|idxs| idxs.into_iter().map(|i| vt[i as usize]).collect())
+            .collect()
+    }
+}
+
+impl Summarizer for RclSummarizer {
+    fn summarize(&self, ctx: &SummarizeContext<'_>, topic: TopicId) -> RepresentativeSet {
+        let vt = ctx.space.topic_nodes(topic);
+        if vt.is_empty() {
+            return RepresentativeSet::new(topic, Vec::new());
+        }
+        let groups = self.cluster_topic_nodes(ctx, topic);
+        // Normalize over the clustered node count (= |V_t| unless the
+        // pairwise cap sampled it down), keeping weights summing to 1.
+        let m = groups.iter().map(Vec::len).sum::<usize>().max(1) as f64;
+        let pairs = groups
+            .iter()
+            .map(|group| {
+                let mut central = centroid::select_central(ctx.graph, ctx.walks, group);
+                if self.config.refine_centroids {
+                    central =
+                        centroid::refine_by_hill_climb(ctx.graph, ctx.walks, central, group, 4);
+                }
+                (central, group.len() as f64 / m)
+            })
+            .collect();
+        RepresentativeSet::new(topic, pairs)
+    }
+
+    fn name(&self) -> &'static str {
+        "RCL-A"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::{fixtures, GraphBuilder};
+    use pit_topics::TopicSpaceBuilder;
+    use pit_walk::{WalkConfig, WalkIndex};
+
+    fn fig1_context() -> (pit_graph::CsrGraph, pit_topics::TopicSpace, WalkIndex) {
+        let g = fixtures::figure1_graph();
+        let mut b = TopicSpaceBuilder::new(g.node_count(), 1);
+        let topics = fixtures::figure1_topics();
+        for nodes in &topics {
+            let t = b.add_topic(vec![pit_graph::TermId(0)]);
+            for &n in nodes {
+                b.assign(n, t);
+            }
+        }
+        let space = b.build();
+        let walks = WalkIndex::build(&g, WalkConfig::new(4, 16).with_seed(77));
+        (g, space, walks)
+    }
+
+    #[test]
+    fn clusters_partition_topic_nodes() {
+        let (g, space, walks) = fig1_context();
+        let ctx = SummarizeContext {
+            graph: &g,
+            space: &space,
+            walks: &walks,
+        };
+        let rcl = RclSummarizer::new(RclConfig {
+            c_size: 2,
+            sample_rate: 1.0,
+            ..RclConfig::default()
+        });
+        for t in space.topics() {
+            let groups = rcl.cluster_topic_nodes(&ctx, t);
+            let mut all: Vec<NodeId> = groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let mut expected = space.topic_nodes(t).to_vec();
+            expected.sort_unstable();
+            assert_eq!(all, expected, "topic {t} clusters must partition V_t");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let (g, space, walks) = fig1_context();
+        let ctx = SummarizeContext {
+            graph: &g,
+            space: &space,
+            walks: &walks,
+        };
+        let rcl = RclSummarizer::new(RclConfig {
+            c_size: 2,
+            sample_rate: 1.0,
+            ..RclConfig::default()
+        });
+        for t in space.topics() {
+            let reps = rcl.summarize(&ctx, t);
+            assert!(
+                (reps.total_weight() - 1.0).abs() < 1e-9,
+                "topic {t}: weights sum to {}",
+                reps.total_weight()
+            );
+            assert!(!reps.is_empty());
+        }
+    }
+
+    #[test]
+    fn rep_count_tracks_c_size() {
+        // A long path with one topic spread along it: more clusters requested
+        // → at least as many representatives (clusters can only split).
+        let n = 60;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..(n as u32 - 1) {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.9).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut tb = TopicSpaceBuilder::new(n, 1);
+        let t = tb.add_topic(vec![pit_graph::TermId(0)]);
+        for i in (0..n as u32).step_by(3) {
+            tb.assign(NodeId(i), t);
+        }
+        let space = tb.build();
+        let walks = WalkIndex::build(&g, WalkConfig::new(4, 8));
+        let ctx = SummarizeContext {
+            graph: &g,
+            space: &space,
+            walks: &walks,
+        };
+        let few = RclSummarizer::new(RclConfig {
+            c_size: 2,
+            sample_rate: 1.0,
+            ..RclConfig::default()
+        })
+        .cluster_topic_nodes(&ctx, t)
+        .len();
+        let many = RclSummarizer::new(RclConfig {
+            c_size: 10,
+            sample_rate: 1.0,
+            ..RclConfig::default()
+        })
+        .cluster_topic_nodes(&ctx, t)
+        .len();
+        assert!(many >= few, "c_size 10 gave {many} < c_size 2's {few}");
+        assert!(many >= 7, "expected ≥ 7 clusters for c_size 10, got {many}");
+    }
+
+    #[test]
+    fn empty_topic_is_empty_summary() {
+        let g = fixtures::figure1_graph();
+        let mut b = TopicSpaceBuilder::new(g.node_count(), 1);
+        let t = b.add_topic(vec![pit_graph::TermId(0)]);
+        let space = b.build();
+        let walks = WalkIndex::build(&g, WalkConfig::new(3, 4));
+        let ctx = SummarizeContext {
+            graph: &g,
+            space: &space,
+            walks: &walks,
+        };
+        let rcl = RclSummarizer::new(RclConfig::default());
+        assert!(rcl.summarize(&ctx, t).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_clusters_rejected() {
+        let _ = RclSummarizer::new(RclConfig {
+            c_size: 0,
+            ..RclConfig::default()
+        });
+    }
+}

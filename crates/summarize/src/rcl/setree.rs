@@ -1,0 +1,264 @@
+//! Set-enumeration tree (Algorithm 2) and no-overlap grouping (Algorithm 3).
+//!
+//! The SE-tree enumerates candidate topic-node groups in best-first order:
+//! the root holds the empty set, its children are singletons in index order,
+//! and a node `S` (with maximum element `i`) is extended with `j > i` when
+//! `j` is pairwise grouped (GPLabel) with every member of `S` — the
+//! `CHECK_GROUPING` of the paper, which merges a tree node with a right
+//! sibling differing in exactly one element.
+//!
+//! Exhaustive enumeration is exponential on dense label matrices, so the tree
+//! honors two practical caps, both configurable through
+//! [`crate::rcl::RclConfig`]: a maximum group size (Algorithm 3 computes
+//! `⌈|V_t| / C_Size⌉` anyway and discards larger sets) and a total node
+//! budget. Capping only trims the candidate pool; `no_overlap_grouping`
+//! still always produces a full partition because every singleton is present.
+
+use super::grouping::GpLabels;
+
+/// A set-enumeration tree over topic-node indices `0..n`.
+#[derive(Clone, Debug)]
+pub struct SeTree {
+    /// `sets[k]` = sorted member indices of tree node `k`. Node 0 is the
+    /// (empty) root.
+    sets: Vec<Vec<u32>>,
+    /// Children indices per tree node, in creation (left-to-right) order.
+    children: Vec<Vec<u32>>,
+}
+
+impl SeTree {
+    /// Build the tree (Algorithm 2) with caps.
+    ///
+    /// `max_group` bounds the member count of any tree node; `max_nodes`
+    /// bounds the total number of tree nodes.
+    pub fn build(labels: &GpLabels, max_group: usize, max_nodes: usize) -> Self {
+        let n = labels.len();
+        let mut tree = SeTree {
+            sets: vec![Vec::new()],
+            children: vec![Vec::new()],
+        };
+        // Root's children: every singleton, in index order.
+        for i in 0..n {
+            tree.push_child(0, vec![i as u32]);
+        }
+        // FIFO expansion: a node set S with max element i is extended by each
+        // j > i grouped with all of S.
+        let mut cursor = 1; // skip root
+        while cursor < tree.sets.len() && tree.sets.len() < max_nodes {
+            let set = tree.sets[cursor].clone();
+            if set.len() < max_group {
+                let max_elem = *set.last().expect("non-root sets are non-empty") as usize;
+                for j in (max_elem + 1)..n {
+                    if tree.sets.len() >= max_nodes {
+                        break;
+                    }
+                    if set.iter().all(|&s| labels.grouped(s as usize, j)) {
+                        let mut merged = set.clone();
+                        merged.push(j as u32);
+                        tree.push_child(cursor, merged);
+                    }
+                }
+            }
+            cursor += 1;
+        }
+        tree
+    }
+
+    fn push_child(&mut self, parent: usize, members: Vec<u32>) {
+        let id = self.sets.len() as u32;
+        self.sets.push(members);
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
+    }
+
+    /// Total tree nodes including the root.
+    pub fn node_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The member set of tree node `k`.
+    pub fn set(&self, k: usize) -> &[u32] {
+        &self.sets[k]
+    }
+
+    /// No-overlap grouping (Algorithm 3): repeatedly take the left-most
+    /// deepest surviving set of size ≤ `max_group` as a group, then remove
+    /// its members everywhere. Returns a partition of `0..n`.
+    pub fn no_overlap_grouping(&self, max_group: usize) -> Vec<Vec<u32>> {
+        let n_tree = self.sets.len();
+        // Working copies we can shrink.
+        let mut live: Vec<Option<Vec<u32>>> = self.sets.iter().cloned().map(Some).collect();
+        live[0] = None; // root never selected
+        let mut used = vec![false; self.universe_size()];
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+
+        // Left-most deepest first: DFS following first live child.
+        while let Some(leaf) = self.leftmost_deepest_live(&live) {
+            let set = live[leaf].take().expect("leaf chosen live");
+            if set.len() > max_group || set.is_empty() {
+                continue; // Algorithm 3: discard over-sized / emptied sets.
+            }
+            for &v in &set {
+                used[v as usize] = true;
+            }
+            // Remove members from every other surviving set.
+            for slot in live.iter_mut().take(n_tree).skip(1) {
+                if let Some(s) = slot {
+                    s.retain(|&v| !used[v as usize]);
+                    if s.is_empty() {
+                        *slot = None;
+                    }
+                }
+            }
+            groups.push(set);
+        }
+
+        // Safety net: any index never covered becomes its own group. (Cannot
+        // happen when every singleton is in the tree, but the caps make this
+        // worth guaranteeing.)
+        for (v, &u) in used.iter().enumerate() {
+            if !u {
+                groups.push(vec![v as u32]);
+            }
+        }
+        groups
+    }
+
+    fn universe_size(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|&v| v as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Deepest node on the left-most live spine; prefers deeper (larger)
+    /// sets, which is what lets Algorithm 3 emit multi-node groups before
+    /// falling back to singletons.
+    fn leftmost_deepest_live(&self, live: &[Option<Vec<u32>>]) -> Option<usize> {
+        // Find first live child of root, then descend first live children.
+        let mut current: Option<usize> = None;
+        for &c in &self.children[0] {
+            if live[c as usize].is_some() {
+                current = Some(c as usize);
+                break;
+            }
+        }
+        let mut cur = current?;
+        loop {
+            let mut descended = false;
+            for &c in &self.children[cur] {
+                if live[c as usize].is_some() {
+                    cur = c as usize;
+                    descended = true;
+                    break;
+                }
+            }
+            if !descended {
+                return Some(cur);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+impl GpLabels {
+    /// Test-only setter mirroring the private `set`.
+    pub(crate) fn set_for_test(&mut self, i: usize, j: usize) {
+        // Reuse the internal representation through compute path: we are in
+        // the same crate, so reach into the private field via a helper.
+        self.set(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rcl::grouping::GpLabels;
+
+    /// Labels where the given pairs (and only those) are grouped.
+    fn labels_with(n: usize, pairs: &[(usize, usize)]) -> GpLabels {
+        // GpLabels has no public setter; rebuild through compute-free path.
+        let mut l = GpLabels::new(n);
+        for &(i, j) in pairs {
+            l.set_for_test(i, j);
+        }
+        l
+    }
+
+    #[test]
+    fn tree_enumerates_cliques() {
+        // 0-1-2 fully grouped, 3 isolated.
+        let labels = labels_with(4, &[(0, 1), (0, 2), (1, 2)]);
+        let tree = SeTree::build(&labels, 4, 1000);
+        let sets: Vec<&[u32]> = (0..tree.node_count()).map(|k| tree.set(k)).collect();
+        assert!(sets.contains(&&[0u32, 1, 2][..]));
+        assert!(sets.contains(&&[0u32, 1][..]));
+        assert!(sets.contains(&&[3u32][..]));
+        // {0,3} must not exist.
+        assert!(!sets.contains(&&[0u32, 3][..]));
+    }
+
+    #[test]
+    fn tree_respects_group_cap() {
+        let labels = labels_with(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
+        let tree = SeTree::build(&labels, 2, 1000);
+        for k in 0..tree.node_count() {
+            assert!(tree.set(k).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn tree_respects_node_budget() {
+        let n = 12;
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let labels = labels_with(n, &pairs);
+        let tree = SeTree::build(&labels, n, 40);
+        assert!(tree.node_count() <= 40);
+    }
+
+    #[test]
+    fn no_overlap_is_a_partition() {
+        let labels = labels_with(5, &[(0, 1), (0, 2), (1, 2), (3, 4)]);
+        let tree = SeTree::build(&labels, 3, 1000);
+        let groups = tree.no_overlap_grouping(3);
+        let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4], "groups must partition the nodes");
+        // The clique should surface as one group.
+        assert!(groups.iter().any(|g| g == &vec![0, 1, 2]));
+        assert!(groups.iter().any(|g| g == &vec![3, 4]));
+    }
+
+    #[test]
+    fn oversized_sets_are_discarded_not_grouped() {
+        // Full clique of 4 but max_group 2 at grouping time: partition into
+        // pairs/singletons, never a 3+-set.
+        let labels = labels_with(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
+        let tree = SeTree::build(&labels, 4, 1000);
+        let groups = tree.no_overlap_grouping(2);
+        assert!(groups.iter().all(|g| g.len() <= 2));
+        let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn isolated_nodes_become_singletons() {
+        let labels = labels_with(3, &[]);
+        let tree = SeTree::build(&labels, 3, 1000);
+        let groups = tree.no_overlap_grouping(3);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn empty_universe() {
+        let labels = labels_with(0, &[]);
+        let tree = SeTree::build(&labels, 3, 100);
+        assert!(tree.no_overlap_grouping(3).is_empty());
+    }
+}

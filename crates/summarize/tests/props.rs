@@ -1,0 +1,175 @@
+//! Property-based tests for the summarization crate.
+
+use pit_graph::{GraphBuilder, NodeId, TermId, TopicId};
+use pit_summarize::rcl::grouping;
+use pit_summarize::{
+    LrwConfig, LrwSummarizer, RclConfig, RclSummarizer, RepresentativeSet, SummarizeContext,
+    Summarizer,
+};
+use pit_topics::TopicSpaceBuilder;
+use pit_walk::{WalkConfig, WalkIndex};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    topic_nodes: Vec<u32>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (5usize..=20).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(a, b)| a != b);
+        let edges = proptest::collection::vec(edge, n..4 * n).prop_map(move |mut es| {
+            let mut seen = FxHashSet::default();
+            es.retain(|&(a, b)| seen.insert((a, b)));
+            es
+        });
+        let topic = proptest::collection::vec(0..n as u32, 1..=6).prop_map(|mut t| {
+            t.sort_unstable();
+            t.dedup();
+            t
+        });
+        (edges, topic).prop_map(move |(edges, topic_nodes)| Instance {
+            n,
+            edges,
+            topic_nodes,
+        })
+    })
+}
+
+struct Built {
+    graph: pit_graph::CsrGraph,
+    space: pit_topics::TopicSpace,
+    walks: WalkIndex,
+}
+
+fn build(inst: &Instance) -> Built {
+    let mut b = GraphBuilder::new(inst.n);
+    for &(u, v) in &inst.edges {
+        b.add_edge(NodeId(u), NodeId(v), 0.4).unwrap();
+    }
+    let graph = b.build().unwrap();
+    let mut tb = TopicSpaceBuilder::new(inst.n, 1);
+    let t = tb.add_topic(vec![TermId(0)]);
+    for &m in &inst.topic_nodes {
+        tb.assign(NodeId(m), t);
+    }
+    let space = tb.build();
+    let walks = WalkIndex::build(&graph, WalkConfig::new(3, 6).with_seed(17));
+    Built {
+        graph,
+        space,
+        walks,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both summarizers always produce well-formed sets: non-negative
+    /// finite weights summing to ≤ 1, nodes within the graph.
+    #[test]
+    fn summaries_well_formed(inst in instance()) {
+        let built = build(&inst);
+        let ctx = SummarizeContext {
+            graph: &built.graph,
+            space: &built.space,
+            walks: &built.walks,
+        };
+        let topic = TopicId(0);
+        for set in [
+            LrwSummarizer::new(LrwConfig::default()).summarize(&ctx, topic),
+            RclSummarizer::new(RclConfig {
+                sample_rate: 0.5,
+                ..RclConfig::default()
+            })
+            .summarize(&ctx, topic),
+        ] {
+            prop_assert!(set.total_weight() <= 1.0 + 1e-9, "{}", set.total_weight());
+            for (node, w) in set.iter() {
+                prop_assert!(node.index() < inst.n);
+                prop_assert!(w.is_finite() && w >= 0.0);
+            }
+            // Sorted by node id (the search relies on it).
+            let nodes: Vec<NodeId> = set.iter().map(|(n, _)| n).collect();
+            prop_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// RCL-A clustering always partitions the topic nodes.
+    #[test]
+    fn rcl_clusters_partition(inst in instance()) {
+        let built = build(&inst);
+        let ctx = SummarizeContext {
+            graph: &built.graph,
+            space: &built.space,
+            walks: &built.walks,
+        };
+        let rcl = RclSummarizer::new(RclConfig {
+            c_size: 3,
+            sample_rate: 1.0,
+            ..RclConfig::default()
+        });
+        let groups = rcl.cluster_topic_nodes(&ctx, TopicId(0));
+        let mut all: Vec<NodeId> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut expect: Vec<NodeId> = inst.topic_nodes.iter().map(|&m| NodeId(m)).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect);
+        prop_assert!(groups.iter().all(|g| !g.is_empty()));
+    }
+
+    /// Grouping probabilities are a valid sub-distribution: GP+ ≥ 0,
+    /// GP− ≥ 0, GP+ + GP− ≤ 1, symmetric in the pair.
+    #[test]
+    fn grouping_probs_are_probabilities(
+        ru in proptest::collection::btree_set(0u32..40, 0..20),
+        rv in proptest::collection::btree_set(0u32..40, 0..20),
+        extra in 0usize..10,
+    ) {
+        let ru: Vec<NodeId> = ru.into_iter().map(NodeId).collect();
+        let rv: Vec<NodeId> = rv.into_iter().map(NodeId).collect();
+        // In real usage both reach sets are pre-intersected with the probe
+        // set V', so |ru ∪ rv| ≤ |V'| by construction; mirror that here.
+        let union = {
+            let mut u: Vec<NodeId> = ru.iter().chain(rv.iter()).copied().collect();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        };
+        let probe_size = union + extra + 1;
+        let (gp, gm) = grouping::grouping_probs(&ru, &rv, probe_size);
+        let (gp2, gm2) = grouping::grouping_probs(&rv, &ru, probe_size);
+        prop_assert!((gp - gp2).abs() < 1e-12 && (gm - gm2).abs() < 1e-12, "asymmetric");
+        prop_assert!(gp >= 0.0 && gm >= 0.0);
+        prop_assert!(gp + gm <= 1.0 + 1e-12);
+        // Identical sets never split.
+        let (gps, gms) = grouping::grouping_probs(&ru, &ru, probe_size);
+        prop_assert!(gms == 0.0 && gps >= 0.0);
+    }
+
+    /// truncate_to_top keeps exactly the heaviest representatives and never
+    /// increases total weight.
+    #[test]
+    fn truncation_is_heaviest_prefix(
+        pairs in proptest::collection::vec((0u32..100, 0.0f64..1.0), 1..30),
+        k in 1usize..10,
+    ) {
+        let set = RepresentativeSet::new(TopicId(0), pairs.iter().map(|&(n, w)| (NodeId(n), w)).collect());
+        let cut = set.truncate_to_top(k);
+        prop_assert!(cut.len() <= k.min(set.len()));
+        prop_assert!(cut.total_weight() <= set.total_weight() + 1e-12);
+        // Every kept weight ≥ every dropped weight.
+        if let Some(min_kept) = cut.iter().map(|(_, w)| w).fold(None::<f64>, |acc, w| {
+            Some(acc.map_or(w, |a| a.min(w)))
+        }) {
+            for (node, w) in set.iter() {
+                if !cut.contains(node) {
+                    prop_assert!(w <= min_kept + 1e-12, "dropped {w} > kept {min_kept}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Keyword queries and query workloads.
+//!
+//! A PIT-Search query is "a keyword query q issued by a user v" (Definition
+//! 2). The q-related topic set `T_q` is the union over the query's terms of
+//! the topics whose term bag contains the term — exactly what Algorithm 10
+//! line 1 retrieves from the topic space.
+
+use crate::space::TopicSpace;
+use pit_graph::{NodeId, TermId, TopicId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A keyword query issued by one user.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeywordQuery {
+    /// The query user `v`.
+    pub user: NodeId,
+    /// The query keywords (term ids).
+    pub terms: Vec<TermId>,
+}
+
+impl KeywordQuery {
+    /// Construct a query.
+    pub fn new(user: NodeId, terms: Vec<TermId>) -> Self {
+        KeywordQuery { user, terms }
+    }
+
+    /// The q-related topics `T_q`: union of topic postings over the query
+    /// terms, sorted and deduplicated.
+    pub fn related_topics(&self, space: &TopicSpace) -> Vec<TopicId> {
+        let mut out: Vec<TopicId> = Vec::new();
+        for &term in &self.terms {
+            out.extend_from_slice(space.topics_for_term(term));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The paper's evaluation workload: "we select 100 tags to represent a user's
+/// keyword queries … then we randomly select an additional 49 users, but keep
+/// the 100 sampled keyword queries unchanged" (Section 6.2).
+#[derive(Clone, Debug)]
+pub struct QueryWorkload {
+    /// The sampled keyword set (one term per query, as in the paper's tags).
+    pub terms: Vec<TermId>,
+    /// The sampled query users.
+    pub users: Vec<NodeId>,
+}
+
+impl QueryWorkload {
+    /// Sample a workload of `n_terms` query terms and `n_users` users.
+    ///
+    /// Terms are drawn (without replacement) from the hub query terms —
+    /// `term id < query_term_count` under the synthetic generator — falling
+    /// back to the whole vocabulary when there are fewer hub terms than
+    /// requested. Users are drawn uniformly without replacement.
+    pub fn sample(
+        space: &TopicSpace,
+        node_count: usize,
+        query_term_count: usize,
+        n_terms: usize,
+        n_users: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pool = query_term_count.min(space.term_count()).max(1);
+        let terms = sample_without_replacement(pool, n_terms.min(pool), &mut rng)
+            .into_iter()
+            .map(TermId::from_index)
+            .collect();
+        let users = sample_without_replacement(node_count, n_users.min(node_count), &mut rng)
+            .into_iter()
+            .map(NodeId::from_index)
+            .collect();
+        QueryWorkload { terms, users }
+    }
+
+    /// Iterate the full cross product of `(user, single-term query)` pairs.
+    pub fn queries(&self) -> impl Iterator<Item = KeywordQuery> + '_ {
+        self.users.iter().flat_map(move |&u| {
+            self.terms
+                .iter()
+                .map(move |&t| KeywordQuery::new(u, vec![t]))
+        })
+    }
+
+    /// Total number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.users.len() * self.terms.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Floyd's algorithm for sampling `k` distinct values from `0..n`.
+fn sample_without_replacement<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut chosen = rustc_hash::FxHashSet::default();
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::TopicSpaceBuilder;
+
+    fn space() -> TopicSpace {
+        let mut b = TopicSpaceBuilder::new(10, 3);
+        let t0 = b.add_topic(vec![TermId(0)]);
+        let t1 = b.add_topic(vec![TermId(0), TermId(1)]);
+        let t2 = b.add_topic(vec![TermId(2)]);
+        b.assign(NodeId(0), t0);
+        b.assign(NodeId(1), t1);
+        b.assign(NodeId(2), t2);
+        b.build()
+    }
+
+    #[test]
+    fn related_topics_union() {
+        let s = space();
+        let q = KeywordQuery::new(NodeId(0), vec![TermId(0)]);
+        assert_eq!(q.related_topics(&s), vec![TopicId(0), TopicId(1)]);
+        let q = KeywordQuery::new(NodeId(0), vec![TermId(0), TermId(2)]);
+        assert_eq!(
+            q.related_topics(&s),
+            vec![TopicId(0), TopicId(1), TopicId(2)]
+        );
+    }
+
+    #[test]
+    fn related_topics_dedup() {
+        let s = space();
+        // Both terms hit topic 1's bag only once in the output.
+        let q = KeywordQuery::new(NodeId(0), vec![TermId(0), TermId(1)]);
+        let topics = q.related_topics(&s);
+        assert_eq!(topics, vec![TopicId(0), TopicId(1)]);
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let s = space();
+        let q = KeywordQuery::new(NodeId(0), vec![]);
+        assert!(q.related_topics(&s).is_empty());
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let s = space();
+        let w = QueryWorkload::sample(&s, 10, 3, 2, 4, 1);
+        assert_eq!(w.terms.len(), 2);
+        assert_eq!(w.users.len(), 4);
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.queries().count(), 8);
+        // Users distinct.
+        let mut us = w.users.clone();
+        us.sort_unstable();
+        us.dedup();
+        assert_eq!(us.len(), 4);
+    }
+
+    #[test]
+    fn workload_deterministic() {
+        let s = space();
+        let a = QueryWorkload::sample(&s, 10, 3, 2, 4, 99);
+        let b = QueryWorkload::sample(&s, 10, 3, 2, 4, 99);
+        assert_eq!(a.terms, b.terms);
+        assert_eq!(a.users, b.users);
+    }
+
+    #[test]
+    fn workload_clamps_to_available() {
+        let s = space();
+        let w = QueryWorkload::sample(&s, 3, 3, 50, 50, 1);
+        assert_eq!(w.terms.len(), 3);
+        assert_eq!(w.users.len(), 3);
+    }
+
+    #[test]
+    fn floyd_sampling_distinct() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let got = sample_without_replacement(20, 10, &mut rng);
+            let mut s = got.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 10);
+            assert!(s.iter().all(|&x| x < 20));
+        }
+    }
+}

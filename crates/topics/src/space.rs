@@ -1,0 +1,289 @@
+//! The topic space: which users mention which topics, in both directions.
+
+use pit_graph::{NodeId, TermId, TopicId};
+use serde::{Deserialize, Serialize};
+
+/// Immutable topic space with the two inverted indexes of the paper:
+/// `topic → topic-node set V_t` and `node → topic set T(v)`, plus the
+/// `topic → term bag` mapping that connects topics to keyword queries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopicSpace {
+    /// `topic_nodes[t]` = sorted, deduplicated `V_t`.
+    topic_nodes: Vec<Vec<NodeId>>,
+    /// `node_topics[v]` = sorted, deduplicated `T(v)`.
+    node_topics: Vec<Vec<TopicId>>,
+    /// `topic_terms[t]` = sorted term bag of topic `t`.
+    topic_terms: Vec<Vec<TermId>>,
+    /// Inverted `term → topics` index, aligned to the vocabulary.
+    term_topics: Vec<Vec<TopicId>>,
+}
+
+impl TopicSpace {
+    /// Number of topics `|T|`.
+    #[inline]
+    pub fn topic_count(&self) -> usize {
+        self.topic_nodes.len()
+    }
+
+    /// Number of nodes the space was built for.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_topics.len()
+    }
+
+    /// Number of terms in the vocabulary this space references.
+    #[inline]
+    pub fn term_count(&self) -> usize {
+        self.term_topics.len()
+    }
+
+    /// The topic node set `V_t` (paper: "inverted node index"). Sorted.
+    #[inline]
+    pub fn topic_nodes(&self, t: TopicId) -> &[NodeId] {
+        &self.topic_nodes[t.index()]
+    }
+
+    /// The topic set `T(v)` of a node. Sorted.
+    #[inline]
+    pub fn node_topics(&self, v: NodeId) -> &[TopicId] {
+        &self.node_topics[v.index()]
+    }
+
+    /// The term bag of a topic. Sorted.
+    #[inline]
+    pub fn topic_terms(&self, t: TopicId) -> &[TermId] {
+        &self.topic_terms[t.index()]
+    }
+
+    /// All topics whose term bag contains `term` (the q-related topics for a
+    /// single-keyword query). Sorted.
+    #[inline]
+    pub fn topics_for_term(&self, term: TermId) -> &[TopicId] {
+        &self.term_topics[term.index()]
+    }
+
+    /// Whether node `v` mentions topic `t`.
+    pub fn node_has_topic(&self, v: NodeId, t: TopicId) -> bool {
+        self.node_topics[v.index()].binary_search(&t).is_ok()
+    }
+
+    /// Iterator over all topic ids.
+    pub fn topics(&self) -> impl Iterator<Item = TopicId> + '_ {
+        (0..self.topic_count() as u32).map(TopicId)
+    }
+
+    /// Mean `|V_t|` over all topics.
+    pub fn avg_topic_node_count(&self) -> f64 {
+        if self.topic_nodes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.topic_nodes.iter().map(Vec::len).sum();
+        total as f64 / self.topic_nodes.len() as f64
+    }
+
+    /// Copy this space back into a builder, e.g. to apply new topic
+    /// assignments and rebuild (spaces are immutable).
+    pub fn to_builder(&self) -> TopicSpaceBuilder {
+        let mut b = TopicSpaceBuilder::new(self.node_count(), self.term_count());
+        for t in self.topics() {
+            let nt = b.add_topic(self.topic_terms(t).to_vec());
+            debug_assert_eq!(nt, t);
+            for &v in self.topic_nodes(t) {
+                b.assign(v, nt);
+            }
+        }
+        b
+    }
+
+    /// Estimated resident heap size in bytes.
+    pub fn heap_size_bytes(&self) -> usize {
+        fn nested<T>(v: &[Vec<T>]) -> usize {
+            v.iter()
+                .map(|inner| inner.capacity() * std::mem::size_of::<T>())
+                .sum::<usize>()
+                + std::mem::size_of_val(v)
+        }
+        nested(&self.topic_nodes)
+            + nested(&self.node_topics)
+            + nested(&self.topic_terms)
+            + nested(&self.term_topics)
+    }
+}
+
+/// Incremental [`TopicSpace`] construction.
+///
+/// ```
+/// use pit_topics::TopicSpaceBuilder;
+/// use pit_graph::{NodeId, TermId, TopicId};
+///
+/// let mut b = TopicSpaceBuilder::new(4, 8);
+/// let apple = b.add_topic(vec![TermId(0), TermId(1)]); // {phone, apple}
+/// b.assign(NodeId(1), apple);
+/// b.assign(NodeId(2), apple);
+/// let space = b.build();
+/// assert_eq!(space.topic_nodes(apple), &[NodeId(1), NodeId(2)]);
+/// assert_eq!(space.topics_for_term(TermId(0)), &[apple]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopicSpaceBuilder {
+    node_count: usize,
+    term_count: usize,
+    topic_nodes: Vec<Vec<NodeId>>,
+    topic_terms: Vec<Vec<TermId>>,
+}
+
+impl TopicSpaceBuilder {
+    /// Start a builder for `node_count` users and a vocabulary of
+    /// `term_count` terms.
+    pub fn new(node_count: usize, term_count: usize) -> Self {
+        TopicSpaceBuilder {
+            node_count,
+            term_count,
+            topic_nodes: Vec::new(),
+            topic_terms: Vec::new(),
+        }
+    }
+
+    /// Register a new topic with its term bag; returns its id.
+    ///
+    /// # Panics
+    /// Panics if any term id is out of the vocabulary range.
+    pub fn add_topic(&mut self, mut terms: Vec<TermId>) -> TopicId {
+        for t in &terms {
+            assert!(
+                t.index() < self.term_count,
+                "term {t} out of vocabulary range {}",
+                self.term_count
+            );
+        }
+        terms.sort_unstable();
+        terms.dedup();
+        let id = TopicId::from_index(self.topic_terms.len());
+        self.topic_terms.push(terms);
+        self.topic_nodes.push(Vec::new());
+        id
+    }
+
+    /// Record that node `v` mentions topic `t` (idempotent after `build`).
+    ///
+    /// # Panics
+    /// Panics if `v` or `t` is out of range.
+    pub fn assign(&mut self, v: NodeId, t: TopicId) {
+        assert!(v.index() < self.node_count, "node {v} out of range");
+        assert!(t.index() < self.topic_nodes.len(), "topic {t} out of range");
+        self.topic_nodes[t.index()].push(v);
+    }
+
+    /// Number of topics registered so far.
+    pub fn topic_count(&self) -> usize {
+        self.topic_terms.len()
+    }
+
+    /// Finalize: sorts/deduplicates all postings and derives the reverse
+    /// indexes.
+    pub fn build(mut self) -> TopicSpace {
+        for nodes in &mut self.topic_nodes {
+            nodes.sort_unstable();
+            nodes.dedup();
+        }
+        let mut node_topics = vec![Vec::new(); self.node_count];
+        for (t, nodes) in self.topic_nodes.iter().enumerate() {
+            for v in nodes {
+                node_topics[v.index()].push(TopicId::from_index(t));
+            }
+        }
+        // node_topics built in ascending t order, already sorted.
+        let mut term_topics = vec![Vec::new(); self.term_count];
+        for (t, terms) in self.topic_terms.iter().enumerate() {
+            for term in terms {
+                term_topics[term.index()].push(TopicId::from_index(t));
+            }
+        }
+        TopicSpace {
+            topic_nodes: self.topic_nodes,
+            node_topics,
+            topic_terms: self.topic_terms,
+            term_topics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TopicSpace {
+        let mut b = TopicSpaceBuilder::new(5, 4);
+        let t0 = b.add_topic(vec![TermId(0), TermId(1)]);
+        let t1 = b.add_topic(vec![TermId(0), TermId(2)]);
+        let t2 = b.add_topic(vec![TermId(3)]);
+        b.assign(NodeId(0), t0);
+        b.assign(NodeId(1), t0);
+        b.assign(NodeId(1), t1);
+        b.assign(NodeId(4), t2);
+        b.assign(NodeId(4), t2); // duplicate assignment collapses
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let s = sample();
+        assert_eq!(s.topic_count(), 3);
+        assert_eq!(s.node_count(), 5);
+        assert_eq!(s.term_count(), 4);
+    }
+
+    #[test]
+    fn forward_and_reverse_indexes_agree() {
+        let s = sample();
+        assert_eq!(s.topic_nodes(TopicId(0)), &[NodeId(0), NodeId(1)]);
+        assert_eq!(s.topic_nodes(TopicId(2)), &[NodeId(4)]);
+        assert_eq!(s.node_topics(NodeId(1)), &[TopicId(0), TopicId(1)]);
+        assert_eq!(s.node_topics(NodeId(3)), &[] as &[TopicId]);
+        assert!(s.node_has_topic(NodeId(1), TopicId(1)));
+        assert!(!s.node_has_topic(NodeId(0), TopicId(1)));
+    }
+
+    #[test]
+    fn term_index() {
+        let s = sample();
+        assert_eq!(s.topics_for_term(TermId(0)), &[TopicId(0), TopicId(1)]);
+        assert_eq!(s.topics_for_term(TermId(1)), &[TopicId(0)]);
+        assert_eq!(s.topics_for_term(TermId(3)), &[TopicId(2)]);
+    }
+
+    #[test]
+    fn topic_terms_sorted_dedup() {
+        let mut b = TopicSpaceBuilder::new(1, 5);
+        let t = b.add_topic(vec![TermId(3), TermId(1), TermId(3)]);
+        let s = b.build();
+        assert_eq!(s.topic_terms(t), &[TermId(1), TermId(3)]);
+    }
+
+    #[test]
+    fn avg_topic_node_count() {
+        let s = sample();
+        // |V_t| = 2, 1, 1.
+        assert!((s.avg_topic_node_count() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn assign_out_of_range_node_panics() {
+        let mut b = TopicSpaceBuilder::new(2, 1);
+        let t = b.add_topic(vec![TermId(0)]);
+        b.assign(NodeId(9), t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_topic_with_bad_term_panics() {
+        let mut b = TopicSpaceBuilder::new(2, 1);
+        b.add_topic(vec![TermId(5)]);
+    }
+
+    #[test]
+    fn heap_size_positive() {
+        assert!(sample().heap_size_bytes() > 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Term vocabulary: interned keyword strings.
+//!
+//! Stands in for the paper's HetRec-2011 tag vocabulary (53,388 tags). Query
+//! keywords and topic term bags both reference terms by [`TermId`].
+
+use pit_graph::TermId;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Bidirectional term interner.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    #[serde(skip)]
+    lookup: FxHashMap<String, TermId>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Intern `term`, returning its id (existing id if already present).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.lookup.get(term) {
+            return id;
+        }
+        let id = TermId::from_index(self.terms.len());
+        self.terms.push(term.to_string());
+        self.lookup.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up an existing term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.lookup.get(term).copied()
+    }
+
+    /// The string of a term id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Rebuild the lookup map (needed after deserialization, where the map is
+    /// skipped).
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), TermId::from_index(i)))
+            .collect();
+    }
+
+    /// Generate a synthetic vocabulary of `n` tags: `tag-0 .. tag-{n-1}`.
+    pub fn synthetic(n: usize) -> Self {
+        let mut v = Vocabulary::new();
+        for i in 0..n {
+            v.intern(&format!("tag-{i}"));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("phone");
+        let b = v.intern("phone");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_lookup() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("apple");
+        let s = v.intern("samsung");
+        assert_eq!(v.get("apple"), Some(a));
+        assert_eq!(v.get("samsung"), Some(s));
+        assert_eq!(v.get("htc"), None);
+        assert_eq!(v.term(a), "apple");
+        assert_eq!(v.term(s), "samsung");
+    }
+
+    #[test]
+    fn synthetic_has_distinct_terms() {
+        let v = Vocabulary::synthetic(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.term(TermId(0)), "tag-0");
+        assert_eq!(v.term(TermId(99)), "tag-99");
+        assert!(v.get("tag-50").is_some());
+    }
+
+    #[test]
+    fn rebuild_lookup_restores_queries() {
+        let mut v = Vocabulary::synthetic(5);
+        v.lookup.clear(); // simulate deserialization
+        assert_eq!(v.get("tag-2"), None);
+        v.rebuild_lookup();
+        assert_eq!(v.get("tag-2"), Some(TermId(2)));
+    }
+}

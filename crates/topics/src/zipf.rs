@@ -1,0 +1,136 @@
+//! Zipf-distributed sampling over ranks `0..n`.
+//!
+//! Topic popularity in social streams is famously heavy-tailed; the synthetic
+//! topic generator uses a Zipf law (`P(rank i) ∝ 1/(i+1)^s`) to reproduce the
+//! skew that the paper's LDA-derived topic space exhibits. Implemented as an
+//! explicit cumulative table with binary search — simple, exact, and fast
+//! enough for offline dataset generation.
+
+use rand::Rng;
+
+/// Pre-computed Zipf sampler over `n` ranks with exponent `s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for ranks `0..n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite / negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating rounding leaving the last entry below 1.
+        *cumulative.last_mut().expect("n > 0") = 1.0;
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (constructor rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cumulative >= u.
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[i] - self.cumulative[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.1);
+        let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        // Rank 0 must dominate rank 50 heavily under s=1.5.
+        assert!(counts[0] > 20 * counts[50].max(1));
+        // And the head should hold most of the mass.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 10_000, "head mass {head} too small");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(10, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the topic space and synthetic generator.
+
+use pit_graph::{NodeId, TermId, TopicId};
+use pit_topics::{generate_topic_space, KeywordQuery, SyntheticTopicConfig, TopicSpaceBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Forward and reverse indexes are exact inverses for arbitrary
+    /// assignments.
+    #[test]
+    fn indexes_are_inverse(
+        nodes in 1usize..30,
+        assignments in proptest::collection::vec((0u32..30, 0u32..8), 0..120),
+    ) {
+        let mut b = TopicSpaceBuilder::new(nodes, 4);
+        for t in 0..8 {
+            b.add_topic(vec![TermId(t % 4)]);
+        }
+        for &(v, t) in &assignments {
+            if (v as usize) < nodes {
+                b.assign(NodeId(v), TopicId(t));
+            }
+        }
+        let s = b.build();
+        for t in s.topics() {
+            for &v in s.topic_nodes(t) {
+                prop_assert!(s.node_topics(v).contains(&t));
+                prop_assert!(s.node_has_topic(v, t));
+            }
+        }
+        for v in 0..nodes {
+            for &t in s.node_topics(NodeId::from_index(v)) {
+                prop_assert!(s.topic_nodes(t).contains(&NodeId::from_index(v)));
+            }
+        }
+    }
+
+    /// Term postings cover exactly the topics whose bags contain the term.
+    #[test]
+    fn term_index_is_inverse(seed in 0u64..500) {
+        let cfg = SyntheticTopicConfig {
+            topic_count: 40,
+            query_term_count: 4,
+            tail_term_count: 30,
+            terms_per_topic: 5,
+            topics_per_node_mean: 4.0,
+            zipf_exponent: 0.8,
+            seed,
+        };
+        let (s, vocab) = generate_topic_space(60, &cfg);
+        for term in 0..vocab.len() as u32 {
+            let term = TermId(term);
+            for &t in s.topics_for_term(term) {
+                prop_assert!(s.topic_terms(t).contains(&term));
+            }
+        }
+        for t in s.topics() {
+            for &term in s.topic_terms(t) {
+                prop_assert!(s.topics_for_term(term).contains(&t));
+            }
+        }
+    }
+
+    /// Multi-term queries return the sorted dedup union of per-term results.
+    #[test]
+    fn query_union_property(seed in 0u64..500, terms in proptest::collection::vec(0u32..8, 1..4)) {
+        let cfg = SyntheticTopicConfig {
+            topic_count: 30,
+            query_term_count: 8,
+            tail_term_count: 10,
+            terms_per_topic: 3,
+            topics_per_node_mean: 3.0,
+            zipf_exponent: 0.5,
+            seed,
+        };
+        let (s, _) = generate_topic_space(40, &cfg);
+        let q = KeywordQuery::new(NodeId(0), terms.iter().map(|&t| TermId(t)).collect());
+        let got = q.related_topics(&s);
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        let mut expect: Vec<TopicId> = terms
+            .iter()
+            .flat_map(|&t| s.topics_for_term(TermId(t)).to_vec())
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,92 @@
+//! Hoeffding bound for the walk sample size `R`.
+//!
+//! Section 4.1: "The sample size R can be bounded by applying the Hoeffding
+//! inequality, which balances the tradeoff between the sample size and the
+//! accuracy of estimation using sampled data."
+//!
+//! For `R` i.i.d. samples of a `[0, 1]`-bounded quantity (here: indicator
+//! variables of a walk visiting a node), Hoeffding gives
+//! `P(|X̄ - E[X̄]| ≥ ε) ≤ 2·exp(-2·R·ε²)`, so
+//! `R ≥ ln(2/δ) / (2·ε²)` suffices for error ≤ ε with confidence `1 - δ`.
+
+/// Minimum sample count `R` for additive error `epsilon` with confidence
+/// `1 - delta`.
+///
+/// # Panics
+/// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+pub fn sample_size(epsilon: f64, delta: f64) -> usize {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must be in (0,1), got {epsilon}"
+    );
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
+    ((2.0f64 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+/// The achieved additive error bound for a given `R` and confidence `1 - delta`.
+pub fn error_bound(r: usize, delta: f64) -> f64 {
+    assert!(r > 0, "R must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    ((2.0f64 / delta).ln() / (2.0 * r as f64)).sqrt()
+}
+
+/// The failure probability `δ` for a given `R` and target error `epsilon`.
+pub fn failure_probability(r: usize, epsilon: f64) -> f64 {
+    assert!(r > 0, "R must be positive");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    (2.0 * (-2.0 * r as f64 * epsilon * epsilon).exp()).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_r_is_reasonable() {
+        // ε = 0.1, δ = 0.05 → R ≈ 185: consistent with the paper's choice of
+        // R = 200 "in practice".
+        let r = sample_size(0.1, 0.05);
+        assert!((150..=250).contains(&r), "R = {r}");
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_more_samples() {
+        assert!(sample_size(0.05, 0.05) > sample_size(0.1, 0.05));
+        assert!(sample_size(0.1, 0.01) > sample_size(0.1, 0.05));
+    }
+
+    #[test]
+    fn bounds_are_mutually_consistent() {
+        let eps = 0.08;
+        let delta = 0.02;
+        let r = sample_size(eps, delta);
+        // With that R, the achieved error at the same delta is ≤ eps...
+        assert!(error_bound(r, delta) <= eps + 1e-9);
+        // ...and the failure probability at the same eps is ≤ delta.
+        assert!(failure_probability(r, eps) <= delta + 1e-9);
+    }
+
+    #[test]
+    fn error_bound_shrinks_with_r() {
+        assert!(error_bound(400, 0.05) < error_bound(100, 0.05));
+        // Quadrupling R halves the bound.
+        let e1 = error_bound(100, 0.05);
+        let e4 = error_bound(400, 0.05);
+        assert!((e1 / e4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_epsilon() {
+        let _ = sample_size(1.5, 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_delta() {
+        let _ = sample_size(0.1, 0.0);
+    }
+}

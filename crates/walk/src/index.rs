@@ -1,0 +1,462 @@
+//! The sampled walk index of Algorithm 6 (`INVERTTVHIT_INDEX`).
+
+use crate::engine::{sample_walk, WalkConfig};
+use pit_graph::{CsrGraph, NodeId};
+
+/// Which parts of the index to materialize.
+///
+/// LRW-A needs `walks` + `freq`; RCL-A needs `reach`; building only what an
+/// experiment uses keeps the memory profile honest at the larger scales.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkIndexParts {
+    /// Store the sampled walks `I[R][n]` themselves.
+    pub walks: bool,
+    /// Store the time-variant visiting frequency `H[L][n]`.
+    pub freq: bool,
+    /// Store the reachability index `I_L[n]`.
+    pub reach: bool,
+}
+
+impl WalkIndexParts {
+    /// Everything (the literal Algorithm 6).
+    pub const ALL: WalkIndexParts = WalkIndexParts {
+        walks: true,
+        freq: true,
+        reach: true,
+    };
+    /// Just what LRW-A consumes.
+    pub const FOR_LRW: WalkIndexParts = WalkIndexParts {
+        walks: true,
+        freq: true,
+        reach: false,
+    };
+    /// Just what RCL-A consumes.
+    pub const FOR_RCL: WalkIndexParts = WalkIndexParts {
+        walks: false,
+        freq: false,
+        reach: true,
+    };
+}
+
+/// Immutable sampled-walk index over a graph.
+///
+/// See the crate docs for the mapping to the paper's `I`, `H` and `I_L`.
+#[derive(Clone, Debug)]
+pub struct WalkIndex {
+    pub(crate) config: WalkConfig,
+    pub(crate) node_count: usize,
+    pub(crate) parts: WalkIndexParts,
+    /// Walk `(w, i)` occupies `walk_data[walk_offsets[w*r+i] .. walk_offsets[w*r+i+1]]`.
+    pub(crate) walk_offsets: Vec<u32>,
+    pub(crate) walk_data: Vec<NodeId>,
+    /// `freq[(j-1) * n + v]` = `H[j][v]` for `j ∈ 1..=L`.
+    pub(crate) freq: Vec<f32>,
+    /// `reach_data[reach_offsets[v] .. reach_offsets[v+1]]` = sorted origins
+    /// whose sampled walks reached `v` within `L` hops.
+    pub(crate) reach_offsets: Vec<u64>,
+    pub(crate) reach_data: Vec<NodeId>,
+}
+
+/// Per-chunk build output, merged in node order.
+struct ChunkResult {
+    first: usize,
+    walk_lens: Vec<u32>,
+    walk_data: Vec<NodeId>,
+    freq: Vec<f32>,
+    reach_pairs: Vec<(u32, u32)>, // (reached node v, origin w)
+}
+
+impl WalkIndex {
+    /// Build the full index (Algorithm 6).
+    pub fn build(g: &CsrGraph, config: WalkConfig) -> Self {
+        Self::build_parts(g, config, WalkIndexParts::ALL)
+    }
+
+    /// Build only the selected `parts`. Deterministic for a given seed,
+    /// independent of the number of worker threads.
+    pub fn build_parts(g: &CsrGraph, config: WalkConfig, parts: WalkIndexParts) -> Self {
+        assert!(config.l > 0, "walk length L must be positive");
+        assert!(config.r > 0, "sample count R must be positive");
+        let n = g.node_count();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let chunk = n.div_ceil(threads);
+
+        let mut results: Vec<ChunkResult> = Vec::with_capacity(threads);
+        crossbeam::scope(|s| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(s.spawn(move |_| build_chunk(g, &config, parts, lo, hi)));
+            }
+            for h in handles {
+                results.push(h.join().expect("walk index worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        results.sort_by_key(|c| c.first);
+
+        // Merge walks.
+        let (walk_offsets, walk_data) = if parts.walks {
+            let total_walks = n * config.r;
+            let mut offsets = Vec::with_capacity(total_walks + 1);
+            offsets.push(0u32);
+            let mut data = Vec::new();
+            for c in &results {
+                for &len in &c.walk_lens {
+                    let last = *offsets.last().expect("non-empty");
+                    offsets.push(last + len);
+                }
+                data.extend_from_slice(&c.walk_data);
+            }
+            debug_assert_eq!(offsets.len(), total_walks + 1);
+            (offsets, data)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        // Merge frequency: element-wise max across chunks.
+        let freq = if parts.freq {
+            let mut freq = vec![0.0f32; config.l * n];
+            for c in &results {
+                for (dst, &src) in freq.iter_mut().zip(c.freq.iter()) {
+                    if src > *dst {
+                        *dst = src;
+                    }
+                }
+            }
+            freq
+        } else {
+            Vec::new()
+        };
+
+        // Merge reach pairs into a CSR keyed by reached node.
+        let (reach_offsets, reach_data) = if parts.reach {
+            let mut pairs: Vec<(u32, u32)> = results
+                .iter_mut()
+                .flat_map(|c| std::mem::take(&mut c.reach_pairs))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            let mut offsets = vec![0u64; n + 1];
+            for &(v, _) in &pairs {
+                offsets[v as usize + 1] += 1;
+            }
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let data: Vec<NodeId> = pairs.into_iter().map(|(_, w)| NodeId(w)).collect();
+            (offsets, data)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        WalkIndex {
+            config,
+            node_count: n,
+            parts,
+            walk_offsets,
+            walk_data,
+            freq,
+            reach_offsets,
+            reach_data,
+        }
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &WalkConfig {
+        &self.config
+    }
+
+    /// Walk length `L`.
+    pub fn l(&self) -> usize {
+        self.config.l
+    }
+
+    /// Samples per node `R`.
+    pub fn r(&self) -> usize {
+        self.config.r
+    }
+
+    /// Number of nodes indexed.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The `i`-th sampled walk starting at `w`, as the first-visit node
+    /// sequence the algorithm stores in `I[i][w]` (start node excluded).
+    ///
+    /// # Panics
+    /// Panics if walks were not materialized or indexes are out of range.
+    pub fn walk(&self, w: NodeId, i: usize) -> &[NodeId] {
+        assert!(self.parts.walks, "walks were not materialized");
+        assert!(i < self.config.r, "walk sample index out of range");
+        let slot = w.index() * self.config.r + i;
+        let lo = self.walk_offsets[slot] as usize;
+        let hi = self.walk_offsets[slot + 1] as usize;
+        &self.walk_data[lo..hi]
+    }
+
+    /// Iterator over all `R` walks of `w`.
+    pub fn walks(&self, w: NodeId) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.config.r).map(move |i| self.walk(w, i))
+    }
+
+    /// `H[j][v]`: the maximum per-walk visiting frequency of `v` at
+    /// iteration `j` (1-based, `1..=L`). Zero when never visited.
+    ///
+    /// # Panics
+    /// Panics if `freq` was not materialized or `j` is out of range.
+    pub fn visit_freq(&self, j: usize, v: NodeId) -> f64 {
+        assert!(self.parts.freq, "visit frequencies were not materialized");
+        assert!(
+            (1..=self.config.l).contains(&j),
+            "iteration {j} out of 1..={}",
+            self.config.l
+        );
+        self.freq[(j - 1) * self.node_count + v.index()] as f64
+    }
+
+    /// `I_L[v]`: the sorted set of walk origins that reached `v` within `L`
+    /// hops in the samples.
+    ///
+    /// # Panics
+    /// Panics if `reach` was not materialized.
+    pub fn reach_set(&self, v: NodeId) -> &[NodeId] {
+        assert!(self.parts.reach, "reach index was not materialized");
+        let lo = self.reach_offsets[v.index()] as usize;
+        let hi = self.reach_offsets[v.index() + 1] as usize;
+        &self.reach_data[lo..hi]
+    }
+
+    /// Whether origin `x` reached `v` within `L` hops (`x →^L v`).
+    pub fn reaches(&self, x: NodeId, v: NodeId) -> bool {
+        self.reach_set(v).binary_search(&x).is_ok()
+    }
+
+    /// Estimated resident heap size in bytes.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.walk_offsets.capacity() * 4
+            + self.walk_data.capacity() * 4
+            + self.freq.capacity() * 4
+            + self.reach_offsets.capacity() * 8
+            + self.reach_data.capacity() * 4
+    }
+}
+
+/// Algorithm 6 body for start nodes `lo..hi`.
+fn build_chunk(
+    g: &CsrGraph,
+    cfg: &WalkConfig,
+    parts: WalkIndexParts,
+    lo: usize,
+    hi: usize,
+) -> ChunkResult {
+    let n = g.node_count();
+    let r = cfg.r;
+    let mut walk_lens = Vec::with_capacity(if parts.walks { (hi - lo) * r } else { 0 });
+    let mut walk_data = Vec::new();
+    let mut freq = if parts.freq {
+        vec![0.0f32; cfg.l * n]
+    } else {
+        Vec::new()
+    };
+    let mut reach_pairs = Vec::new();
+
+    // Workhorse buffers reused across walks.
+    let mut steps: Vec<NodeId> = Vec::with_capacity(cfg.l);
+    // Per-walk visit counts: walks are short (≤ L+1 distinct nodes), a flat
+    // association list beats a hash map here.
+    let mut visited: Vec<(NodeId, u32)> = Vec::with_capacity(cfg.l + 1);
+
+    let inv_r = 1.0f32 / r as f32;
+    for wi in lo..hi {
+        let w = NodeId::from_index(wi);
+        for i in 0..r {
+            let mut rng = cfg.rng_for(w, i);
+            sample_walk(g, w, cfg.l, cfg.policy, &mut rng, &mut steps);
+            visited.clear();
+            visited.push((w, 1));
+            let walk_start = walk_data.len();
+            for (j0, &v) in steps.iter().enumerate() {
+                let count = match visited.iter_mut().find(|(node, _)| *node == v) {
+                    Some((_, c)) => {
+                        *c += 1;
+                        *c
+                    }
+                    None => {
+                        visited.push((v, 1));
+                        if parts.walks {
+                            walk_data.push(v);
+                        }
+                        if parts.reach && v != w {
+                            reach_pairs.push((v.0, w.0));
+                        }
+                        1
+                    }
+                };
+                if parts.freq {
+                    let slot = j0 * n + v.index();
+                    let f = count as f32 * inv_r;
+                    if f > freq[slot] {
+                        freq[slot] = f;
+                    }
+                }
+            }
+            if parts.walks {
+                walk_lens.push((walk_data.len() - walk_start) as u32);
+            }
+        }
+    }
+
+    ChunkResult {
+        first: lo,
+        walk_lens,
+        walk_data,
+        freq,
+        reach_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::{fixtures, GraphBuilder};
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 0.5)
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn path_walks_are_the_path() {
+        let g = path_graph(8);
+        let idx = WalkIndex::build(&g, WalkConfig::new(3, 4));
+        for i in 0..4 {
+            assert_eq!(idx.walk(NodeId(0), i), &[NodeId(1), NodeId(2), NodeId(3)]);
+        }
+        // Near the sink walks are truncated.
+        assert_eq!(idx.walk(NodeId(6), 0), &[NodeId(7)]);
+        assert_eq!(idx.walk(NodeId(7), 0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn path_reach_sets() {
+        let g = path_graph(8);
+        let idx = WalkIndex::build(&g, WalkConfig::new(3, 2));
+        // Node 3 is reached (within 3 hops) by 0, 1, 2 exactly.
+        assert_eq!(idx.reach_set(NodeId(3)), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(idx.reaches(NodeId(0), NodeId(3)));
+        assert!(!idx.reaches(NodeId(0), NodeId(4)));
+        // Node 0 has no in-edges.
+        assert!(idx.reach_set(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn path_visit_freq_is_inverse_r() {
+        let g = path_graph(8);
+        let r = 5;
+        let idx = WalkIndex::build(&g, WalkConfig::new(3, r));
+        // Deterministic single-successor walks: each walk visits node w+j at
+        // iteration j exactly once, so H[j][w+j] = 1/R.
+        for j in 1..=3usize {
+            let v = NodeId(j as u32);
+            assert!((idx.visit_freq(j, v) - 1.0 / r as f64).abs() < 1e-6);
+        }
+        // Unreachable at iteration 1: node 5 is 5 hops from 0, but 1 hop from 4.
+        assert!(idx.visit_freq(1, NodeId(5)) > 0.0);
+        assert_eq!(idx.visit_freq(3, NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = fixtures::figure1_graph();
+        let cfg = WalkConfig::new(4, 8).with_seed(123);
+        let a = WalkIndex::build(&g, cfg);
+        let b = WalkIndex::build(&g, cfg);
+        for w in g.nodes() {
+            for i in 0..8 {
+                assert_eq!(a.walk(w, i), b.walk(w, i));
+            }
+            assert_eq!(a.reach_set(w), b.reach_set(w));
+        }
+        for j in 1..=4 {
+            for v in g.nodes() {
+                assert_eq!(a.visit_freq(j, v), b.visit_freq(j, v));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_walks() {
+        let g = fixtures::figure1_graph();
+        let a = WalkIndex::build(&g, WalkConfig::new(4, 8).with_seed(1));
+        let b = WalkIndex::build(&g, WalkConfig::new(4, 8).with_seed(2));
+        let differs = g
+            .nodes()
+            .any(|w| (0..8).any(|i| a.walk(w, i) != b.walk(w, i)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn walks_contain_no_duplicates() {
+        // First-visit sequences must be duplicate-free even on cyclic graphs.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), 0.5).unwrap();
+        let g = b.build().unwrap();
+        let idx = WalkIndex::build(&g, WalkConfig::new(10, 4));
+        for w in g.nodes() {
+            for walk in idx.walks(w) {
+                let mut seen = walk.to_vec();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), walk.len(), "walk has duplicates: {walk:?}");
+                assert!(!walk.contains(&w), "start node must not re-enter walk list");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_freq_can_exceed_one_visit() {
+        // 0 <-> 1: a 4-step walk from 0 visits 1 twice; H[3][1] = 2/R.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), 0.5).unwrap();
+        let g = b.build().unwrap();
+        let r = 4;
+        let idx = WalkIndex::build(&g, WalkConfig::new(4, r));
+        assert!((idx.visit_freq(3, NodeId(1)) - 2.0 / r as f64).abs() < 1e-6);
+        assert!((idx.visit_freq(1, NodeId(1)) - 1.0 / r as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parts_gate_materialization() {
+        let g = path_graph(5);
+        let idx = WalkIndex::build_parts(&g, WalkConfig::new(3, 2), WalkIndexParts::FOR_RCL);
+        assert!(!idx.reach_set(NodeId(2)).is_empty());
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            idx.walk(NodeId(0), 0);
+        }));
+        assert!(res.is_err(), "walks access must panic when not built");
+    }
+
+    #[test]
+    fn heap_size_scales_with_r() {
+        let g = path_graph(50);
+        let small = WalkIndex::build(&g, WalkConfig::new(4, 2)).heap_size_bytes();
+        let big = WalkIndex::build(&g, WalkConfig::new(4, 16)).heap_size_bytes();
+        assert!(big > small);
+    }
+}

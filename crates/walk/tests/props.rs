@@ -1,0 +1,114 @@
+//! Property-based tests for the sampled-walk index (Algorithm 6 invariants).
+
+use pit_graph::{GraphBuilder, NodeId};
+use pit_walk::{WalkConfig, WalkIndex};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (3usize..=20).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(a, b)| a != b);
+        proptest::collection::vec(edge, n..5 * n).prop_map(move |mut es| {
+            let mut seen = FxHashSet::default();
+            es.retain(|&(a, b)| seen.insert((a, b)));
+            (n, es)
+        })
+    })
+}
+
+fn build(
+    n: usize,
+    edges: &[(u32, u32)],
+    l: usize,
+    r: usize,
+    seed: u64,
+) -> (pit_graph::CsrGraph, WalkIndex) {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v), 0.5).unwrap();
+    }
+    let g = b.build().unwrap();
+    let idx = WalkIndex::build(&g, WalkConfig::new(l, r).with_seed(seed));
+    (g, idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Stored walks are duplicate-free first-visit sequences of length ≤ L,
+    /// every step follows a real edge, and the start node never re-appears.
+    #[test]
+    fn walks_are_valid_paths((n, edges) in graph_strategy(), seed in 0u64..100) {
+        let l = 4;
+        let (g, idx) = build(n, &edges, l, 4, seed);
+        for w in g.nodes() {
+            for walk in idx.walks(w) {
+                prop_assert!(walk.len() <= l);
+                prop_assert!(!walk.contains(&w));
+                let mut dedup = walk.to_vec();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), walk.len(), "duplicates in walk");
+                // Each stored node is reachable from the previous stored node
+                // via graph edges (with possibly revisited nodes skipped in
+                // between, the stored sequence is a subsequence of the raw
+                // walk — consecutive stored nodes need not be adjacent, but
+                // the FIRST stored node must be an out-neighbor of the start).
+                if let Some(&first) = walk.first() {
+                    prop_assert!(
+                        g.out_neighbors(w).contains(&first),
+                        "first step {first} is not a neighbor of {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The reach index is consistent with the stored walks: `x ∈ I_L[v]`
+    /// iff some stored walk of `x` contains `v`.
+    #[test]
+    fn reach_matches_walks((n, edges) in graph_strategy(), seed in 0u64..100) {
+        let (g, idx) = build(n, &edges, 4, 4, seed);
+        for v in g.nodes() {
+            for x in g.nodes() {
+                if x == v {
+                    continue;
+                }
+                let in_reach = idx.reaches(x, v);
+                let in_walks = idx.walks(x).any(|walk| walk.contains(&v));
+                prop_assert_eq!(
+                    in_reach, in_walks,
+                    "reach/walk disagreement for origin {} target {}", x, v
+                );
+            }
+        }
+    }
+
+    /// Visit frequencies are bounded by 1 and zero whenever a node is never
+    /// stored at that iteration in any walk.
+    #[test]
+    fn frequencies_are_bounded((n, edges) in graph_strategy(), seed in 0u64..100) {
+        let l = 4;
+        let (g, idx) = build(n, &edges, l, 4, seed);
+        for j in 1..=l {
+            for v in g.nodes() {
+                let f = idx.visit_freq(j, v);
+                prop_assert!((0.0..=(l as f64)).contains(&f), "H[{}][{}] = {}", j, v, f);
+            }
+        }
+    }
+
+    /// Determinism: same seed, same index; different seed, (almost surely on
+    /// branching graphs) different walks — we only assert equality here.
+    #[test]
+    fn deterministic_rebuild((n, edges) in graph_strategy(), seed in 0u64..100) {
+        let (g, a) = build(n, &edges, 3, 4, seed);
+        let (_, b) = build(n, &edges, 3, 4, seed);
+        for w in g.nodes() {
+            for i in 0..4 {
+                prop_assert_eq!(a.walk(w, i), b.walk(w, i));
+            }
+            prop_assert_eq!(a.reach_set(w), b.reach_set(w));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Target advertising: for which users would our campaign topic rank top-k?
+//!
+//! The paper lists "target advertising, or personal product promotion" as a
+//! direct application. This example inverts the search: given one campaign
+//! topic, scan a user population and keep the users for whom the topic
+//! enters their personal top-3 — the audience that is socially pre-disposed
+//! to the campaign. Because the offline indexes are shared, the per-user
+//! check is just the online Algorithm-10 probe.
+//!
+//! ```text
+//! cargo run --release --example ad_targeting
+//! ```
+
+use pit::{PitEngine, SummarizerKind};
+use pit_datasets::{generate, paper_specs};
+use pit_graph::{NodeId, TermId};
+
+fn main() {
+    let spec = &paper_specs(10)[0]; // data_2k
+    println!("generating {} ({} users)…", spec.name, spec.nodes);
+    let ds = generate(spec);
+
+    // The campaign topic: the most discussed topic of the hottest keyword.
+    let term = TermId(0);
+    let campaign = *ds
+        .space
+        .topics_for_term(term)
+        .iter()
+        .max_by_key(|&&t| ds.space.topic_nodes(t).len())
+        .expect("keyword matches topics");
+    println!(
+        "campaign topic {campaign}: discussed by {} users, competing with {} sibling topics",
+        ds.space.topic_nodes(campaign).len(),
+        ds.space.topics_for_term(term).len() - 1
+    );
+
+    println!("running offline stage…");
+    let engine = PitEngine::builder()
+        .summarizer(SummarizerKind::default_lrw())
+        .build_with_vocab(ds.graph, ds.space, Some(ds.vocab));
+
+    // Scan a sample of the population with the inverse-search API.
+    const K: usize = 3;
+    let sample: Vec<NodeId> = (0..engine.graph().node_count())
+        .step_by(10)
+        .map(NodeId::from_index)
+        .collect();
+    let sample_len = sample.len();
+    let audience = pit_search_core::find_audience(
+        engine.space(),
+        engine.propagation(),
+        engine.reps(),
+        campaign,
+        &[term],
+        sample,
+        K,
+    );
+
+    println!(
+        "\naudience: campaign ranks in the personal top-{K} for {} of {sample_len} sampled users",
+        audience.len()
+    );
+    println!("strongest 10 targets:");
+    for hit in audience.iter().take(10) {
+        println!(
+            "  user {:<5} rank {}  influence {:.5}",
+            hit.user, hit.rank, hit.score
+        );
+    }
+    println!(
+        "\nEvery check reused the same offline summaries and propagation index — \
+         per-user targeting is a cheap online probe."
+    );
+}

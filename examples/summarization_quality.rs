@@ -1,0 +1,92 @@
+//! Comparing the two summarizers on the paper's own objective.
+//!
+//! Definition 1 defines social summarization as minimizing
+//! `Σ_v |I(t,v) − I*(t,v)|` — how faithfully the weighted representatives
+//! reproduce the topic's exact influence field. This example measures that
+//! objective directly (via matrix propagation of both weight vectors) for
+//! RCL-A and LRW-A across several topics and representative budgets,
+//! reproducing in miniature the paper's Section 6.4 finding that LRW-A
+//! summaries are more faithful, and that RCL-A narrows the gap as the
+//! budget grows.
+//!
+//! ```text
+//! cargo run --release --example summarization_quality
+//! ```
+
+use pit_baselines::BaseMatrix;
+use pit_datasets::{generate, paper_specs};
+use pit_eval::{summarization_error, Table};
+use pit_graph::TopicId;
+use pit_summarize::{
+    LrwConfig, LrwSummarizer, RclConfig, RclSummarizer, SummarizeContext, Summarizer,
+};
+use pit_walk::{WalkConfig, WalkIndex};
+
+fn main() {
+    let spec = &paper_specs(10)[0]; // data_2k
+    println!("generating {} ({} users)…", spec.name, spec.nodes);
+    let ds = generate(spec);
+    let walks = WalkIndex::build(&ds.graph, WalkConfig::new(5, 64));
+    let ctx = SummarizeContext {
+        graph: &ds.graph,
+        space: &ds.space,
+        walks: &walks,
+    };
+    let matrix = BaseMatrix::new(&ds.graph, &ds.space);
+
+    // Measure a few mid-sized topics.
+    let mut by_size: Vec<(usize, TopicId)> = ds
+        .space
+        .topics()
+        .map(|t| (ds.space.topic_nodes(t).len(), t))
+        .collect();
+    by_size.sort_unstable();
+    let topics: Vec<TopicId> = by_size
+        .iter()
+        .rev()
+        .skip(5)
+        .take(5)
+        .map(|&(_, t)| t)
+        .collect();
+
+    let budgets = [4usize, 8, 16];
+    let mut table = Table::new(&["summarizer", "reps=4", "reps=8", "reps=16"]);
+    for name in ["RCL-A", "LRW-A"] {
+        let mut cells = vec![name.to_string()];
+        for &budget in &budgets {
+            let mut total = 0.0;
+            for &t in &topics {
+                let reps = match name {
+                    "RCL-A" => RclSummarizer::new(RclConfig {
+                        c_size: budget,
+                        sample_rate: 0.10,
+                        ..RclConfig::default()
+                    })
+                    .summarize(&ctx, t),
+                    _ => LrwSummarizer::new(LrwConfig {
+                        rep_count: Some(budget),
+                        ..LrwConfig::default()
+                    })
+                    .summarize(&ctx, t),
+                };
+                total += summarization_error(&matrix, t, &reps);
+            }
+            cells.push(format!("{:.4}", total / topics.len() as f64));
+        }
+        table.row_owned(cells);
+    }
+
+    println!(
+        "\nMean Definition-1 summarization error over {} topics (lower is better):\n",
+        topics.len()
+    );
+    print!("{}", table.render());
+    println!(
+        "\nExpected shape (paper §6.4): LRW-A well below RCL-A at equal budget. \
+         RCL-A is often flat in the budget here: on sparse graphs its pairwise \
+         reachability test splits most topic nodes into singleton clusters \
+         regardless of C_Size — the very limitation (\"the number of generated \
+         groups may be very large\") the paper lists in §3.3 as motivation for \
+         LRW-A."
+    );
+}

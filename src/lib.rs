@@ -1,0 +1,63 @@
+//! # pit — Personalized Influential Topic Search
+//!
+//! A from-scratch Rust reproduction of *Personalized Influential Topic
+//! Search via Social Network Summarization* (Li, Liu, Yu, Chen, Sellis,
+//! Culpepper — ICDE 2017).
+//!
+//! Given a keyword query `q` issued by a user `v` of a social network,
+//! PIT-Search returns the top-k q-related topics ranked by how strongly each
+//! topic's community can influence `v` through the network's weighted
+//! influence edges. The pipeline:
+//!
+//! 1. **Offline** — sample L-length random walks ([`walk`]), summarize each
+//!    topic into a small weighted representative-node set ([`summarize`]:
+//!    RCL-A clustering or LRW-A reinforced-PageRank + absorbing migration),
+//!    and materialize each user's nearby influence table ([`index`]).
+//! 2. **Online** — probe the query user's table against the representative
+//!    sets, prune hopeless topics by upper bound, expand through marked
+//!    frontier nodes only when the top-k is still contested ([`search`]).
+//!
+//! The [`PitEngine`] facade runs the whole pipeline:
+//!
+//! ```
+//! use pit::{PitEngine, SummarizerKind};
+//! use pit_graph::fixtures;
+//! use pit_graph::TermId;
+//! use pit_topics::TopicSpaceBuilder;
+//!
+//! // Figure 1's network, with its three phone topics.
+//! let graph = fixtures::figure1_graph();
+//! let mut b = TopicSpaceBuilder::new(graph.node_count(), 1);
+//! for nodes in &fixtures::figure1_topics() {
+//!     let t = b.add_topic(vec![TermId(0)]);
+//!     for &n in nodes {
+//!         b.assign(n, t);
+//!     }
+//! }
+//! let engine = PitEngine::builder()
+//!     .summarizer(SummarizerKind::default_lrw())
+//!     .build(graph, b.build());
+//! let out = engine.search_user_term(fixtures::user(3), TermId(0), 1);
+//! assert_eq!(out.top_k.len(), 1);
+//! ```
+//!
+//! Sub-crates are re-exported under short names: [`graph`], [`topics`],
+//! [`walk`], [`summarize`], [`index`], [`search`], [`baselines`],
+//! [`datasets`], [`eval`].
+
+pub use pit_baselines as baselines;
+pub use pit_datasets as datasets;
+pub use pit_eval as eval;
+pub use pit_graph as graph;
+pub use pit_index as index;
+pub use pit_search_core as search;
+pub use pit_summarize as summarize;
+pub use pit_topics as topics;
+pub use pit_walk as walk;
+
+pub mod engine;
+pub mod store;
+pub mod update;
+
+pub use engine::{PitEngine, PitEngineBuilder, SummarizerKind};
+pub use update::{Delta, UpdateReport};

@@ -1,0 +1,246 @@
+//! On-disk persistence of a fully built engine.
+//!
+//! The paper's offline stage (walk sampling, per-topic summarization,
+//! propagation-index materialization) is re-run only "after a period of time
+//! when the social network and topics have changed" (Section 4.4); between
+//! refreshes, a deployment serves queries from the materialized artifacts.
+//! [`save_engine`] writes each artifact as its own validated binary snapshot:
+//!
+//! ```text
+//! <dir>/graph.pitg      social graph (pit-graph snapshot)
+//! <dir>/topics.pitt     topic space
+//! <dir>/vocab.pitv      vocabulary (optional)
+//! <dir>/walks.pitw      sampled-walk index
+//! <dir>/prop.pitp       personalized propagation index
+//! <dir>/reps.pitr       topic-to-representative index
+//! <dir>/meta.pitm       engine settings
+//! ```
+
+use crate::engine::{PitEngine, SummarizerKind};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from saving or loading an engine directory.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A snapshot failed validation; the string names the artifact.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+        }
+    }
+}
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+const META_MAGIC: &[u8; 4] = b"PITM";
+const META_VERSION: u8 = 1;
+
+/// Persist every artifact of `engine` under `dir` (created if absent).
+pub fn save_engine(dir: &Path, engine: &PitEngine) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join("graph.pitg"),
+        pit_graph::snapshot::encode(engine.graph()),
+    )?;
+    fs::write(
+        dir.join("topics.pitt"),
+        pit_topics::snapshot::encode_space(engine.space()),
+    )?;
+    if let Some(vocab) = engine.vocab() {
+        fs::write(
+            dir.join("vocab.pitv"),
+            pit_topics::snapshot::encode_vocab(vocab),
+        )?;
+    }
+    fs::write(
+        dir.join("walks.pitw"),
+        pit_walk::snapshot::encode(engine.walks()),
+    )?;
+    fs::write(
+        dir.join("prop.pitp"),
+        pit_index::snapshot::encode(engine.propagation()),
+    )?;
+    fs::write(
+        dir.join("reps.pitr"),
+        pit_search_core::snapshot::encode(engine.reps()),
+    )?;
+
+    let mut meta = Vec::new();
+    meta.extend_from_slice(META_MAGIC);
+    meta.push(META_VERSION);
+    meta.push(match engine.summarizer() {
+        SummarizerKind::Rcl(_) => 0,
+        SummarizerKind::Lrw(_) => 1,
+    });
+    meta.extend_from_slice(&(engine.max_expand_rounds() as u32).to_le_bytes());
+    fs::write(dir.join("meta.pitm"), meta)?;
+    Ok(())
+}
+
+/// Load an engine previously written by [`save_engine`].
+///
+/// The summarizer configuration itself is not persisted (the representative
+/// sets already embody it); the loaded engine reports the summarizer *kind*
+/// with default parameters.
+pub fn load_engine(dir: &Path) -> Result<PitEngine, StoreError> {
+    let corrupt = |what: &str| StoreError::Corrupt(what.to_string());
+
+    let graph = pit_graph::snapshot::decode(&fs::read(dir.join("graph.pitg"))?)
+        .map_err(|e| StoreError::Corrupt(format!("graph: {e}")))?;
+    let space = pit_topics::snapshot::decode_space(&fs::read(dir.join("topics.pitt"))?)
+        .map_err(|e| StoreError::Corrupt(format!("topics: {e}")))?;
+    let vocab_path = dir.join("vocab.pitv");
+    let vocab = if vocab_path.exists() {
+        Some(
+            pit_topics::snapshot::decode_vocab(&fs::read(vocab_path)?)
+                .map_err(|e| StoreError::Corrupt(format!("vocab: {e}")))?,
+        )
+    } else {
+        None
+    };
+    let walks = pit_walk::snapshot::decode(&fs::read(dir.join("walks.pitw"))?)
+        .map_err(|e| StoreError::Corrupt(format!("walks: {e}")))?;
+    let prop = pit_index::snapshot::decode(&fs::read(dir.join("prop.pitp"))?)
+        .map_err(|e| StoreError::Corrupt(format!("propagation: {e}")))?;
+    let reps = pit_search_core::snapshot::decode(&fs::read(dir.join("reps.pitr"))?)
+        .map_err(|e| StoreError::Corrupt(format!("representatives: {e}")))?;
+
+    let meta = fs::read(dir.join("meta.pitm"))?;
+    if meta.len() != 4 + 1 + 1 + 4 || &meta[..4] != META_MAGIC {
+        return Err(corrupt("meta file malformed"));
+    }
+    if meta[4] != META_VERSION {
+        return Err(corrupt("meta version unsupported"));
+    }
+    let summarizer = match meta[5] {
+        0 => SummarizerKind::default_rcl(),
+        1 => SummarizerKind::default_lrw(),
+        _ => return Err(corrupt("unknown summarizer kind")),
+    };
+    let max_expand_rounds =
+        u32::from_le_bytes(meta[6..10].try_into().expect("length checked")) as usize;
+
+    // Cross-artifact consistency.
+    if space.node_count() != graph.node_count()
+        || walks.node_count() != graph.node_count()
+        || prop.len() != graph.node_count()
+    {
+        return Err(corrupt("artifact node counts disagree"));
+    }
+    if reps.len() != space.topic_count() {
+        return Err(corrupt("representative index topic count disagrees"));
+    }
+
+    Ok(PitEngine::from_parts(
+        graph,
+        space,
+        vocab,
+        walks,
+        prop,
+        reps,
+        summarizer,
+        max_expand_rounds,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::fixtures::{figure1_graph, figure1_topics, user};
+    use pit_graph::TermId;
+    use pit_topics::TopicSpaceBuilder;
+    use pit_walk::WalkConfig;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pit-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build_engine() -> PitEngine {
+        let graph = figure1_graph();
+        let mut vocab = pit_topics::Vocabulary::new();
+        let phone = vocab.intern("phone");
+        let mut b = TopicSpaceBuilder::new(graph.node_count(), 1);
+        for members in &figure1_topics() {
+            let t = b.add_topic(vec![phone]);
+            for &m in members {
+                b.assign(m, t);
+            }
+        }
+        PitEngine::builder()
+            .walk(WalkConfig::new(4, 16).with_seed(3))
+            .build_with_vocab(graph, b.build(), Some(vocab))
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_results() {
+        let dir = temp_dir("roundtrip");
+        let engine = build_engine();
+        save_engine(&dir, &engine).unwrap();
+        let loaded = load_engine(&dir).unwrap();
+
+        for u in [3u32, 7, 14] {
+            let a = engine.search_user_term(user(u), TermId(0), 3);
+            let b = loaded.search_user_term(user(u), TermId(0), 3);
+            assert_eq!(a.top_k, b.top_k, "user {u} diverged after reload");
+        }
+        // Keyword search works through the reloaded vocabulary.
+        assert!(loaded.search_keywords(user(3), &["phone"], 1).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_missing_artifacts() {
+        let dir = temp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(load_engine(&dir), Err(StoreError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_artifact() {
+        let dir = temp_dir("corrupt");
+        let engine = build_engine();
+        save_engine(&dir, &engine).unwrap();
+        // Truncate the propagation index file.
+        let path = dir.join("prop.pitp");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load_engine(&dir), Err(StoreError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_mismatched_artifacts() {
+        // Graph from one corpus, topics from another node count.
+        let dir = temp_dir("mismatch");
+        let engine = build_engine();
+        save_engine(&dir, &engine).unwrap();
+        // Overwrite topics with a space over a different node count.
+        let mut b = TopicSpaceBuilder::new(3, 1);
+        let t = b.add_topic(vec![TermId(0)]);
+        b.assign(pit_graph::NodeId(0), t);
+        fs::write(
+            dir.join("topics.pitt"),
+            pit_topics::snapshot::encode_space(&b.build()),
+        )
+        .unwrap();
+        assert!(matches!(load_engine(&dir), Err(StoreError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

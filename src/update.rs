@@ -1,0 +1,352 @@
+//! Incremental maintenance of a built engine.
+//!
+//! Section 4.4: "the offline pre-processing is updated after a period of
+//! time when the social network and topics have changed." A full rebuild is
+//! always correct, but most of its cost is the per-node propagation tables;
+//! [`PitEngine::apply_delta`] refreshes only what a delta can actually
+//! affect:
+//!
+//! * **graph** — rebuilt from the edge delta (CSR is immutable; `O(|V|+|E|)`);
+//! * **propagation index** — only the tables of nodes *downstream* of a new
+//!   edge's head (within the enumeration depth) can change; they are
+//!   recomputed exactly, the rest are provably untouched;
+//! * **walk index** — rebuilt in full: it is seed-deterministic and its
+//!   construction is the cheap offline stage, while any walk visiting an
+//!   endpoint of a changed edge may resample;
+//! * **representative sets** — topics are re-summarized when the delta can
+//!   move their summary: a topic gained members, or any of its topic nodes
+//!   or current representatives sits in the walk-affected region (within
+//!   `L` hops of a changed edge, in either direction).
+//!
+//! The refresh is *localized*, not byte-identical to a from-scratch build:
+//! topics far from every change keep their existing summaries even though a
+//! from-scratch build would resample their walks identically anyway. The
+//! tests pin down the exact guarantees.
+
+use crate::engine::{PitEngine, SummarizerKind};
+use pit_graph::{GraphError, NodeId, TopicId};
+use pit_index::PropagationIndex;
+use pit_search_core::TopicRepIndex;
+use pit_summarize::{LrwSummarizer, RclSummarizer, SummarizeContext, Summarizer};
+use pit_walk::{WalkIndex, WalkIndexParts};
+use rustc_hash::FxHashSet;
+
+/// A batch of changes to apply to a built engine.
+#[derive(Clone, Debug, Default)]
+pub struct Delta {
+    /// New influence edges `(from, to, transition probability)`.
+    pub new_edges: Vec<(NodeId, NodeId, f64)>,
+    /// New topic mentions `(user, topic)`. Topics must already exist.
+    pub new_assignments: Vec<(NodeId, TopicId)>,
+}
+
+impl Delta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.new_edges.is_empty() && self.new_assignments.is_empty()
+    }
+}
+
+/// What an [`PitEngine::apply_delta`] call actually did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Γ tables recomputed (nodes downstream of new edges).
+    pub refreshed_gamma_tables: usize,
+    /// Topics whose representative sets were rebuilt.
+    pub resummarized_topics: usize,
+    /// Whether the walk index was rebuilt (false only for empty deltas).
+    pub walk_index_rebuilt: bool,
+}
+
+impl PitEngine {
+    /// Apply a [`Delta`] in place, refreshing only the affected offline
+    /// artifacts. See the module docs for the exact guarantees.
+    ///
+    /// # Errors
+    /// Returns a [`GraphError`] when the delta contains an invalid edge
+    /// (out-of-range endpoint, self-loop, bad probability, or a conflicting
+    /// duplicate of an existing edge).
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<UpdateReport, GraphError> {
+        if delta.is_empty() {
+            return Ok(UpdateReport::default());
+        }
+        for &(v, t) in &delta.new_assignments {
+            self.graph().check_node(v)?;
+            assert!(
+                t.index() < self.space().topic_count(),
+                "assignment references unknown topic {t}"
+            );
+        }
+
+        // 1. Rebuild the graph with the new edges.
+        let mut builder = self.graph().to_builder();
+        for &(u, v, p) in &delta.new_edges {
+            builder.add_edge(u, v, p)?;
+        }
+        let new_graph = builder.build()?;
+
+        // 2. Rebuild the topic space with the new assignments.
+        let new_space = if delta.new_assignments.is_empty() {
+            self.space().clone()
+        } else {
+            let mut b = self.space().to_builder();
+            for &(v, t) in &delta.new_assignments {
+                b.assign(v, t);
+            }
+            b.build()
+        };
+
+        // 3. Localized propagation-index refresh: only nodes downstream of a
+        //    new edge's head can gain or lose θ-surviving in-paths.
+        let heads: Vec<NodeId> = delta.new_edges.iter().map(|&(_, v, _)| v).collect();
+        let mut prop: PropagationIndex = self.propagation().clone();
+        let affected_gamma = if heads.is_empty() {
+            Vec::new()
+        } else {
+            new_graph.downstream_within(&heads, prop.config().max_depth)
+        };
+        prop.refresh_nodes(&new_graph, &affected_gamma);
+
+        // 4. Walk index: deterministic full rebuild against the new graph.
+        let parts = match self.summarizer() {
+            SummarizerKind::Rcl(_) => WalkIndexParts::ALL,
+            SummarizerKind::Lrw(_) => WalkIndexParts::FOR_LRW,
+        };
+        let walks = WalkIndex::build_parts(&new_graph, *self.walks().config(), parts);
+
+        // 5. Re-summarize affected topics: those that gained members, plus
+        //    those whose topic nodes or current representatives are within L
+        //    hops of a changed edge in either direction (their walks, and
+        //    hence their summaries, may have changed).
+        let l = walks.l();
+        let mut walk_region: FxHashSet<NodeId> = FxHashSet::default();
+        for &(u, v, _) in &delta.new_edges {
+            walk_region.extend(new_graph.downstream_within(&[u, v], l));
+            // Upstream side: nodes whose walks can reach the changed edge.
+            walk_region.extend(upstream_within(&new_graph, &[u, v], l));
+        }
+        let mut affected_topics: FxHashSet<TopicId> =
+            delta.new_assignments.iter().map(|&(_, t)| t).collect();
+        for t in new_space.topics() {
+            if affected_topics.contains(&t) {
+                continue;
+            }
+            let touches = new_space
+                .topic_nodes(t)
+                .iter()
+                .any(|n| walk_region.contains(n))
+                || self
+                    .reps()
+                    .get(t)
+                    .nodes()
+                    .iter()
+                    .any(|n| walk_region.contains(n));
+            if touches {
+                affected_topics.insert(t);
+            }
+        }
+        let mut affected_topics: Vec<TopicId> = affected_topics.into_iter().collect();
+        affected_topics.sort_unstable();
+
+        let mut reps: TopicRepIndex = self.reps().clone();
+        {
+            let ctx = SummarizeContext {
+                graph: &new_graph,
+                space: &new_space,
+                walks: &walks,
+            };
+            let fresh = match self.summarizer() {
+                SummarizerKind::Rcl(cfg) => {
+                    let s = RclSummarizer::new(*cfg);
+                    affected_topics
+                        .iter()
+                        .map(|&t| s.summarize(&ctx, t))
+                        .collect::<Vec<_>>()
+                }
+                SummarizerKind::Lrw(cfg) => {
+                    let s = LrwSummarizer::new(*cfg);
+                    affected_topics
+                        .iter()
+                        .map(|&t| s.summarize(&ctx, t))
+                        .collect::<Vec<_>>()
+                }
+            };
+            for set in fresh {
+                reps.replace(set);
+            }
+        }
+
+        let report = UpdateReport {
+            refreshed_gamma_tables: affected_gamma.len(),
+            resummarized_topics: affected_topics.len(),
+            walk_index_rebuilt: true,
+        };
+        self.replace_parts(new_graph, new_space, walks, prop, reps);
+        Ok(report)
+    }
+}
+
+/// Reverse BFS: every node that can reach any of `targets` within
+/// `max_depth` hops (targets included).
+fn upstream_within(g: &pit_graph::CsrGraph, targets: &[NodeId], max_depth: usize) -> Vec<NodeId> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    for &t in targets {
+        if dist[t.index()] == u32::MAX {
+            dist[t.index()] = 0;
+            queue.push_back(t);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        out.push(u);
+        let du = dist[u.index()];
+        if du as usize >= max_depth {
+            continue;
+        }
+        for &w in g.in_neighbors(u) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_graph::fixtures::{figure1_graph, figure1_topics, user};
+    use pit_graph::TermId;
+    use pit_index::PropIndexConfig;
+    use pit_topics::TopicSpaceBuilder;
+    use pit_walk::WalkConfig;
+
+    fn engine() -> PitEngine {
+        let graph = figure1_graph();
+        let mut b = TopicSpaceBuilder::new(graph.node_count(), 1);
+        for members in &figure1_topics() {
+            let t = b.add_topic(vec![TermId(0)]);
+            for &m in members {
+                b.assign(m, t);
+            }
+        }
+        PitEngine::builder()
+            .walk(WalkConfig::new(4, 32).with_seed(9))
+            .propagation(PropIndexConfig::with_theta(0.01))
+            // Figure-1 calibration (see examples/quickstart.rs): low damping
+            // keeps representatives at the influence sources of this 15-node
+            // DAG, μ = 1 keeps all of them.
+            .summarizer(SummarizerKind::Lrw(pit_summarize::LrwConfig {
+                lambda: 0.2,
+                mu: 1.0,
+                ..Default::default()
+            }))
+            .build(graph, b.build())
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let mut e = engine();
+        let before = e.search_user_term(user(3), TermId(0), 3);
+        let report = e.apply_delta(&Delta::default()).unwrap();
+        assert_eq!(report, UpdateReport::default());
+        let after = e.search_user_term(user(3), TermId(0), 3);
+        assert_eq!(before.top_k, after.top_k);
+    }
+
+    #[test]
+    fn gamma_refresh_matches_fresh_build_everywhere() {
+        let mut e = engine();
+        let delta = Delta {
+            // A strong new path into user 3's neighborhood.
+            new_edges: vec![(user(11), user(6), 0.9)],
+            new_assignments: vec![],
+        };
+        let report = e.apply_delta(&delta).unwrap();
+        assert!(report.refreshed_gamma_tables > 0);
+        assert!(report.walk_index_rebuilt);
+
+        // Every Γ table — refreshed or not — must equal a from-scratch build
+        // on the updated graph.
+        let fresh = pit_index::PropagationIndex::build(e.graph(), *e.propagation().config());
+        for v in e.graph().nodes() {
+            assert_eq!(
+                e.propagation().gamma(v),
+                fresh.gamma(v),
+                "Γ({v}) diverged from fresh build"
+            );
+        }
+    }
+
+    #[test]
+    fn new_edge_changes_search_results() {
+        let mut e = engine();
+        let before = e.search_user_term(user(7), TermId(0), 1);
+        // t2 currently has no influence on user 7; wire topic-2 member user 4
+        // directly to 7 with a strong edge.
+        let delta = Delta {
+            new_edges: vec![(user(4), user(7), 0.9)],
+            new_assignments: vec![],
+        };
+        e.apply_delta(&delta).unwrap();
+        let after = e.search_user_term(user(7), TermId(0), 1);
+        // Before: HTC (t3) wins via 11→7. After, Samsung (t2) must at least
+        // gain score; with a 0.9 edge it takes the top slot.
+        assert_ne!(before.top_k, after.top_k, "delta had no effect");
+        assert_eq!(after.top_k[0].topic, TopicId(1), "{after:?}");
+    }
+
+    #[test]
+    fn new_assignment_resummarizes_topic() {
+        let mut e = engine();
+        // User 5 (a strong influencer of user 3) starts mentioning t3.
+        let delta = Delta {
+            new_edges: vec![],
+            new_assignments: vec![(user(5), TopicId(2))],
+        };
+        let before = e.search_user_term(user(3), TermId(0), 3);
+        let report = e.apply_delta(&delta).unwrap();
+        assert!(report.resummarized_topics >= 1);
+        assert!(e.space().node_has_topic(user(5), TopicId(2)));
+        let after = e.search_user_term(user(3), TermId(0), 3);
+        let score = |out: &pit_search_core::SearchOutcome, t: u32| {
+            out.top_k
+                .iter()
+                .find(|s| s.topic == TopicId(t))
+                .map(|s| s.score)
+                .unwrap_or(0.0)
+        };
+        assert!(
+            score(&after, 2) > score(&before, 2),
+            "t3 should gain influence on user 3: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_delta_edges() {
+        let mut e = engine();
+        let bad = Delta {
+            new_edges: vec![(user(1), user(1), 0.5)],
+            new_assignments: vec![],
+        };
+        assert!(e.apply_delta(&bad).is_err());
+        let bad = Delta {
+            new_edges: vec![(user(1), user(2), 1.5)],
+            new_assignments: vec![],
+        };
+        assert!(e.apply_delta(&bad).is_err());
+    }
+
+    #[test]
+    fn upstream_within_is_reverse_reachability() {
+        let g = figure1_graph();
+        // Nodes that can reach user 3 within 1 hop: {3, 1, 5, 6}.
+        let mut got = upstream_within(&g, &[user(3)], 1);
+        got.sort_unstable();
+        let mut expect = vec![user(3), user(1), user(5), user(6)];
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end pipeline tests: offline stage + online search on both the
+//! paper's fixtures and generated datasets.
+
+use pit::{PitEngine, SummarizerKind};
+use pit_datasets::{generate, paper_specs};
+use pit_graph::fixtures::{figure1_graph, figure1_topics, user};
+use pit_graph::{TermId, TopicId};
+use pit_index::PropIndexConfig;
+use pit_summarize::LrwConfig;
+use pit_topics::{KeywordQuery, TopicSpaceBuilder};
+use pit_walk::WalkConfig;
+
+fn example1_engine() -> PitEngine {
+    let graph = figure1_graph();
+    let mut b = TopicSpaceBuilder::new(graph.node_count(), 1);
+    for members in &figure1_topics() {
+        let t = b.add_topic(vec![TermId(0)]);
+        for &m in members {
+            b.assign(m, t);
+        }
+    }
+    PitEngine::builder()
+        .walk(WalkConfig::new(4, 64).with_seed(42))
+        .propagation(PropIndexConfig::with_theta(0.005))
+        .summarizer(SummarizerKind::Lrw(LrwConfig {
+            lambda: 0.2,
+            mu: 1.0,
+            ..Default::default()
+        }))
+        .build(graph, b.build())
+}
+
+/// The paper's Example 1: same query, three users, three different winners.
+#[test]
+fn example1_personalization() {
+    let engine = example1_engine();
+    let expect = [(3u32, TopicId(1)), (7, TopicId(2)), (14, TopicId(1))];
+    for (u, winner) in expect {
+        let out = engine.search_user_term(user(u), TermId(0), 1);
+        assert_eq!(out.top_k[0].topic, winner, "user {u}: got {:?}", out.top_k);
+    }
+}
+
+/// Example 1's influence values survive the full pipeline: Samsung ≈ 0.188
+/// for User 3, as in the paper's worked table.
+#[test]
+fn example1_scores_match_paper() {
+    let engine = example1_engine();
+    let out = engine.search_user_term(user(3), TermId(0), 3);
+    let samsung = out
+        .top_k
+        .iter()
+        .find(|s| s.topic == TopicId(1))
+        .expect("t2 present");
+    assert!(
+        (samsung.score - 0.188).abs() < 0.02,
+        "Samsung score {} far from paper's 0.188",
+        samsung.score
+    );
+    let apple = out
+        .top_k
+        .iter()
+        .find(|s| s.topic == TopicId(0))
+        .expect("t1 present");
+    assert!(
+        (apple.score - 0.137).abs() < 0.02,
+        "Apple score {} far from paper's 0.137",
+        apple.score
+    );
+}
+
+/// The engine is deterministic end to end for a fixed seed.
+#[test]
+fn engine_is_deterministic() {
+    let a = example1_engine();
+    let b = example1_engine();
+    for u in [3u32, 7, 14] {
+        let oa = a.search_user_term(user(u), TermId(0), 3);
+        let ob = b.search_user_term(user(u), TermId(0), 3);
+        assert_eq!(oa.top_k, ob.top_k, "user {u} diverged");
+    }
+}
+
+/// A light spec for integration tests (the real data_2k spec carries the
+/// paper's 4000-topic space, far too heavy for a unit-style test).
+fn light_spec(nodes: usize, seed: u64) -> pit_datasets::DatasetSpec {
+    pit_datasets::DatasetSpec {
+        name: format!("light-{seed}"),
+        nodes,
+        kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+        topics: pit_datasets::spec::scaled_topic_config(nodes, seed),
+        seed,
+    }
+}
+
+/// Full pipeline on a generated dataset: every workload query returns a
+/// well-formed result and prunes/probes sensibly.
+#[test]
+fn generated_dataset_pipeline() {
+    let mut spec = paper_specs(1000)[1].clone(); // data_350k shrunk to 1000+
+    spec.nodes = 1_200;
+    spec.topics = pit_datasets::spec::scaled_topic_config(1_200, spec.seed);
+    let ds = generate(&spec);
+    let engine = PitEngine::builder()
+        .walk(WalkConfig::new(4, 16).with_seed(7))
+        .propagation(PropIndexConfig::with_theta(0.02))
+        .summarizer(SummarizerKind::Lrw(LrwConfig {
+            rep_count: Some(8),
+            ..LrwConfig::default()
+        }))
+        .build_with_vocab(ds.graph, ds.space, Some(ds.vocab));
+
+    let k = 5;
+    for term in 0..4u32 {
+        for u in [0usize, 123, 777] {
+            let q = KeywordQuery::new(pit_graph::NodeId::from_index(u), vec![TermId(term)]);
+            let out = engine.search(&q, k);
+            assert!(out.top_k.len() <= k);
+            assert!(
+                out.top_k.len() == k.min(out.candidate_topics),
+                "term {term}, user {u}: expected a full result, got {}/{}",
+                out.top_k.len(),
+                out.candidate_topics
+            );
+            // Scores sorted descending and finite.
+            assert!(out.top_k.windows(2).all(|w| w[0].score >= w[1].score));
+            assert!(out
+                .top_k
+                .iter()
+                .all(|s| s.score.is_finite() && s.score >= 0.0));
+        }
+    }
+}
+
+/// Both summarizers approximate the same reference (BasePropagation, the
+/// exact-by-index engine) far above chance.
+///
+/// Note on ordering: the paper's Twitter evaluation has LRW-A above RCL-A.
+/// On sparse synthetic graphs the sampled common-reachability test groups
+/// almost nothing, so RCL-A degenerates to singleton clusters whose
+/// centroids are the topic nodes themselves — a near-exact (if bulky)
+/// summary — while LRW-A's hub representatives genuinely compress and lose
+/// precision. We therefore assert quality floors for both rather than the
+/// Twitter-specific ordering; EXPERIMENTS.md discusses the inversion.
+#[test]
+fn summarizers_beat_chance_against_reference() {
+    let ds = generate(&light_spec(1_000, 0xD2C0));
+    let lrw = PitEngine::builder()
+        .walk(WalkConfig::new(4, 32).with_seed(5))
+        .propagation(PropIndexConfig::with_theta(0.005))
+        .summarizer(SummarizerKind::Lrw(LrwConfig {
+            rep_count: Some(50),
+            ..LrwConfig::default()
+        }))
+        .build(ds.graph.clone(), ds.space.clone());
+    let rcl = PitEngine::builder()
+        .walk(WalkConfig::new(4, 32).with_seed(5))
+        .propagation(PropIndexConfig::with_theta(0.005))
+        .summarizer(SummarizerKind::Rcl(pit_summarize::RclConfig {
+            c_size: 50,
+            sample_rate: 0.2,
+            ..pit_summarize::RclConfig::default()
+        }))
+        .build(ds.graph.clone(), ds.space.clone());
+    let reference = {
+        let prop =
+            pit_index::PropagationIndex::build(&ds.graph, PropIndexConfig::with_theta(0.005));
+        move |q: &KeywordQuery, k: usize| -> Vec<TopicId> {
+            let engine = pit_baselines::BasePropagation::new(&ds.space, &prop);
+            pit_baselines::rank_top_k(&engine, &ds.space, q, k)
+                .into_iter()
+                .map(|r| r.topic)
+                .collect()
+        }
+    };
+
+    let k = 10;
+    let users = [3usize, 50, 400, 999];
+    let (mut p_lrw, mut p_rcl) = (0.0, 0.0);
+    for &u in &users {
+        let q = KeywordQuery::new(pit_graph::NodeId::from_index(u), vec![TermId(0)]);
+        let truth = reference(&q, k);
+        let a: Vec<TopicId> = lrw.search(&q, k).top_k.iter().map(|s| s.topic).collect();
+        let b: Vec<TopicId> = rcl.search(&q, k).top_k.iter().map(|s| s.topic).collect();
+        p_lrw += pit_eval::precision_at_k(&a, &truth, k);
+        p_rcl += pit_eval::precision_at_k(&b, &truth, k);
+    }
+    p_lrw /= users.len() as f64;
+    p_rcl /= users.len() as f64;
+    // Chance at k = 10 over ~80+ candidate topics is ≤ 0.13.
+    assert!(p_lrw > 0.3, "LRW-A precision too low: {p_lrw}");
+    assert!(p_rcl > 0.3, "RCL-A precision too low: {p_rcl}");
+}

@@ -1,0 +1,102 @@
+//! The upper-bound pruning of Algorithm 10/11 must never change the result
+//! relative to running every topic to exhaustion — across datasets, seeds,
+//! users and k.
+
+use pit_datasets::{generate, paper_specs, DatasetKind, DatasetSpec};
+use pit_graph::{NodeId, TermId, TopicId};
+use pit_index::{PropIndexConfig, PropagationIndex};
+use pit_search_core::{PersonalizedSearcher, SearchConfig, TopicRepIndex};
+use pit_summarize::{LrwConfig, LrwSummarizer, SummarizeContext};
+use pit_topics::KeywordQuery;
+use pit_walk::{WalkConfig, WalkIndex, WalkIndexParts};
+
+fn check_spec(spec: &DatasetSpec, theta: f64) {
+    let ds = generate(spec);
+    let walks = WalkIndex::build_parts(
+        &ds.graph,
+        WalkConfig::new(4, 12).with_seed(spec.seed),
+        WalkIndexParts::FOR_LRW,
+    );
+    let prop = PropagationIndex::build(&ds.graph, PropIndexConfig::with_theta(theta));
+    let ctx = SummarizeContext {
+        graph: &ds.graph,
+        space: &ds.space,
+        walks: &walks,
+    };
+    let reps = TopicRepIndex::build(
+        &ctx,
+        &LrwSummarizer::new(LrwConfig {
+            rep_count: Some(6),
+            ..LrwConfig::default()
+        }),
+    );
+
+    for k in [1usize, 5, 20] {
+        for u in [0usize, 99, 500] {
+            let q = KeywordQuery::new(NodeId::from_index(u), vec![TermId(0)]);
+            let pruned = PersonalizedSearcher::new(
+                &ds.space,
+                &prop,
+                &reps,
+                SearchConfig {
+                    k,
+                    max_expand_rounds: 6,
+                    prune: true,
+                },
+            )
+            .search(&q);
+            let full = PersonalizedSearcher::new(
+                &ds.space,
+                &prop,
+                &reps,
+                SearchConfig {
+                    k,
+                    max_expand_rounds: 6,
+                    prune: false,
+                },
+            )
+            .search(&q);
+            let a: Vec<TopicId> = pruned.top_k.iter().map(|s| s.topic).collect();
+            let b: Vec<TopicId> = full.top_k.iter().map(|s| s.topic).collect();
+            assert_eq!(
+                a, b,
+                "{}: pruning changed the top-{k} for user {u} \
+                 (pruned {} topics)",
+                spec.name, pruned.pruned_topics
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_safe_on_power_law_graph() {
+    let mut spec = paper_specs(100)[0].clone();
+    spec.nodes = 1_000;
+    check_spec(&spec, 0.01);
+}
+
+#[test]
+fn pruning_safe_on_degree_band_graph() {
+    let spec = DatasetSpec {
+        name: "band-test".into(),
+        nodes: 1_000,
+        kind: DatasetKind::DegreeBand { lo: 4, hi: 9 },
+        topics: pit_datasets::spec::scaled_topic_config(1_000, 33),
+        seed: 33,
+    };
+    check_spec(&spec, 0.02);
+}
+
+#[test]
+fn pruning_safe_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let spec = DatasetSpec {
+            name: format!("seed-{seed}"),
+            nodes: 600,
+            kind: DatasetKind::PowerLaw { edges_per_node: 3 },
+            topics: pit_datasets::spec::scaled_topic_config(600, seed),
+            seed,
+        };
+        check_spec(&spec, 0.01);
+    }
+}

@@ -1,0 +1,119 @@
+//! Corruption fuzzing for every binary snapshot format: decoders must never
+//! panic on malformed input — truncations, byte flips, random garbage — only
+//! return errors (or, for benign flips such as a probability's low bits,
+//! succeed).
+
+use pit_graph::fixtures::{figure1_graph, figure1_topics, figure3_graph};
+use pit_graph::{TermId, TopicId};
+use pit_index::{PropIndexConfig, PropagationIndex};
+use pit_search_core::TopicRepIndex;
+use pit_summarize::RepresentativeSet;
+use pit_topics::TopicSpaceBuilder;
+use pit_walk::{WalkConfig, WalkIndex};
+use proptest::prelude::*;
+
+fn space() -> pit_topics::TopicSpace {
+    let g = figure1_graph();
+    let mut b = TopicSpaceBuilder::new(g.node_count(), 2);
+    for members in &figure1_topics() {
+        let t = b.add_topic(vec![TermId(0), TermId(1)]);
+        for &m in members {
+            b.assign(m, t);
+        }
+    }
+    b.build()
+}
+
+/// All snapshot payloads under test, with a closure that decodes them.
+type Decoder = fn(&[u8]) -> bool;
+
+fn payloads() -> Vec<(String, Vec<u8>, Decoder)> {
+    let graph = figure1_graph();
+    let walks = WalkIndex::build(&graph, WalkConfig::new(3, 4));
+    let prop = PropagationIndex::build(&figure3_graph(), PropIndexConfig::default());
+    let reps = TopicRepIndex::from_sets(vec![RepresentativeSet::new(
+        TopicId(0),
+        vec![(pit_graph::NodeId(1), 0.5)],
+    )]);
+    let space = space();
+    let mut vocab = pit_topics::Vocabulary::new();
+    vocab.intern("phone");
+    vocab.intern("tablet");
+
+    vec![
+        (
+            "graph".into(),
+            pit_graph::snapshot::encode(&graph).to_vec(),
+            |b| pit_graph::snapshot::decode(b).is_ok(),
+        ),
+        (
+            "walks".into(),
+            pit_walk::snapshot::encode(&walks).to_vec(),
+            |b| pit_walk::snapshot::decode(b).is_ok(),
+        ),
+        (
+            "prop".into(),
+            pit_index::snapshot::encode(&prop).to_vec(),
+            |b| pit_index::snapshot::decode(b).is_ok(),
+        ),
+        (
+            "reps".into(),
+            pit_search_core::snapshot::encode(&reps).to_vec(),
+            |b| pit_search_core::snapshot::decode(b).is_ok(),
+        ),
+        (
+            "space".into(),
+            pit_topics::snapshot::encode_space(&space).to_vec(),
+            |b| pit_topics::snapshot::decode_space(b).is_ok(),
+        ),
+        (
+            "vocab".into(),
+            pit_topics::snapshot::encode_vocab(&vocab).to_vec(),
+            |b| pit_topics::snapshot::decode_vocab(b).is_ok(),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncation at any point never panics and (except trivial cases)
+    /// errors out.
+    #[test]
+    fn truncation_never_panics(cut_pct in 0u32..100) {
+        for (name, bytes, decode_ok) in payloads() {
+            let cut = (bytes.len() as u64 * cut_pct as u64 / 100) as usize;
+            if cut == bytes.len() {
+                continue;
+            }
+            // Must not panic; truncated payloads must fail.
+            prop_assert!(!decode_ok(&bytes[..cut]), "{name}: truncated decode succeeded");
+        }
+    }
+
+    /// Random single-byte flips never panic.
+    #[test]
+    fn byte_flips_never_panic(pos_pct in 0u32..100, xor in 1u8..=255) {
+        for (_name, mut bytes, decode_ok) in payloads() {
+            let pos = (bytes.len() as u64 * pos_pct as u64 / 100) as usize;
+            let pos = pos.min(bytes.len() - 1);
+            bytes[pos] ^= xor;
+            // Outcome may be Ok (benign flip in a float) or Err — the only
+            // failure mode is a panic, which proptest would catch.
+            let _ = decode_ok(&bytes);
+        }
+    }
+
+    /// Entirely random garbage never panics and never decodes.
+    #[test]
+    fn garbage_never_decodes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        for (name, _, decode_ok) in payloads() {
+            // Exclude the astronomically unlikely case of valid magic+layout
+            // by checking the first bytes differ from any known magic.
+            if bytes.len() >= 4 && (&bytes[..3] == b"PIT") {
+                continue;
+            }
+            prop_assert!(!decode_ok(&bytes), "{name}: garbage decoded");
+        }
+    }
+}
