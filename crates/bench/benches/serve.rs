@@ -1,0 +1,99 @@
+//! Serving-path benchmarks: full TCP round-trips against a live `pit-server`
+//! worker pool, separating the cold path (every query computed) from the
+//! cached path (LRU hit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pit::{PitEngine, SummarizerKind};
+use pit_server::protocol::{read_frame, write_frame};
+use pit_server::{ServerConfig, ServerState};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Arc<PitEngine> {
+    let spec = pit_datasets::DatasetSpec {
+        name: "serve-bench".to_string(),
+        nodes: 1_500,
+        kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+        topics: pit_datasets::spec::scaled_topic_config(1_500, 0xBE7C),
+        seed: 0xBE7C,
+    };
+    let ds = pit_datasets::generate(&spec);
+    Arc::new(
+        PitEngine::builder()
+            .walk(pit_walk::WalkConfig::new(4, 16).with_seed(1))
+            .propagation(pit_index::PropIndexConfig::with_theta(0.05))
+            .summarizer(SummarizerKind::Lrw(pit_summarize::LrwConfig {
+                rep_count: Some(16),
+                ..pit_summarize::LrwConfig::default()
+            }))
+            .build_with_vocab(ds.graph, ds.space, Some(ds.vocab)),
+    )
+}
+
+fn roundtrip(stream: &mut TcpStream, line: &str) {
+    write_frame(stream, line).expect("send");
+    let reply = read_frame(stream).expect("recv").expect("reply");
+    assert!(reply.starts_with("TOPICS"), "unexpected reply: {reply}");
+}
+
+fn served_queries(c: &mut Criterion) {
+    let engine = engine();
+    let budget = Duration::from_secs(30);
+
+    // Cold server: caching disabled, so every round-trip runs the searcher.
+    let cold_state = Arc::new(ServerState::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 0,
+            query_budget: budget,
+            ..ServerConfig::default()
+        },
+    ));
+    let cold = pit_server::serve(cold_state, "127.0.0.1:0").expect("start cold server");
+
+    // Cached server: one hot key, primed before measurement.
+    let cached_state = Arc::new(ServerState::new(
+        engine,
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 1024,
+            query_budget: budget,
+            ..ServerConfig::default()
+        },
+    ));
+    let cached = pit_server::serve(cached_state, "127.0.0.1:0").expect("start cached server");
+
+    let mut cold_conn = TcpStream::connect(cold.addr()).expect("connect cold");
+    cold_conn.set_nodelay(true).unwrap();
+    let mut cached_conn = TcpStream::connect(cached.addr()).expect("connect cached");
+    cached_conn.set_nodelay(true).unwrap();
+    roundtrip(&mut cached_conn, "QUERY 7 10 query-0"); // prime the cache
+
+    let mut group = c.benchmark_group("served_query");
+    group.sample_size(20);
+    let mut user = 0u32;
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            // Rotate users so even a future default cache could not hide
+            // the compute path.
+            user = (user + 1) % 1_000;
+            roundtrip(&mut cold_conn, &format!("QUERY {user} 10 query-0"));
+        });
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| roundtrip(&mut cached_conn, "QUERY 7 10 query-0"));
+    });
+    group.finish();
+
+    drop(cold_conn);
+    drop(cached_conn);
+    cold.shutdown();
+    cached.shutdown();
+    cold.join();
+    cached.join();
+}
+
+criterion_group!(benches, served_queries);
+criterion_main!(benches);

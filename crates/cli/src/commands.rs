@@ -236,6 +236,104 @@ pub fn stats(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `pit serve` — run the query daemon over a saved engine.
+pub fn serve(p: &Parsed) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let engine = Arc::new(load(p)?);
+    let addr = p.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let defaults = pit_server::ServerConfig::default();
+    let config = pit_server::ServerConfig {
+        workers: p.num("workers", defaults.workers)?,
+        queue_depth: p.num("queue-depth", defaults.queue_depth)?,
+        cache_capacity: p.num("cache", defaults.cache_capacity)?,
+        query_budget: Duration::from_millis(
+            p.num("budget-ms", defaults.query_budget.as_millis() as u64)?,
+        ),
+        io_timeout: Duration::from_millis(
+            p.num("io-timeout-ms", defaults.io_timeout.as_millis() as u64)?,
+        ),
+    };
+    let state = Arc::new(pit_server::ServerState::new(engine, config.clone()));
+    let handle = pit_server::serve(state, addr.as_str()).map_err(|e| e.to_string())?;
+    // The integration tests parse this line to learn the ephemeral port, so
+    // keep its shape stable and flush it before blocking.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "{} workers, queue depth {}, cache {} entries, budget {:?}; stop with the SHUTDOWN verb",
+        config.workers, config.queue_depth, config.cache_capacity, config.query_budget
+    );
+    handle.join();
+    println!("drained; bye");
+    Ok(())
+}
+
+/// `pit client` — one request against a running `pit serve`.
+pub fn client(p: &Parsed) -> Result<(), String> {
+    use pit_server::protocol;
+    use std::net::TcpStream;
+
+    let addr = p.require("addr")?;
+    let op = p.get("op").unwrap_or("query");
+    let request = match op {
+        "ping" => protocol::Request::Ping,
+        "stats" => protocol::Request::Stats,
+        "shutdown" => protocol::Request::Shutdown,
+        "query" => {
+            let user: u32 = p.num("user", u32::MAX)?;
+            if user == u32::MAX {
+                return Err("missing required flag --user".into());
+            }
+            let keywords: Vec<String> = p
+                .require("keywords")?
+                .split(',')
+                .map(str::to_string)
+                .collect();
+            protocol::Request::Query {
+                user,
+                k: p.num("k", 10)?,
+                keywords,
+            }
+        }
+        other => return Err(format!("unknown op {other} (ping|stats|shutdown|query)")),
+    };
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    protocol::write_frame(&mut stream, &request.render()).map_err(|e| e.to_string())?;
+    let text = protocol::read_frame(&mut stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "server closed the connection without replying".to_string())?;
+    match protocol::Response::parse(&text).map_err(|e| format!("bad reply: {e}"))? {
+        protocol::Response::Pong => println!("PONG"),
+        protocol::Response::Bye => println!("BYE"),
+        protocol::Response::Err(reason) => return Err(format!("server error: {reason}")),
+        protocol::Response::Stats(pairs) => {
+            for (key, value) in pairs {
+                println!("{key:<18} {value}");
+            }
+        }
+        protocol::Response::Topics {
+            ranked,
+            cached,
+            micros,
+        } => {
+            println!(
+                "{} topics ({}, {:.2} ms)",
+                ranked.len(),
+                if cached { "cached" } else { "fresh" },
+                micros as f64 / 1e3
+            );
+            for (rank, (topic, score)) in ranked.iter().enumerate() {
+                println!("  {:>3}. topic {topic:<6} influence {score:.6}", rank + 1);
+            }
+        }
+    }
+    Ok(())
+}
+
 fn load(p: &Parsed) -> Result<PitEngine, String> {
     let dir = Path::new(p.require("engine")?);
     store::load_engine(dir).map_err(|e| e.to_string())

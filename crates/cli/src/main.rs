@@ -7,6 +7,8 @@
 //! pit query    --engine engine/ --user 3 --keywords query-0 [--k 10]
 //! pit audience --engine engine/ --topic 0 --keyword query-0 [--k 3] [--sample 200]
 //! pit stats    --engine engine/
+//! pit serve    --engine engine/ [--addr 127.0.0.1:7878] [--workers 8]
+//! pit client   --addr 127.0.0.1:7878 --user 3 --keywords query-0 [--k 10]
 //! ```
 
 use pit_cli::{args, commands};
@@ -27,6 +29,8 @@ fn main() {
         "query" => commands::query(&parsed),
         "audience" => commands::audience(&parsed),
         "stats" => commands::stats(&parsed),
+        "serve" => commands::serve(&parsed),
+        "client" => commands::client(&parsed),
         "help" | "--help" | "-h" => {
             usage();
             return;
@@ -50,6 +54,10 @@ fn usage() {
          \x20          [--walk-l L] [--walk-r R] [--reps N]        run the offline stage\n\
          \x20 query    --engine DIR --user N --keywords a,b [--k K]\n\
          \x20 audience --engine DIR --topic T --keyword WORD [--k K] [--sample N]\n\
-         \x20 stats    --engine DIR"
+         \x20 stats    --engine DIR\n\
+         \x20 serve    --engine DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20          [--cache N] [--budget-ms MS] [--io-timeout-ms MS]   run the query daemon\n\
+         \x20 client   --addr HOST:PORT [--op ping|stats|shutdown|query]\n\
+         \x20          [--user N --keywords a,b [--k K]]                   talk to a daemon"
     );
 }

@@ -1,0 +1,218 @@
+//! End-to-end daemon test: build an engine on disk, spawn the real `pit`
+//! binary with `serve`, and talk to it over TCP — including a concurrent
+//! burst — then shut it down cleanly.
+
+use pit::{store, PitEngine, SummarizerKind};
+use pit_server::protocol::{read_frame, write_frame, Request, Response};
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pit-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Build a small engine and persist it where `pit serve` can load it.
+fn build_engine(dir: &Path) -> PitEngine {
+    let spec = pit_datasets::DatasetSpec {
+        name: "serve-it".to_string(),
+        nodes: 400,
+        kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+        topics: pit_datasets::spec::scaled_topic_config(400, 17),
+        seed: 17,
+    };
+    let ds = pit_datasets::generate(&spec);
+    let engine = PitEngine::builder()
+        .walk(pit_walk::WalkConfig::new(3, 8).with_seed(4))
+        .propagation(pit_index::PropIndexConfig::with_theta(0.02))
+        .summarizer(SummarizerKind::Lrw(pit_summarize::LrwConfig {
+            rep_count: Some(8),
+            ..pit_summarize::LrwConfig::default()
+        }))
+        .build_with_vocab(ds.graph, ds.space, Some(ds.vocab));
+    store::save_engine(dir, &engine).expect("save engine");
+    engine
+}
+
+/// Spawn `pit serve` on an ephemeral port and return (child, bound address).
+fn spawn_server(engine_dir: &Path, extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pit"));
+    cmd.args(["serve", "--engine"])
+        .arg(engine_dir)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn pit serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server printed a banner")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn ask(stream: &mut TcpStream, req: &Request) -> Response {
+    write_frame(stream, &req.render()).expect("send");
+    let text = read_frame(stream).expect("recv").expect("reply");
+    Response::parse(&text).expect("parse reply")
+}
+
+fn query(user: u32, k: usize, kw: &str) -> Request {
+    Request::Query {
+        user,
+        k,
+        keywords: vec![kw.to_string()],
+    }
+}
+
+#[test]
+fn serve_answers_queries_identical_to_offline_and_drains() {
+    let dir = scratch_dir("main");
+    let engine = build_engine(&dir);
+    let (mut child, addr) = spawn_server(&dir, &["--workers", "4", "--cache", "64"]);
+
+    let mut c = TcpStream::connect(&addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Liveness.
+    assert_eq!(ask(&mut c, &Request::Ping), Response::Pong);
+
+    // Served top-k must match the offline path bit for bit.
+    for user in [0u32, 7, 123] {
+        let Response::Topics { ranked, .. } = ask(&mut c, &query(user, 5, "query-0")) else {
+            panic!("expected topics for user {user}");
+        };
+        let offline = engine
+            .search_keywords(pit_graph::NodeId(user), &["query-0"], 5)
+            .expect("offline search");
+        let offline: Vec<(u32, f64)> = offline.top_k.iter().map(|s| (s.topic.0, s.score)).collect();
+        assert_eq!(ranked, offline, "user {user} diverged from offline path");
+    }
+
+    // Re-asking is a cache hit with the same ranking.
+    let Response::Topics { cached, ranked, .. } = ask(&mut c, &query(7, 5, "query-0")) else {
+        panic!("expected topics");
+    };
+    assert!(cached, "repeat query should hit the cache");
+    assert!(!ranked.is_empty());
+
+    // Concurrent burst: 8 client threads, each with its own connection.
+    let mut burst = Vec::new();
+    for t in 0..8u32 {
+        let addr = addr.clone();
+        burst.push(std::thread::spawn(move || {
+            let mut c = TcpStream::connect(&addr).expect("connect");
+            c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            for i in 0..6u32 {
+                // Mix repeats (cache hits) with per-thread users.
+                let user = if i % 2 == 0 { 7 } else { 20 + t };
+                match ask(&mut c, &query(user, 5, "query-0")) {
+                    Response::Topics { ranked, .. } => {
+                        assert!(!ranked.is_empty(), "thread {t} got empty top-k")
+                    }
+                    Response::Err(reason) => {
+                        // Shedding is legal under burst; anything else is not.
+                        assert_eq!(reason, "overloaded", "thread {t}: {reason}")
+                    }
+                    other => panic!("thread {t}: unexpected reply {other:?}"),
+                }
+            }
+        }));
+    }
+    for h in burst {
+        h.join().expect("burst thread");
+    }
+
+    // STATS reflects the traffic: non-zero queries and cache hits.
+    let Response::Stats(pairs) = ask(&mut c, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    let get = |name: &str| -> u64 {
+        pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+            .1
+            .parse()
+            .unwrap_or_else(|_| panic!("stat {name} not numeric"))
+    };
+    assert!(get("queries") >= 4, "queries = {}", get("queries"));
+    assert!(get("cache_hits") >= 1, "cache_hits = {}", get("cache_hits"));
+    assert!(get("connections") >= 9);
+    assert!(get("latency_p50_us") > 0);
+
+    // Graceful shutdown: BYE, then the process drains and exits cleanly.
+    assert_eq!(ask(&mut c, &Request::Shutdown), Response::Bye);
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_sheds_or_answers_under_tiny_queue() {
+    let dir = scratch_dir("shed");
+    build_engine(&dir);
+    // One worker, queue depth 1, no cache: a 16-way burst must shed.
+    let (mut child, addr) = spawn_server(
+        &dir,
+        &["--workers", "1", "--queue-depth", "1", "--cache", "0"],
+    );
+    let mut shed = 0u32;
+    let mut served = 0u32;
+    let mut burst = Vec::new();
+    for t in 0..16u32 {
+        let addr = addr.clone();
+        burst.push(std::thread::spawn(move || {
+            let mut c = TcpStream::connect(&addr).expect("connect");
+            c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            match ask(&mut c, &query(t % 50, 5, "query-0")) {
+                Response::Topics { .. } => (1u32, 0u32),
+                Response::Err(reason) => {
+                    assert_eq!(reason, "overloaded");
+                    (0, 1)
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }));
+    }
+    for h in burst {
+        let (s, o) = h.join().expect("burst thread");
+        served += s;
+        shed += o;
+    }
+    assert_eq!(served + shed, 16);
+    assert!(served >= 1, "at least one query must be served");
+
+    let mut c = TcpStream::connect(&addr).expect("connect");
+    let Response::Stats(pairs) = ask(&mut c, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    let reported: u64 = pairs
+        .iter()
+        .find(|(k, _)| k == "shed")
+        .expect("shed stat")
+        .1
+        .parse()
+        .expect("numeric");
+    assert_eq!(
+        reported, shed as u64,
+        "STATS shed must match observed sheds"
+    );
+
+    assert_eq!(ask(&mut c, &Request::Shutdown), Response::Bye);
+    assert!(child.wait().expect("server exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

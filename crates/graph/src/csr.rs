@@ -13,7 +13,6 @@
 
 use crate::error::{GraphError, Result};
 use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Immutable directed graph with per-edge transition probabilities, stored in
 /// CSR form for both adjacency directions.
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// Out-edges of `u` are the pairs `(v, Λ(u,v))`; in-edges of `v` are the pairs
 /// `(u, Λ(u,v))`. Edge targets within one node's slice are sorted by id, which
 /// enables binary-searched `edge_prob` lookups.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CsrGraph {
     /// `out_offsets[u] .. out_offsets[u+1]` delimits `u`'s out-edge slice.
     out_offsets: Vec<u32>,

@@ -4,21 +4,20 @@
 //! (3 M nodes) fits comfortably in 32 bits, and halving the index footprint
 //! relative to `usize` matters for the walk and propagation indexes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a social user (a node of the graph).
 ///
 /// Dense: valid ids are `0..graph.node_count()`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a topic in the topic space `T`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TopicId(pub u32);
 
 /// Identifier of a query term (keyword) in the term vocabulary.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TermId(pub u32);
 
 macro_rules! id_impls {

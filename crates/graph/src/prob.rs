@@ -8,10 +8,9 @@
 
 use crate::ids::NodeId;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How transition probabilities are assigned to edges.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ProbabilityModel {
     /// The classic *weighted cascade*: `Λ(u,v) = 1 / in_degree(v)`. Influence
     /// arriving at a popular node is diluted across its followers.

@@ -1,0 +1,66 @@
+//! Snapshot codec robustness for the propagation index: decoding must be an
+//! exact inverse of encoding on valid input and must return `SnapshotError`
+//! — never panic — on truncated or corrupted input.
+
+use pit_graph::{GraphBuilder, NodeId};
+use pit_index::{snapshot, PropIndexConfig, PropagationIndex};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (3usize..=12).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.1f64..0.9)
+            .prop_filter("no self-loops", |(a, b, _)| a != b);
+        proptest::collection::vec(edge, n..3 * n).prop_map(move |mut es| {
+            let mut seen = FxHashSet::default();
+            es.retain(|&(a, b, _)| seen.insert((a, b)));
+            (n, es)
+        })
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)], theta: f64) -> PropagationIndex {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, p) in edges {
+        b.add_edge(NodeId(u), NodeId(v), p).unwrap();
+    }
+    PropagationIndex::build(&b.build().unwrap(), PropIndexConfig::with_theta(theta))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// encode ∘ decode ∘ encode is the identity on bytes.
+    #[test]
+    fn roundtrip_is_byte_exact((n, edges) in graph_strategy(), theta in 0.005f64..0.1) {
+        let bytes = snapshot::encode(&build(n, &edges, theta));
+        let restored = snapshot::decode(&bytes).expect("valid snapshot decodes");
+        prop_assert_eq!(snapshot::encode(&restored).as_ref(), bytes.as_ref());
+    }
+
+    /// Every strict prefix of a snapshot is rejected with an error.
+    #[test]
+    fn truncation_always_errors((n, edges) in graph_strategy(), cut in 0usize..10_000) {
+        let bytes = snapshot::encode(&build(n, &edges, 0.01));
+        let cut = cut % bytes.len();
+        prop_assert!(snapshot::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Single-byte corruption anywhere never panics: either a clean error or
+    /// (when the byte is immaterial, e.g. inside a float) a decoded index.
+    #[test]
+    fn corruption_never_panics(
+        (n, edges) in graph_strategy(),
+        pos in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let bytes = snapshot::encode(&build(n, &edges, 0.01));
+        let mut corrupt = bytes.to_vec();
+        let pos = pos % corrupt.len();
+        corrupt[pos] ^= xor;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            snapshot::decode(&corrupt).map(|_| ())
+        }));
+        prop_assert!(outcome.is_ok(), "decode panicked on byte {} ^ {}", pos, xor);
+    }
+}

@@ -1,0 +1,68 @@
+//! Snapshot codec robustness for the topic-to-representative index: exact
+//! roundtrip on valid input, `SnapshotError` — never a panic — on truncated
+//! or corrupted input.
+
+use pit_graph::{NodeId, TopicId};
+use pit_search_core::{snapshot, TopicRepIndex};
+use pit_summarize::RepresentativeSet;
+use proptest::prelude::*;
+
+/// Random representative sets: up to 8 topics, each with up to 6 weighted
+/// nodes (duplicates allowed — `RepresentativeSet::new` merges them).
+fn index_strategy() -> impl Strategy<Value = TopicRepIndex> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..50, 0.0f64..2.0), 0..6),
+        1..8,
+    )
+    .prop_map(|topics| {
+        TopicRepIndex::from_sets(
+            topics
+                .into_iter()
+                .enumerate()
+                .map(|(t, pairs)| {
+                    RepresentativeSet::new(
+                        TopicId::from_index(t),
+                        pairs.into_iter().map(|(n, w)| (NodeId(n), w)).collect(),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode ∘ decode ∘ encode is the identity on bytes.
+    #[test]
+    fn roundtrip_is_byte_exact(idx in index_strategy()) {
+        let bytes = snapshot::encode(&idx);
+        let restored = snapshot::decode(&bytes).expect("valid snapshot decodes");
+        prop_assert_eq!(snapshot::encode(&restored).as_ref(), bytes.as_ref());
+    }
+
+    /// Every strict prefix of a snapshot is rejected with an error.
+    #[test]
+    fn truncation_always_errors(idx in index_strategy(), cut in 0usize..10_000) {
+        let bytes = snapshot::encode(&idx);
+        let cut = cut % bytes.len();
+        prop_assert!(snapshot::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Single-byte corruption anywhere never panics.
+    #[test]
+    fn corruption_never_panics(
+        idx in index_strategy(),
+        pos in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let bytes = snapshot::encode(&idx);
+        let mut corrupt = bytes.to_vec();
+        let pos = pos % corrupt.len();
+        corrupt[pos] ^= xor;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            snapshot::decode(&corrupt).map(|_| ())
+        }));
+        prop_assert!(outcome.is_ok(), "decode panicked on byte {} ^ {}", pos, xor);
+    }
+}

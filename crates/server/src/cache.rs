@@ -1,0 +1,300 @@
+//! LRU cache of recent query results.
+//!
+//! Keyed by the full query identity `(user, k, sorted terms)` so a hit is
+//! guaranteed to be byte-identical to recomputing. Entries form an intrusive
+//! doubly-linked list over a slab (`Vec`) — `get`/`insert` are O(1) with no
+//! per-operation allocation beyond the stored value — behind one
+//! `parking_lot::Mutex`, with hit/miss/eviction counters read by `STATS`.
+
+use parking_lot::Mutex;
+use pit_graph::TermId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache key: the complete identity of a query.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Querying user.
+    pub user: u32,
+    /// Result size.
+    pub k: usize,
+    /// Resolved term ids, sorted — keyword order does not change the answer,
+    /// so `a b` and `b a` share an entry.
+    pub terms: Vec<TermId>,
+}
+
+impl QueryKey {
+    /// Build a key, normalizing term order.
+    pub fn new(user: u32, k: usize, mut terms: Vec<TermId>) -> Self {
+        terms.sort_unstable();
+        terms.dedup();
+        QueryKey { user, k, terms }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: QueryKey,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+struct Inner<V> {
+    map: HashMap<QueryKey, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+/// Thread-safe LRU cache of query results.
+pub struct QueryCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> QueryCache<V> {
+    /// A cache holding at most `capacity` entries; 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity.min(1 << 20)),
+                slots: Vec::with_capacity(capacity.min(1 << 20)),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&self, key: &QueryKey) -> Option<V> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        let Some(&slot) = inner.map.get(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        inner.unlink(slot);
+        inner.push_front(slot);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(inner.slots[slot].value.clone())
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry when at
+    /// capacity. Overwrites any existing entry for `key`.
+    pub fn insert(&self, key: QueryKey, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.map.get(&key) {
+            inner.slots[slot].value = value;
+            inner.unlink(slot);
+            inner.push_front(slot);
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            let lru = inner.tail;
+            debug_assert_ne!(lru, NIL);
+            inner.unlink(lru);
+            let old = &mut inner.slots[lru];
+            let old_key = std::mem::replace(&mut old.key, key.clone());
+            old.value = value.clone();
+            inner.map.remove(&old_key);
+            inner.map.insert(key, lru);
+            inner.push_front(lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = if let Some(free) = inner.free.pop() {
+            let s = &mut inner.slots[free];
+            s.key = key.clone();
+            s.value = value;
+            free
+        } else {
+            inner.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            inner.slots.len() - 1
+        };
+        inner.map.insert(key, slot);
+        inner.push_front(slot);
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(name, value)` pairs for the `STATS` reply.
+    pub fn snapshot(&self) -> Vec<(String, String)> {
+        let hits = self.hits();
+        let misses = self.misses();
+        let rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        vec![
+            ("cache_entries".into(), self.len().to_string()),
+            ("cache_capacity".into(), self.capacity.to_string()),
+            ("cache_hits".into(), hits.to_string()),
+            ("cache_misses".into(), misses.to_string()),
+            ("cache_evictions".into(), self.evictions().to_string()),
+            ("cache_hit_rate".into(), format!("{rate:.4}")),
+        ]
+    }
+}
+
+impl<V> Inner<V> {
+    /// Detach `slot` from the recency list (no-op if already detached).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NIL => {
+                if self.head == slot {
+                    self.head = next;
+                }
+            }
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == slot {
+                    self.tail = prev;
+                }
+            }
+            n => self.slots[n].prev = prev,
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    /// Attach `slot` as most-recently-used.
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(user: u32) -> QueryKey {
+        QueryKey::new(user, 10, vec![TermId(0)])
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache: QueryCache<u64> = QueryCache::new(4);
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), 11);
+        assert_eq!(cache.get(&key(1)), Some(11));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn key_normalizes_term_order() {
+        let a = QueryKey::new(1, 5, vec![TermId(3), TermId(1), TermId(3)]);
+        let b = QueryKey::new(1, 5, vec![TermId(1), TermId(3)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache: QueryCache<u64> = QueryCache::new(3);
+        for u in 0..3 {
+            cache.insert(key(u), u as u64);
+        }
+        // Touch 0 so 1 becomes LRU.
+        assert!(cache.get(&key(0)).is_some());
+        cache.insert(key(3), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(&key(1)), None, "LRU entry should be gone");
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_updates_value_in_place() {
+        let cache: QueryCache<u64> = QueryCache::new(2);
+        cache.insert(key(1), 10);
+        cache.insert(key(1), 20);
+        assert_eq!(cache.get(&key(1)), Some(20));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache: QueryCache<u64> = QueryCache::new(0);
+        cache.insert(key(1), 10);
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_list_consistent() {
+        let cache: QueryCache<u64> = QueryCache::new(8);
+        for round in 0..1000u32 {
+            cache.insert(key(round % 13), round as u64);
+            let _ = cache.get(&key((round * 7) % 13));
+        }
+        assert!(cache.len() <= 8);
+        // Every cached entry must still be retrievable.
+        let mut live = 0;
+        for u in 0..13 {
+            if cache.get(&key(u)).is_some() {
+                live += 1;
+            }
+        }
+        assert_eq!(live, 8);
+    }
+}

@@ -1,0 +1,402 @@
+//! `pit-server`: a concurrent TCP query daemon over the PIT-Search index.
+//!
+//! The offline artifacts (graph, topic space, walk/propagation/representative
+//! indexes) are loaded once, wrapped in an [`Arc`]-shared [`ServerState`],
+//! and served read-only by a fixed worker pool. The wire format is
+//! length-prefixed UTF-8 text ([`protocol`]); admission control is a bounded
+//! queue ([`pool`]) that sheds with `ERR overloaded`, every query carries a
+//! time budget that expires into `ERR timeout`, and repeated queries hit an
+//! LRU result cache ([`cache`]). `SHUTDOWN` drains in-flight queries before
+//! the listener exits.
+//!
+//! Threading model:
+//!
+//! ```text
+//! acceptor ──spawns──► connection threads ──try_send──► bounded queue
+//!    │                      ▲       │                        │
+//!    │ (shutdown flag)      └─reply─┴──────◄─────────── worker pool
+//!    └── on shutdown: stop accepting, join connections, drain pool
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod state;
+
+pub use cache::{QueryCache, QueryKey};
+pub use metrics::{LatencyHistogram, Metrics};
+pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
+pub use state::{RankedTopics, ServerConfig, ServerState};
+
+use crossbeam::channel;
+use pool::{Admission, QueryJob, WorkerPool};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked threads re-check the shutdown flag. Bounds both the
+/// accept-poll latency and how long a drain waits on an idle connection.
+const POLL: Duration = Duration::from_millis(100);
+
+/// A running server. Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`] (or send the `SHUTDOWN` verb) then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address — useful when the server was started on port 0.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful stop: stop accepting, let in-flight queries
+    /// finish, then exit. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Block until the acceptor, every connection, and the worker pool have
+    /// exited.
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve `state` until `SHUTDOWN` (wire or handle).
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve<A: ToSocketAddrs>(state: Arc<ServerState>, addr: A) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("pit-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &state, &stop))?
+    };
+    Ok(ServerHandle {
+        addr,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
+    let pool = WorkerPool::start(Arc::clone(state));
+    let pool = Arc::new(pool);
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                metrics::Metrics::bump(&state.metrics().connections);
+                let state = Arc::clone(state);
+                let stop = Arc::clone(stop);
+                let pool = Arc::clone(&pool);
+                match std::thread::Builder::new()
+                    .name("pit-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &state, &pool, &stop);
+                    }) {
+                    Ok(h) => connections.push(h),
+                    Err(_) => { /* thread exhaustion: drop the connection */ }
+                }
+                // Reap finished handlers so long-lived servers don't
+                // accumulate joinable threads.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Drain: connections observe the flag within one POLL and return after
+    // finishing their in-flight request; then the pool empties its queue.
+    for h in connections {
+        let _ = h.join();
+    }
+    match Arc::try_unwrap(pool) {
+        Ok(pool) => pool.shutdown(),
+        Err(_) => unreachable!("all connection threads joined"),
+    }
+}
+
+/// Block until a frame is readable, EOF, idle expiry, or shutdown.
+///
+/// Uses `peek` under a short read timeout so waiting consumes no bytes: a
+/// frame is only read once at least one byte is available, under the full
+/// I/O deadline.
+fn next_frame(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    io_timeout: Duration,
+) -> io::Result<Option<String>> {
+    let mut idle = Duration::ZERO;
+    let mut probe = [0u8; 1];
+    loop {
+        stream.set_read_timeout(Some(POLL.min(io_timeout)))?;
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(None), // clean EOF
+            Ok(_) => {
+                stream.set_read_timeout(Some(io_timeout))?;
+                return protocol::read_frame(stream);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle += POLL;
+                if stop.load(Ordering::Acquire) || idle >= io_timeout {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &ServerState,
+    pool: &WorkerPool,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let io_timeout = state.config().io_timeout;
+    stream.set_write_timeout(Some(io_timeout))?;
+    stream.set_nodelay(true)?;
+    while let Some(text) = next_frame(&mut stream, stop, io_timeout)? {
+        let response = match Request::parse(&text) {
+            Err(reason) => {
+                Metrics::bump(&state.metrics().errors);
+                Response::Err(reason)
+            }
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Stats) => Response::Stats(state.stats()),
+            Ok(Request::Shutdown) => {
+                stop.store(true, Ordering::Release);
+                protocol::write_frame(&mut stream, &Response::Bye.render())?;
+                break;
+            }
+            Ok(Request::Query { user, k, keywords }) => {
+                answer_query(state, pool, stop, user, k, &keywords)
+            }
+        };
+        protocol::write_frame(&mut stream, &response.render())?;
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn answer_query(
+    state: &ServerState,
+    pool: &WorkerPool,
+    stop: &AtomicBool,
+    user: u32,
+    k: usize,
+    keywords: &[String],
+) -> Response {
+    let started = Instant::now();
+    let key = match state.make_key(user, k, keywords) {
+        Ok(key) => key,
+        Err(reason) => {
+            Metrics::bump(&state.metrics().errors);
+            return Response::Err(reason);
+        }
+    };
+    if stop.load(Ordering::Acquire) {
+        return Response::Err("shutting-down".to_string());
+    }
+    if let Some(ranked) = state.lookup(&key) {
+        Metrics::bump(&state.metrics().queries);
+        let elapsed = started.elapsed();
+        state.metrics().latency.observe(elapsed);
+        return Response::Topics {
+            ranked: (*ranked).clone(),
+            cached: true,
+            micros: elapsed.as_micros().min(u64::MAX as u128) as u64,
+        };
+    }
+    let (reply_tx, reply_rx) = channel::bounded(1);
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let job = QueryJob {
+        key,
+        enqueued: started,
+        cancelled: Arc::clone(&cancelled),
+        reply: reply_tx,
+    };
+    match pool.submit(job) {
+        Admission::Overloaded => {
+            Metrics::bump(&state.metrics().shed);
+            Response::Err("overloaded".to_string())
+        }
+        Admission::Closed => Response::Err("shutting-down".to_string()),
+        Admission::Queued => match reply_rx.recv_timeout(state.config().query_budget) {
+            Ok((ranked, micros)) => {
+                Metrics::bump(&state.metrics().queries);
+                Response::Topics {
+                    ranked: (*ranked).clone(),
+                    cached: false,
+                    micros,
+                }
+            }
+            Err(_) => {
+                cancelled.store(true, Ordering::Release);
+                Metrics::bump(&state.metrics().timeouts);
+                Response::Err("timeout".to_string())
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit::{PitEngine, SummarizerKind};
+    use pit_index::PropIndexConfig;
+    use pit_summarize::LrwConfig;
+    use pit_walk::WalkConfig;
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    fn tiny_state(config: ServerConfig) -> Arc<ServerState> {
+        let spec = pit_datasets::DatasetSpec {
+            name: "server-test".to_string(),
+            nodes: 300,
+            kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+            topics: pit_datasets::spec::scaled_topic_config(300, 9),
+            seed: 9,
+        };
+        let ds = pit_datasets::generate(&spec);
+        let engine = PitEngine::builder()
+            .walk(WalkConfig::new(3, 8).with_seed(2))
+            .propagation(PropIndexConfig::with_theta(0.02))
+            .summarizer(SummarizerKind::Lrw(LrwConfig {
+                rep_count: Some(8),
+                ..LrwConfig::default()
+            }))
+            .build_with_vocab(ds.graph, ds.space, Some(ds.vocab));
+        Arc::new(ServerState::new(Arc::new(engine), config))
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Response {
+        protocol::write_frame(stream, &req.render()).unwrap();
+        let text = protocol::read_frame(stream).unwrap().expect("reply");
+        Response::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn serves_ping_query_stats_and_shuts_down() {
+        let state = tiny_state(ServerConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..ServerConfig::default()
+        });
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+
+        assert_eq!(roundtrip(&mut c, &Request::Ping), Response::Pong);
+
+        let query = Request::Query {
+            user: 5,
+            k: 5,
+            keywords: vec!["query-0".to_string()],
+        };
+        let Response::Topics { ranked, cached, .. } = roundtrip(&mut c, &query) else {
+            panic!("expected topics");
+        };
+        assert!(!cached);
+        assert!(!ranked.is_empty());
+        // Served scores bit-match the offline path.
+        let offline = state
+            .engine()
+            .search_keywords(pit_graph::NodeId(5), &["query-0"], 5)
+            .unwrap();
+        let offline: Vec<(u32, f64)> = offline.top_k.iter().map(|s| (s.topic.0, s.score)).collect();
+        assert_eq!(ranked, offline);
+
+        // Second identical query is a cache hit.
+        let Response::Topics {
+            cached,
+            ranked: again,
+            ..
+        } = roundtrip(&mut c, &query)
+        else {
+            panic!("expected topics");
+        };
+        assert!(cached);
+        assert_eq!(again, offline);
+
+        let Response::Stats(pairs) = roundtrip(&mut c, &Request::Stats) else {
+            panic!("expected stats");
+        };
+        let get = |name: &str| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing stat {name}"))
+        };
+        assert_eq!(get("queries"), "2");
+        assert_eq!(get("cache_hits"), "1");
+
+        assert_eq!(roundtrip(&mut c, &Request::Shutdown), Response::Bye);
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_err() {
+        let state = tiny_state(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let handle = serve(state, "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        protocol::write_frame(&mut c, "FROBNICATE").unwrap();
+        let text = protocol::read_frame(&mut c).unwrap().unwrap();
+        assert!(text.starts_with("ERR malformed"), "{text}");
+        // Unknown keyword and out-of-range user are request errors, not
+        // connection errors.
+        protocol::write_frame(&mut c, "QUERY 5 3 no-such-keyword").unwrap();
+        let text = protocol::read_frame(&mut c).unwrap().unwrap();
+        assert!(text.starts_with("ERR malformed: unknown keyword"), "{text}");
+        protocol::write_frame(&mut c, "QUERY 999999 3 query-0").unwrap();
+        let text = protocol::read_frame(&mut c).unwrap().unwrap();
+        assert!(text.starts_with("ERR malformed: user"), "{text}");
+        roundtrip(&mut c, &Request::Shutdown);
+        handle.join();
+    }
+
+    #[test]
+    fn handle_shutdown_stops_the_server() {
+        let state = tiny_state(ServerConfig::default());
+        let handle = serve(state, "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        let mut c = TcpStream::connect(addr).unwrap();
+        assert_eq!(roundtrip(&mut c, &Request::Ping), Response::Pong);
+        handle.shutdown();
+        handle.join();
+        // The listener is gone: a fresh connection now fails (either refused
+        // outright or closed before replying).
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut c2) => {
+                let dead = protocol::write_frame(&mut c2, "PING").is_err()
+                    || c2.flush().is_err()
+                    || matches!(protocol::read_frame(&mut c2), Ok(None) | Err(_));
+                assert!(dead, "server still answering after shutdown");
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Serving metrics: lock-free counters and a fixed-bucket latency histogram.
+//!
+//! Everything here is written on the hot path, so all state is atomic —
+//! `STATS` readers see a consistent-enough snapshot without stopping the
+//! world. The histogram buckets are fixed at construction (powers of two in
+//! microseconds), giving p50/p99 estimates with bounded error and zero
+//! allocation per observation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bucket upper bounds in microseconds: 1µs, 2µs, 4µs … ~8.6s, plus a
+/// catch-all. 24 buckets ⇒ every estimate is within 2× of the true value.
+const BUCKETS: usize = 24;
+
+/// Latency histogram with power-of-two microsecond buckets.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        // Bucket i covers [2^i, 2^(i+1)) µs; 0µs lands in bucket 0.
+        let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q` ∈ [0, 1],
+    /// or 0 when empty. Within 2× of the true quantile by construction.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in snapshot.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// All counters the `STATS` command reports.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Queries answered successfully (fresh or cached).
+    pub queries: AtomicU64,
+    /// Queries rejected because the request queue was full.
+    pub shed: AtomicU64,
+    /// Queries that exceeded their time budget.
+    pub timeouts: AtomicU64,
+    /// Requests answered with any other `ERR`.
+    pub errors: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Service latency (queue wait + execution) of successful queries.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// A fresh metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increment `counter` by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render every counter as `(name, value)` pairs for the `STATS` reply.
+    /// Cache statistics are appended by the caller, which owns the cache.
+    pub fn snapshot(&self) -> Vec<(String, String)> {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("queries".into(), load(&self.queries).to_string()),
+            ("shed".into(), load(&self.shed).to_string()),
+            ("timeouts".into(), load(&self.timeouts).to_string()),
+            ("errors".into(), load(&self.errors).to_string()),
+            ("connections".into(), load(&self.connections).to_string()),
+            (
+                "latency_p50_us".into(),
+                self.latency.quantile_micros(0.50).to_string(),
+            ),
+            (
+                "latency_p99_us".into(),
+                self.latency.quantile_micros(0.99).to_string(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.observe(Duration::from_micros(10));
+        }
+        h.observe(Duration::from_millis(100));
+        assert_eq!(h.count(), 100);
+        // p50 within 2× of 10µs.
+        let p50 = h.quantile_micros(0.50);
+        assert!((8..=16).contains(&p50), "p50 = {p50}");
+        // p99 dominated by the 100ms outlier? 99th of 100 obs is the 99th
+        // rank = still 10µs; p100 would be the outlier.
+        let p100 = h.quantile_micros(1.0);
+        assert!(p100 >= 65_536, "p100 = {p100}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_names_are_stable() {
+        let m = Metrics::new();
+        Metrics::bump(&m.queries);
+        let names: Vec<String> = m.snapshot().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            names,
+            vec![
+                "queries",
+                "shed",
+                "timeouts",
+                "errors",
+                "connections",
+                "latency_p50_us",
+                "latency_p99_us"
+            ]
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Worker pool: a fixed set of threads draining a bounded request queue.
+//!
+//! The bounded `crossbeam` channel is the server's admission controller —
+//! connection threads `try_send`, and a full queue becomes an immediate
+//! `ERR overloaded` instead of unbounded queueing. Workers exit when every
+//! sender is dropped, which is exactly the graceful-shutdown drain: the
+//! queue empties, then the pool joins.
+
+use crate::cache::QueryKey;
+use crate::state::{RankedTopics, ServerState};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One admitted query, owned by a worker until answered.
+pub struct QueryJob {
+    /// Validated, normalized query identity.
+    pub key: QueryKey,
+    /// When the connection thread admitted the job; service latency is
+    /// measured from here so queue wait counts against the budget.
+    pub enqueued: Instant,
+    /// Set by the connection thread when its deadline fires; the worker
+    /// skips the computation for an abandoned job.
+    pub cancelled: Arc<AtomicBool>,
+    /// Where the result goes. Buffered (capacity 1), so a worker's send
+    /// never blocks even when the waiter already gave up.
+    pub reply: Sender<(RankedTopics, u64)>,
+}
+
+/// Outcome of offering a job to the pool.
+pub enum Admission {
+    /// Job accepted; await the reply channel.
+    Queued,
+    /// Queue full — shed.
+    Overloaded,
+    /// Pool is gone (server shutting down).
+    Closed,
+}
+
+/// The worker pool plus the sending side of its queue.
+pub struct WorkerPool {
+    jobs: Sender<QueryJob>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `state.config().workers` threads over a queue of depth
+    /// `state.config().queue_depth`.
+    pub fn start(state: Arc<ServerState>) -> WorkerPool {
+        let (jobs, rx) = channel::bounded::<QueryJob>(state.config().queue_depth);
+        let workers = (0..state.config().workers.max(1))
+            .map(|i| {
+                let rx: Receiver<QueryJob> = rx.clone();
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("pit-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { jobs, workers }
+    }
+
+    /// Offer a job without blocking; a full queue is the load-shed signal.
+    pub fn submit(&self, job: QueryJob) -> Admission {
+        match self.jobs.try_send(job) {
+            Ok(()) => Admission::Queued,
+            Err(TrySendError::Full(_)) => Admission::Overloaded,
+            Err(TrySendError::Disconnected(_)) => Admission::Closed,
+        }
+    }
+
+    /// Stop accepting new jobs, drain the queue, and join every worker.
+    pub fn shutdown(self) {
+        drop(self.jobs); // workers drain the queue, then see Disconnected
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
+    while let Ok(job) = rx.recv() {
+        if job.cancelled.load(Ordering::Acquire) {
+            continue; // waiter already timed out; don't burn CPU on it
+        }
+        let ranked = state.execute(&job.key);
+        let elapsed = job.enqueued.elapsed();
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        if !job.cancelled.load(Ordering::Acquire) {
+            state.metrics().latency.observe(elapsed);
+        }
+        // The reply slot is buffered and the waiter may be gone — either way
+        // this never blocks a worker.
+        let _ = job.reply.send((ranked, micros));
+    }
+}

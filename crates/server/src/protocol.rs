@@ -1,0 +1,373 @@
+//! Wire protocol: length-prefixed UTF-8 text frames.
+//!
+//! Every message — request or response — is one frame: a little-endian
+//! `u32` byte length followed by that many bytes of UTF-8 text. Requests
+//! are single lines; responses may span multiple lines but always travel in
+//! one frame, so a client never has to guess where a reply ends.
+//!
+//! Request grammar (ASCII, space-separated):
+//!
+//! ```text
+//! PING
+//! QUERY <user-id> <k> <keyword> [<keyword>...]
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! PONG
+//! TOPICS <n> <cached|fresh> <micros>\n<topic-id> <score>\n...
+//! STATS\n<key> <value>\n...
+//! BYE
+//! ERR <reason...>        reasons: timeout | overloaded | shutting-down |
+//!                        malformed ... | unknown ...
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected rather than buffered — no legitimate
+/// request or reply comes close (a 1000-topic reply is ~30 KB).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Top-`k` personalized influential topics for `user` and `keywords`.
+    Query {
+        /// Querying user's node id.
+        user: u32,
+        /// Result size.
+        k: usize,
+        /// Query keywords (at least one).
+        keywords: Vec<String>,
+    },
+    /// Server counters snapshot.
+    Stats,
+    /// Graceful stop: drain in-flight queries, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    /// A human-readable `malformed …` reason, sent back verbatim in an
+    /// `ERR` reply.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut words = line.split_ascii_whitespace();
+        let verb = words
+            .next()
+            .ok_or_else(|| "malformed: empty request".to_string())?;
+        match verb {
+            "PING" => Ok(Request::Ping),
+            "STATS" => Ok(Request::Stats),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            "QUERY" => {
+                let user = words
+                    .next()
+                    .ok_or_else(|| "malformed: QUERY missing user id".to_string())?
+                    .parse::<u32>()
+                    .map_err(|_| "malformed: QUERY user id is not a u32".to_string())?;
+                let k = words
+                    .next()
+                    .ok_or_else(|| "malformed: QUERY missing k".to_string())?
+                    .parse::<usize>()
+                    .map_err(|_| "malformed: QUERY k is not a usize".to_string())?;
+                if k == 0 {
+                    return Err("malformed: QUERY k must be positive".to_string());
+                }
+                let keywords: Vec<String> = words.map(str::to_string).collect();
+                if keywords.is_empty() {
+                    return Err("malformed: QUERY needs at least one keyword".to_string());
+                }
+                Ok(Request::Query { user, k, keywords })
+            }
+            other => Err(format!("malformed: unknown verb {other}")),
+        }
+    }
+
+    /// Render the request as its wire line (inverse of [`Request::parse`]).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Ping => "PING".to_string(),
+            Request::Stats => "STATS".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+            Request::Query { user, k, keywords } => {
+                format!("QUERY {user} {k} {}", keywords.join(" "))
+            }
+        }
+    }
+}
+
+/// A server reply, rendered to one frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Successful query result.
+    Topics {
+        /// `(topic id, influence score)` in rank order.
+        ranked: Vec<(u32, f64)>,
+        /// Whether the result came from the cache.
+        cached: bool,
+        /// Service time in microseconds (queue wait + execution).
+        micros: u64,
+    },
+    /// Counter snapshot: `(name, value)` pairs.
+    Stats(Vec<(String, String)>),
+    /// Reply to [`Request::Shutdown`].
+    Bye,
+    /// Failure; the string is the machine-readable reason.
+    Err(String),
+}
+
+impl Response {
+    /// Render to the text carried by one frame.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Pong => "PONG".to_string(),
+            Response::Bye => "BYE".to_string(),
+            Response::Err(reason) => format!("ERR {reason}"),
+            Response::Topics {
+                ranked,
+                cached,
+                micros,
+            } => {
+                let mut out = format!(
+                    "TOPICS {} {} {micros}",
+                    ranked.len(),
+                    if *cached { "cached" } else { "fresh" }
+                );
+                for (topic, score) in ranked {
+                    // 17 significant digits round-trip f64 exactly, so the
+                    // served scores compare bit-equal to the offline path.
+                    out.push_str(&format!("\n{topic} {score:.17e}"));
+                }
+                out
+            }
+            Response::Stats(pairs) => {
+                let mut out = "STATS".to_string();
+                for (k, v) in pairs {
+                    out.push_str(&format!("\n{k} {v}"));
+                }
+                out
+            }
+        }
+    }
+
+    /// Parse a frame's text back into a response (used by the CLI client
+    /// and the integration tests).
+    ///
+    /// # Errors
+    /// A description of the malformation.
+    pub fn parse(text: &str) -> Result<Response, String> {
+        let mut lines = text.lines();
+        let head = lines.next().ok_or_else(|| "empty response".to_string())?;
+        if head == "PONG" {
+            return Ok(Response::Pong);
+        }
+        if head == "BYE" {
+            return Ok(Response::Bye);
+        }
+        if let Some(reason) = head.strip_prefix("ERR ") {
+            return Ok(Response::Err(reason.to_string()));
+        }
+        if head == "STATS" {
+            let pairs = lines
+                .map(|l| match l.split_once(' ') {
+                    Some((k, v)) => Ok((k.to_string(), v.to_string())),
+                    None => Err(format!("stats line without value: {l}")),
+                })
+                .collect::<Result<_, _>>()?;
+            return Ok(Response::Stats(pairs));
+        }
+        if let Some(rest) = head.strip_prefix("TOPICS ") {
+            let mut words = rest.split_ascii_whitespace();
+            let n: usize = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| "TOPICS missing count".to_string())?;
+            let cached = match words.next() {
+                Some("cached") => true,
+                Some("fresh") => false,
+                other => return Err(format!("TOPICS bad cache tag {other:?}")),
+            };
+            let micros: u64 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| "TOPICS missing service time".to_string())?;
+            let ranked = lines
+                .map(|l| {
+                    let (t, s) = l
+                        .split_once(' ')
+                        .ok_or_else(|| format!("topic line without score: {l}"))?;
+                    let topic = t.parse::<u32>().map_err(|e| format!("bad topic id: {e}"))?;
+                    let score = s.parse::<f64>().map_err(|e| format!("bad score: {e}"))?;
+                    Ok((topic, score))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            if ranked.len() != n {
+                return Err(format!("TOPICS count {n} but {} lines", ranked.len()));
+            }
+            return Ok(Response::Topics {
+                ranked,
+                cached,
+                micros,
+            });
+        }
+        Err(format!("unrecognized response head: {head}"))
+    }
+}
+
+/// Write `text` as one frame.
+///
+/// # Errors
+/// Propagates I/O failures (including write-deadline expiry).
+pub fn write_frame<W: Write>(w: &mut W, text: &str) -> io::Result<()> {
+    let bytes = text.as_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME_BYTES);
+    // One write per frame: splitting the length prefix from the payload
+    // triggers Nagle/delayed-ACK stalls (~40 ms) on real sockets.
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame's text. `Ok(None)` means the peer closed the connection
+/// cleanly at a frame boundary.
+///
+/// # Errors
+/// I/O failures (including read-deadline expiry), oversized frames, and
+/// invalid UTF-8.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Query {
+                user: 3,
+                k: 10,
+                keywords: vec!["query-0".into(), "query-1".into()],
+            },
+        ] {
+            assert_eq!(Request::parse(&req.render()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn request_rejects_malformed() {
+        for bad in [
+            "",
+            "FROB",
+            "QUERY",
+            "QUERY notanum 3 kw",
+            "QUERY 3",
+            "QUERY 3 zero kw",
+            "QUERY 3 0 kw",
+            "QUERY 3 5",
+        ] {
+            let err = Request::parse(bad).unwrap_err();
+            assert!(err.starts_with("malformed"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Pong,
+            Response::Bye,
+            Response::Err("timeout".into()),
+            Response::Topics {
+                ranked: vec![(7, 0.137), (2, 1.0 / 3.0), (0, 0.0)],
+                cached: true,
+                micros: 412,
+            },
+            Response::Stats(vec![
+                ("queries".into(), "12".into()),
+                ("cache_hit_rate".into(), "0.25".into()),
+            ]),
+        ] {
+            assert_eq!(Response::parse(&resp.render()).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn scores_roundtrip_exactly() {
+        let scores = [0.1 + 0.2, 1e-300, std::f64::consts::PI, 0.137];
+        let resp = Response::Topics {
+            ranked: scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i as u32, s))
+                .collect(),
+            cached: false,
+            micros: 1,
+        };
+        let Response::Topics { ranked, .. } = Response::parse(&resp.render()).unwrap() else {
+            panic!("wrong variant");
+        };
+        for ((_, got), &want) in ranked.iter().zip(scores.iter()) {
+            assert_eq!(got.to_bits(), want.to_bits(), "score did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "PING").unwrap();
+        write_frame(&mut buf, "QUERY 1 2 a b").unwrap();
+        let mut r: &[u8] = &buf;
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "PING");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "QUERY 1 2 a b");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        let mut r: &[u8] = &buf;
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_close() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"abc"); // promised 8, delivered 3
+        let mut r: &[u8] = &buf;
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared read-only serving state: the engine, the result cache, and the
+//! counters — everything a worker or connection thread touches.
+//!
+//! The offline artifacts (graph, topic space, walk/propagation/representative
+//! indexes) are loaded once and never mutated while serving, so `ServerState`
+//! hands out plain shared references; the only synchronized pieces are the
+//! LRU cache (mutex) and the metrics (atomics).
+
+use crate::cache::{QueryCache, QueryKey};
+use crate::metrics::Metrics;
+use pit::PitEngine;
+use pit_graph::NodeId;
+use pit_topics::KeywordQuery;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A cached top-k result: `(topic id, influence score)` in rank order,
+/// behind an `Arc` so cache hits never copy the ranking.
+pub type RankedTopics = Arc<Vec<(u32, f64)>>;
+
+/// Serving knobs. Every field maps to a `pit serve` flag.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded request-queue depth; a full queue sheds with `ERR overloaded`.
+    pub queue_depth: usize,
+    /// LRU result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Per-query time budget (queue wait + execution); expiry yields
+    /// `ERR timeout`.
+    pub query_budget: Duration,
+    /// Socket read/write deadline for client connections.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 16);
+        ServerConfig {
+            workers,
+            queue_depth: 128,
+            cache_capacity: 1024,
+            query_budget: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Immutable serving state shared by the acceptor, connection threads, and
+/// the worker pool.
+pub struct ServerState {
+    engine: Arc<PitEngine>,
+    cache: QueryCache<RankedTopics>,
+    metrics: Metrics,
+    config: ServerConfig,
+}
+
+impl ServerState {
+    /// Wrap a fully built engine for serving.
+    pub fn new(engine: Arc<PitEngine>, config: ServerConfig) -> Self {
+        ServerState {
+            cache: QueryCache::new(config.cache_capacity),
+            metrics: Metrics::new(),
+            engine,
+            config,
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The serving counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &PitEngine {
+        &self.engine
+    }
+
+    /// Validate a request and resolve its keywords into a cache key.
+    ///
+    /// # Errors
+    /// A `malformed …` reason when the user is out of range or a keyword is
+    /// not in the vocabulary; sent back verbatim in an `ERR` reply.
+    pub fn make_key(&self, user: u32, k: usize, keywords: &[String]) -> Result<QueryKey, String> {
+        let nodes = self.engine.graph().node_count();
+        if user as usize >= nodes {
+            return Err(format!(
+                "malformed: user {user} out of range (graph has {nodes} users)"
+            ));
+        }
+        let vocab = self
+            .engine
+            .vocab()
+            .ok_or_else(|| "malformed: engine has no vocabulary".to_string())?;
+        let terms = keywords
+            .iter()
+            .map(|kw| {
+                vocab
+                    .get(kw)
+                    .ok_or_else(|| format!("malformed: unknown keyword {kw}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // Keyword order and duplicates never change the answer — the searcher
+        // unions topic postings over terms — so the normalized key is exact.
+        Ok(QueryKey::new(user, k, terms))
+    }
+
+    /// Cache lookup only; counts a hit or miss.
+    pub fn lookup(&self, key: &QueryKey) -> Option<RankedTopics> {
+        self.cache.get(key)
+    }
+
+    /// Run the search and populate the cache. This is the expensive path —
+    /// call it from a worker, not from a connection thread.
+    pub fn execute(&self, key: &QueryKey) -> RankedTopics {
+        let query = KeywordQuery::new(NodeId(key.user), key.terms.clone());
+        let outcome = self.engine.search(&query, key.k);
+        let ranked: RankedTopics =
+            Arc::new(outcome.top_k.iter().map(|s| (s.topic.0, s.score)).collect());
+        self.cache.insert(key.clone(), Arc::clone(&ranked));
+        ranked
+    }
+
+    /// Everything `STATS` reports: serving counters, cache counters, and a
+    /// short inventory of the resident index.
+    pub fn stats(&self) -> Vec<(String, String)> {
+        let mut pairs = self.metrics.snapshot();
+        pairs.extend(self.cache.snapshot());
+        pairs.push(("workers".into(), self.config.workers.to_string()));
+        pairs.push(("queue_depth".into(), self.config.queue_depth.to_string()));
+        pairs.push((
+            "graph_nodes".into(),
+            self.engine.graph().node_count().to_string(),
+        ));
+        pairs.push((
+            "topics".into(),
+            self.engine.space().topic_count().to_string(),
+        ));
+        pairs.push(("index_bytes".into(), self.engine.index_bytes().to_string()));
+        pairs
+    }
+}

@@ -1,12 +1,11 @@
 //! The topic space: which users mention which topics, in both directions.
 
 use pit_graph::{NodeId, TermId, TopicId};
-use serde::{Deserialize, Serialize};
 
 /// Immutable topic space with the two inverted indexes of the paper:
 /// `topic → topic-node set V_t` and `node → topic set T(v)`, plus the
 /// `topic → term bag` mapping that connects topics to keyword queries.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TopicSpace {
     /// `topic_nodes[t]` = sorted, deduplicated `V_t`.
     topic_nodes: Vec<Vec<NodeId>>,

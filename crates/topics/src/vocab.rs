@@ -5,13 +5,11 @@
 
 use pit_graph::TermId;
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Bidirectional term interner.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Vocabulary {
     terms: Vec<String>,
-    #[serde(skip)]
     lookup: FxHashMap<String, TermId>,
 }
 

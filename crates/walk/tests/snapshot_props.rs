@@ -1,0 +1,63 @@
+//! Snapshot codec robustness for the walk index: exact roundtrip on valid
+//! input, `SnapshotError` — never a panic — on truncated or corrupted input.
+
+use pit_graph::{GraphBuilder, NodeId};
+use pit_walk::{snapshot, WalkConfig, WalkIndex};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (3usize..=14).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(a, b)| a != b);
+        proptest::collection::vec(edge, n..4 * n).prop_map(move |mut es| {
+            let mut seen = FxHashSet::default();
+            es.retain(|&(a, b)| seen.insert((a, b)));
+            (n, es)
+        })
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)], seed: u64) -> WalkIndex {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v), 0.5).unwrap();
+    }
+    WalkIndex::build(&b.build().unwrap(), WalkConfig::new(4, 6).with_seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// encode ∘ decode ∘ encode is the identity on bytes.
+    #[test]
+    fn roundtrip_is_byte_exact((n, edges) in graph_strategy(), seed in 0u64..1000) {
+        let bytes = snapshot::encode(&build(n, &edges, seed));
+        let restored = snapshot::decode(&bytes).expect("valid snapshot decodes");
+        prop_assert_eq!(snapshot::encode(&restored).as_ref(), bytes.as_ref());
+    }
+
+    /// Every strict prefix of a snapshot is rejected with an error.
+    #[test]
+    fn truncation_always_errors((n, edges) in graph_strategy(), cut in 0usize..100_000) {
+        let bytes = snapshot::encode(&build(n, &edges, 3));
+        let cut = cut % bytes.len();
+        prop_assert!(snapshot::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Single-byte corruption anywhere never panics.
+    #[test]
+    fn corruption_never_panics(
+        (n, edges) in graph_strategy(),
+        pos in 0usize..100_000,
+        xor in 1u8..=255,
+    ) {
+        let bytes = snapshot::encode(&build(n, &edges, 3));
+        let mut corrupt = bytes.to_vec();
+        let pos = pos % corrupt.len();
+        corrupt[pos] ^= xor;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            snapshot::decode(&corrupt).map(|_| ())
+        }));
+        prop_assert!(outcome.is_ok(), "decode panicked on byte {} ^ {}", pos, xor);
+    }
+}

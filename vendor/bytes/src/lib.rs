@@ -1,0 +1,256 @@
+//! Offline stand-in for the subset of `bytes` 1.x this workspace uses: the
+//! [`Buf`]/[`BufMut`] cursor traits over little-endian primitives, a growable
+//! [`BytesMut`] builder, and an immutable [`Bytes`] buffer. Backed by plain
+//! `Vec<u8>`/`Arc<[u8]>` — none of the real crate's zero-copy machinery, which
+//! the snapshot codecs do not rely on.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over a byte source.
+///
+/// Every `get_*` advances the cursor and panics when the source is shorter
+/// than the read — callers bound-check with [`Buf::remaining`] first, exactly
+/// as with the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy exactly `dst.len()` bytes out, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor appending to a byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer; freeze into [`Bytes`] when done.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.buf.into_boxed_slice()),
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Immutable, cheaply cloneable byte buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"MAGI");
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(u64::MAX - 3);
+        b.put_f64_le(0.137);
+        b.put_f32_le(1.5);
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"MAGI");
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert!((r.get_f64_le() - 0.137).abs() < 1e-15);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+}

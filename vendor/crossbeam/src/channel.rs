@@ -1,0 +1,360 @@
+//! MPMC channels over `Mutex` + `Condvar`, mirroring `crossbeam-channel`'s
+//! constructors and error types for the operations this workspace performs:
+//! `send`, `try_send` (load shedding), `recv`, `recv_timeout`, and
+//! disconnect-on-last-handle-drop in both directions.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error for [`Sender::send`]: every receiver is gone; the value is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error for [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the value is returned.
+    Full(T),
+    /// Every receiver is gone; the value is returned.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error for [`Receiver::recv`]: channel empty and every sender gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// Channel empty and every sender gone.
+    Disconnected,
+}
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// Channel empty and every sender gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: Mutex<State<T>>,
+    /// Signalled when an item is pushed or the last sender leaves.
+    not_empty: Condvar,
+    /// Signalled when an item is popped or the last receiver leaves.
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Producer half; clone freely.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer half; clone freely (MPMC — clones compete for items).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// A channel holding at most `cap` in-flight items; `send` blocks when full,
+/// `try_send` sheds instead.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_cap(Some(cap))
+}
+
+/// A channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(State {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Push `value`, blocking while the channel is full.
+    ///
+    /// # Errors
+    /// Returns the value when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.queue.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if self.inner.cap.is_none_or(|c| st.items.len() < c) {
+                st.items.push_back(value);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.inner.not_full.wait(st).unwrap();
+        }
+    }
+
+    /// Push `value` without blocking.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] at capacity, [`TrySendError::Disconnected`]
+    /// when every receiver is gone; the value is returned either way.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.inner.queue.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if self.inner.cap.is_some_and(|c| st.items.len() >= c) {
+            return Err(TrySendError::Full(value));
+        }
+        st.items.push_back(value);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().unwrap().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.queue.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Pop the oldest item, blocking while the channel is empty.
+    ///
+    /// # Errors
+    /// Returns [`RecvError`] when the channel is empty and every sender has
+    /// been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(v) = st.items.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.inner.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Pop the oldest item, waiting at most `timeout`.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] when empty with no senders left.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(v) = st.items.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(left) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _res) = self.inner.not_empty.wait_timeout(st, left).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Pop the oldest item without blocking.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when empty with no senders left.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.inner.queue.lock().unwrap();
+        if let Some(v) = st.items.pop_front() {
+            self.inner.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().unwrap().receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.queue.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_one_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn try_send_sheds_at_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 9);
+        assert!(rx.recv().is_err());
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u32>(4);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(5).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 5);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_distributes_all_items() {
+        let (tx, rx) = bounded(64);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1000u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

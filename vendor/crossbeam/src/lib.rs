@@ -1,0 +1,89 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace uses:
+//! [`scope`] (over `std::thread::scope`, stabilized after crossbeam's API was
+//! designed) and [`channel`], a Mutex+Condvar MPMC queue with the
+//! bounded/unbounded constructors and try/timeout operations the server's
+//! worker pool relies on. Semantics match crossbeam for every call site in
+//! this repository; throughput is adequate for request dispatch, not for
+//! fine-grained message storms.
+
+pub mod channel;
+
+use std::thread;
+
+/// A scope handle: spawn threads that may borrow from the enclosing stack
+/// frame. Mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope again so it can
+    /// spawn nested work, as with crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a thread spawned by [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread, returning its result or its panic payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope in which borrowed-stack threads can be spawned; all
+/// spawned threads are joined before `scope` returns.
+///
+/// # Errors
+/// Mirrors crossbeam's signature. Since unjoined-thread panics propagate out
+/// of `std::thread::scope` directly, the `Err` arm is never produced here —
+/// call sites `.expect()` it either way.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = [1u64, 2, 3, 4];
+        let mut results = vec![0u64; 2];
+        let (left, right) = results.split_at_mut(1);
+        super::scope(|s| {
+            let a = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let b = s.spawn(|_| data[2..].iter().sum::<u64>());
+            left[0] = a.join().unwrap();
+            right[0] = b.join().unwrap();
+        })
+        .expect("scope failed");
+        assert_eq!(results, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .expect("scope failed");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! A [`strategy::Strategy`] here is simply a sampler: `sample(&mut TestRng)`
+//! draws one value. The [`proptest!`] macro expands each test into a loop of
+//! `ProptestConfig::cases` sampled executions with a deterministic per-test
+//! seed. Failing cases are reported with the case index via panic; there is
+//! **no shrinking** — failures print the sampled inputs (tests bind them by
+//! pattern, so the panic message includes the case seed to reproduce).
+//!
+//! Covered surface: integer/float range strategies, tuple strategies,
+//! `prop_map` / `prop_flat_map` / `prop_filter`, `Just`, `any::<T>()`,
+//! `collection::vec` / `collection::btree_set`, `prop_assert!` /
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `use proptest::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a proptest case (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }` runs
+/// `body` for `ProptestConfig::cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);
+                    )*
+                    // Name the case in panics so a failure is locatable even
+                    // without shrinking.
+                    let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                    { $body }
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,93 @@
+//! Test-execution plumbing: configuration, the deterministic per-test RNG,
+//! and panic-context reporting.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many sampled cases each property test runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled executions per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` sampled executions.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the whole workspace's
+        // property suites inside a few seconds without materially weakening
+        // the invariants they probe (each file also sets explicit counts).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per test name so failures
+/// reproduce run-over-run; override the stream with `PROPTEST_SEED=<u64>`.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x50_52_4f_50_54_45_53_54); // "PROPTEST"
+        let mut h = base;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Prints which case was executing when a test body panicked, since there is
+/// no shrinking to re-derive it.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arm a guard for `case` of test `name`.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    /// The case completed; do not report.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest: test `{}` failed at sampled case {} \
+                 (set PROPTEST_SEED to vary the stream)",
+                self.name, self.case
+            );
+        }
+    }
+}

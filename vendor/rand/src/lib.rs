@@ -1,0 +1,308 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal, API-compatible implementation: [`rngs::SmallRng`] is a seeded
+//! xoshiro256++ generator (the same family the real `SmallRng` uses on
+//! 64-bit targets), [`Rng`] provides `gen`, `gen_bool` and `gen_range` over
+//! integer and float ranges, and [`SeedableRng`] provides `seed_from_u64`
+//! with SplitMix64 seed expansion. Streams are deterministic per seed but do
+//! NOT bit-match the real crate; all in-repo consumers only rely on
+//! determinism and statistical quality, never on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform random words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
+                // per draw, far below anything the statistical tests resolve.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64 + 1;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as StandardSample>::sample(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = <$t as StandardSample>::sample(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+/// User-facing generator methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A value from the standard distribution (uniform over the type for
+    /// integers, uniform in `[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seeded generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+
+    pub mod mock {
+        //! Deterministic mock generators for tests and type annotations.
+
+        use crate::{RngCore, SeedableRng};
+
+        /// Emits an arithmetic sequence of words.
+        #[derive(Clone, Debug)]
+        pub struct StepRng {
+            v: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Start at `initial`, advancing by `increment` per draw.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    v: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.increment);
+                out
+            }
+        }
+
+        impl SeedableRng for StepRng {
+            type Seed = [u8; 8];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                StepRng::new(u64::from_le_bytes(seed), 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a: usize = rng.gen_range(0..17);
+            assert!(a < 17);
+            let b: u32 = rng.gen_range(5..=9);
+            assert!((5..=9).contains(&b));
+            let f: f64 = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g: f64 = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+}
