@@ -244,6 +244,18 @@ pub fn serve(p: &Parsed) -> Result<(), String> {
     let engine = Arc::new(load(p)?);
     let addr = p.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let defaults = pit_server::ServerConfig::default();
+    // Fault-injection flags (chaos drills and the integration tests): a
+    // user whose queries panic, and a user whose queries are slowed at
+    // every cancellation check.
+    let opt_user = |name: &str| -> Result<Option<u32>, String> {
+        match p.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    };
     let config = pit_server::ServerConfig {
         workers: p.num("workers", defaults.workers)?,
         queue_depth: p.num("queue-depth", defaults.queue_depth)?,
@@ -254,6 +266,10 @@ pub fn serve(p: &Parsed) -> Result<(), String> {
         io_timeout: Duration::from_millis(
             p.num("io-timeout-ms", defaults.io_timeout.as_millis() as u64)?,
         ),
+        cancel_check_tables: p.num("cancel-every", defaults.cancel_check_tables)?,
+        poison_user: opt_user("poison-user")?,
+        drag_user: opt_user("drag-user")?,
+        drag_per_check: Duration::from_micros(p.num("drag-us", 0u64)?),
     };
     let state = Arc::new(pit_server::ServerState::new(engine, config.clone()));
     let handle = pit_server::serve(state, addr.as_str()).map_err(|e| e.to_string())?;
@@ -309,7 +325,24 @@ pub fn client(p: &Parsed) -> Result<(), String> {
     match protocol::Response::parse(&text).map_err(|e| format!("bad reply: {e}"))? {
         protocol::Response::Pong => println!("PONG"),
         protocol::Response::Bye => println!("BYE"),
-        protocol::Response::Err(reason) => return Err(format!("server error: {reason}")),
+        protocol::Response::Err(reason) => {
+            // The first word of the reason is the machine-readable class;
+            // translate each into what the operator should do about it.
+            let class = reason
+                .split([' ', ':'])
+                .next()
+                .unwrap_or_default()
+                .to_string();
+            let hint = match class.as_str() {
+                "timeout" => "query exceeded its budget; retry or raise --budget-ms on the server",
+                "overloaded" => "shed at admission; back off and retry",
+                "internal" => "server-side fault; check server STATS (panics/internal_errors)",
+                "shutting-down" => "server is draining; retry against a live instance",
+                "malformed" => "the request was rejected; fix the query parameters",
+                _ => "unrecognized error class",
+            };
+            return Err(format!("server error: {reason} ({hint})"));
+        }
         protocol::Response::Stats(pairs) => {
             for (key, value) in pairs {
                 println!("{key:<18} {value}");

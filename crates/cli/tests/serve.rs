@@ -161,6 +161,135 @@ fn serve_answers_queries_identical_to_offline_and_drains() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn get_stat(pairs: &[(String, String)], name: &str) -> u64 {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .unwrap_or_else(|| panic!("missing stat {name}"))
+        .1
+        .parse()
+        .unwrap_or_else(|_| panic!("stat {name} not numeric"))
+}
+
+#[test]
+fn panicking_query_reports_internal_and_the_daemon_keeps_serving() {
+    let dir = scratch_dir("poison");
+    build_engine(&dir);
+    // One worker and a poisoned user: the induced panic must cost exactly
+    // one reply — classified `internal`, never `timeout` — while the pool
+    // keeps its capacity.
+    let (mut child, addr) = spawn_server(&dir, &["--workers", "1", "--poison-user", "5"]);
+    let mut c = TcpStream::connect(&addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let Response::Err(reason) = ask(&mut c, &query(5, 5, "query-0")) else {
+        panic!("poisoned query must error");
+    };
+    assert!(reason.starts_with("internal"), "got: {reason}");
+
+    // The sole worker must still answer (caught panic or respawn).
+    for user in [0u32, 7, 123] {
+        let Response::Topics { ranked, .. } = ask(&mut c, &query(user, 5, "query-0")) else {
+            panic!("daemon stopped serving after a panic (user {user})");
+        };
+        assert!(!ranked.is_empty());
+    }
+
+    let Response::Stats(pairs) = ask(&mut c, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert!(get_stat(&pairs, "panics") >= 1);
+    assert!(get_stat(&pairs, "internal_errors") >= 1);
+    assert_eq!(
+        get_stat(&pairs, "timeouts"),
+        0,
+        "a worker crash must not masquerade as slowness"
+    );
+
+    assert_eq!(ask(&mut c, &Request::Shutdown), Response::Bye);
+    assert!(child.wait().expect("server exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_expiry_cancels_mid_search_and_frees_the_worker() {
+    let dir = scratch_dir("drag");
+    let engine = build_engine(&dir);
+    // User 7's queries sleep 1s per cancellation check; with checks after
+    // every probed table, an uncancelled run holds the only worker for
+    // probed_tables seconds.
+    let full = engine
+        .search_keywords(pit_graph::NodeId(7), &["query-0"], 5)
+        .expect("offline search");
+    assert!(
+        full.probed_tables >= 2,
+        "fixture query must probe multiple tables, got {}",
+        full.probed_tables
+    );
+    let uncancelled = Duration::from_secs(full.probed_tables as u64);
+
+    let (mut child, addr) = spawn_server(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--cache",
+            "0",
+            "--budget-ms",
+            "100",
+            "--cancel-every",
+            "1",
+            "--drag-user",
+            "7",
+            "--drag-us",
+            "1000000",
+        ],
+    );
+    let mut c = TcpStream::connect(&addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let started = std::time::Instant::now();
+    assert_eq!(
+        ask(&mut c, &query(7, 5, "query-0")),
+        Response::Err("timeout".to_string())
+    );
+    let waited = started.elapsed();
+    assert!(
+        waited < Duration::from_millis(2_000),
+        "timeout reply must honor the 100ms budget, took {waited:?}"
+    );
+
+    // The worker must come back long before the dragged search would have
+    // finished on its own.
+    loop {
+        match ask(&mut c, &query(3, 5, "query-0")) {
+            Response::Topics { .. } => break,
+            Response::Err(reason) => assert_eq!(reason, "timeout", "unexpected: {reason}"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(
+            started.elapsed() < uncancelled,
+            "worker still busy after {:?}; cancellation did not fire",
+            started.elapsed()
+        );
+    }
+    assert!(
+        started.elapsed() < uncancelled,
+        "worker freed only after {:?} — search ran to completion (full run: {uncancelled:?})",
+        started.elapsed()
+    );
+
+    let Response::Stats(pairs) = ask(&mut c, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert!(get_stat(&pairs, "timeouts") >= 1);
+    assert_eq!(get_stat(&pairs, "internal_errors"), 0);
+
+    assert_eq!(ask(&mut c, &Request::Shutdown), Response::Bye);
+    assert!(child.wait().expect("server exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn serve_sheds_or_answers_under_tiny_queue() {
     let dir = scratch_dir("shed");

@@ -15,10 +15,12 @@
 //!   topics remain.
 
 pub mod audience;
+pub mod cancel;
 pub mod repindex;
 pub mod searcher;
 pub mod snapshot;
 
 pub use audience::{find_audience, AudienceHit};
+pub use cancel::{CancelToken, SearchError};
 pub use repindex::TopicRepIndex;
 pub use searcher::{PersonalizedSearcher, SearchConfig, SearchOutcome, TopicScore};

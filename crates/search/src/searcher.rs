@@ -1,5 +1,6 @@
 //! Top-k personalized influential topic search (Algorithms 10 and 11).
 
+use crate::cancel::{CancelToken, SearchError};
 use crate::repindex::TopicRepIndex;
 use pit_graph::{NodeId, TopicId};
 use pit_index::PropagationIndex;
@@ -166,9 +167,41 @@ impl<'a> PersonalizedSearcher<'a> {
     /// # Panics
     /// Panics if `query.user` is outside the indexed graph (the propagation
     /// index has one table per node); callers exposing user-supplied ids
-    /// should validate against the graph's node count first.
+    /// should validate against the graph's node count first, or use
+    /// [`PersonalizedSearcher::try_search`] for a typed error instead.
     pub fn search(&self, query: &KeywordQuery) -> SearchOutcome {
+        match self.try_search(query, &CancelToken::none()) {
+            Ok(outcome) => outcome,
+            // A no-op token never cancels, so the only reachable error is
+            // the out-of-range user this method documents as a panic.
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run one query under a [`CancelToken`], without panicking.
+    ///
+    /// The token is polled between EXPAND rounds and every
+    /// [`CancelToken::check_every`] probed propagation tables, so a
+    /// cancelled (or deadline-expired) query releases its thread after a
+    /// bounded amount of further work instead of running to completion.
+    ///
+    /// # Errors
+    /// [`SearchError::UserOutOfRange`] for a user outside the indexed
+    /// graph; [`SearchError::Cancelled`] when the token fires mid-search.
+    pub fn try_search(
+        &self,
+        query: &KeywordQuery,
+        cancel: &CancelToken,
+    ) -> Result<SearchOutcome, SearchError> {
         let v = query.user;
+        if v.index() >= self.prop.len() {
+            return Err(SearchError::UserOutOfRange {
+                user: v.0,
+                nodes: self.prop.len(),
+            });
+        }
+        let check_every = cancel.check_every();
+        let mut until_check = check_every;
         let topic_ids = query.related_topics(self.space);
         let candidate_topics = topic_ids.len();
 
@@ -200,6 +233,7 @@ impl<'a> PersonalizedSearcher<'a> {
         let gamma_v = self.prop.gamma(v);
         probed_tables += 1;
         absorb_table(gamma_v, 1.0, &mut rep_map, &mut topics);
+        table_checkpoint(cancel, &mut until_check, check_every, probed_tables)?;
 
         // Expansion resolution: the propagation index itself drops paths
         // below θ, so a frontier node whose *chained* propagation to the
@@ -218,6 +252,9 @@ impl<'a> PersonalizedSearcher<'a> {
 
         let mut expand_rounds = 0usize;
         loop {
+            if cancel.is_cancelled() {
+                return Err(SearchError::Cancelled { probed_tables });
+            }
             let max_ep = frontier.iter().map(|&(_, ep)| ep).fold(0.0, f64::max);
             if self.config.prune {
                 self.prune_hopeless(&mut topics, max_ep);
@@ -243,6 +280,7 @@ impl<'a> PersonalizedSearcher<'a> {
                 let gamma_u = self.prop.gamma(u);
                 probed_tables += 1;
                 absorb_table(gamma_u, ep_u, &mut rep_map, &mut topics);
+                table_checkpoint(cancel, &mut until_check, check_every, probed_tables)?;
                 for &w in gamma_u.marked() {
                     if !visited.contains(&w) {
                         let ep_w = ep_u * gamma_u.get(w).unwrap_or(0.0);
@@ -273,14 +311,14 @@ impl<'a> PersonalizedSearcher<'a> {
         ranked.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.topic.cmp(&b.topic)));
         ranked.truncate(self.config.k);
 
-        SearchOutcome {
+        Ok(SearchOutcome {
             top_k: ranked,
             candidate_topics,
             pruned_topics: topics.iter().filter(|t| t.pruned).count(),
             expand_rounds,
             probed_tables,
             loaded_reps,
-        }
+        })
     }
 
     /// The current `min(T^k)`: the k-th largest score, or 0 when fewer than
@@ -322,6 +360,24 @@ impl<'a> PersonalizedSearcher<'a> {
         };
         topics.iter().any(|t| t.alive && t.score < threshold)
     }
+}
+
+/// One per-probed-table cancellation checkpoint: fires every `check_every`
+/// tables and stops the search with the work done so far.
+fn table_checkpoint(
+    cancel: &CancelToken,
+    until_check: &mut u32,
+    check_every: u32,
+    probed_tables: usize,
+) -> Result<(), SearchError> {
+    *until_check -= 1;
+    if *until_check == 0 {
+        *until_check = check_every;
+        if cancel.checkpoint() {
+            return Err(SearchError::Cancelled { probed_tables });
+        }
+    }
+    Ok(())
 }
 
 /// Absorb the influence of every remaining representative present in
@@ -591,6 +647,84 @@ mod tests {
         let q = KeywordQuery::new(user(8), vec![TermId(0)]);
         let out = searcher.search(&q);
         assert_eq!(out.loaded_reps, 4 + 3 + 3);
+    }
+
+    #[test]
+    fn try_search_matches_search_with_inert_token() {
+        let (_g, space, prop, reps) = fig3_setup();
+        let searcher = PersonalizedSearcher::new(&space, &prop, &reps, SearchConfig::top(2));
+        let q = KeywordQuery::new(user(8), vec![TermId(0)]);
+        let plain = searcher.search(&q);
+        let tried = searcher.try_search(&q, &CancelToken::none()).unwrap();
+        let ids = |o: &SearchOutcome| {
+            o.top_k
+                .iter()
+                .map(|s| (s.topic, s.score))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&plain), ids(&tried));
+        assert_eq!(plain.probed_tables, tried.probed_tables);
+    }
+
+    #[test]
+    fn out_of_range_user_is_a_typed_error() {
+        let (_g, space, prop, reps) = fig3_setup();
+        let searcher = PersonalizedSearcher::new(&space, &prop, &reps, SearchConfig::top(1));
+        let q = KeywordQuery::new(NodeId(9_999), vec![TermId(0)]);
+        let err = searcher.try_search(&q, &CancelToken::none()).unwrap_err();
+        assert_eq!(
+            err,
+            SearchError::UserOutOfRange {
+                user: 9_999,
+                nodes: prop.len()
+            }
+        );
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_search_mid_flight() {
+        let (_g, space, prop, reps) = fig3_setup();
+        // Pruning disabled so the search must expand and probe many tables.
+        let searcher = PersonalizedSearcher::new(
+            &space,
+            &prop,
+            &reps,
+            SearchConfig {
+                k: 1,
+                max_expand_rounds: 8,
+                prune: false,
+            },
+        );
+        let q = KeywordQuery::new(user(8), vec![TermId(0)]);
+        let full = searcher.search(&q);
+        assert!(full.probed_tables > 1, "fixture must require expansion");
+
+        // A pre-cancelled token stops at the very first checkpoint: only
+        // the query user's own table gets probed.
+        let token = CancelToken::with_flag(std::sync::Arc::new(
+            std::sync::atomic::AtomicBool::new(true),
+        ))
+        .with_check_every(1);
+        let err = searcher.try_search(&q, &token).unwrap_err();
+        let SearchError::Cancelled { probed_tables } = err else {
+            panic!("expected cancellation, got {err:?}");
+        };
+        assert_eq!(probed_tables, 1, "must stop before any expansion");
+        assert!(probed_tables < full.probed_tables);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_the_search() {
+        let (_g, space, prop, reps) = fig3_setup();
+        let searcher = PersonalizedSearcher::new(&space, &prop, &reps, SearchConfig::top(1));
+        let q = KeywordQuery::new(user(8), vec![TermId(0)]);
+        let token = CancelToken::none()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1))
+            .with_check_every(1);
+        assert!(matches!(
+            searcher.try_search(&q, &token),
+            Err(SearchError::Cancelled { .. })
+        ));
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl<V: Clone> QueryCache<V> {
             inner.unlink(lru);
             let old = &mut inner.slots[lru];
             let old_key = std::mem::replace(&mut old.key, key.clone());
-            old.value = value.clone();
+            old.value = value;
             inner.map.remove(&old_key);
             inner.map.insert(key, lru);
             inner.push_front(lru);

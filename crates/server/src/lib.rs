@@ -9,6 +9,25 @@
 //! LRU result cache ([`cache`]). `SHUTDOWN` drains in-flight queries before
 //! the listener exits.
 //!
+//! Failure semantics are deadline-true and typed. A query's budget travels
+//! as a [`CancelToken`] (shared flag + deadline) checked cooperatively
+//! inside the search, so expiry frees the worker mid-flight instead of
+//! merely abandoning the waiter. Every `ERR` reason names what actually
+//! happened:
+//!
+//! | reason          | meaning                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `timeout`       | the budget expired; the search was cancelled       |
+//! | `overloaded`    | the bounded queue was full; query shed at admission|
+//! | `malformed …`   | the request itself was invalid                     |
+//! | `internal …`    | a server fault (panicking job, vanished worker)    |
+//! | `shutting-down` | the server is draining                             |
+//!
+//! Worker panics are caught per job ([`pool`]) and, should one ever escape,
+//! the dying worker is respawned — an index bug costs one reply
+//! (`ERR internal`), never a worker, and is counted in `STATS` (`panics`,
+//! `internal_errors`) instead of masquerading as a timeout.
+//!
 //! Threading model:
 //!
 //! ```text
@@ -29,8 +48,9 @@ pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
 pub use state::{RankedTopics, ServerConfig, ServerState};
 
-use crossbeam::channel;
-use pool::{Admission, QueryJob, WorkerPool};
+use crossbeam::channel::{self, RecvTimeoutError};
+use pit_search_core::{CancelToken, SearchError};
+use pool::{Admission, JobError, QueryJob, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -229,11 +249,16 @@ fn answer_query(
         };
     }
     let (reply_tx, reply_rx) = channel::bounded(1);
-    let cancelled = Arc::new(AtomicBool::new(false));
+    // The token is the deadline's single source of truth: the waiter sets
+    // its flag on budget expiry, and the embedded deadline stops the search
+    // even if this connection thread dies first.
+    let cancel = CancelToken::with_flag(Arc::new(AtomicBool::new(false)))
+        .with_deadline(started + state.config().query_budget)
+        .with_check_every(state.config().cancel_check_tables);
     let job = QueryJob {
         key,
         enqueued: started,
-        cancelled: Arc::clone(&cancelled),
+        cancel: cancel.clone(),
         reply: reply_tx,
     };
     match pool.submit(job) {
@@ -243,7 +268,7 @@ fn answer_query(
         }
         Admission::Closed => Response::Err("shutting-down".to_string()),
         Admission::Queued => match reply_rx.recv_timeout(state.config().query_budget) {
-            Ok((ranked, micros)) => {
+            Ok(Ok((ranked, micros))) => {
                 Metrics::bump(&state.metrics().queries);
                 Response::Topics {
                     ranked: (*ranked).clone(),
@@ -251,10 +276,32 @@ fn answer_query(
                     micros,
                 }
             }
-            Err(_) => {
-                cancelled.store(true, Ordering::Release);
+            // The worker noticed the deadline before our recv_timeout fired
+            // (it checks the token's own clock): still a timeout.
+            Ok(Err(JobError::Search(SearchError::Cancelled { .. }))) => {
                 Metrics::bump(&state.metrics().timeouts);
                 Response::Err("timeout".to_string())
+            }
+            // Unreachable through make_key, but surfaced honestly if a key
+            // is ever built around validation.
+            Ok(Err(JobError::Search(e @ SearchError::UserOutOfRange { .. }))) => {
+                Metrics::bump(&state.metrics().errors);
+                Response::Err(format!("malformed: {e}"))
+            }
+            Ok(Err(JobError::Panicked)) => {
+                Metrics::bump(&state.metrics().internal_errors);
+                Response::Err("internal: query execution panicked".to_string())
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                cancel.cancel();
+                Metrics::bump(&state.metrics().timeouts);
+                Response::Err("timeout".to_string())
+            }
+            // A dropped reply sender means the worker died without even a
+            // caught panic — a server fault, never a slow query.
+            Err(RecvTimeoutError::Disconnected) => {
+                Metrics::bump(&state.metrics().internal_errors);
+                Response::Err("internal: worker vanished".to_string())
             }
         },
     }
@@ -374,6 +421,147 @@ mod tests {
         protocol::write_frame(&mut c, "QUERY 999999 3 query-0").unwrap();
         let text = protocol::read_frame(&mut c).unwrap().unwrap();
         assert!(text.starts_with("ERR malformed: user"), "{text}");
+        roundtrip(&mut c, &Request::Shutdown);
+        handle.join();
+    }
+
+    fn get_stat(pairs: &[(String, String)], name: &str) -> u64 {
+        pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+            .1
+            .parse()
+            .unwrap_or_else(|_| panic!("stat {name} not numeric"))
+    }
+
+    #[test]
+    fn poisoned_query_is_internal_and_the_pool_self_heals() {
+        // One worker + a poisoned user: the panic must cost one reply, not
+        // the pool, and must be reported as `internal`, never `timeout`.
+        let state = tiny_state(ServerConfig {
+            workers: 1,
+            poison_user: Some(5),
+            ..ServerConfig::default()
+        });
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+
+        let poisoned = Request::Query {
+            user: 5,
+            k: 3,
+            keywords: vec!["query-0".to_string()],
+        };
+        let Response::Err(reason) = roundtrip(&mut c, &poisoned) else {
+            panic!("poisoned query must error");
+        };
+        assert!(reason.starts_with("internal"), "got: {reason}");
+
+        // The sole worker is still serving.
+        for user in [6u32, 7, 8] {
+            let healthy = Request::Query {
+                user,
+                k: 3,
+                keywords: vec!["query-0".to_string()],
+            };
+            assert!(
+                matches!(roundtrip(&mut c, &healthy), Response::Topics { .. }),
+                "pool must keep serving after a panic (user {user})"
+            );
+        }
+
+        let Response::Stats(pairs) = roundtrip(&mut c, &Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(get_stat(&pairs, "panics") >= 1);
+        assert!(get_stat(&pairs, "internal_errors") >= 1);
+        assert_eq!(
+            get_stat(&pairs, "timeouts"),
+            0,
+            "a crash must not inflate the timeout counter"
+        );
+
+        roundtrip(&mut c, &Request::Shutdown);
+        handle.join();
+    }
+
+    #[test]
+    fn budget_expiry_cancels_the_search_and_frees_the_worker() {
+        // One worker; user 7's queries sleep 1s at every cancellation check
+        // (fault injection), so an uncancelled run would hold the worker
+        // for probed_tables × 1s. The 100ms budget must (a) answer the
+        // waiter on time and (b) release the worker at the first check.
+        let drag = Duration::from_millis(1000);
+        let state = tiny_state(ServerConfig {
+            workers: 1,
+            cache_capacity: 0,
+            query_budget: Duration::from_millis(100),
+            cancel_check_tables: 1,
+            drag_user: Some(7),
+            drag_per_check: drag,
+            ..ServerConfig::default()
+        });
+        // How long the dragged search would run to completion.
+        let full = state
+            .engine()
+            .search_keywords(pit_graph::NodeId(7), &["query-0"], 3)
+            .unwrap();
+        assert!(
+            full.probed_tables >= 2,
+            "fixture query must probe multiple tables, got {}",
+            full.probed_tables
+        );
+        let uncancelled_runtime = drag * full.probed_tables as u32;
+
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        let started = Instant::now();
+        let slow = Request::Query {
+            user: 7,
+            k: 3,
+            keywords: vec!["query-0".to_string()],
+        };
+        let reply = roundtrip(&mut c, &slow);
+        let waited = started.elapsed();
+        assert_eq!(reply, Response::Err("timeout".to_string()));
+        assert!(
+            waited < Duration::from_millis(600),
+            "timeout reply must honor the budget, took {waited:?}"
+        );
+
+        // Poll until the worker answers again: it must come back long
+        // before the dragged search would have completed.
+        let healthy = Request::Query {
+            user: 6,
+            k: 3,
+            keywords: vec!["query-0".to_string()],
+        };
+        loop {
+            match roundtrip(&mut c, &healthy) {
+                Response::Topics { .. } => break,
+                Response::Err(reason) => assert_eq!(reason, "timeout", "unexpected: {reason}"),
+                other => panic!("unexpected reply {other:?}"),
+            }
+            assert!(
+                started.elapsed() < uncancelled_runtime,
+                "worker still busy after {:?}; cancellation did not fire",
+                started.elapsed()
+            );
+        }
+        assert!(
+            started.elapsed() < uncancelled_runtime,
+            "worker freed only after {:?} — the search ran to completion \
+             (full run would take {uncancelled_runtime:?})",
+            started.elapsed()
+        );
+
+        let Response::Stats(pairs) = roundtrip(&mut c, &Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(get_stat(&pairs, "timeouts") >= 1);
+        assert_eq!(get_stat(&pairs, "internal_errors"), 0);
+        assert_eq!(get_stat(&pairs, "panics"), 0);
+
         roundtrip(&mut c, &Request::Shutdown);
         handle.join();
     }

@@ -1,17 +1,28 @@
-//! Serving metrics: lock-free counters and a fixed-bucket latency histogram.
+//! Serving metrics: lock-free counters and fixed-bucket latency histograms.
 //!
 //! Everything here is written on the hot path, so all state is atomic —
 //! `STATS` readers see a consistent-enough snapshot without stopping the
 //! world. The histogram buckets are fixed at construction (powers of two in
 //! microseconds), giving p50/p99 estimates with bounded error and zero
 //! allocation per observation.
+//!
+//! Service latency is reported three ways so operators can tell admission
+//! pressure from slow queries: `queue_wait` (admission → dequeue),
+//! `execution` (dequeue → answer), and `latency` (their end-to-end sum).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Bucket upper bounds in microseconds: 1µs, 2µs, 4µs … ~8.6s, plus a
-/// catch-all. 24 buckets ⇒ every estimate is within 2× of the true value.
+/// Bucket count. Bucket 0 holds 0µs exactly; bucket `i ≥ 1` covers
+/// `[2^(i-1), 2^i)` µs, so the largest bounded bucket tops out at
+/// `2^23` µs ≈ 8.4s and every estimate is within 2× of the true value.
 const BUCKETS: usize = 24;
+
+/// Map an observation to its bucket: 0µs → bucket 0, otherwise
+/// `floor(log2(µs)) + 1`, saturating into the last (catch-all) bucket.
+fn bucket_index(micros: u64) -> usize {
+    (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+}
 
 /// Latency histogram with power-of-two microsecond buckets.
 #[derive(Debug, Default)]
@@ -28,9 +39,8 @@ impl LatencyHistogram {
     /// Record one observation.
     pub fn observe(&self, d: Duration) {
         let micros = d.as_micros().min(u64::MAX as u128) as u64;
-        // Bucket i covers [2^i, 2^(i+1)) µs; 0µs lands in bucket 0.
-        let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // Bucket i covers [2^(i-1), 2^i) µs; 0µs lands in bucket 0.
+        self.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total observations.
@@ -38,8 +48,9 @@ impl LatencyHistogram {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
-    /// The upper bound (µs) of the bucket containing quantile `q` ∈ [0, 1],
-    /// or 0 when empty. Within 2× of the true quantile by construction.
+    /// The exclusive upper bound (µs) of the bucket containing quantile
+    /// `q` ∈ [0, 1] — `2^i` for bucket `i` — or 0 when empty. Within 2× of
+    /// the true quantile by construction.
     pub fn quantile_micros(&self, q: f64) -> u64 {
         let snapshot: Vec<u64> = self
             .counts
@@ -69,14 +80,26 @@ pub struct Metrics {
     pub queries: AtomicU64,
     /// Queries rejected because the request queue was full.
     pub shed: AtomicU64,
-    /// Queries that exceeded their time budget.
+    /// Queries that exceeded their time budget (`ERR timeout`).
     pub timeouts: AtomicU64,
-    /// Requests answered with any other `ERR`.
+    /// Requests answered with a request-shaped `ERR` (malformed input).
     pub errors: AtomicU64,
+    /// Queries that died to a server-side fault (`ERR internal`): a
+    /// panicking job or a vanished worker. Disjoint from `timeouts`.
+    pub internal_errors: AtomicU64,
+    /// Worker panics caught (or survived via respawn). Each one is an index
+    /// bug surfacing; `internal_errors` counts the client-visible fallout.
+    pub panics: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
-    /// Service latency (queue wait + execution) of successful queries.
+    /// End-to-end service latency (queue wait + execution) of successful
+    /// queries.
     pub latency: LatencyHistogram,
+    /// Time jobs spent queued before a worker picked them up — rises under
+    /// admission pressure even when execution stays fast.
+    pub queue_wait: LatencyHistogram,
+    /// Pure execution time of successfully completed searches.
+    pub execution: LatencyHistogram,
 }
 
 impl Metrics {
@@ -99,6 +122,11 @@ impl Metrics {
             ("shed".into(), load(&self.shed).to_string()),
             ("timeouts".into(), load(&self.timeouts).to_string()),
             ("errors".into(), load(&self.errors).to_string()),
+            (
+                "internal_errors".into(),
+                load(&self.internal_errors).to_string(),
+            ),
+            ("panics".into(), load(&self.panics).to_string()),
             ("connections".into(), load(&self.connections).to_string()),
             (
                 "latency_p50_us".into(),
@@ -108,6 +136,22 @@ impl Metrics {
                 "latency_p99_us".into(),
                 self.latency.quantile_micros(0.99).to_string(),
             ),
+            (
+                "queue_p50_us".into(),
+                self.queue_wait.quantile_micros(0.50).to_string(),
+            ),
+            (
+                "queue_p99_us".into(),
+                self.queue_wait.quantile_micros(0.99).to_string(),
+            ),
+            (
+                "exec_p50_us".into(),
+                self.execution.quantile_micros(0.50).to_string(),
+            ),
+            (
+                "exec_p99_us".into(),
+                self.execution.quantile_micros(0.99).to_string(),
+            ),
         ]
     }
 }
@@ -115,6 +159,34 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bucket_mapping_is_pinned() {
+        // Bucket 0 holds only 0µs; bucket i ≥ 1 covers [2^(i-1), 2^i) µs.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        // Beyond the bounded range everything saturates into the catch-all.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_reports_the_bucket_upper_bound() {
+        // A single observation's quantile is its bucket's exclusive upper
+        // bound 2^i — never below the observed value.
+        for (us, upper) in [(1u64, 2u64), (2, 4), (1024, 2048)] {
+            let h = LatencyHistogram::new();
+            h.observe(Duration::from_micros(us));
+            assert_eq!(h.quantile_micros(1.0), upper, "{us}µs");
+        }
+        let h = LatencyHistogram::new();
+        h.observe(Duration::ZERO);
+        assert_eq!(h.quantile_micros(1.0), 1, "0µs sits in bucket 0, bound 1");
+    }
 
     #[test]
     fn histogram_buckets_by_magnitude() {
@@ -152,9 +224,15 @@ mod tests {
                 "shed",
                 "timeouts",
                 "errors",
+                "internal_errors",
+                "panics",
                 "connections",
                 "latency_p50_us",
-                "latency_p99_us"
+                "latency_p99_us",
+                "queue_p50_us",
+                "queue_p99_us",
+                "exec_p50_us",
+                "exec_p99_us"
             ]
         );
     }

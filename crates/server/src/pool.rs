@@ -1,18 +1,42 @@
-//! Worker pool: a fixed set of threads draining a bounded request queue.
+//! Worker pool: a fixed set of threads draining a bounded request queue,
+//! isolated from query panics and self-healing when one slips through.
 //!
 //! The bounded `crossbeam` channel is the server's admission controller —
 //! connection threads `try_send`, and a full queue becomes an immediate
 //! `ERR overloaded` instead of unbounded queueing. Workers exit when every
 //! sender is dropped, which is exactly the graceful-shutdown drain: the
 //! queue empties, then the pool joins.
+//!
+//! Failure isolation is layered. Each job runs under `catch_unwind`, so a
+//! panic inside the engine answers that one waiter with
+//! [`JobError::Panicked`] and the worker lives on. Should a panic ever
+//! escape the guarded region (e.g. while reporting the result), a sentinel
+//! respawns a replacement thread before the dying one unwinds away — the
+//! pool never silently bleeds capacity.
 
 use crate::cache::QueryKey;
+use crate::metrics::Metrics;
 use crate::state::{RankedTopics, ServerState};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::Mutex;
+use pit_search_core::{CancelToken, SearchError};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Why a worker could not produce a ranking for an admitted job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The query execution panicked; the pool survived, the result did not.
+    Panicked,
+    /// A typed search failure (cancelled mid-flight or unindexed user).
+    Search(SearchError),
+}
+
+/// What a worker sends back for an admitted job.
+pub type JobReply = Result<(RankedTopics, u64), JobError>;
 
 /// One admitted query, owned by a worker until answered.
 pub struct QueryJob {
@@ -21,12 +45,13 @@ pub struct QueryJob {
     /// When the connection thread admitted the job; service latency is
     /// measured from here so queue wait counts against the budget.
     pub enqueued: Instant,
-    /// Set by the connection thread when its deadline fires; the worker
-    /// skips the computation for an abandoned job.
-    pub cancelled: Arc<AtomicBool>,
+    /// Shared cancellation/deadline token: the waiter sets its flag when
+    /// the budget expires, and the token's own deadline stops the search
+    /// even if the waiter is gone.
+    pub cancel: CancelToken,
     /// Where the result goes. Buffered (capacity 1), so a worker's send
     /// never blocks even when the waiter already gave up.
-    pub reply: Sender<(RankedTopics, u64)>,
+    pub reply: Sender<JobReply>,
 }
 
 /// Outcome of offering a job to the pool.
@@ -39,28 +64,42 @@ pub enum Admission {
     Closed,
 }
 
+/// Everything a worker thread (and its respawn sentinel) needs.
+struct PoolShared {
+    rx: Receiver<QueryJob>,
+    state: Arc<ServerState>,
+    /// Live worker handles; respawned replacements are recorded here so
+    /// shutdown joins them too.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotonic id source for worker thread names.
+    next_id: AtomicUsize,
+    /// Set once shutdown begins; sentinels stop respawning past this point.
+    draining: AtomicBool,
+}
+
 /// The worker pool plus the sending side of its queue.
 pub struct WorkerPool {
     jobs: Sender<QueryJob>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
 }
 
 impl WorkerPool {
     /// Spawn `state.config().workers` threads over a queue of depth
     /// `state.config().queue_depth`.
     pub fn start(state: Arc<ServerState>) -> WorkerPool {
+        let workers = state.config().workers.max(1);
         let (jobs, rx) = channel::bounded::<QueryJob>(state.config().queue_depth);
-        let workers = (0..state.config().workers.max(1))
-            .map(|i| {
-                let rx: Receiver<QueryJob> = rx.clone();
-                let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name(format!("pit-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &state))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool { jobs, workers }
+        let shared = Arc::new(PoolShared {
+            rx,
+            state,
+            handles: Mutex::new(Vec::with_capacity(workers)),
+            next_id: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        });
+        for _ in 0..workers {
+            spawn_worker(&shared);
+        }
+        WorkerPool { jobs, shared }
     }
 
     /// Offer a job without blocking; a full queue is the load-shed signal.
@@ -72,28 +111,95 @@ impl WorkerPool {
         }
     }
 
-    /// Stop accepting new jobs, drain the queue, and join every worker.
+    /// Stop accepting new jobs, drain the queue, and join every worker —
+    /// including any respawned replacements.
     pub fn shutdown(self) {
+        self.shared.draining.store(true, Ordering::Release);
         drop(self.jobs); // workers drain the queue, then see Disconnected
-        for w in self.workers {
-            let _ = w.join();
+        loop {
+            // Pop one handle at a time: a dying worker's sentinel may still
+            // push a replacement while we join, and it must be joined too.
+            let handle = self.shared.handles.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Spawn one worker thread and record its handle for shutdown.
+fn spawn_worker(shared: &Arc<PoolShared>) {
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let cloned = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("pit-worker-{id}"))
+        .spawn(move || {
+            let sentinel = Sentinel {
+                shared: Arc::clone(&cloned),
+            };
+            worker_loop(&cloned.rx, &cloned.state);
+            // Clean exit (queue drained): the sentinel must not respawn.
+            std::mem::forget(sentinel);
+        })
+        .expect("spawn worker thread");
+    shared.handles.lock().push(handle);
+}
+
+/// Respawn guard: dropped during unwinding only when a panic escaped the
+/// per-job `catch_unwind`, in which case the dying worker is replaced so
+/// the pool keeps its configured capacity.
+struct Sentinel {
+    shared: Arc<PoolShared>,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.shared.draining.load(Ordering::Acquire) {
+            Metrics::bump(&self.shared.state.metrics().panics);
+            spawn_worker(&self.shared);
         }
     }
 }
 
 fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
     while let Ok(job) = rx.recv() {
-        if job.cancelled.load(Ordering::Acquire) {
-            continue; // waiter already timed out; don't burn CPU on it
+        let waited = job.enqueued.elapsed();
+        state.metrics().queue_wait.observe(waited);
+        if job.cancel.is_cancelled() {
+            // Waiter already timed out (or the deadline expired in-queue):
+            // don't burn CPU on an abandoned job.
+            let _ = job.reply.send(Err(JobError::Search(SearchError::Cancelled {
+                probed_tables: 0,
+            })));
+            continue;
         }
-        let ranked = state.execute(&job.key);
-        let elapsed = job.enqueued.elapsed();
-        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        if !job.cancelled.load(Ordering::Acquire) {
-            state.metrics().latency.observe(elapsed);
-        }
+        let exec_started = Instant::now();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            state.try_execute(&job.key, &job.cancel)
+        }));
+        let reply: JobReply = match result {
+            Ok(Ok(ranked)) => {
+                state.metrics().execution.observe(exec_started.elapsed());
+                let elapsed = job.enqueued.elapsed();
+                let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+                if !job.cancel.is_cancelled() {
+                    state.metrics().latency.observe(elapsed);
+                }
+                Ok((ranked, micros))
+            }
+            Ok(Err(e)) => Err(JobError::Search(e)),
+            Err(_) => {
+                // The panic payload already went to the panic hook (stderr);
+                // count it and keep serving.
+                Metrics::bump(&state.metrics().panics);
+                Err(JobError::Panicked)
+            }
+        };
         // The reply slot is buffered and the waiter may be gone — either way
         // this never blocks a worker.
-        let _ = job.reply.send((ranked, micros));
+        let _ = job.reply.send(reply);
     }
 }

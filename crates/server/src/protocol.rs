@@ -22,8 +22,14 @@
 //! STATS\n<key> <value>\n...
 //! BYE
 //! ERR <reason...>        reasons: timeout | overloaded | shutting-down |
-//!                        malformed ... | unknown ...
+//!                        malformed ... | internal ...
 //! ```
+//!
+//! The first word of an `ERR` reason is machine-readable and exhaustive:
+//! `timeout` (budget expired, search cancelled), `overloaded` (shed at
+//! admission), `shutting-down` (drain in progress), `malformed` (bad
+//! request — the client's fault), `internal` (server fault — a panicking
+//! job or vanished worker; never reported as a timeout).
 
 use std::io::{self, Read, Write};
 

@@ -10,6 +10,7 @@ use crate::cache::{QueryCache, QueryKey};
 use crate::metrics::Metrics;
 use pit::PitEngine;
 use pit_graph::NodeId;
+use pit_search_core::{CancelToken, SearchError};
 use pit_topics::KeywordQuery;
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,6 +33,19 @@ pub struct ServerConfig {
     pub query_budget: Duration,
     /// Socket read/write deadline for client connections.
     pub io_timeout: Duration,
+    /// Propagation tables the searcher probes between cancellation checks.
+    /// Smaller means a timed-out query releases its worker sooner, at the
+    /// cost of more frequent deadline reads.
+    pub cancel_check_tables: u32,
+    /// Fault injection (tests / chaos drills): queries from this user panic
+    /// inside the worker, exercising the catch-unwind + respawn path.
+    pub poison_user: Option<u32>,
+    /// Fault injection: queries from this user sleep [`Self::drag_per_check`]
+    /// at every cancellation check, making them deliberately slow so the
+    /// deadline/cancellation path is observable.
+    pub drag_user: Option<u32>,
+    /// Per-check injected delay for [`Self::drag_user`] queries.
+    pub drag_per_check: Duration,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +60,10 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             query_budget: Duration::from_secs(5),
             io_timeout: Duration::from_secs(30),
+            cancel_check_tables: CancelToken::DEFAULT_CHECK_EVERY,
+            poison_user: None,
+            drag_user: None,
+            drag_per_check: Duration::ZERO,
         }
     }
 }
@@ -119,15 +137,39 @@ impl ServerState {
         self.cache.get(key)
     }
 
-    /// Run the search and populate the cache. This is the expensive path —
-    /// call it from a worker, not from a connection thread.
-    pub fn execute(&self, key: &QueryKey) -> RankedTopics {
+    /// Run the search under `cancel` and populate the cache on success.
+    /// This is the expensive path — call it from a worker, not from a
+    /// connection thread.
+    ///
+    /// # Errors
+    /// Propagates the searcher's typed failures: cancellation (budget
+    /// expiry) or an unindexed user.
+    ///
+    /// # Panics
+    /// Panics when the key matches the configured `poison_user` fault
+    /// injection — callers (the worker pool) isolate this via
+    /// `catch_unwind`.
+    pub fn try_execute(
+        &self,
+        key: &QueryKey,
+        cancel: &CancelToken,
+    ) -> Result<RankedTopics, SearchError> {
+        if self.config.poison_user == Some(key.user) {
+            panic!("poisoned query for user {} (fault injection)", key.user);
+        }
+        let dragged;
+        let cancel = if self.config.drag_user == Some(key.user) {
+            dragged = cancel.clone().with_check_delay(self.config.drag_per_check);
+            &dragged
+        } else {
+            cancel
+        };
         let query = KeywordQuery::new(NodeId(key.user), key.terms.clone());
-        let outcome = self.engine.search(&query, key.k);
+        let outcome = self.engine.try_search(&query, key.k, cancel)?;
         let ranked: RankedTopics =
             Arc::new(outcome.top_k.iter().map(|s| (s.topic.0, s.score)).collect());
         self.cache.insert(key.clone(), Arc::clone(&ranked));
-        ranked
+        Ok(ranked)
     }
 
     /// Everything `STATS` reports: serving counters, cache counters, and a

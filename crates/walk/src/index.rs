@@ -111,7 +111,7 @@ impl WalkIndex {
             for c in &results {
                 for &len in &c.walk_lens {
                     let last = *offsets.last().expect("non-empty");
-                    offsets.push(last + len);
+                    offsets.push(next_walk_offset(last, len));
                 }
                 data.extend_from_slice(&c.walk_data);
             }
@@ -248,6 +248,21 @@ impl WalkIndex {
             + self.reach_offsets.capacity() * 8
             + self.reach_data.capacity() * 4
     }
+}
+
+/// Guarded accumulation of the `u32` walk-offset array. Total walk steps
+/// are bounded by `n·R·L`, which can exceed `u32::MAX` at large scales; an
+/// unchecked add would wrap silently in release builds and corrupt every
+/// walk slice behind the wrap point, so overflow is a loud, immediate
+/// failure instead.
+fn next_walk_offset(last: u32, len: u32) -> u32 {
+    last.checked_add(len).unwrap_or_else(|| {
+        panic!(
+            "walk index overflows the u32 offset space ({last} + {len} steps \
+             stored): n·R·L exceeds {} — reduce R or L, or shard the graph",
+            u32::MAX
+        )
+    })
 }
 
 /// Algorithm 6 body for start nodes `lo..hi`.
@@ -450,6 +465,18 @@ mod tests {
             idx.walk(NodeId(0), 0);
         }));
         assert!(res.is_err(), "walks access must panic when not built");
+    }
+
+    #[test]
+    fn walk_offset_guard_is_exact_at_the_boundary() {
+        // Saturating the space exactly is fine…
+        assert_eq!(next_walk_offset(u32::MAX - 5, 5), u32::MAX);
+        assert_eq!(next_walk_offset(0, u32::MAX), u32::MAX);
+        // …one step past it must panic loudly, not wrap.
+        let res = std::panic::catch_unwind(|| next_walk_offset(u32::MAX - 4, 5));
+        assert!(res.is_err(), "overflowing offset add must panic");
+        let res = std::panic::catch_unwind(|| next_walk_offset(u32::MAX, 1));
+        assert!(res.is_err(), "overflowing offset add must panic");
     }
 
     #[test]

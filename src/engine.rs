@@ -2,7 +2,9 @@
 
 use pit_graph::{CsrGraph, NodeId, TermId};
 use pit_index::{PropIndexConfig, PropagationIndex};
-use pit_search_core::{PersonalizedSearcher, SearchConfig, SearchOutcome, TopicRepIndex};
+use pit_search_core::{
+    CancelToken, PersonalizedSearcher, SearchConfig, SearchError, SearchOutcome, TopicRepIndex,
+};
 use pit_summarize::{LrwConfig, LrwSummarizer, RclConfig, RclSummarizer, SummarizeContext};
 use pit_topics::{KeywordQuery, TopicSpace, Vocabulary};
 use pit_walk::{WalkConfig, WalkIndex, WalkIndexParts};
@@ -187,13 +189,35 @@ impl PitEngine {
     }
 
     /// Run a query built from term ids.
+    ///
+    /// # Panics
+    /// Panics if `query.user` is outside the graph; use
+    /// [`PitEngine::try_search`] for a typed error instead.
     pub fn search(&self, query: &KeywordQuery, k: usize) -> SearchOutcome {
+        match self.try_search(query, k, &CancelToken::none()) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run a query under a cancellation/deadline token, without panicking.
+    ///
+    /// # Errors
+    /// [`SearchError::UserOutOfRange`] for an unindexed user, or
+    /// [`SearchError::Cancelled`] when `cancel` fires mid-search.
+    pub fn try_search(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        cancel: &CancelToken,
+    ) -> Result<SearchOutcome, SearchError> {
         let config = SearchConfig {
             k,
             max_expand_rounds: self.max_expand_rounds,
             prune: true,
         };
-        PersonalizedSearcher::new(&self.space, &self.prop, &self.reps, config).search(query)
+        PersonalizedSearcher::new(&self.space, &self.prop, &self.reps, config)
+            .try_search(query, cancel)
     }
 
     /// Convenience: single-term query by id.

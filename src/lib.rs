@@ -60,4 +60,5 @@ pub mod store;
 pub mod update;
 
 pub use engine::{PitEngine, PitEngineBuilder, SummarizerKind};
+pub use pit_search_core::{CancelToken, SearchError};
 pub use update::{Delta, UpdateReport};

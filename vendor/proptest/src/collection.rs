@@ -67,7 +67,7 @@ where
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
