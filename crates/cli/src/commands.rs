@@ -270,6 +270,10 @@ pub fn serve(p: &Parsed) -> Result<(), String> {
         poison_user: opt_user("poison-user")?,
         drag_user: opt_user("drag-user")?,
         drag_per_check: Duration::from_micros(p.num("drag-us", 0u64)?),
+        // Fault injection for the reload integration tests: stretch every
+        // RELOAD/UPDATE so queries observably keep flowing on the old
+        // generation while the swap is in flight.
+        reload_drag: Duration::from_millis(p.num("reload-drag-ms", 0u64)?),
     };
     let state = Arc::new(pit_server::ServerState::new(engine, config.clone()));
     let handle = pit_server::serve(state, addr.as_str()).map_err(|e| e.to_string())?;
@@ -290,7 +294,6 @@ pub fn serve(p: &Parsed) -> Result<(), String> {
 /// `pit client` — one request against a running `pit serve`.
 pub fn client(p: &Parsed) -> Result<(), String> {
     use pit_server::protocol;
-    use std::net::TcpStream;
 
     let addr = p.require("addr")?;
     let op = p.get("op").unwrap_or("query");
@@ -316,15 +319,96 @@ pub fn client(p: &Parsed) -> Result<(), String> {
         }
         other => return Err(format!("unknown op {other} (ping|stats|shutdown|query)")),
     };
+    print_response(&exchange(addr, &request)?)
+}
+
+/// `pit reload` — ask a running daemon to swap in the snapshot at `--dir`.
+/// Blocks until the swap (or failure); queries keep being served on the old
+/// generation the whole time.
+pub fn reload(p: &Parsed) -> Result<(), String> {
+    let addr = p.require("addr")?;
+    let dir = p.require("dir")?;
+    let request = pit_server::protocol::Request::Reload {
+        dir: dir.to_string(),
+    };
+    print_response(&exchange(addr, &request)?)
+}
+
+/// `pit update` — push an edge/assignment delta into a running daemon.
+/// Edges are `u:v:p` triples and assignments `u:t` pairs, comma-separated.
+pub fn update(p: &Parsed) -> Result<(), String> {
+    let addr = p.require("addr")?;
+    let edges = parse_edges(p.get("edges").unwrap_or(""))?;
+    let assignments = parse_assignments(p.get("assign").unwrap_or(""))?;
+    if edges.is_empty() && assignments.is_empty() {
+        return Err("empty delta: pass --edges u:v:p,… and/or --assign u:t,…".into());
+    }
+    let request = pit_server::protocol::Request::Update { edges, assignments };
+    print_response(&exchange(addr, &request)?)
+}
+
+/// Parse `u:v:p,u:v:p,…` into new-edge triples.
+fn parse_edges(spec: &str) -> Result<Vec<(u32, u32, f64)>, String> {
+    spec.split(',')
+        .filter(|item| !item.is_empty())
+        .map(|item| {
+            let bad = || format!("bad edge {item:?} (want u:v:p with p in (0,1])");
+            let mut parts = item.split(':');
+            let u = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+            let v = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+            let prob: f64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+            if parts.next().is_some() || !prob.is_finite() {
+                return Err(bad());
+            }
+            Ok((u, v, prob))
+        })
+        .collect()
+}
+
+/// Parse `u:t,u:t,…` into new-assignment pairs.
+fn parse_assignments(spec: &str) -> Result<Vec<(u32, u32)>, String> {
+    spec.split(',')
+        .filter(|item| !item.is_empty())
+        .map(|item| {
+            let bad = || format!("bad assignment {item:?} (want u:t)");
+            let mut parts = item.split(':');
+            let u = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+            let t = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+            if parts.next().is_some() {
+                return Err(bad());
+            }
+            Ok((u, t))
+        })
+        .collect()
+}
+
+/// One request/response exchange with a running daemon. No client-side read
+/// deadline: RELOAD/UPDATE legitimately block until the swap completes.
+fn exchange(
+    addr: &str,
+    request: &pit_server::protocol::Request,
+) -> Result<pit_server::protocol::Response, String> {
+    use pit_server::protocol;
+    use std::net::TcpStream;
+
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let _ = stream.set_nodelay(true);
     protocol::write_frame(&mut stream, &request.render()).map_err(|e| e.to_string())?;
     let text = protocol::read_frame(&mut stream)
         .map_err(|e| e.to_string())?
         .ok_or_else(|| "server closed the connection without replying".to_string())?;
-    match protocol::Response::parse(&text).map_err(|e| format!("bad reply: {e}"))? {
+    protocol::Response::parse(&text).map_err(|e| format!("bad reply: {e}"))
+}
+
+/// Render a server reply for the operator; error replies come back as `Err`
+/// with a what-to-do-about-it hint.
+fn print_response(response: &pit_server::protocol::Response) -> Result<(), String> {
+    use pit_server::protocol;
+
+    match response {
         protocol::Response::Pong => println!("PONG"),
         protocol::Response::Bye => println!("BYE"),
+        protocol::Response::Generation(generation) => println!("generation {generation}"),
         protocol::Response::Err(reason) => {
             // The first word of the reason is the machine-readable class;
             // translate each into what the operator should do about it.
@@ -339,6 +423,9 @@ pub fn client(p: &Parsed) -> Result<(), String> {
                 "internal" => "server-side fault; check server STATS (panics/internal_errors)",
                 "shutting-down" => "server is draining; retry against a live instance",
                 "malformed" => "the request was rejected; fix the query parameters",
+                "reload-failed" => {
+                    "the snapshot/delta was rejected; the previous generation is still serving"
+                }
                 _ => "unrecognized error class",
             };
             return Err(format!("server error: {reason} ({hint})"));
@@ -356,8 +443,8 @@ pub fn client(p: &Parsed) -> Result<(), String> {
             println!(
                 "{} topics ({}, {:.2} ms)",
                 ranked.len(),
-                if cached { "cached" } else { "fresh" },
-                micros as f64 / 1e3
+                if *cached { "cached" } else { "fresh" },
+                *micros as f64 / 1e3
             );
             for (rank, (topic, score)) in ranked.iter().enumerate() {
                 println!("  {:>3}. topic {topic:<6} influence {score:.6}", rank + 1);

@@ -9,6 +9,8 @@
 //! pit stats    --engine engine/
 //! pit serve    --engine engine/ [--addr 127.0.0.1:7878] [--workers 8]
 //! pit client   --addr 127.0.0.1:7878 --user 3 --keywords query-0 [--k 10]
+//! pit reload   --addr 127.0.0.1:7878 --dir engine-v2/
+//! pit update   --addr 127.0.0.1:7878 --edges 3:9:0.5 --assign 4:17
 //! ```
 
 use pit_cli::{args, commands};
@@ -31,6 +33,8 @@ fn main() {
         "stats" => commands::stats(&parsed),
         "serve" => commands::serve(&parsed),
         "client" => commands::client(&parsed),
+        "reload" => commands::reload(&parsed),
+        "update" => commands::update(&parsed),
         "help" | "--help" | "-h" => {
             usage();
             return;
@@ -58,6 +62,10 @@ fn usage() {
          \x20 serve    --engine DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20          [--cache N] [--budget-ms MS] [--io-timeout-ms MS]   run the query daemon\n\
          \x20 client   --addr HOST:PORT [--op ping|stats|shutdown|query]\n\
-         \x20          [--user N --keywords a,b [--k K]]                   talk to a daemon"
+         \x20          [--user N --keywords a,b [--k K]]                   talk to a daemon\n\
+         \x20 reload   --addr HOST:PORT --dir DIR      swap a running daemon onto a new\n\
+         \x20          engine snapshot (queries keep flowing on the old one meanwhile)\n\
+         \x20 update   --addr HOST:PORT [--edges u:v:p,…] [--assign u:t,…]\n\
+         \x20          apply a live edge/assignment delta to a running daemon"
     );
 }

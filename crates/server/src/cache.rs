@@ -1,10 +1,17 @@
-//! LRU cache of recent query results.
+//! LRU cache of recent query results, coherent across engine generations.
 //!
 //! Keyed by the full query identity `(user, k, sorted terms)` so a hit is
 //! guaranteed to be byte-identical to recomputing. Entries form an intrusive
 //! doubly-linked list over a slab (`Vec`) — `get`/`insert` are O(1) with no
 //! per-operation allocation beyond the stored value — behind one
 //! `parking_lot::Mutex`, with hit/miss/eviction counters read by `STATS`.
+//!
+//! Every entry is tagged with the engine **generation** that computed it.
+//! After a live `RELOAD`/`UPDATE` swaps the engine, a lookup against a
+//! pre-swap entry is treated as a miss and the stale entry is evicted
+//! lazily, right there — the swap itself never stops the world to sweep the
+//! cache, and no post-swap response can ever be served from a pre-swap
+//! ranking.
 
 use parking_lot::Mutex;
 use pit_graph::TermId;
@@ -37,6 +44,9 @@ const NIL: usize = usize::MAX;
 struct Slot<V> {
     key: QueryKey,
     value: V,
+    /// Engine generation that computed `value`; a lookup from any other
+    /// generation is a miss.
+    generation: u64,
     prev: usize,
     next: usize,
 }
@@ -56,6 +66,7 @@ pub struct QueryCache<V> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    stale_evictions: AtomicU64,
 }
 
 impl<V: Clone> QueryCache<V> {
@@ -73,11 +84,15 @@ impl<V: Clone> QueryCache<V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_evictions: AtomicU64::new(0),
         }
     }
 
-    /// Look up `key`, promoting it to most-recently-used on a hit.
-    pub fn get(&self, key: &QueryKey) -> Option<V> {
+    /// Look up `key` as seen by engine `generation`, promoting it to
+    /// most-recently-used on a hit. An entry computed under a different
+    /// generation is a miss: it is evicted on the spot (counted in
+    /// `cache_stale_evictions`) so one stale ranking is never served twice.
+    pub fn get(&self, key: &QueryKey, generation: u64) -> Option<V> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -87,21 +102,29 @@ impl<V: Clone> QueryCache<V> {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
+        if inner.slots[slot].generation != generation {
+            inner.remove(slot);
+            self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         inner.unlink(slot);
         inner.push_front(slot);
         self.hits.fetch_add(1, Ordering::Relaxed);
         Some(inner.slots[slot].value.clone())
     }
 
-    /// Insert `key → value`, evicting the least-recently-used entry when at
-    /// capacity. Overwrites any existing entry for `key`.
-    pub fn insert(&self, key: QueryKey, value: V) {
+    /// Insert `key → value` as computed under engine `generation`, evicting
+    /// the least-recently-used entry when at capacity. Overwrites any
+    /// existing entry for `key` (from any generation).
+    pub fn insert(&self, key: QueryKey, generation: u64, value: V) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.inner.lock();
         if let Some(&slot) = inner.map.get(&key) {
             inner.slots[slot].value = value;
+            inner.slots[slot].generation = generation;
             inner.unlink(slot);
             inner.push_front(slot);
             return;
@@ -113,6 +136,7 @@ impl<V: Clone> QueryCache<V> {
             let old = &mut inner.slots[lru];
             let old_key = std::mem::replace(&mut old.key, key.clone());
             old.value = value;
+            old.generation = generation;
             inner.map.remove(&old_key);
             inner.map.insert(key, lru);
             inner.push_front(lru);
@@ -123,11 +147,13 @@ impl<V: Clone> QueryCache<V> {
             let s = &mut inner.slots[free];
             s.key = key.clone();
             s.value = value;
+            s.generation = generation;
             free
         } else {
             inner.slots.push(Slot {
                 key: key.clone(),
                 value,
+                generation,
                 prev: NIL,
                 next: NIL,
             });
@@ -147,9 +173,16 @@ impl<V: Clone> QueryCache<V> {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Evictions so far.
+    /// Evictions so far (capacity pressure only; see
+    /// [`QueryCache::stale_evictions`]).
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because their generation no longer matched the
+    /// serving engine.
+    pub fn stale_evictions(&self) -> u64 {
+        self.stale_evictions.load(Ordering::Relaxed)
     }
 
     /// Entries currently cached.
@@ -177,6 +210,10 @@ impl<V: Clone> QueryCache<V> {
             ("cache_hits".into(), hits.to_string()),
             ("cache_misses".into(), misses.to_string()),
             ("cache_evictions".into(), self.evictions().to_string()),
+            (
+                "cache_stale_evictions".into(),
+                self.stale_evictions().to_string(),
+            ),
             ("cache_hit_rate".into(), format!("{rate:.4}")),
         ]
     }
@@ -218,11 +255,23 @@ impl<V> Inner<V> {
             self.tail = slot;
         }
     }
+
+    /// Drop `slot` entirely: unlink it, unmap its key, and recycle the slab
+    /// slot. Used for lazy eviction of cross-generation entries.
+    fn remove(&mut self, slot: usize) {
+        self.unlink(slot);
+        let key = self.slots[slot].key.clone();
+        self.map.remove(&key);
+        self.free.push(slot);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Generation used by tests that don't exercise reload coherence.
+    const G: u64 = 1;
 
     fn key(user: u32) -> QueryKey {
         QueryKey::new(user, 10, vec![TermId(0)])
@@ -231,9 +280,9 @@ mod tests {
     #[test]
     fn hit_miss_and_counters() {
         let cache: QueryCache<u64> = QueryCache::new(4);
-        assert_eq!(cache.get(&key(1)), None);
-        cache.insert(key(1), 11);
-        assert_eq!(cache.get(&key(1)), Some(11));
+        assert_eq!(cache.get(&key(1), G), None);
+        cache.insert(key(1), G, 11);
+        assert_eq!(cache.get(&key(1), G), Some(11));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
     }
@@ -246,28 +295,72 @@ mod tests {
     }
 
     #[test]
+    fn cross_generation_hit_is_a_miss_and_evicts_lazily() {
+        let cache: QueryCache<u64> = QueryCache::new(4);
+        cache.insert(key(1), 1, 11);
+        cache.insert(key(2), 1, 22);
+        // Generation 2 takes over: the old entry must not answer, and must
+        // be gone afterwards — even for a later generation-1 reader.
+        assert_eq!(cache.get(&key(1), 2), None);
+        assert_eq!(cache.stale_evictions(), 1);
+        assert_eq!(cache.get(&key(1), 1), None, "stale entry must be evicted");
+        assert_eq!(cache.len(), 1, "only the untouched entry remains");
+        // Re-populated under generation 2, it hits again.
+        cache.insert(key(1), 2, 33);
+        assert_eq!(cache.get(&key(1), 2), Some(33));
+        // The untouched generation-1 entry still lazily dies on first touch.
+        assert_eq!(cache.get(&key(2), 2), None);
+        assert_eq!(cache.stale_evictions(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_overwrites_stale_generation_in_place() {
+        let cache: QueryCache<u64> = QueryCache::new(2);
+        cache.insert(key(1), 1, 10);
+        cache.insert(key(1), 2, 20);
+        assert_eq!(cache.get(&key(1), 2), Some(20));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn lazy_eviction_recycles_slots() {
+        // Stale-evicted slots must be reusable without growing the slab.
+        let cache: QueryCache<u64> = QueryCache::new(2);
+        cache.insert(key(1), 1, 10);
+        cache.insert(key(2), 1, 20);
+        assert_eq!(cache.get(&key(1), 2), None); // lazy-evicts slot of key 1
+        cache.insert(key(3), 2, 30); // must reuse the freed slot
+        assert_eq!(cache.get(&key(3), 2), Some(30));
+        cache.insert(key(4), 2, 40); // at capacity again → LRU eviction
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
     fn evicts_least_recently_used() {
         let cache: QueryCache<u64> = QueryCache::new(3);
         for u in 0..3 {
-            cache.insert(key(u), u as u64);
+            cache.insert(key(u), G, u as u64);
         }
         // Touch 0 so 1 becomes LRU.
-        assert!(cache.get(&key(0)).is_some());
-        cache.insert(key(3), 3);
+        assert!(cache.get(&key(0), G).is_some());
+        cache.insert(key(3), G, 3);
         assert_eq!(cache.evictions(), 1);
-        assert_eq!(cache.get(&key(1)), None, "LRU entry should be gone");
-        assert!(cache.get(&key(0)).is_some());
-        assert!(cache.get(&key(2)).is_some());
-        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.get(&key(1), G), None, "LRU entry should be gone");
+        assert!(cache.get(&key(0), G).is_some());
+        assert!(cache.get(&key(2), G).is_some());
+        assert!(cache.get(&key(3), G).is_some());
         assert_eq!(cache.len(), 3);
     }
 
     #[test]
     fn overwrite_updates_value_in_place() {
         let cache: QueryCache<u64> = QueryCache::new(2);
-        cache.insert(key(1), 10);
-        cache.insert(key(1), 20);
-        assert_eq!(cache.get(&key(1)), Some(20));
+        cache.insert(key(1), G, 10);
+        cache.insert(key(1), G, 20);
+        assert_eq!(cache.get(&key(1), G), Some(20));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.evictions(), 0);
     }
@@ -275,8 +368,8 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let cache: QueryCache<u64> = QueryCache::new(0);
-        cache.insert(key(1), 10);
-        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), G, 10);
+        assert_eq!(cache.get(&key(1), G), None);
         assert_eq!(cache.len(), 0);
     }
 
@@ -284,17 +377,40 @@ mod tests {
     fn heavy_churn_keeps_list_consistent() {
         let cache: QueryCache<u64> = QueryCache::new(8);
         for round in 0..1000u32 {
-            cache.insert(key(round % 13), round as u64);
-            let _ = cache.get(&key((round * 7) % 13));
+            cache.insert(key(round % 13), G, round as u64);
+            let _ = cache.get(&key((round * 7) % 13), G);
         }
         assert!(cache.len() <= 8);
         // Every cached entry must still be retrievable.
         let mut live = 0;
         for u in 0..13 {
-            if cache.get(&key(u)).is_some() {
+            if cache.get(&key(u), G).is_some() {
                 live += 1;
             }
         }
         assert_eq!(live, 8);
+    }
+
+    #[test]
+    fn heavy_churn_across_generations_keeps_list_consistent() {
+        // Interleave generation bumps with inserts and lookups: the slab,
+        // map, and recency list must stay mutually consistent.
+        let cache: QueryCache<u64> = QueryCache::new(8);
+        for round in 0..2000u32 {
+            let generation = 1 + (round / 100) as u64;
+            cache.insert(key(round % 13), generation, round as u64);
+            let _ = cache.get(&key((round * 7) % 13), generation);
+            let _ = cache.get(&key((round * 3) % 13), generation.saturating_sub(1));
+        }
+        assert!(cache.len() <= 8);
+        let final_generation = 1 + (1999 / 100) as u64;
+        let mut live = 0;
+        for u in 0..13 {
+            if cache.get(&key(u), final_generation).is_some() {
+                live += 1;
+            }
+        }
+        assert!(live <= 8);
+        assert!(cache.stale_evictions() > 0);
     }
 }

@@ -1,13 +1,28 @@
 //! `pit-server`: a concurrent TCP query daemon over the PIT-Search index.
 //!
 //! The offline artifacts (graph, topic space, walk/propagation/representative
-//! indexes) are loaded once, wrapped in an [`Arc`]-shared [`ServerState`],
-//! and served read-only by a fixed worker pool. The wire format is
-//! length-prefixed UTF-8 text ([`protocol`]); admission control is a bounded
-//! queue ([`pool`]) that sheds with `ERR overloaded`, every query carries a
-//! time budget that expires into `ERR timeout`, and repeated queries hit an
-//! LRU result cache ([`cache`]). `SHUTDOWN` drains in-flight queries before
-//! the listener exits.
+//! indexes) are wrapped in an [`Arc`]-shared [`ServerState`] and served
+//! read-only by a fixed worker pool. The wire format is length-prefixed
+//! UTF-8 text ([`protocol`]); admission control is a bounded queue
+//! ([`pool`]) that sheds with `ERR overloaded`, every query carries a time
+//! budget that expires into `ERR timeout`, and repeated queries hit an LRU
+//! result cache ([`cache`]). `SHUTDOWN` drains in-flight queries before the
+//! listener exits.
+//!
+//! **The engine is live-swappable.** The paper's Section 4.4 requires the
+//! offline artifacts to be refreshed "after a period of time when the
+//! social network and topics have changed"; a daemon that loads once and
+//! serves forever would go stale. The `RELOAD <dir>` and `UPDATE` admin
+//! verbs hand a snapshot load / [`pit::Delta`] apply to a dedicated
+//! **updater thread**, so the worker pool keeps answering queries on the
+//! old generation for the whole (possibly long) rebuild; only the final
+//! pointer swap takes a write lock, for nanoseconds. In-flight queries
+//! finish against the engine `Arc` they captured at admission; queries
+//! admitted after the swap see the new generation; cache entries are tagged
+//! with the generation that computed them and a cross-generation hit is a
+//! miss ([`cache`]), so no post-swap response is ever served from a
+//! pre-swap ranking. A failed load or apply leaves the old generation
+//! serving and answers `ERR reload-failed …`.
 //!
 //! Failure semantics are deadline-true and typed. A query's budget travels
 //! as a [`CancelToken`] (shared flag + deadline) checked cooperatively
@@ -15,13 +30,14 @@
 //! merely abandoning the waiter. Every `ERR` reason names what actually
 //! happened:
 //!
-//! | reason          | meaning                                            |
-//! |-----------------|----------------------------------------------------|
-//! | `timeout`       | the budget expired; the search was cancelled       |
-//! | `overloaded`    | the bounded queue was full; query shed at admission|
-//! | `malformed …`   | the request itself was invalid                     |
-//! | `internal …`    | a server fault (panicking job, vanished worker)    |
-//! | `shutting-down` | the server is draining                             |
+//! | reason           | meaning                                            |
+//! |------------------|----------------------------------------------------|
+//! | `timeout`        | the budget expired; the search was cancelled       |
+//! | `overloaded`     | the bounded queue was full; query shed at admission|
+//! | `malformed …`    | the request itself was invalid                     |
+//! | `internal …`     | a server fault (panicking job, vanished worker)    |
+//! | `reload-failed …`| a RELOAD/UPDATE failed; old generation still serves|
+//! | `shutting-down`  | the server is draining                             |
 //!
 //! Worker panics are caught per job ([`pool`]) and, should one ever escape,
 //! the dying worker is respawned — an index bug costs one reply
@@ -32,9 +48,12 @@
 //!
 //! ```text
 //! acceptor ──spawns──► connection threads ──try_send──► bounded queue
-//!    │                      ▲       │                        │
-//!    │ (shutdown flag)      └─reply─┴──────◄─────────── worker pool
-//!    └── on shutdown: stop accepting, join connections, drain pool
+//!    │                      ▲    ▲  │                        │
+//!    │ (shutdown flag)      │    └──┴─reply────◄──────── worker pool
+//!    │                      └─reply─── updater thread (RELOAD/UPDATE,
+//!    │                                  swaps the engine generation)
+//!    └── on shutdown: stop accepting, join connections, drain pool,
+//!        join updater
 //! ```
 
 pub mod cache;
@@ -46,13 +65,16 @@ pub mod state;
 pub use cache::{QueryCache, QueryKey};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
-pub use state::{RankedTopics, ServerConfig, ServerState};
+pub use state::{EngineGen, RankedTopics, ServerConfig, ServerState};
 
-use crossbeam::channel::{self, RecvTimeoutError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use pit::Delta;
+use pit_graph::{NodeId, TopicId};
 use pit_search_core::{CancelToken, SearchError};
 use pool::{Admission, JobError, QueryJob, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -114,9 +136,49 @@ pub fn serve<A: ToSocketAddrs>(state: Arc<ServerState>, addr: A) -> io::Result<S
     })
 }
 
+/// One admin mutation bound for the updater thread. Both verbs reply with
+/// the new serving generation or a `reload-failed: …` reason.
+enum AdminJob {
+    /// `RELOAD <dir>`: load the snapshot at `dir`, swap it in.
+    Reload {
+        dir: PathBuf,
+        reply: Sender<Result<u64, String>>,
+    },
+    /// `UPDATE`: apply an edge/assignment delta to the serving engine.
+    Update {
+        delta: Delta,
+        reply: Sender<Result<u64, String>>,
+    },
+}
+
+/// The updater thread: serializes every engine mutation so concurrent
+/// RELOAD/UPDATE requests apply one at a time, and the worker pool never
+/// blocks on a rebuild. Exits when the last admin sender drops (drain),
+/// after finishing whatever was already queued.
+fn updater_loop(rx: &Receiver<AdminJob>, state: &ServerState) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            AdminJob::Reload { dir, reply } => {
+                let _ = reply.send(state.reload(&dir));
+            }
+            AdminJob::Update { delta, reply } => {
+                let _ = reply.send(state.apply_update(&delta).map(|(generation, _)| generation));
+            }
+        }
+    }
+}
+
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
     let pool = WorkerPool::start(Arc::clone(state));
     let pool = Arc::new(pool);
+    let (admin_tx, admin_rx) = channel::unbounded::<AdminJob>();
+    let updater = {
+        let state = Arc::clone(state);
+        std::thread::Builder::new()
+            .name("pit-updater".to_string())
+            .spawn(move || updater_loop(&admin_rx, &state))
+            .expect("spawn updater thread")
+    };
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
@@ -125,10 +187,11 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<Atom
                 let state = Arc::clone(state);
                 let stop = Arc::clone(stop);
                 let pool = Arc::clone(&pool);
+                let admin = admin_tx.clone();
                 match std::thread::Builder::new()
                     .name("pit-conn".to_string())
                     .spawn(move || {
-                        let _ = serve_connection(stream, &state, &pool, &stop);
+                        let _ = serve_connection(stream, &state, &pool, &admin, &stop);
                     }) {
                     Ok(h) => connections.push(h),
                     Err(_) => { /* thread exhaustion: drop the connection */ }
@@ -142,7 +205,8 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<Atom
         }
     }
     // Drain: connections observe the flag within one POLL and return after
-    // finishing their in-flight request; then the pool empties its queue.
+    // finishing their in-flight request; then the pool empties its queue,
+    // and the updater finishes any queued admin work before exiting.
     for h in connections {
         let _ = h.join();
     }
@@ -150,6 +214,8 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<Atom
         Ok(pool) => pool.shutdown(),
         Err(_) => unreachable!("all connection threads joined"),
     }
+    drop(admin_tx);
+    let _ = updater.join();
 }
 
 /// Block until a frame is readable, EOF, idle expiry, or shutdown.
@@ -189,6 +255,7 @@ fn serve_connection(
     mut stream: TcpStream,
     state: &ServerState,
     pool: &WorkerPool,
+    admin: &Sender<AdminJob>,
     stop: &AtomicBool,
 ) -> io::Result<()> {
     let io_timeout = state.config().io_timeout;
@@ -207,6 +274,23 @@ fn serve_connection(
                 protocol::write_frame(&mut stream, &Response::Bye.render())?;
                 break;
             }
+            Ok(Request::Reload { dir }) => submit_admin(admin, |reply| AdminJob::Reload {
+                dir: PathBuf::from(dir),
+                reply,
+            }),
+            Ok(Request::Update { edges, assignments }) => {
+                let delta = Delta {
+                    new_edges: edges
+                        .iter()
+                        .map(|&(u, v, p)| (NodeId(u), NodeId(v), p))
+                        .collect(),
+                    new_assignments: assignments
+                        .iter()
+                        .map(|&(u, t)| (NodeId(u), TopicId(t)))
+                        .collect(),
+                };
+                submit_admin(admin, |reply| AdminJob::Update { delta, reply })
+            }
             Ok(Request::Query { user, k, keywords }) => {
                 answer_query(state, pool, stop, user, k, &keywords)
             }
@@ -219,6 +303,24 @@ fn serve_connection(
     Ok(())
 }
 
+/// Hand one admin mutation to the updater thread and block this connection
+/// (only) until it answers. Queries on other connections keep flowing the
+/// whole time — that is the point of the dedicated updater.
+fn submit_admin(
+    admin: &Sender<AdminJob>,
+    make_job: impl FnOnce(Sender<Result<u64, String>>) -> AdminJob,
+) -> Response {
+    let (reply_tx, reply_rx) = channel::bounded(1);
+    if admin.send(make_job(reply_tx)).is_err() {
+        return Response::Err("shutting-down".to_string());
+    }
+    match reply_rx.recv() {
+        Ok(Ok(generation)) => Response::Generation(generation),
+        Ok(Err(reason)) => Response::Err(reason),
+        Err(_) => Response::Err("shutting-down".to_string()),
+    }
+}
+
 fn answer_query(
     state: &ServerState,
     pool: &WorkerPool,
@@ -228,7 +330,11 @@ fn answer_query(
     keywords: &[String],
 ) -> Response {
     let started = Instant::now();
-    let key = match state.make_key(user, k, keywords) {
+    // Capture the serving generation once: validation, cache lookup,
+    // execution, and cache fill all use this engine, even if a RELOAD swap
+    // lands mid-request.
+    let current = state.current();
+    let key = match state.make_key(&current.engine, user, k, keywords) {
         Ok(key) => key,
         Err(reason) => {
             Metrics::bump(&state.metrics().errors);
@@ -238,7 +344,7 @@ fn answer_query(
     if stop.load(Ordering::Acquire) {
         return Response::Err("shutting-down".to_string());
     }
-    if let Some(ranked) = state.lookup(&key) {
+    if let Some(ranked) = state.lookup(&key, current.generation) {
         Metrics::bump(&state.metrics().queries);
         let elapsed = started.elapsed();
         state.metrics().latency.observe(elapsed);
@@ -256,6 +362,7 @@ fn answer_query(
         .with_deadline(started + state.config().query_budget)
         .with_check_every(state.config().cancel_check_tables);
     let job = QueryJob {
+        engine: current,
         key,
         enqueued: started,
         cancel: cancel.clone(),
@@ -317,24 +424,44 @@ mod tests {
     use std::io::Write as _;
     use std::net::TcpStream;
 
-    fn tiny_state(config: ServerConfig) -> Arc<ServerState> {
+    fn tiny_engine(seed: u64) -> PitEngine {
         let spec = pit_datasets::DatasetSpec {
-            name: "server-test".to_string(),
+            name: format!("server-test-{seed}"),
             nodes: 300,
             kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
-            topics: pit_datasets::spec::scaled_topic_config(300, 9),
-            seed: 9,
+            topics: pit_datasets::spec::scaled_topic_config(300, seed),
+            seed,
         };
         let ds = pit_datasets::generate(&spec);
-        let engine = PitEngine::builder()
+        PitEngine::builder()
             .walk(WalkConfig::new(3, 8).with_seed(2))
             .propagation(PropIndexConfig::with_theta(0.02))
             .summarizer(SummarizerKind::Lrw(LrwConfig {
                 rep_count: Some(8),
                 ..LrwConfig::default()
             }))
-            .build_with_vocab(ds.graph, ds.space, Some(ds.vocab));
-        Arc::new(ServerState::new(Arc::new(engine), config))
+            .build_with_vocab(ds.graph, ds.space, Some(ds.vocab))
+    }
+
+    fn tiny_state(config: ServerConfig) -> Arc<ServerState> {
+        Arc::new(ServerState::new(Arc::new(tiny_engine(9)), config))
+    }
+
+    fn offline_ranking(engine: &PitEngine, user: u32, k: usize) -> Vec<(u32, f64)> {
+        engine
+            .search_keywords(pit_graph::NodeId(user), &["query-0"], k)
+            .unwrap()
+            .top_k
+            .iter()
+            .map(|s| (s.topic.0, s.score))
+            .collect()
+    }
+
+    /// A scratch dir under the target-adjacent temp root, unique per test.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pit-server-lib-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     fn roundtrip(stream: &mut TcpStream, req: &Request) -> Response {
@@ -367,7 +494,8 @@ mod tests {
         assert!(!ranked.is_empty());
         // Served scores bit-match the offline path.
         let offline = state
-            .engine()
+            .current()
+            .engine
             .search_keywords(pit_graph::NodeId(5), &["query-0"], 5)
             .unwrap();
         let offline: Vec<(u32, f64)> = offline.top_k.iter().map(|s| (s.topic.0, s.score)).collect();
@@ -503,7 +631,8 @@ mod tests {
         });
         // How long the dragged search would run to completion.
         let full = state
-            .engine()
+            .current()
+            .engine
             .search_keywords(pit_graph::NodeId(7), &["query-0"], 3)
             .unwrap();
         assert!(
@@ -561,6 +690,184 @@ mod tests {
         assert!(get_stat(&pairs, "timeouts") >= 1);
         assert_eq!(get_stat(&pairs, "internal_errors"), 0);
         assert_eq!(get_stat(&pairs, "panics"), 0);
+
+        roundtrip(&mut c, &Request::Shutdown);
+        handle.join();
+    }
+
+    #[test]
+    fn reload_swaps_generation_and_cache_never_crosses() {
+        let state = tiny_state(ServerConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..ServerConfig::default()
+        });
+        let next = tiny_engine(10);
+        let old_ranking = offline_ranking(&state.current().engine, 5, 5);
+        let new_ranking = offline_ranking(&next, 5, 5);
+        assert_ne!(old_ranking, new_ranking, "fixture engines must disagree");
+        let dir = scratch_dir("reload");
+        pit::store::save_engine(&dir, &next).unwrap();
+
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        let query = Request::Query {
+            user: 5,
+            k: 5,
+            keywords: vec!["query-0".to_string()],
+        };
+
+        // Warm the generation-1 cache.
+        let Response::Topics { ranked, cached, .. } = roundtrip(&mut c, &query) else {
+            panic!("expected topics");
+        };
+        assert!(!cached);
+        assert_eq!(ranked, old_ranking);
+        let Response::Topics { cached, .. } = roundtrip(&mut c, &query) else {
+            panic!("expected topics");
+        };
+        assert!(cached);
+
+        let reload = Request::Reload {
+            dir: dir.display().to_string(),
+        };
+        assert_eq!(roundtrip(&mut c, &reload), Response::Generation(2));
+
+        // The identical query after the swap must be recomputed on the new
+        // engine — a pre-swap cache entry answering here would be exactly
+        // the staleness bug this server exists to avoid.
+        let Response::Topics { ranked, cached, .. } = roundtrip(&mut c, &query) else {
+            panic!("expected topics");
+        };
+        assert!(!cached, "post-swap reply served from the pre-swap cache");
+        assert_eq!(ranked, new_ranking);
+        // …and the recomputation repopulates the cache under generation 2.
+        let Response::Topics { ranked, cached, .. } = roundtrip(&mut c, &query) else {
+            panic!("expected topics");
+        };
+        assert!(cached);
+        assert_eq!(ranked, new_ranking);
+
+        let Response::Stats(pairs) = roundtrip(&mut c, &Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(get_stat(&pairs, "generation"), 2);
+        assert_eq!(get_stat(&pairs, "reloads"), 1);
+        assert_eq!(get_stat(&pairs, "reload_failures"), 0);
+        assert!(get_stat(&pairs, "cache_stale_evictions") >= 1);
+
+        roundtrip(&mut c, &Request::Shutdown);
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_reload_keeps_the_old_generation_serving() {
+        let state = tiny_state(ServerConfig {
+            workers: 1,
+            cache_capacity: 16,
+            ..ServerConfig::default()
+        });
+        let old_ranking = offline_ranking(&state.current().engine, 5, 5);
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+
+        let reload = Request::Reload {
+            dir: "/no/such/snapshot-dir".to_string(),
+        };
+        let Response::Err(reason) = roundtrip(&mut c, &reload) else {
+            panic!("reload of a missing snapshot must fail");
+        };
+        assert!(reason.starts_with("reload-failed"), "got: {reason}");
+
+        // Still answering, still generation 1, still the old rankings.
+        let query = Request::Query {
+            user: 5,
+            k: 5,
+            keywords: vec!["query-0".to_string()],
+        };
+        let Response::Topics { ranked, .. } = roundtrip(&mut c, &query) else {
+            panic!("expected topics");
+        };
+        assert_eq!(ranked, old_ranking);
+
+        let Response::Stats(pairs) = roundtrip(&mut c, &Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(get_stat(&pairs, "generation"), 1);
+        assert_eq!(get_stat(&pairs, "reloads"), 0);
+        assert_eq!(get_stat(&pairs, "reload_failures"), 1);
+
+        roundtrip(&mut c, &Request::Shutdown);
+        handle.join();
+    }
+
+    #[test]
+    fn update_applies_delta_and_serves_the_successor_generation() {
+        let state = tiny_state(ServerConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..ServerConfig::default()
+        });
+        let base = Arc::clone(&state.current().engine);
+        // Pick an edge the fixture graph does not have, so the delta is valid.
+        let u = pit_graph::NodeId(5);
+        let v = (0..base.graph().node_count() as u32)
+            .map(pit_graph::NodeId)
+            .find(|&v| v != u && !base.graph().has_edge(u, v))
+            .expect("fixture graph is not complete");
+        let delta = Delta {
+            new_edges: vec![(u, v, 0.7)],
+            new_assignments: vec![],
+        };
+        // The served post-update ranking must equal this offline apply.
+        let (expected_engine, _) = base.with_delta(&delta).unwrap();
+        let expected = offline_ranking(&expected_engine, 5, 5);
+
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        let query = Request::Query {
+            user: 5,
+            k: 5,
+            keywords: vec!["query-0".to_string()],
+        };
+        // Warm the generation-1 cache so the swap has something to outdate.
+        assert!(matches!(
+            roundtrip(&mut c, &query),
+            Response::Topics { cached: false, .. }
+        ));
+
+        let update = Request::Update {
+            edges: vec![(u.0, v.0, 0.7)],
+            assignments: vec![],
+        };
+        assert_eq!(roundtrip(&mut c, &update), Response::Generation(2));
+
+        let Response::Topics { ranked, cached, .. } = roundtrip(&mut c, &query) else {
+            panic!("expected topics");
+        };
+        assert!(
+            !cached,
+            "post-update reply served from the pre-update cache"
+        );
+        assert_eq!(ranked, expected);
+
+        // An invalid delta (unknown topic) must fail without a swap.
+        let bad = Request::Update {
+            edges: vec![],
+            assignments: vec![(5, 1_000_000)],
+        };
+        let Response::Err(reason) = roundtrip(&mut c, &bad) else {
+            panic!("bad delta must fail");
+        };
+        assert!(reason.starts_with("reload-failed"), "got: {reason}");
+
+        let Response::Stats(pairs) = roundtrip(&mut c, &Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(get_stat(&pairs, "generation"), 2);
+        assert_eq!(get_stat(&pairs, "reloads"), 1);
+        assert_eq!(get_stat(&pairs, "reload_failures"), 1);
 
         roundtrip(&mut c, &Request::Shutdown);
         handle.join();

@@ -92,6 +92,12 @@ pub struct Metrics {
     pub panics: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Engine swaps completed (`RELOAD` or `UPDATE` verbs); each one bumps
+    /// the serving generation.
+    pub reloads: AtomicU64,
+    /// `RELOAD`/`UPDATE` attempts that failed (`ERR reload-failed`) and left
+    /// the prior generation serving.
+    pub reload_failures: AtomicU64,
     /// End-to-end service latency (queue wait + execution) of successful
     /// queries.
     pub latency: LatencyHistogram,
@@ -100,6 +106,9 @@ pub struct Metrics {
     pub queue_wait: LatencyHistogram,
     /// Pure execution time of successfully completed searches.
     pub execution: LatencyHistogram,
+    /// Wall time of successful engine swaps (load/apply through the
+    /// generation bump) on the updater thread.
+    pub reload_latency: LatencyHistogram,
 }
 
 impl Metrics {
@@ -128,6 +137,11 @@ impl Metrics {
             ),
             ("panics".into(), load(&self.panics).to_string()),
             ("connections".into(), load(&self.connections).to_string()),
+            ("reloads".into(), load(&self.reloads).to_string()),
+            (
+                "reload_failures".into(),
+                load(&self.reload_failures).to_string(),
+            ),
             (
                 "latency_p50_us".into(),
                 self.latency.quantile_micros(0.50).to_string(),
@@ -151,6 +165,14 @@ impl Metrics {
             (
                 "exec_p99_us".into(),
                 self.execution.quantile_micros(0.99).to_string(),
+            ),
+            (
+                "reload_p50_us".into(),
+                self.reload_latency.quantile_micros(0.50).to_string(),
+            ),
+            (
+                "reload_p99_us".into(),
+                self.reload_latency.quantile_micros(0.99).to_string(),
             ),
         ]
     }
@@ -227,12 +249,16 @@ mod tests {
                 "internal_errors",
                 "panics",
                 "connections",
+                "reloads",
+                "reload_failures",
                 "latency_p50_us",
                 "latency_p99_us",
                 "queue_p50_us",
                 "queue_p99_us",
                 "exec_p50_us",
-                "exec_p99_us"
+                "exec_p99_us",
+                "reload_p50_us",
+                "reload_p99_us"
             ]
         );
     }

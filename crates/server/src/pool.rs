@@ -16,7 +16,7 @@
 
 use crate::cache::QueryKey;
 use crate::metrics::Metrics;
-use crate::state::{RankedTopics, ServerState};
+use crate::state::{EngineGen, RankedTopics, ServerState};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use pit_search_core::{CancelToken, SearchError};
@@ -40,6 +40,11 @@ pub type JobReply = Result<(RankedTopics, u64), JobError>;
 
 /// One admitted query, owned by a worker until answered.
 pub struct QueryJob {
+    /// Engine generation captured at admission. The worker executes against
+    /// exactly this engine even if a `RELOAD` swap lands while the job is
+    /// queued or running — in-flight queries finish on the `Arc` they
+    /// captured, and their cache fill is tagged with this generation.
+    pub engine: EngineGen,
     /// Validated, normalized query identity.
     pub key: QueryKey,
     /// When the connection thread admitted the job; service latency is
@@ -178,7 +183,7 @@ fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
         }
         let exec_started = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            state.try_execute(&job.key, &job.cancel)
+            state.try_execute(&job.engine, &job.key, &job.cancel)
         }));
         let reply: JobReply = match result {
             Ok(Ok(ranked)) => {

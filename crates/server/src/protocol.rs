@@ -1,16 +1,19 @@
 //! Wire protocol: length-prefixed UTF-8 text frames.
 //!
 //! Every message — request or response — is one frame: a little-endian
-//! `u32` byte length followed by that many bytes of UTF-8 text. Requests
-//! are single lines; responses may span multiple lines but always travel in
-//! one frame, so a client never has to guess where a reply ends.
+//! `u32` byte length followed by that many bytes of UTF-8 text. Most
+//! requests are single lines (`UPDATE` carries its delta on continuation
+//! lines); responses may span multiple lines but always travel in one
+//! frame, so a client never has to guess where a reply ends.
 //!
 //! Request grammar (ASCII, space-separated):
 //!
 //! ```text
 //! PING
-//! QUERY <user-id> <k> <keyword> [<keyword>...]
+//! QUERY <user-id> <k> <keyword> [<keyword>...]      k ≤ 1024, ≤ 32 keywords
 //! STATS
+//! RELOAD <engine-dir>                               admin: swap in a snapshot
+//! UPDATE\nEDGE <u> <v> <p>\nASSIGN <u> <t>\n...     admin: apply a delta
 //! SHUTDOWN
 //! ```
 //!
@@ -20,22 +23,39 @@
 //! PONG
 //! TOPICS <n> <cached|fresh> <micros>\n<topic-id> <score>\n...
 //! STATS\n<key> <value>\n...
+//! GEN <generation>       reply to RELOAD/UPDATE: the now-serving generation
 //! BYE
 //! ERR <reason...>        reasons: timeout | overloaded | shutting-down |
-//!                        malformed ... | internal ...
+//!                        malformed ... | internal ... | reload-failed ...
 //! ```
 //!
 //! The first word of an `ERR` reason is machine-readable and exhaustive:
 //! `timeout` (budget expired, search cancelled), `overloaded` (shed at
 //! admission), `shutting-down` (drain in progress), `malformed` (bad
 //! request — the client's fault), `internal` (server fault — a panicking
-//! job or vanished worker; never reported as a timeout).
+//! job or vanished worker; never reported as a timeout), and
+//! `reload-failed` (a `RELOAD`/`UPDATE` could not produce a servable
+//! engine; the prior generation keeps serving).
 
 use std::io::{self, Read, Write};
 
 /// Frames larger than this are rejected rather than buffered — no legitimate
 /// request or reply comes close (a 1000-topic reply is ~30 KB).
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Largest accepted `k`. Anything above caches (and serializes) what is
+/// effectively a full-corpus ranking, and every distinct huge `k` fragments
+/// the LRU into single-use entries.
+pub const MAX_K: usize = 1024;
+
+/// Most keywords accepted in one `QUERY`. The searcher unions topic
+/// postings over terms, so beyond a handful of keywords extra terms only
+/// burn worker time.
+pub const MAX_KEYWORDS: usize = 32;
+
+/// Most `EDGE` plus `ASSIGN` lines accepted in one `UPDATE`. Larger deltas
+/// should go through an offline rebuild and a `RELOAD`.
+pub const MAX_DELTA_LINES: usize = 65_536;
 
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,26 +73,52 @@ pub enum Request {
     },
     /// Server counters snapshot.
     Stats,
+    /// Admin: load the engine snapshot at `dir` (a `pit::store::save_engine`
+    /// directory on the **server's** filesystem) and swap it in as the next
+    /// serving generation.
+    Reload {
+        /// Engine directory path, server-side.
+        dir: String,
+    },
+    /// Admin: apply an edge/assignment delta to the serving engine
+    /// (incremental maintenance, paper Section 4.4) and swap in the result.
+    Update {
+        /// New influence edges `(from, to, transition probability)`.
+        edges: Vec<(u32, u32, f64)>,
+        /// New topic mentions `(user, topic)`.
+        assignments: Vec<(u32, u32)>,
+    },
     /// Graceful stop: drain in-flight queries, then exit.
     Shutdown,
 }
 
 impl Request {
-    /// Parse one request line.
+    /// Parse one request frame (a single line, except `UPDATE`, whose delta
+    /// rides on continuation lines).
     ///
     /// # Errors
     /// A human-readable `malformed …` reason, sent back verbatim in an
     /// `ERR` reply.
-    pub fn parse(line: &str) -> Result<Request, String> {
+    pub fn parse(text: &str) -> Result<Request, String> {
+        let mut lines = text.lines();
+        let line = lines.next().unwrap_or("");
         let mut words = line.split_ascii_whitespace();
         let verb = words
             .next()
             .ok_or_else(|| "malformed: empty request".to_string())?;
+        let single_line = |verb: &str| -> Result<(), String> {
+            if text.lines().nth(1).is_some() {
+                Err(format!("malformed: {verb} takes a single line"))
+            } else {
+                Ok(())
+            }
+        };
         match verb {
-            "PING" => Ok(Request::Ping),
-            "STATS" => Ok(Request::Stats),
-            "SHUTDOWN" => Ok(Request::Shutdown),
+            "PING" => single_line(verb).map(|()| Request::Ping),
+            "STATS" => single_line(verb).map(|()| Request::Stats),
+            "SHUTDOWN" => single_line(verb).map(|()| Request::Shutdown),
             "QUERY" => {
+                single_line(verb)?;
                 let user = words
                     .next()
                     .ok_or_else(|| "malformed: QUERY missing user id".to_string())?
@@ -86,17 +132,90 @@ impl Request {
                 if k == 0 {
                     return Err("malformed: QUERY k must be positive".to_string());
                 }
+                if k > MAX_K {
+                    return Err(format!("malformed: QUERY k {k} exceeds the cap of {MAX_K}"));
+                }
                 let keywords: Vec<String> = words.map(str::to_string).collect();
                 if keywords.is_empty() {
                     return Err("malformed: QUERY needs at least one keyword".to_string());
                 }
+                if keywords.len() > MAX_KEYWORDS {
+                    return Err(format!(
+                        "malformed: QUERY has {} keywords, cap is {MAX_KEYWORDS}",
+                        keywords.len()
+                    ));
+                }
                 Ok(Request::Query { user, k, keywords })
+            }
+            "RELOAD" => {
+                single_line(verb)?;
+                // The path is the rest of the line, so directories with
+                // spaces survive the trip.
+                let dir = line
+                    .strip_prefix("RELOAD")
+                    .expect("verb matched")
+                    .trim()
+                    .to_string();
+                if dir.is_empty() {
+                    return Err("malformed: RELOAD missing engine directory".to_string());
+                }
+                Ok(Request::Reload { dir })
+            }
+            "UPDATE" => {
+                if words.next().is_some() {
+                    return Err("malformed: UPDATE takes no arguments on its head line".to_string());
+                }
+                let mut edges = Vec::new();
+                let mut assignments = Vec::new();
+                for (i, l) in lines.enumerate() {
+                    if i >= MAX_DELTA_LINES {
+                        return Err(format!(
+                            "malformed: UPDATE delta exceeds {MAX_DELTA_LINES} lines"
+                        ));
+                    }
+                    let mut w = l.split_ascii_whitespace();
+                    match w.next() {
+                        Some("EDGE") => {
+                            let (u, v, p) = (w.next(), w.next(), w.next());
+                            let (Some(u), Some(v), Some(p), None) = (u, v, p, w.next()) else {
+                                return Err(format!("malformed: bad EDGE line {l:?}"));
+                            };
+                            let parse = |s: &str, what: &str| -> Result<u32, String> {
+                                s.parse()
+                                    .map_err(|_| format!("malformed: EDGE {what} is not a u32"))
+                            };
+                            let prob: f64 = p
+                                .parse()
+                                .map_err(|_| "malformed: EDGE probability is not a number")?;
+                            if !prob.is_finite() {
+                                return Err("malformed: EDGE probability is not finite".into());
+                            }
+                            edges.push((parse(u, "source")?, parse(v, "target")?, prob));
+                        }
+                        Some("ASSIGN") => {
+                            let (u, t) = (w.next(), w.next());
+                            let (Some(u), Some(t), None) = (u, t, w.next()) else {
+                                return Err(format!("malformed: bad ASSIGN line {l:?}"));
+                            };
+                            let parse = |s: &str, what: &str| -> Result<u32, String> {
+                                s.parse()
+                                    .map_err(|_| format!("malformed: ASSIGN {what} is not a u32"))
+                            };
+                            assignments.push((parse(u, "user")?, parse(t, "topic")?));
+                        }
+                        Some(other) => {
+                            return Err(format!("malformed: unknown UPDATE line kind {other}"))
+                        }
+                        None => return Err("malformed: empty UPDATE line".to_string()),
+                    }
+                }
+                Ok(Request::Update { edges, assignments })
             }
             other => Err(format!("malformed: unknown verb {other}")),
         }
     }
 
-    /// Render the request as its wire line (inverse of [`Request::parse`]).
+    /// Render the request as its wire text (inverse of [`Request::parse`]).
     pub fn render(&self) -> String {
         match self {
             Request::Ping => "PING".to_string(),
@@ -104,6 +223,18 @@ impl Request {
             Request::Shutdown => "SHUTDOWN".to_string(),
             Request::Query { user, k, keywords } => {
                 format!("QUERY {user} {k} {}", keywords.join(" "))
+            }
+            Request::Reload { dir } => format!("RELOAD {dir}"),
+            Request::Update { edges, assignments } => {
+                let mut out = "UPDATE".to_string();
+                for (u, v, p) in edges {
+                    // 17 significant digits round-trip f64 exactly.
+                    out.push_str(&format!("\nEDGE {u} {v} {p:.17e}"));
+                }
+                for (u, t) in assignments {
+                    out.push_str(&format!("\nASSIGN {u} {t}"));
+                }
+                out
             }
         }
     }
@@ -125,6 +256,9 @@ pub enum Response {
     },
     /// Counter snapshot: `(name, value)` pairs.
     Stats(Vec<(String, String)>),
+    /// Reply to [`Request::Reload`] / [`Request::Update`]: the generation
+    /// now serving (monotonically increasing across swaps).
+    Generation(u64),
     /// Reply to [`Request::Shutdown`].
     Bye,
     /// Failure; the string is the machine-readable reason.
@@ -137,6 +271,7 @@ impl Response {
         match self {
             Response::Pong => "PONG".to_string(),
             Response::Bye => "BYE".to_string(),
+            Response::Generation(generation) => format!("GEN {generation}"),
             Response::Err(reason) => format!("ERR {reason}"),
             Response::Topics {
                 ranked,
@@ -181,6 +316,13 @@ impl Response {
         }
         if let Some(reason) = head.strip_prefix("ERR ") {
             return Ok(Response::Err(reason.to_string()));
+        }
+        if let Some(generation) = head.strip_prefix("GEN ") {
+            let generation = generation
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("bad generation: {e}"))?;
+            return Ok(Response::Generation(generation));
         }
         if head == "STATS" {
             let pairs = lines
@@ -287,9 +429,33 @@ mod tests {
                 k: 10,
                 keywords: vec!["query-0".into(), "query-1".into()],
             },
+            Request::Reload {
+                dir: "/var/lib/pit/engine v2".into(),
+            },
+            Request::Update {
+                edges: vec![(3, 7, 0.1 + 0.2), (0, 1, 1.0 / 3.0)],
+                assignments: vec![(5, 2)],
+            },
+            Request::Update {
+                edges: vec![],
+                assignments: vec![],
+            },
         ] {
             assert_eq!(Request::parse(&req.render()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn update_edge_probabilities_roundtrip_exactly() {
+        let req = Request::Update {
+            edges: vec![(1, 2, 0.1 + 0.2), (3, 4, 1e-300)],
+            assignments: vec![],
+        };
+        let Request::Update { edges, .. } = Request::parse(&req.render()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(edges[0].2.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(edges[1].2.to_bits(), 1e-300f64.to_bits());
     }
 
     #[test]
@@ -303,6 +469,19 @@ mod tests {
             "QUERY 3 zero kw",
             "QUERY 3 0 kw",
             "QUERY 3 5",
+            "QUERY 3 5 kw\nstray second line",
+            "PING extra\nline",
+            "RELOAD",
+            "RELOAD   ",
+            "RELOAD /dir\nstray",
+            "UPDATE trailing",
+            "UPDATE\nEDGE 1 2",
+            "UPDATE\nEDGE 1 2 0.5 extra",
+            "UPDATE\nEDGE 1 2 notaprob",
+            "UPDATE\nEDGE 1 2 inf",
+            "UPDATE\nASSIGN 1",
+            "UPDATE\nASSIGN x 1",
+            "UPDATE\nFROB 1 2",
         ] {
             let err = Request::parse(bad).unwrap_err();
             assert!(err.starts_with("malformed"), "{bad:?} -> {err}");
@@ -310,11 +489,53 @@ mod tests {
     }
 
     #[test]
+    fn query_caps_are_enforced_at_both_edges() {
+        // k: the cap itself passes, one past it is malformed — and the
+        // unbounded-k attack (u64::MAX) is rejected outright.
+        let at_cap = format!("QUERY 1 {MAX_K} kw");
+        assert!(matches!(
+            Request::parse(&at_cap),
+            Ok(Request::Query { k, .. }) if k == MAX_K
+        ));
+        let over = format!("QUERY 1 {} kw", MAX_K + 1);
+        assert!(Request::parse(&over).unwrap_err().starts_with("malformed"));
+        let huge = "QUERY 1 18446744073709551615 kw";
+        assert!(Request::parse(huge).unwrap_err().starts_with("malformed"));
+
+        // Keyword count: 32 passes, 33 is malformed.
+        let kws = |n: usize| {
+            (0..n)
+                .map(|i| format!("kw{i}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let at_cap = format!("QUERY 1 5 {}", kws(MAX_KEYWORDS));
+        assert!(matches!(
+            Request::parse(&at_cap),
+            Ok(Request::Query { keywords, .. }) if keywords.len() == MAX_KEYWORDS
+        ));
+        let over = format!("QUERY 1 5 {}", kws(MAX_KEYWORDS + 1));
+        assert!(Request::parse(&over).unwrap_err().starts_with("malformed"));
+    }
+
+    #[test]
+    fn oversized_update_delta_is_rejected() {
+        let mut text = "UPDATE".to_string();
+        for _ in 0..=MAX_DELTA_LINES {
+            text.push_str("\nASSIGN 1 0");
+        }
+        let err = Request::parse(&text).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
     fn response_roundtrip() {
         for resp in [
             Response::Pong,
             Response::Bye,
+            Response::Generation(42),
             Response::Err("timeout".into()),
+            Response::Err("reload-failed: corrupt store: walks".into()),
             Response::Topics {
                 ranked: vec![(7, 0.137), (2, 1.0 / 3.0), (0, 0.0)],
                 cached: true,

@@ -1,23 +1,45 @@
-//! Shared read-only serving state: the engine, the result cache, and the
-//! counters — everything a worker or connection thread touches.
+//! Shared serving state: the (swappable) engine, the result cache, and the
+//! counters — everything a worker, connection thread, or the updater thread
+//! touches.
 //!
 //! The offline artifacts (graph, topic space, walk/propagation/representative
-//! indexes) are loaded once and never mutated while serving, so `ServerState`
-//! hands out plain shared references; the only synchronized pieces are the
-//! LRU cache (mutex) and the metrics (atomics).
+//! indexes) are immutable *per generation*: queries never mutate an engine.
+//! What can change is **which** engine is serving — a live `RELOAD` or
+//! `UPDATE` builds a successor off to the side and swaps it in atomically
+//! under [`ServerState`]'s generation lock. Readers grab an [`EngineGen`]
+//! (an `Arc` plus its generation number) once per request and keep using it
+//! even if a swap lands mid-flight; the old engine is freed when the last
+//! in-flight query drops its `Arc`. The only other synchronized pieces are
+//! the LRU cache (mutex, generation-tagged entries) and the metrics
+//! (atomics).
 
 use crate::cache::{QueryCache, QueryKey};
 use crate::metrics::Metrics;
-use pit::PitEngine;
+use parking_lot::RwLock;
+use pit::{Delta, PitEngine, UpdateReport};
 use pit_graph::NodeId;
 use pit_search_core::{CancelToken, SearchError};
 use pit_topics::KeywordQuery;
+use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A cached top-k result: `(topic id, influence score)` in rank order,
 /// behind an `Arc` so cache hits never copy the ranking.
 pub type RankedTopics = Arc<Vec<(u32, f64)>>;
+
+/// One generation of the serving engine: the shared engine plus the
+/// monotonically increasing generation number it serves under. Capture one
+/// of these at admission and use it for the whole request — validation,
+/// cache lookup, execution, and cache fill all agree on a single engine
+/// even if a swap lands mid-flight.
+#[derive(Clone)]
+pub struct EngineGen {
+    /// The engine; in-flight queries keep the `Arc` they captured.
+    pub engine: Arc<PitEngine>,
+    /// Serving generation, starting at 1 and bumped by every swap.
+    pub generation: u64,
+}
 
 /// Serving knobs. Every field maps to a `pit serve` flag.
 #[derive(Clone, Debug)]
@@ -46,6 +68,10 @@ pub struct ServerConfig {
     pub drag_user: Option<u32>,
     /// Per-check injected delay for [`Self::drag_user`] queries.
     pub drag_per_check: Duration,
+    /// Fault injection: stretch every `RELOAD`/`UPDATE` by this much
+    /// *before* the swap, so tests can prove queries keep flowing on the
+    /// old generation while a slow reload is in flight.
+    pub reload_drag: Duration,
 }
 
 impl Default for ServerConfig {
@@ -64,26 +90,30 @@ impl Default for ServerConfig {
             poison_user: None,
             drag_user: None,
             drag_per_check: Duration::ZERO,
+            reload_drag: Duration::ZERO,
         }
     }
 }
 
-/// Immutable serving state shared by the acceptor, connection threads, and
-/// the worker pool.
+/// Serving state shared by the acceptor, connection threads, the worker
+/// pool, and the updater thread.
 pub struct ServerState {
-    engine: Arc<PitEngine>,
+    engine: RwLock<EngineGen>,
     cache: QueryCache<RankedTopics>,
     metrics: Metrics,
     config: ServerConfig,
 }
 
 impl ServerState {
-    /// Wrap a fully built engine for serving.
+    /// Wrap a fully built engine for serving, as generation 1.
     pub fn new(engine: Arc<PitEngine>, config: ServerConfig) -> Self {
         ServerState {
             cache: QueryCache::new(config.cache_capacity),
             metrics: Metrics::new(),
-            engine,
+            engine: RwLock::new(EngineGen {
+                engine,
+                generation: 1,
+            }),
             config,
         }
     }
@@ -98,25 +128,119 @@ impl ServerState {
         &self.metrics
     }
 
-    /// The underlying engine.
-    pub fn engine(&self) -> &PitEngine {
-        &self.engine
+    /// The engine generation serving right now. Cheap (an `Arc` clone under
+    /// a read lock); capture once per request.
+    pub fn current(&self) -> EngineGen {
+        self.engine.read().clone()
     }
 
-    /// Validate a request and resolve its keywords into a cache key.
+    /// Install `engine` as the next generation and return its number.
+    /// Queries admitted before the swap finish against the `Arc` they
+    /// captured; queries admitted after see only the new engine. The cache
+    /// needs no sweep — generation-tagged entries die lazily on first
+    /// cross-generation touch.
+    fn swap_engine(&self, engine: Arc<PitEngine>) -> u64 {
+        let mut slot = self.engine.write();
+        slot.engine = engine;
+        slot.generation += 1;
+        slot.generation
+    }
+
+    /// Load the snapshot at `dir` and swap it in. Runs on the updater
+    /// thread: the worker pool keeps answering queries on the old
+    /// generation for the whole load.
+    ///
+    /// # Errors
+    /// A `reload-failed: …` reason when the snapshot is missing, torn, or
+    /// corrupt; the old generation keeps serving and `reload_failures` is
+    /// bumped.
+    pub fn reload(&self, dir: &Path) -> Result<u64, String> {
+        self.admin_swap(|| {
+            pit::store::load_engine(dir)
+                .map(Arc::new)
+                .map_err(|e| format!("reload-failed: {e}"))
+        })
+    }
+
+    /// Apply an edge/assignment delta to the current engine (building the
+    /// successor off to the side; see [`PitEngine::with_delta`]) and swap
+    /// the result in. Runs on the updater thread. An empty delta is a no-op
+    /// that reports the current generation without a swap.
+    ///
+    /// # Errors
+    /// A `reload-failed: …` reason when the delta is invalid (bad edge or
+    /// unknown topic); the old generation keeps serving.
+    pub fn apply_update(&self, delta: &Delta) -> Result<(u64, UpdateReport), String> {
+        if delta.is_empty() {
+            return Ok((self.current().generation, UpdateReport::default()));
+        }
+        let mut report = UpdateReport::default();
+        // Validate assignment topics here: PitEngine::with_delta asserts on
+        // unknown topics, and an admin typo must be an ERR, not a panic.
+        let base = self.current();
+        for &(_, t) in &delta.new_assignments {
+            if t.index() >= base.engine.space().topic_count() {
+                Metrics::bump(&self.metrics.reload_failures);
+                return Err(format!("reload-failed: delta references unknown topic {t}"));
+            }
+        }
+        let generation = self.admin_swap(|| {
+            let (next, r) = base
+                .engine
+                .with_delta(delta)
+                .map_err(|e| format!("reload-failed: {e}"))?;
+            report = r;
+            Ok(Arc::new(next))
+        })?;
+        Ok((generation, report))
+    }
+
+    /// Shared swap plumbing: run `build` (slow — a disk load or a delta
+    /// apply), then swap on success, maintaining the reload counters and
+    /// latency histogram either way.
+    fn admin_swap(
+        &self,
+        build: impl FnOnce() -> Result<Arc<PitEngine>, String>,
+    ) -> Result<u64, String> {
+        let started = Instant::now();
+        if !self.config.reload_drag.is_zero() {
+            std::thread::sleep(self.config.reload_drag);
+        }
+        match build() {
+            Ok(engine) => {
+                let generation = self.swap_engine(engine);
+                Metrics::bump(&self.metrics.reloads);
+                self.metrics.reload_latency.observe(started.elapsed());
+                Ok(generation)
+            }
+            Err(reason) => {
+                Metrics::bump(&self.metrics.reload_failures);
+                Err(reason)
+            }
+        }
+    }
+
+    /// Validate a request against `engine` and resolve its keywords into a
+    /// cache key. Pass the [`EngineGen`] captured at admission so the key
+    /// is consistent with the engine the query will run on.
     ///
     /// # Errors
     /// A `malformed …` reason when the user is out of range or a keyword is
     /// not in the vocabulary; sent back verbatim in an `ERR` reply.
-    pub fn make_key(&self, user: u32, k: usize, keywords: &[String]) -> Result<QueryKey, String> {
-        let nodes = self.engine.graph().node_count();
+    pub fn make_key(
+        &self,
+        engine: &PitEngine,
+        user: u32,
+        k: usize,
+        keywords: &[String],
+    ) -> Result<QueryKey, String> {
+        let nodes = engine.graph().node_count();
         if user as usize >= nodes {
             return Err(format!(
                 "malformed: user {user} out of range (graph has {nodes} users)"
             ));
         }
-        let vocab = self
-            .engine
+        let vocab = engine
             .vocab()
             .ok_or_else(|| "malformed: engine has no vocabulary".to_string())?;
         let terms = keywords
@@ -132,14 +256,16 @@ impl ServerState {
         Ok(QueryKey::new(user, k, terms))
     }
 
-    /// Cache lookup only; counts a hit or miss.
-    pub fn lookup(&self, key: &QueryKey) -> Option<RankedTopics> {
-        self.cache.get(key)
+    /// Cache lookup only, as seen by `generation`; counts a hit or miss.
+    /// A pre-swap entry never answers a post-swap lookup.
+    pub fn lookup(&self, key: &QueryKey, generation: u64) -> Option<RankedTopics> {
+        self.cache.get(key, generation)
     }
 
-    /// Run the search under `cancel` and populate the cache on success.
-    /// This is the expensive path — call it from a worker, not from a
-    /// connection thread.
+    /// Run the search on the captured engine under `cancel` and populate
+    /// the cache (tagged with the captured generation) on success. This is
+    /// the expensive path — call it from a worker, not from a connection
+    /// thread.
     ///
     /// # Errors
     /// Propagates the searcher's typed failures: cancellation (budget
@@ -151,6 +277,7 @@ impl ServerState {
     /// `catch_unwind`.
     pub fn try_execute(
         &self,
+        engine: &EngineGen,
         key: &QueryKey,
         cancel: &CancelToken,
     ) -> Result<RankedTopics, SearchError> {
@@ -165,29 +292,38 @@ impl ServerState {
             cancel
         };
         let query = KeywordQuery::new(NodeId(key.user), key.terms.clone());
-        let outcome = self.engine.try_search(&query, key.k, cancel)?;
+        let outcome = engine.engine.try_search(&query, key.k, cancel)?;
         let ranked: RankedTopics =
             Arc::new(outcome.top_k.iter().map(|s| (s.topic.0, s.score)).collect());
-        self.cache.insert(key.clone(), Arc::clone(&ranked));
+        // Tagged with the generation that computed it: if a swap landed
+        // mid-search this entry is already stale and will be lazily evicted
+        // on its first post-swap touch instead of ever answering.
+        self.cache
+            .insert(key.clone(), engine.generation, Arc::clone(&ranked));
         Ok(ranked)
     }
 
-    /// Everything `STATS` reports: serving counters, cache counters, and a
-    /// short inventory of the resident index.
+    /// Everything `STATS` reports: serving counters, cache counters, the
+    /// serving generation, and a short inventory of the resident index.
     pub fn stats(&self) -> Vec<(String, String)> {
+        let current = self.current();
         let mut pairs = self.metrics.snapshot();
         pairs.extend(self.cache.snapshot());
+        pairs.push(("generation".into(), current.generation.to_string()));
         pairs.push(("workers".into(), self.config.workers.to_string()));
         pairs.push(("queue_depth".into(), self.config.queue_depth.to_string()));
         pairs.push((
             "graph_nodes".into(),
-            self.engine.graph().node_count().to_string(),
+            current.engine.graph().node_count().to_string(),
         ));
         pairs.push((
             "topics".into(),
-            self.engine.space().topic_count().to_string(),
+            current.engine.space().topic_count().to_string(),
         ));
-        pairs.push(("index_bytes".into(), self.engine.index_bytes().to_string()));
+        pairs.push((
+            "index_bytes".into(),
+            current.engine.index_bytes().to_string(),
+        ));
         pairs
     }
 }

@@ -1,0 +1,177 @@
+//! Property: a delta served through the live `UPDATE` path must be
+//! indistinguishable from tearing the daemon down and rebuilding the whole
+//! engine from scratch on the updated corpus.
+//!
+//! The offline stage is seed-deterministic end to end (walks, propagation,
+//! summaries), and `PitEngine::with_delta` documents that its localized
+//! refresh lands on the same artifacts a from-scratch build would produce.
+//! This test closes the loop at the serving layer: random edge/assignment
+//! deltas go over the wire into a live server, and the post-swap rankings
+//! are compared bit-for-bit against a from-scratch build queried offline.
+
+use pit::{Delta, PitEngine, SummarizerKind};
+use pit_graph::{NodeId, TopicId};
+use pit_server::protocol::{read_frame, write_frame, Request, Response};
+use pit_server::{serve, ServerConfig, ServerState};
+use proptest::prelude::*;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+
+const NODES: usize = 250;
+const DATA_SEED: u64 = 31;
+const WALK_SEED: u64 = 6;
+
+fn spec() -> pit_datasets::DatasetSpec {
+    pit_datasets::DatasetSpec {
+        name: "reload-props".to_string(),
+        nodes: NODES,
+        kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+        topics: pit_datasets::spec::scaled_topic_config(NODES, DATA_SEED),
+        seed: DATA_SEED,
+    }
+}
+
+fn build(
+    graph: pit_graph::CsrGraph,
+    space: pit_topics::TopicSpace,
+    vocab: pit_topics::Vocabulary,
+) -> PitEngine {
+    PitEngine::builder()
+        .walk(pit_walk::WalkConfig::new(3, 8).with_seed(WALK_SEED))
+        .propagation(pit_index::PropIndexConfig::with_theta(0.02))
+        .summarizer(SummarizerKind::Lrw(pit_summarize::LrwConfig {
+            rep_count: Some(8),
+            ..pit_summarize::LrwConfig::default()
+        }))
+        .build_with_vocab(graph, space, Some(vocab))
+}
+
+/// The base engine, built once and shared by every case (`apply_update`
+/// never mutates the engine it starts from).
+fn base_engine() -> Arc<PitEngine> {
+    static BASE: OnceLock<Arc<PitEngine>> = OnceLock::new();
+    Arc::clone(BASE.get_or_init(|| {
+        let ds = pit_datasets::generate(&spec());
+        Arc::new(build(ds.graph, ds.space, ds.vocab))
+    }))
+}
+
+/// Turn raw samples into a delta that is valid against the base engine:
+/// in-range endpoints, no self-loops, no duplicates of existing (or
+/// already-chosen) edges, assignments onto existing topics.
+fn sanitize(
+    base: &PitEngine,
+    raw_edges: &[(u32, u32, f64)],
+    raw_assignments: &[(u32, u32)],
+) -> Delta {
+    let n = base.graph().node_count() as u32;
+    let topics = base.space().topic_count() as u32;
+    let mut chosen: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    for &(u, v, p) in raw_edges {
+        let u = NodeId(u % n);
+        // Walk the target forward until it makes a fresh, non-self edge.
+        let start = v % n;
+        let picked = (0..n).find_map(|step| {
+            let cand = NodeId((start + step) % n);
+            let fresh = cand != u
+                && !base.graph().has_edge(u, cand)
+                && !chosen.iter().any(|&(cu, cv, _)| (cu, cv) == (u, cand));
+            fresh.then_some(cand)
+        });
+        if let Some(cand) = picked {
+            chosen.push((u, cand, p));
+        }
+    }
+    Delta {
+        new_edges: chosen,
+        new_assignments: raw_assignments
+            .iter()
+            .map(|&(u, t)| (NodeId(u % n), TopicId(t % topics)))
+            .collect(),
+    }
+}
+
+fn ask(stream: &mut TcpStream, req: &Request) -> Response {
+    write_frame(stream, &req.render()).expect("send");
+    let text = read_frame(stream).expect("recv").expect("reply");
+    Response::parse(&text).expect("parse reply")
+}
+
+fn offline_ranking(engine: &PitEngine, user: u32, k: usize) -> Vec<(u32, f64)> {
+    engine
+        .search_keywords(NodeId(user), &["query-0"], k)
+        .expect("offline search")
+        .top_k
+        .iter()
+        .map(|s| (s.topic.0, s.score))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn served_update_equals_a_from_scratch_build(
+        raw_edges in proptest::collection::vec((0u32..10_000, 0u32..10_000, 0.05f64..0.9), 1..=3),
+        raw_assignments in proptest::collection::vec((0u32..10_000, 0u32..10_000), 0..=2),
+        probe in 0u32..10_000,
+    ) {
+        let base = base_engine();
+        let delta = sanitize(&base, &raw_edges, &raw_assignments);
+        prop_assert!(!delta.is_empty());
+
+        // From-scratch reference: regenerate the corpus (seed-deterministic),
+        // apply the same delta to its builders, and run the whole offline
+        // stage under the same seeds.
+        let ds = pit_datasets::generate(&spec());
+        let mut gb = ds.graph.to_builder();
+        for &(u, v, p) in &delta.new_edges {
+            gb.add_edge(u, v, p).expect("sanitized edge");
+        }
+        let mut sb = ds.space.to_builder();
+        for &(u, t) in &delta.new_assignments {
+            sb.assign(u, t);
+        }
+        let fresh = build(gb.build().expect("graph rebuild"), sb.build(), ds.vocab);
+
+        // Live side: serve the base engine, push the delta over the wire.
+        let state = Arc::new(ServerState::new(Arc::clone(&base), ServerConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..ServerConfig::default()
+        }));
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").expect("bind");
+        let mut c = TcpStream::connect(handle.addr()).expect("connect");
+        let update = Request::Update {
+            edges: delta.new_edges.iter().map(|&(u, v, p)| (u.0, v.0, p)).collect(),
+            assignments: delta.new_assignments.iter().map(|&(u, t)| (u.0, t.0)).collect(),
+        };
+        prop_assert_eq!(ask(&mut c, &update), Response::Generation(2));
+
+        // Served rankings (through the wire, post-swap) must equal the
+        // from-scratch build queried offline — for a sampled probe user and
+        // fixed sentinels, including every delta endpoint's own view.
+        let mut users: Vec<u32> = vec![5, 111, probe % NODES as u32];
+        users.extend(delta.new_edges.iter().flat_map(|&(u, v, _)| [u.0, v.0]));
+        users.sort_unstable();
+        users.dedup();
+        for user in users {
+            let expected = offline_ranking(&fresh, user, 7);
+            let served = ask(&mut c, &Request::Query {
+                user,
+                k: 7,
+                keywords: vec!["query-0".to_string()],
+            });
+            let Response::Topics { ranked, .. } = served else {
+                panic!("expected topics for user {user}");
+            };
+            prop_assert_eq!(
+                ranked,
+                expected,
+                "user {} diverged from the from-scratch build", user
+            );
+        }
+
+        prop_assert_eq!(ask(&mut c, &Request::Shutdown), Response::Bye);
+        handle.join();
+    }
+}

@@ -171,23 +171,6 @@ impl PitEngine {
         }
     }
 
-    /// Swap in updated artifacts (incremental maintenance; see
-    /// [`crate::update`]).
-    pub(crate) fn replace_parts(
-        &mut self,
-        graph: CsrGraph,
-        space: TopicSpace,
-        walks: WalkIndex,
-        prop: PropagationIndex,
-        reps: TopicRepIndex,
-    ) {
-        self.graph = graph;
-        self.space = space;
-        self.walks = walks;
-        self.prop = prop;
-        self.reps = reps;
-    }
-
     /// Run a query built from term ids.
     ///
     /// # Panics

@@ -4,7 +4,10 @@
 //! propagation-index materialization) is re-run only "after a period of time
 //! when the social network and topics have changed" (Section 4.4); between
 //! refreshes, a deployment serves queries from the materialized artifacts.
-//! [`save_engine`] writes each artifact as its own validated binary snapshot:
+//! [`save_engine`] writes each artifact as its own validated binary
+//! snapshot, staging the whole directory and `rename`-ing it into place so
+//! a crash mid-save can never leave a torn, half-written engine where a
+//! live `RELOAD` (or later [`load_engine`]) would find it:
 //!
 //! ```text
 //! <dir>/graph.pitg      social graph (pit-graph snapshot)
@@ -49,9 +52,66 @@ impl From<io::Error> for StoreError {
 const META_MAGIC: &[u8; 4] = b"PITM";
 const META_VERSION: u8 = 1;
 
-/// Persist every artifact of `engine` under `dir` (created if absent).
+/// Persist every artifact of `engine` under `dir` (created if absent),
+/// crash-atomically: artifacts are staged into a hidden sibling directory
+/// and `rename`d into place only once every file is fully written, so a
+/// crash mid-save leaves either the previous engine or the new one — never
+/// a torn snapshot that a concurrent or later [`load_engine`] could read.
 pub fn save_engine(dir: &Path, engine: &PitEngine) -> Result<(), StoreError> {
-    fs::create_dir_all(dir)?;
+    let (parent, name) = split_target(dir)?;
+    fs::create_dir_all(&parent)?;
+    let staging = parent.join(format!(".{name}.staging.{}", std::process::id()));
+    let _ = fs::remove_dir_all(&staging);
+    fs::create_dir_all(&staging)?;
+    let staged = write_artifacts(&staging, engine).and_then(|()| commit(&staging, dir));
+    if staged.is_err() {
+        let _ = fs::remove_dir_all(&staging);
+    }
+    staged
+}
+
+/// Split `dir` into its parent directory and file name, defaulting the
+/// parent to `.` for bare relative names.
+fn split_target(dir: &Path) -> Result<(std::path::PathBuf, String), StoreError> {
+    let name = dir
+        .file_name()
+        .ok_or_else(|| {
+            StoreError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("engine path {} has no file name", dir.display()),
+            ))
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let parent = match dir.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    Ok((parent, name))
+}
+
+/// Move a fully staged engine directory into place, replacing any previous
+/// engine at `dir`. The previous engine is parked next to the target first
+/// so a rename failure can roll it back.
+fn commit(staging: &Path, dir: &Path) -> Result<(), StoreError> {
+    if dir.exists() {
+        let (parent, name) = split_target(dir)?;
+        let parked = parent.join(format!(".{name}.old.{}", std::process::id()));
+        let _ = fs::remove_dir_all(&parked);
+        fs::rename(dir, &parked)?;
+        if let Err(e) = fs::rename(staging, dir) {
+            let _ = fs::rename(&parked, dir); // roll the old engine back
+            return Err(e.into());
+        }
+        let _ = fs::remove_dir_all(&parked);
+    } else {
+        fs::rename(staging, dir)?;
+    }
+    Ok(())
+}
+
+/// Write every artifact of `engine` into `dir`, which must exist.
+fn write_artifacts(dir: &Path, engine: &PitEngine) -> Result<(), StoreError> {
     fs::write(
         dir.join("graph.pitg"),
         pit_graph::snapshot::encode(engine.graph()),
@@ -201,6 +261,73 @@ mod tests {
         }
         // Keyword search works through the reloaded vocabulary.
         assert!(loaded.search_keywords(user(3), &["phone"], 1).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_save_never_clobbers_the_previous_engine() {
+        let dir = temp_dir("atomic");
+        let engine = build_engine();
+        save_engine(&dir, &engine).unwrap();
+
+        // Simulate a crash mid-save: the staging directory save_engine uses
+        // exists with only a prefix of the artifacts written.
+        let staging = dir.parent().unwrap().join(format!(
+            ".{}.staging.{}",
+            dir.file_name().unwrap().to_string_lossy(),
+            std::process::id()
+        ));
+        fs::create_dir_all(&staging).unwrap();
+        fs::write(
+            staging.join("graph.pitg"),
+            pit_graph::snapshot::encode(engine.graph()),
+        )
+        .unwrap();
+        fs::write(
+            staging.join("topics.pitt"),
+            pit_topics::snapshot::encode_space(engine.space()),
+        )
+        .unwrap();
+
+        // The torn staging dir is not loadable, and the target still is.
+        assert!(
+            load_engine(&staging).is_err(),
+            "partial write must not load"
+        );
+        let loaded = load_engine(&dir).expect("target engine survived the crash");
+        assert_eq!(
+            engine.search_user_term(user(3), TermId(0), 3).top_k,
+            loaded.search_user_term(user(3), TermId(0), 3).top_k
+        );
+
+        // A later save sweeps the leftover staging dir and replaces the
+        // engine wholesale, leaving no hidden siblings behind.
+        save_engine(&dir, &engine).unwrap();
+        assert!(load_engine(&dir).is_ok());
+        let hidden: Vec<_> = fs::read_dir(dir.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&format!(".{}.", dir.file_name().unwrap().to_string_lossy())))
+            .collect();
+        assert!(
+            hidden.is_empty(),
+            "stray staging dirs left behind: {hidden:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_replaces_an_existing_engine_wholesale() {
+        let dir = temp_dir("replace");
+        let engine = build_engine();
+        save_engine(&dir, &engine).unwrap();
+        // Drop a stray file into the live dir; a re-save must not keep it
+        // (the directory is replaced, not patched file-by-file).
+        fs::write(dir.join("stray.bin"), b"junk").unwrap();
+        save_engine(&dir, &engine).unwrap();
+        assert!(!dir.join("stray.bin").exists(), "stale artifact survived");
+        assert!(load_engine(&dir).is_ok());
         fs::remove_dir_all(&dir).unwrap();
     }
 

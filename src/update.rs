@@ -70,6 +70,35 @@ impl PitEngine {
         if delta.is_empty() {
             return Ok(UpdateReport::default());
         }
+        let (next, report) = self.with_delta(delta)?;
+        *self = next;
+        Ok(report)
+    }
+
+    /// Build the engine that [`PitEngine::apply_delta`] would leave behind,
+    /// without touching `self`. This is the serving-side refresh primitive:
+    /// a live daemon keeps answering queries from the current engine while
+    /// the successor is constructed, then swaps atomically.
+    ///
+    /// An empty delta yields a clone of the current engine (all artifacts
+    /// are shared-nothing copies) with a default report.
+    ///
+    /// # Errors
+    /// As [`PitEngine::apply_delta`].
+    pub fn with_delta(&self, delta: &Delta) -> Result<(PitEngine, UpdateReport), GraphError> {
+        if delta.is_empty() {
+            let clone = PitEngine::from_parts(
+                self.graph().clone(),
+                self.space().clone(),
+                self.vocab().cloned(),
+                self.walks().clone(),
+                self.propagation().clone(),
+                self.reps().clone(),
+                self.summarizer().clone(),
+                self.max_expand_rounds(),
+            );
+            return Ok((clone, UpdateReport::default()));
+        }
         for &(v, t) in &delta.new_assignments {
             self.graph().check_node(v)?;
             assert!(
@@ -181,8 +210,17 @@ impl PitEngine {
             resummarized_topics: affected_topics.len(),
             walk_index_rebuilt: true,
         };
-        self.replace_parts(new_graph, new_space, walks, prop, reps);
-        Ok(report)
+        let next = PitEngine::from_parts(
+            new_graph,
+            new_space,
+            self.vocab().cloned(),
+            walks,
+            prop,
+            reps,
+            self.summarizer().clone(),
+            self.max_expand_rounds(),
+        );
+        Ok((next, report))
     }
 }
 
@@ -321,6 +359,43 @@ mod tests {
         assert!(
             score(&after, 2) > score(&before, 2),
             "t3 should gain influence on user 3: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn with_delta_leaves_the_source_engine_untouched() {
+        let e = engine();
+        let before = e.search_user_term(user(7), TermId(0), 3);
+        let delta = Delta {
+            new_edges: vec![(user(4), user(7), 0.9)],
+            new_assignments: vec![],
+        };
+        let (next, report) = e.with_delta(&delta).unwrap();
+        assert!(report.walk_index_rebuilt);
+        // The source still serves the pre-delta answer…
+        assert_eq!(
+            before.top_k,
+            e.search_user_term(user(7), TermId(0), 3).top_k
+        );
+        // …while the successor is exactly what apply_delta would produce.
+        let after = next.search_user_term(user(7), TermId(0), 3);
+        assert_ne!(before.top_k, after.top_k, "delta had no effect");
+        let mut inplace = engine();
+        inplace.apply_delta(&delta).unwrap();
+        assert_eq!(
+            after.top_k,
+            inplace.search_user_term(user(7), TermId(0), 3).top_k
+        );
+    }
+
+    #[test]
+    fn with_delta_on_empty_delta_is_a_deep_clone() {
+        let e = engine();
+        let (clone, report) = e.with_delta(&Delta::default()).unwrap();
+        assert_eq!(report, UpdateReport::default());
+        assert_eq!(
+            e.search_user_term(user(3), TermId(0), 3).top_k,
+            clone.search_user_term(user(3), TermId(0), 3).top_k
         );
     }
 
