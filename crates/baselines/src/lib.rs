@@ -20,6 +20,8 @@
 //! All engines expose [`TopicInfluence`] and share the [`rank_top_k`] search
 //! wrapper, so the evaluation harness can swap them freely.
 
+#![forbid(unsafe_code)]
+
 pub mod dijkstra;
 pub mod exact;
 pub mod matrix;

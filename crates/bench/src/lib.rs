@@ -14,6 +14,8 @@
 //! trends, crossovers), not the paper's absolute numbers — see
 //! EXPERIMENTS.md for the recorded comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 pub mod harness;
 

@@ -1,5 +1,7 @@
 //! Library surface of the `pit` binary: flag parsing and subcommand
 //! implementations, exposed so the command layer is testable in-process.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;

@@ -20,6 +20,8 @@
 //! | data_1.2m  | 1.2 M  | 101–500     | 120 k           | 10–50 |
 //! | data_3m    | 3 M    | 0–695 509   | 300 k           | power law |
 
+#![forbid(unsafe_code)]
+
 pub mod generator;
 pub mod resample;
 pub mod spec;

@@ -39,6 +39,8 @@
 //! assert!((p - 0.5).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod csr;
 pub mod error;

@@ -17,6 +17,8 @@
 //! node 11 is marked because its feeder arrives below `θ`, while nodes whose
 //! in-neighbors are all already indexed are not.
 
+#![forbid(unsafe_code)]
+
 pub mod node;
 pub mod prop;
 pub mod snapshot;

@@ -1,0 +1,214 @@
+//! The lint allowlist: every exception to a rule lives in one audited file
+//! (`lint.allow` at the workspace root) and must carry a written invariant
+//! justification. An entry that stops matching anything fails the lint, so
+//! the file cannot rot.
+//!
+//! Format — one entry per line, four `|`-separated fields:
+//!
+//! ```text
+//! # rule | path | needle | justification
+//! L1 | crates/server/src/state.rs | panic!("poisoned query | fault injection: the worker pool's catch_unwind path is exercised by tests
+//! ```
+//!
+//! - **rule**: `L1`…`L5`;
+//! - **path**: workspace-relative, forward slashes;
+//! - **needle**: a substring of the offending raw source line (keep it
+//!   tight — an entry waives *every* line in the file containing it);
+//! - **justification**: free text, at least [`MIN_JUSTIFICATION`] chars —
+//!   say *which invariant* makes the flagged pattern safe.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Justifications shorter than this are rejected: "ok" is not an invariant.
+pub const MIN_JUSTIFICATION: usize = 20;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Rule id, e.g. "L1".
+    pub rule: String,
+    /// Workspace-relative path the waiver applies to.
+    pub path: String,
+    /// Raw-line substring identifying the waived site(s).
+    pub needle: String,
+    /// The written invariant justification.
+    pub justification: String,
+    /// Source line in the allowlist file (for diagnostics).
+    pub line: usize,
+    /// Whether any violation matched this entry during the run.
+    pub used: Cell<bool>,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number in the allowlist file.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.allow:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// An empty allowlist (waives nothing).
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// Parse the allowlist text. Blank lines and `#` comments are skipped.
+    ///
+    /// # Errors
+    /// The first malformed line: wrong field count, unknown rule id, empty
+    /// needle, or a justification below [`MIN_JUSTIFICATION`] characters.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.splitn(4, '|').map(str::trim).collect();
+            if fields.len() != 4 {
+                return Err(ParseError {
+                    line,
+                    message: format!(
+                        "expected 4 `|`-separated fields (rule | path | needle | justification), got {}",
+                        fields.len()
+                    ),
+                });
+            }
+            let (rule, path, needle, justification) = (fields[0], fields[1], fields[2], fields[3]);
+            if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5") {
+                return Err(ParseError {
+                    line,
+                    message: format!("unknown rule id {rule:?} (expected L1..L5)"),
+                });
+            }
+            if path.is_empty() || path.contains('\\') {
+                return Err(ParseError {
+                    line,
+                    message: "path must be non-empty and use forward slashes".to_string(),
+                });
+            }
+            if needle.is_empty() {
+                return Err(ParseError {
+                    line,
+                    message: "needle must be a non-empty substring of the waived line".to_string(),
+                });
+            }
+            if justification.len() < MIN_JUSTIFICATION {
+                return Err(ParseError {
+                    line,
+                    message: format!(
+                        "justification is {} chars; write the actual invariant (≥ {MIN_JUSTIFICATION} chars)",
+                        justification.len()
+                    ),
+                });
+            }
+            entries.push(Entry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                needle: needle.to_string(),
+                justification: justification.to_string(),
+                line,
+                used: Cell::new(false),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Is this `(rule, path, raw line)` violation waived? Marks the
+    /// matching entry as used.
+    pub fn waives(&self, rule: &str, path: &str, raw_line: &str) -> bool {
+        let mut hit = false;
+        for e in &self.entries {
+            if e.rule == rule && e.path == path && raw_line.contains(&e.needle) {
+                e.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a violation — stale waivers that must be
+    /// deleted (reported as lint failures so the allowlist cannot rot).
+    pub fn unused(&self) -> Vec<&Entry> {
+        self.entries.iter().filter(|e| !e.used.get()).collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# a comment\n\
+\n\
+L1 | crates/server/src/state.rs | panic!(\"poisoned | fault injection exercised by the respawn tests\n\
+L3 | crates/server/src/cache.rs | Ordering::Relaxed | pure hit/miss counters, no ordering dependency\n";
+
+    #[test]
+    fn parses_and_waives() {
+        let a = Allowlist::parse(GOOD).expect("parses");
+        assert_eq!(a.len(), 2);
+        assert!(a.waives(
+            "L1",
+            "crates/server/src/state.rs",
+            "            panic!(\"poisoned query for user {}\", key.user);"
+        ));
+        assert!(!a.waives("L1", "crates/server/src/state.rs", "x.unwrap()"));
+        assert!(!a.waives("L2", "crates/server/src/state.rs", "panic!(\"poisoned"));
+        assert!(!a.waives("L1", "crates/server/src/pool.rs", "panic!(\"poisoned"));
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let a = Allowlist::parse(GOOD).expect("parses");
+        assert_eq!(a.unused().len(), 2);
+        a.waives(
+            "L3",
+            "crates/server/src/cache.rs",
+            "hits.fetch_add(1, Ordering::Relaxed)",
+        );
+        let unused = a.unused();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, "L1");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("L1 | a.rs | needle").is_err(), "3 fields");
+        assert!(
+            Allowlist::parse("L9 | a.rs | needle | a perfectly long justification").is_err(),
+            "bad rule"
+        );
+        assert!(
+            Allowlist::parse("L1 | a.rs |  | a perfectly long justification").is_err(),
+            "empty needle"
+        );
+        assert!(Allowlist::parse("L1 | a.rs | needle | too short").is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! A comment- and string-aware line lexer for Rust source.
+//!
+//! This is deliberately *not* a full Rust lexer: the lint rules only need
+//! to know, per line, which bytes are code and which are comment text —
+//! with string/char literal *contents* blanked out so a rule never matches
+//! inside `"panic!(…)"` the string. It handles the constructs that would
+//! otherwise break that classification: line and (nested) block comments,
+//! string escapes, raw strings `r#"…"#`, byte strings, char literals vs.
+//! lifetimes, and raw identifiers `r#fn`.
+
+/// One source line, split into its code and comment halves.
+#[derive(Debug, Default, Clone)]
+pub struct SourceLine {
+    /// The line's code with comments removed and literal contents blanked
+    /// (delimiters are kept, so `.expect("…")` still shows `.expect("")`).
+    pub code: String,
+    /// The line's comment text (contents of `//`, `///`, `//!`, `/* */`).
+    pub comment: String,
+    /// The raw line, verbatim — what allowlist needles match against.
+    pub raw: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth of `/* … */`.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` after a backslash.
+    Str(bool),
+    /// Inside `r##"…"##` with this many hashes.
+    RawStr(u32),
+    /// Inside `'…'`; `true` after a backslash.
+    CharLit(bool),
+}
+
+/// Split `source` into classified lines. Always returns one entry per input
+/// line (split on `\n`), so indices are 0-based line numbers.
+pub fn lex(source: &str) -> Vec<SourceLine> {
+    let mut lines: Vec<SourceLine> = Vec::new();
+    let mut cur = SourceLine::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+
+    macro_rules! push_line {
+        () => {{
+            lines.push(std::mem::take(&mut cur));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Strings and block comments continue across lines; everything
+            // else resets at the newline.
+            push_line!();
+            i += 1;
+            continue;
+        }
+        cur.raw.push(c);
+        match state {
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    cur.raw.push('/');
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    cur.comment.push('/');
+                    cur.comment.push('*');
+                    cur.raw.push('*');
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                } else if c == '\\' {
+                    state = State::Str(true);
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push('#');
+                    }
+                    for k in 1..=hashes as usize {
+                        if let Some(&h) = chars.get(i + k) {
+                            cur.raw.push(h);
+                        }
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit(escaped) => {
+                if escaped {
+                    state = State::CharLit(false);
+                } else if c == '\\' {
+                    state = State::CharLit(true);
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::Code => {
+                let prev_ident = cur
+                    .code
+                    .chars()
+                    .last()
+                    .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                match c {
+                    '/' if chars.get(i + 1) == Some(&'/') => {
+                        state = State::LineComment;
+                        cur.comment.push_str("//");
+                        cur.raw.push('/');
+                        i += 2;
+                    }
+                    '/' if chars.get(i + 1) == Some(&'*') => {
+                        state = State::BlockComment(1);
+                        cur.comment.push_str("/*");
+                        cur.raw.push('*');
+                        i += 2;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        state = State::Str(false);
+                        i += 1;
+                    }
+                    'r' | 'b' if !prev_ident && starts_raw_or_byte(&chars, i) => {
+                        // r"…", r#"…"#, b"…", br#"…"#, rb is not valid Rust.
+                        let mut j = i;
+                        if chars[j] == 'b' {
+                            cur.code.push('b');
+                            j += 1;
+                            if chars.get(j) == Some(&'\'') {
+                                // b'x' byte literal.
+                                cur.code.push('\'');
+                                cur.raw.push('\'');
+                                state = State::CharLit(false);
+                                i = j + 1;
+                                continue;
+                            }
+                            if chars.get(j) == Some(&'"') {
+                                cur.code.push('"');
+                                cur.raw.push('"');
+                                state = State::Str(false);
+                                i = j + 1;
+                                continue;
+                            }
+                            // br…
+                            cur.code.push('r');
+                            cur.raw.push('r');
+                            j += 1;
+                        } else {
+                            cur.code.push('r');
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // starts_raw_or_byte guaranteed a quote here.
+                        for k in (i + 1)..=j {
+                            if let Some(&h) = chars.get(k) {
+                                cur.raw.push(h);
+                            }
+                        }
+                        for _ in 0..hashes {
+                            cur.code.push('#');
+                        }
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    }
+                    '\'' => {
+                        // Char literal or lifetime? A literal is 'x…' where
+                        // the payload ends with a quote; a lifetime never
+                        // closes. Escapes always mean a literal.
+                        let is_literal = match chars.get(i + 1) {
+                            Some('\\') => true,
+                            Some(&n) if n != '\'' => chars.get(i + 2) == Some(&'\''),
+                            _ => false,
+                        };
+                        cur.code.push('\'');
+                        if is_literal {
+                            state = State::CharLit(false);
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// After the closing `"` of a raw string, are there `hashes` `#`s?
+fn closes_raw(chars: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Does `chars[i]` (an `r` or `b` not preceded by an identifier char) start
+/// a raw/byte string or byte char literal — as opposed to a plain
+/// identifier or raw identifier `r#name`?
+fn starts_raw_or_byte(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        match chars.get(j) {
+            Some('\'') | Some('"') => return true,
+            Some('r') => j += 1,
+            _ => return false,
+        }
+    } else {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    // `r#foo` raw identifiers land here with a letter, not a quote.
+    chars.get(j) == Some(&'"')
+}
+
+/// Find `needle` in `haystack` only at token boundaries: the match may not
+/// be preceded or followed by an identifier character. Returns the byte
+/// offset of the first such match.
+pub fn find_token(haystack: &str, needle: &str) -> Option<usize> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        // A boundary is only required where the needle's own edge is an
+        // identifier character (so `.unwrap()` matches after `x`, while
+        // `Ordering::Relaxed` rejects `MyOrdering::Relaxed`).
+        let before_ok = match needle.chars().next() {
+            Some(f) if is_ident(f) => haystack[..at]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !is_ident(c)),
+            _ => true,
+        };
+        let after_ok = match needle.chars().next_back() {
+            Some(l) if is_ident(l) => haystack[at + needle.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !is_ident(c)),
+            _ => true,
+        };
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    None
+}
+
+/// Mark every line that belongs to test-only code: an item annotated
+/// `#[test]` or `#[cfg(test)]` (typically the `mod tests` block), through
+/// its closing brace. The lint rules skip these lines — test code may
+/// unwrap, panic, and measure time freely.
+pub fn test_regions(lines: &[SourceLine]) -> Vec<bool> {
+    let mut is_test = vec![false; lines.len()];
+    // Concatenate code with line bookkeeping for brace matching.
+    let mut code = String::new();
+    let mut line_of: Vec<usize> = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        for _ in l.code.chars() {
+            line_of.push(idx);
+        }
+        code.push_str(&l.code);
+        code.push('\n');
+        line_of.push(idx);
+    }
+    let bytes: Vec<char> = code.chars().collect();
+    let mut search_from = 0;
+    loop {
+        let rest: String = bytes[search_from..].iter().collect();
+        let marker = ["#[cfg(test)]", "#[test]", "#[cfg(all(test"]
+            .iter()
+            .filter_map(|m| rest.find(m).map(|p| p + search_from))
+            .min();
+        let Some(start) = marker else { break };
+        // Walk forward to the item body: the first `{` outside attribute
+        // brackets opens the region; a `;` first means a braceless item.
+        let mut j = start;
+        let mut bracket = 0i32;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                '{' if bracket == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ';' if bracket == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = match open {
+            Some(open_at) => {
+                let mut depth = 0i32;
+                let mut k = open_at;
+                loop {
+                    if k >= bytes.len() {
+                        break k.saturating_sub(1);
+                    }
+                    match bytes[k] {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break k;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            None => j.min(bytes.len().saturating_sub(1)),
+        };
+        let first_line = line_of.get(start).copied().unwrap_or(0);
+        let last_line = line_of
+            .get(end)
+            .copied()
+            .unwrap_or_else(|| lines.len().saturating_sub(1));
+        for flag in is_test.iter_mut().take(last_line + 1).skip(first_line) {
+            *flag = true;
+        }
+        search_from = end.max(start) + 1;
+        if search_from >= bytes.len() {
+            break;
+        }
+    }
+    is_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let lines = lex("let x = 1; // panic!(\"no\")\nlet y = 2;");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert!(lines[0].comment.contains("panic!"));
+        assert_eq!(lines[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = lex("a /* one /* two */ still */ b\n/* open\n still comment\n*/ c");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[1].code.trim().is_empty());
+        assert!(lines[2].code.trim().is_empty());
+        assert_eq!(lines[3].code.trim(), "c");
+        assert!(lines[2].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = code_of("let s = \"panic!(\\\"x\\\") .unwrap()\"; s.len()");
+        assert!(!c[0].contains("panic!"));
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains("s.len()"));
+        assert!(c[0].contains("\"\""), "delimiters survive: {}", c[0]);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = code_of("let s = r#\"has \"quotes\" and panic!\"#; tail()");
+        assert!(!c[0].contains("panic!"));
+        assert!(c[0].contains("tail()"));
+        let c = code_of("let s = r\"plain .unwrap()\"; tail()");
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains("tail()"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let c = code_of("let b = b\"panic! bytes\"; let x = b'a'; done()");
+        assert!(!c[0].contains("panic!"));
+        assert!(c[0].contains("done()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let c = code_of("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; g(x) }");
+        assert!(c[0].contains("fn f<'a>(x: &'a str)"), "{}", c[0]);
+        assert!(c[0].contains("g(x)"));
+        // The quote character inside the char literal must not open a string.
+        let c = code_of("let q = '\"'; h(\"panic! inside\")");
+        assert!(!c[0].contains("panic!"));
+        assert!(c[0].contains("h("));
+    }
+
+    #[test]
+    fn raw_identifiers_are_code() {
+        let c = code_of("let r#fn = 1; use_it(r#fn)");
+        assert!(c[0].contains("r#fn"));
+    }
+
+    #[test]
+    fn find_token_respects_boundaries() {
+        assert!(find_token("std::thread::panicking()", "panic!").is_none());
+        assert!(find_token("panic!(\"x\")", "panic!").is_some());
+        assert!(find_token("x.unwrap_or(1)", ".unwrap()").is_none());
+        assert!(find_token("x.unwrap()", ".unwrap()").is_some());
+        assert!(find_token("x.expect_err(\"e\")", ".expect(").is_none());
+        assert!(find_token("x.expect(\"e\")", ".expect(").is_some());
+        assert!(find_token("Ordering::Relaxed)", "Ordering::Relaxed").is_some());
+        assert!(find_token("MyOrdering::Relaxed", "Ordering::Relaxed").is_none());
+        assert!(find_token("a_thread::sleep(d)", "thread::sleep").is_none());
+        assert!(find_token("std::thread::sleep(d)", "thread::sleep").is_some());
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn also_live() {}\n";
+        let lines = lex(src);
+        let regions = test_regions(&lines);
+        assert!(!regions[0], "live code before the module");
+        assert!(regions[1] && regions[2] && regions[3] && regions[4] && regions[5]);
+        assert!(!regions[6], "live code after the module");
+    }
+
+    #[test]
+    fn test_regions_cover_single_test_fns() {
+        let src = "fn live() {}\n#[test]\nfn t() {\n  boom();\n}\nfn live2() {}\n";
+        let regions = test_regions(&lex(src));
+        // (the trailing `false` is the empty line after the final newline)
+        assert_eq!(
+            regions,
+            vec![false, true, true, true, true, false, false],
+            "{regions:?}"
+        );
+    }
+
+    #[test]
+    fn cfg_test_in_a_string_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\nfn live() { x.unwrap(); }\n";
+        let regions = test_regions(&lex(src));
+        assert!(!regions[0] && !regions[1]);
+    }
+}

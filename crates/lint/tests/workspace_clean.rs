@@ -1,0 +1,43 @@
+//! The lint must hold on the workspace itself: zero violations, zero stale
+//! allowlist entries. This is the same check CI runs via
+//! `cargo run -p pit-lint -- --deny`, wired into `cargo test` so a local
+//! run catches regressions too.
+
+use pit_lint::allowlist::Allowlist;
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "expected workspace root at {}",
+        root.display()
+    );
+
+    let allow_text =
+        std::fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists at the root");
+    let allow = Allowlist::parse(&allow_text).expect("lint.allow parses");
+
+    let report = pit_lint::run(&root, &allow).expect("scan succeeds");
+    assert!(report.files_scanned > 30, "walker found the workspace");
+
+    let mut problems: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message))
+        .collect();
+    problems.extend(report.unused_allow.iter().cloned());
+    assert!(
+        problems.is_empty(),
+        "workspace has lint violations:\n{}",
+        problems.join("\n")
+    );
+    assert!(
+        report.waived > 0,
+        "the allowlist should be excusing the known sites"
+    );
+}

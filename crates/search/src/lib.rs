@@ -14,6 +14,8 @@
 //!   the current top-k, and expand through marked nodes only while undecided
 //!   topics remain.
 
+#![forbid(unsafe_code)]
+
 pub mod audience;
 pub mod cancel;
 pub mod repindex;

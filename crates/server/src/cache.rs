@@ -73,13 +73,16 @@ impl<V: Clone> QueryCache<V> {
     /// A cache holding at most `capacity` entries; 0 disables caching.
     pub fn new(capacity: usize) -> Self {
         QueryCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::with_capacity(capacity.min(1 << 20)),
-                slots: Vec::with_capacity(capacity.min(1 << 20)),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
-            }),
+            inner: Mutex::named(
+                "server.cache.lru",
+                Inner {
+                    map: HashMap::with_capacity(capacity.min(1 << 20)),
+                    slots: Vec::with_capacity(capacity.min(1 << 20)),
+                    free: Vec::new(),
+                    head: NIL,
+                    tail: NIL,
+                },
+            ),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),

@@ -56,6 +56,8 @@
 //!        join updater
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod metrics;
 pub mod pool;

@@ -48,6 +48,15 @@ impl LatencyHistogram {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
+    /// Per-bucket observation counts. Bucket 0 holds 0µs exactly; bucket
+    /// `i ≥ 1` covers `[2^(i-1), 2^i)` µs, the last bucket catching all.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// The exclusive upper bound (µs) of the bucket containing quantile
     /// `q` ∈ [0, 1] — `2^i` for bucket `i` — or 0 when empty. Within 2× of
     /// the true quantile by construction.

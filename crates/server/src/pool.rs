@@ -97,12 +97,14 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             rx,
             state,
-            handles: Mutex::new(Vec::with_capacity(workers)),
+            handles: Mutex::named("server.pool.handles", Vec::with_capacity(workers)),
             next_id: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         });
         for _ in 0..workers {
-            spawn_worker(&shared);
+            // Startup, before any request is admitted: a host that cannot
+            // spawn its configured workers cannot serve and must die loudly.
+            spawn_worker(&shared).expect("spawn worker thread");
         }
         WorkerPool { jobs, shared }
     }
@@ -136,7 +138,12 @@ impl WorkerPool {
 }
 
 /// Spawn one worker thread and record its handle for shutdown.
-fn spawn_worker(shared: &Arc<PoolShared>) {
+///
+/// # Errors
+/// Propagates the OS thread-spawn failure; the caller decides whether that
+/// is fatal (pool startup) or lost capacity to absorb (sentinel respawn,
+/// which runs during unwinding where a second panic would abort).
+fn spawn_worker(shared: &Arc<PoolShared>) -> std::io::Result<()> {
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
     let cloned = Arc::clone(shared);
     let handle = std::thread::Builder::new()
@@ -148,9 +155,9 @@ fn spawn_worker(shared: &Arc<PoolShared>) {
             worker_loop(&cloned.rx, &cloned.state);
             // Clean exit (queue drained): the sentinel must not respawn.
             std::mem::forget(sentinel);
-        })
-        .expect("spawn worker thread");
+        })?;
     shared.handles.lock().push(handle);
+    Ok(())
 }
 
 /// Respawn guard: dropped during unwinding only when a panic escaped the
@@ -164,7 +171,13 @@ impl Drop for Sentinel {
     fn drop(&mut self) {
         if std::thread::panicking() && !self.shared.draining.load(Ordering::Acquire) {
             Metrics::bump(&self.shared.state.metrics().panics);
-            spawn_worker(&self.shared);
+            // Already unwinding: a panic here would abort the process, so a
+            // failed respawn is absorbed as reduced capacity, not escalated.
+            if spawn_worker(&self.shared).is_err() {
+                eprintln!(
+                    "pit-server: could not respawn worker after a panic; pool capacity reduced"
+                );
+            }
         }
     }
 }

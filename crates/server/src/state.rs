@@ -110,10 +110,13 @@ impl ServerState {
         ServerState {
             cache: QueryCache::new(config.cache_capacity),
             metrics: Metrics::new(),
-            engine: RwLock::new(EngineGen {
-                engine,
-                generation: 1,
-            }),
+            engine: RwLock::named(
+                "server.state.engine",
+                EngineGen {
+                    engine,
+                    generation: 1,
+                },
+            ),
             config,
         }
     }

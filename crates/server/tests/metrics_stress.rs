@@ -1,0 +1,115 @@
+//! Concurrency stress for the serving metrics: N threads hammering one
+//! [`LatencyHistogram`] and the `STATS` counters must lose no sample — the
+//! per-bucket totals equal the per-thread sums exactly, because every
+//! observation is a single atomic `fetch_add` on its bucket.
+
+use pit_server::{LatencyHistogram, Metrics};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 20_000;
+
+/// Each thread writes into its own private bucket: thread `t` observes
+/// `2^(2t)` µs, which lands in bucket `2t + 1` (buckets cover
+/// `[2^(i-1), 2^i)` µs). Disjoint targets make the final assertion exact:
+/// any lost update would show up as a short bucket.
+#[test]
+fn histogram_loses_no_sample_across_threads() {
+    let h = Arc::new(LatencyHistogram::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let h = Arc::clone(&h);
+        handles.push(std::thread::spawn(move || {
+            let micros = 1u64 << (2 * t);
+            for _ in 0..PER_THREAD {
+                h.observe(Duration::from_micros(micros));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("observer thread");
+    }
+
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    let buckets = h.bucket_counts();
+    for t in 0..THREADS {
+        assert_eq!(
+            buckets[2 * t + 1],
+            PER_THREAD,
+            "thread {t}'s bucket lost samples"
+        );
+    }
+    let touched: Vec<usize> = (0..THREADS).map(|t| 2 * t + 1).collect();
+    for (i, &count) in buckets.iter().enumerate() {
+        if !touched.contains(&i) {
+            assert_eq!(count, 0, "bucket {i} was never written");
+        }
+    }
+}
+
+/// All threads contend on the *same* bucket: the total must still be exact.
+#[test]
+fn histogram_survives_single_bucket_contention() {
+    let h = Arc::new(LatencyHistogram::new());
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let h = Arc::clone(&h);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..PER_THREAD {
+                h.observe(Duration::from_micros(100));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("observer thread");
+    }
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    // 100µs lands in bucket 7 ([64, 128)); everything should be there.
+    assert_eq!(h.bucket_counts()[7], THREADS as u64 * PER_THREAD);
+}
+
+/// The `STATS` counters under the same hammering: per-thread bump counts
+/// must sum exactly, and the rendered snapshot must agree with the atomics.
+#[test]
+fn counters_sum_exactly_across_threads() {
+    let m = Arc::new(Metrics::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let m = Arc::clone(&m);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                Metrics::bump(&m.queries);
+                if i % 3 == 0 {
+                    Metrics::bump(&m.shed);
+                }
+                if t == 0 && i % 7 == 0 {
+                    Metrics::bump(&m.timeouts);
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("bumper thread");
+    }
+
+    let expected_queries = THREADS as u64 * PER_THREAD;
+    let expected_shed = THREADS as u64 * PER_THREAD.div_ceil(3);
+    let expected_timeouts = PER_THREAD.div_ceil(7);
+    assert_eq!(m.queries.load(Ordering::Relaxed), expected_queries);
+    assert_eq!(m.shed.load(Ordering::Relaxed), expected_shed);
+    assert_eq!(m.timeouts.load(Ordering::Relaxed), expected_timeouts);
+
+    let snapshot = m.snapshot();
+    let get = |name: &str| -> String {
+        snapshot
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+    };
+    assert_eq!(get("queries"), expected_queries.to_string());
+    assert_eq!(get("shed"), expected_shed.to_string());
+    assert_eq!(get("timeouts"), expected_timeouts.to_string());
+}

@@ -19,6 +19,8 @@
 //! Both implement the [`Summarizer`] trait and produce a
 //! [`RepresentativeSet`] the online search (`pit-search-core`) consumes.
 
+#![forbid(unsafe_code)]
+
 pub mod lrw;
 pub mod rcl;
 pub mod repset;

@@ -16,6 +16,8 @@
 //! so a single keyword matches many topics — the statistic that actually
 //! drives search cost (the paper reports ~500+ topics matched per query tag).
 
+#![forbid(unsafe_code)]
+
 pub mod lda;
 pub mod query;
 pub mod snapshot;

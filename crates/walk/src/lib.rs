@@ -24,6 +24,8 @@
 //! cites the Hoeffding inequality for balancing sample size against
 //! estimation accuracy).
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod hoeffding;
 pub mod index;

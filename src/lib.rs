@@ -45,6 +45,8 @@
 //! [`walk`], [`summarize`], [`index`], [`search`], [`baselines`],
 //! [`datasets`], [`eval`].
 
+#![forbid(unsafe_code)]
+
 pub use pit_baselines as baselines;
 pub use pit_datasets as datasets;
 pub use pit_eval as eval;

@@ -4,6 +4,8 @@
 //! `Vec<u8>`/`Arc<[u8]>` — none of the real crate's zero-copy machinery, which
 //! the snapshot codecs do not rely on.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Deref;
 use std::sync::Arc;
 

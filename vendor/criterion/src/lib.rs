@@ -5,6 +5,8 @@
 //! min/median/max across samples. No outlier analysis, plots, or saved
 //! baselines — enough to compare hot paths run-over-run in this repository.
 
+#![forbid(unsafe_code)]
+
 use std::hint;
 use std::time::{Duration, Instant};
 

@@ -6,6 +6,8 @@
 //! this repository; throughput is adequate for request dispatch, not for
 //! fine-grained message storms.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 
 use std::thread;

@@ -3,29 +3,70 @@
 //! implemented over `std::sync`. A poisoned std lock (a panic while held)
 //! is surfaced by continuing with the inner data, matching parking_lot's
 //! no-poisoning semantics.
+//!
+//! # Lock-order deadlock diagnostics
+//!
+//! Because this shim is owned by the workspace (miri/loom/TSan are not
+//! available in the build environment), it doubles as the dynamic half of
+//! the repo's concurrency tooling. With the **`lock-order-diagnostics`**
+//! feature enabled, every acquisition is tracked:
+//!
+//! - each thread keeps the set of locks it currently holds;
+//! - acquiring lock `B` while holding lock `A` records the directed edge
+//!   `A → B` in a process-global acquisition-order graph, keyed by lock
+//!   *name* (an order class, not an instance);
+//! - an acquisition that would close a cycle in that graph — i.e. some
+//!   other code path acquires these locks in the opposite order — panics
+//!   immediately, naming both locks, instead of deadlocking some day under
+//!   exactly the wrong interleaving;
+//! - re-acquiring a lock the thread already holds (a guaranteed
+//!   self-deadlock for [`Mutex`] and write locks) also panics. Shared
+//!   re-reads of the same [`RwLock`] are permitted, as `std` allows them.
+//!
+//! Locks participate in the order graph only when constructed with
+//! [`Mutex::named`] / [`RwLock::named`]; each name is one order class, so
+//! two locks that may legitimately be held together must carry distinct
+//! names. Anonymous locks ([`Mutex::new`]) still get the self-deadlock
+//! check (by instance address) but record no ordering edges.
+//!
+//! The feature is strictly a diagnostic: with it disabled (the default)
+//! every tracking call compiles to nothing and the lock API is a thin
+//! newtype over `std::sync`.
 
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
 use std::time::Duration;
 
-/// Guard for [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+mod order;
 
-/// Guard for [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[cfg(feature = "lock-order-diagnostics")]
+pub use order::acquisition_order_edges;
 
-/// Guard for [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+use order::Kind;
 
 /// A mutual-exclusion lock that does not poison.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    name: &'static str,
     inner: sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
-    /// Wrap `value`.
+    /// Wrap `value` as an anonymous lock (excluded from the acquisition-
+    /// order graph; still self-deadlock-checked under diagnostics).
     pub const fn new(value: T) -> Self {
+        Mutex::named("", value)
+    }
+
+    /// Wrap `value` as a named lock. Under `lock-order-diagnostics` the
+    /// name is this lock's order class in the global acquisition graph;
+    /// give every independently held lock a distinct name.
+    pub const fn named(name: &'static str, value: T) -> Self {
         Mutex {
+            name,
             inner: sync::Mutex::new(value),
         }
     }
@@ -39,18 +80,43 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// The diagnostic name given at construction ("" when anonymous).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn addr(&self) -> usize {
+        (self as *const Self).cast::<()>() as usize
+    }
+
     /// Acquire the lock, blocking.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        let addr = self.addr();
+        order::before_blocking_acquire(self.name, addr, Kind::Mutex);
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            inner: Some(inner),
+            name: self.name,
+            addr,
+        }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let addr = self.addr();
+        // A try-acquire cannot block, so it records ordering edges for
+        // other threads' benefit without the cycle panic.
+        order::after_try_acquire(self.name, addr, Kind::Mutex);
+        Some(MutexGuard {
+            inner: Some(inner),
+            name: self.name,
+            addr,
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -59,16 +125,60 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Guard for [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `None` only transiently inside [`Condvar::wait`]/[`Condvar::wait_for`],
+    /// which reinstate the std guard before returning.
+    inner: Option<sync::MutexGuard<'a, T>>,
+    name: &'static str,
+    addr: usize,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("mutex guard is active")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("mutex guard is active")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock first, then retire the tracking entry.
+        if self.inner.take().is_some() {
+            order::release(self.addr);
+        }
+    }
+}
+
 /// A reader-writer lock that does not poison.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    name: &'static str,
     inner: sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
-    /// Wrap `value`.
+    /// Wrap `value` as an anonymous lock (see [`Mutex::new`]).
     pub const fn new(value: T) -> Self {
+        RwLock::named("", value)
+    }
+
+    /// Wrap `value` as a named lock (see [`Mutex::named`]).
+    pub const fn named(name: &'static str, value: T) -> Self {
         RwLock {
+            name,
             inner: sync::RwLock::new(value),
         }
     }
@@ -82,14 +192,95 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// The diagnostic name given at construction ("" when anonymous).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn addr(&self) -> usize {
+        (self as *const Self).cast::<()>() as usize
+    }
+
     /// Acquire a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        let addr = self.addr();
+        order::before_blocking_acquire(self.name, addr, Kind::Read);
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockReadGuard {
+            inner: Some(inner),
+            addr,
+        }
     }
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        let addr = self.addr();
+        order::before_blocking_acquire(self.name, addr, Kind::Write);
+        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        RwLockWriteGuard {
+            inner: Some(inner),
+            addr,
+        }
+    }
+}
+
+/// Guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+    addr: usize,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("read guard is active")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            order::release(self.addr);
+        }
+    }
+}
+
+/// Guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+    addr: usize,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("write guard is active")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("write guard is active")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            order::release(self.addr);
+        }
     }
 }
 
@@ -109,23 +300,35 @@ impl Condvar {
 
     /// Block until notified, releasing `guard` while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        replace_guard(guard, |g| {
-            self.inner.wait(g).unwrap_or_else(PoisonError::into_inner)
-        });
+        let inner = guard
+            .inner
+            .take()
+            .expect("condvar waiter's guard is active");
+        // The mutex is released for the duration of the wait, and the
+        // wake-up re-acquires it — mirror both in the diagnostic state.
+        order::release(guard.addr);
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(PoisonError::into_inner);
+        order::before_blocking_acquire(guard.name, guard.addr, Kind::Mutex);
+        guard.inner = Some(inner);
     }
 
     /// As [`Condvar::wait`] with a timeout; returns `true` when it timed out.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
-        let mut timed_out = false;
-        replace_guard(guard, |g| {
-            let (g, res) = self
-                .inner
-                .wait_timeout(g, timeout)
-                .unwrap_or_else(PoisonError::into_inner);
-            timed_out = res.timed_out();
-            g
-        });
-        timed_out
+        let inner = guard
+            .inner
+            .take()
+            .expect("condvar waiter's guard is active");
+        order::release(guard.addr);
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        order::before_blocking_acquire(guard.name, guard.addr, Kind::Mutex);
+        guard.inner = Some(inner);
+        res.timed_out()
     }
 
     /// Wake one waiter.
@@ -136,38 +339,6 @@ impl Condvar {
     /// Wake every waiter.
     pub fn notify_all(&self) {
         self.inner.notify_all();
-    }
-}
-
-/// Run `f` on the guard by value. The guard is moved out and back in via a
-/// zeroed placeholder that is never dereferenced; `f` must return a valid
-/// guard (std's wait APIs consume and return the guard).
-fn replace_guard<'a, T: ?Sized>(
-    slot: &mut MutexGuard<'a, T>,
-    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
-) {
-    // SAFETY-free alternative: use Option dance via unsafe-free std APIs is
-    // not possible on &mut Guard, so waiting callers in this workspace hold
-    // the guard by value; see `Condvar` tests. To keep the API identical to
-    // parking_lot (which takes &mut), we move through an Option.
-    take_mut(slot, f);
-}
-
-/// Minimal take-and-replace for a `&mut` slot; aborts the process if `f`
-/// panics while the slot is vacated (same strategy as the `take_mut` crate).
-fn take_mut<G>(slot: &mut G, f: impl FnOnce(G) -> G) {
-    struct AbortOnPanic;
-    impl Drop for AbortOnPanic {
-        fn drop(&mut self) {
-            std::process::abort();
-        }
-    }
-    unsafe {
-        let bomb = AbortOnPanic;
-        let old = std::ptr::read(slot);
-        let new = f(old);
-        std::ptr::write(slot, new);
-        std::mem::forget(bomb);
     }
 }
 
@@ -202,6 +373,24 @@ mod tests {
         let a = l.read();
         let b = l.read();
         assert_eq!(a.len() + b.len(), 6);
+    }
+
+    #[test]
+    fn try_lock_contended_is_none() {
+        let m = Mutex::new(1u32);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().expect("uncontended"), 1);
+    }
+
+    #[test]
+    fn names_are_reported() {
+        let m = Mutex::named("test.named", 0u8);
+        assert_eq!(m.name(), "test.named");
+        assert_eq!(Mutex::new(0u8).name(), "");
+        let l = RwLock::named("test.named.rw", 0u8);
+        assert_eq!(l.name(), "test.named.rw");
     }
 
     #[test]

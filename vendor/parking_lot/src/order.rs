@@ -1,0 +1,237 @@
+//! Lock-order deadlock diagnostics (the `lock-order-diagnostics` feature).
+//!
+//! Every thread carries the list of locks it currently holds. A blocking
+//! acquisition of lock `B` while holding lock `A`:
+//!
+//! 1. panics if the thread already holds `B` itself (self-deadlock; shared
+//!    re-reads of the same `RwLock` are permitted),
+//! 2. checks the process-global acquisition-order graph for a path
+//!    `B →* A` — if one exists, some other code path takes these locks in
+//!    the opposite order and this acquisition closes a cycle: panic with
+//!    both lock names rather than deadlock under the losing interleaving,
+//! 3. records the edge `A → B` for every held named lock `A`.
+//!
+//! Names are order *classes*: all instances constructed with the same name
+//! share graph edges. Anonymous locks (name `""`) skip steps 2–3 but keep
+//! the self-deadlock check. With the feature disabled, every entry point
+//! here is an empty inline function.
+
+/// How a lock is being acquired; determines the self-deadlock rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// Exclusive `Mutex` acquisition.
+    Mutex,
+    /// Shared `RwLock` read.
+    Read,
+    /// Exclusive `RwLock` write.
+    Write,
+}
+
+#[cfg(not(feature = "lock-order-diagnostics"))]
+mod imp {
+    use super::Kind;
+
+    #[inline(always)]
+    pub(crate) fn before_blocking_acquire(_name: &'static str, _addr: usize, _kind: Kind) {}
+
+    #[inline(always)]
+    pub(crate) fn after_try_acquire(_name: &'static str, _addr: usize, _kind: Kind) {}
+
+    #[inline(always)]
+    pub(crate) fn release(_addr: usize) {}
+}
+
+#[cfg(feature = "lock-order-diagnostics")]
+mod imp {
+    use super::Kind;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+    /// One lock currently held by this thread.
+    struct Held {
+        name: &'static str,
+        addr: usize,
+        kind: Kind,
+    }
+
+    thread_local! {
+        /// Locks held by this thread, in acquisition order.
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// The global acquisition-order graph: `edges[a]` lists every lock
+    /// class acquired while `a` was held.
+    fn graph() -> &'static StdMutex<HashMap<&'static str, Vec<&'static str>>> {
+        static GRAPH: OnceLock<StdMutex<HashMap<&'static str, Vec<&'static str>>>> =
+            OnceLock::new();
+        GRAPH.get_or_init(|| StdMutex::new(HashMap::new()))
+    }
+
+    /// Is `to` reachable from `from` via recorded edges?
+    fn reaches(
+        edges: &HashMap<&'static str, Vec<&'static str>>,
+        from: &'static str,
+        to: &'static str,
+    ) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut visited = vec![from];
+        while let Some(node) = stack.pop() {
+            for &next in edges.get(node).into_iter().flatten() {
+                if next == to {
+                    return true;
+                }
+                if !visited.contains(&next) {
+                    visited.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// Panic if this thread already holds the lock at `addr` in a way that
+    /// makes a fresh blocking acquisition a guaranteed self-deadlock.
+    fn check_reentrancy(held: &[Held], name: &'static str, addr: usize, kind: Kind) {
+        for h in held {
+            if h.addr != addr {
+                continue;
+            }
+            // std permits many shared readers, including twice on one
+            // thread; every other same-instance re-acquisition deadlocks.
+            if h.kind == Kind::Read && kind == Kind::Read {
+                continue;
+            }
+            panic!(
+                "lock-order diagnostic: thread {:?} re-acquired lock \"{}\" it already holds \
+                 ({:?} while holding {:?}) — guaranteed self-deadlock",
+                std::thread::current().name().unwrap_or("<unnamed>"),
+                display(name),
+                kind,
+                h.kind,
+            );
+        }
+    }
+
+    fn display(name: &'static str) -> &'static str {
+        if name.is_empty() {
+            "<anonymous>"
+        } else {
+            name
+        }
+    }
+
+    /// Record `held → name` edges; with `check_cycles`, panic before
+    /// inserting an edge whose reverse path already exists.
+    fn record_edges(held: &[Held], name: &'static str, check_cycles: bool) {
+        if name.is_empty() {
+            return;
+        }
+        let mut edges = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        for h in held {
+            if h.name.is_empty() || h.name == name {
+                continue;
+            }
+            let known = edges.get(h.name).is_some_and(|outs| outs.contains(&name));
+            if known {
+                continue;
+            }
+            if check_cycles && reaches(&edges, name, h.name) {
+                drop(edges); // keep the graph usable for other threads
+                panic!(
+                    "lock-order inversion: thread {:?} is acquiring \"{name}\" while holding \
+                     \"{}\", but the established acquisition order requires \"{name}\" before \
+                     \"{}\" — this interleaving can deadlock",
+                    std::thread::current().name().unwrap_or("<unnamed>"),
+                    h.name,
+                    h.name,
+                );
+            }
+            edges.entry(h.name).or_default().push(name);
+        }
+    }
+
+    pub(crate) fn before_blocking_acquire(name: &'static str, addr: usize, kind: Kind) {
+        HELD.with(|held| {
+            {
+                let held = held.borrow();
+                check_reentrancy(&held, name, addr, kind);
+                record_edges(&held, name, true);
+            }
+            held.borrow_mut().push(Held { name, addr, kind });
+        });
+    }
+
+    pub(crate) fn after_try_acquire(name: &'static str, addr: usize, kind: Kind) {
+        HELD.with(|held| {
+            // A try-acquire never blocks, so it cannot itself deadlock:
+            // record the ordering evidence without the cycle panic.
+            record_edges(&held.borrow(), name, false);
+            held.borrow_mut().push(Held { name, addr, kind });
+        });
+    }
+
+    pub(crate) fn release(addr: usize) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Pop the most recent entry for this instance: re-entrant reads
+            // release in LIFO order.
+            if let Some(i) = held.iter().rposition(|h| h.addr == addr) {
+                held.remove(i);
+            }
+        });
+    }
+
+    /// Snapshot of the recorded acquisition-order edges, for tests and
+    /// debugging: `(held, then-acquired)` pairs, unordered.
+    pub fn acquisition_order_edges() -> Vec<(&'static str, &'static str)> {
+        let edges = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::new();
+        for (&a, outs) in edges.iter() {
+            for &b in outs {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn graph_of(
+            pairs: &[(&'static str, &'static str)],
+        ) -> HashMap<&'static str, Vec<&'static str>> {
+            let mut g: HashMap<&'static str, Vec<&'static str>> = HashMap::new();
+            for &(a, b) in pairs {
+                g.entry(a).or_default().push(b);
+            }
+            g
+        }
+
+        #[test]
+        fn reachability_follows_chains() {
+            let g = graph_of(&[("a", "b"), ("b", "c")]);
+            assert!(reaches(&g, "a", "c"));
+            assert!(reaches(&g, "b", "c"));
+            assert!(!reaches(&g, "c", "a"));
+            assert!(reaches(&g, "a", "a"), "trivially reachable from itself");
+        }
+
+        #[test]
+        fn reachability_handles_diamonds_and_cycles() {
+            let g = graph_of(&[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("d", "b")]);
+            assert!(reaches(&g, "a", "d"));
+            assert!(reaches(&g, "d", "d"));
+            assert!(!reaches(&g, "d", "a"));
+        }
+    }
+}
+
+pub(crate) use imp::{after_try_acquire, before_blocking_acquire, release};
+
+#[cfg(feature = "lock-order-diagnostics")]
+pub use imp::acquisition_order_edges;

@@ -12,6 +12,8 @@
 //! `collection::vec` / `collection::btree_set`, `prop_assert!` /
 //! `prop_assert_eq!`, and `ProptestConfig::with_cases`.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

@@ -9,6 +9,8 @@
 //! NOT bit-match the real crate; all in-repo consumers only rely on
 //! determinism and statistical quality, never on specific values.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level generator interface: a source of uniform random words.

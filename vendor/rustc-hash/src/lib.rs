@@ -2,6 +2,8 @@
 //! multiply-and-rotate hash) plus the usual map/set aliases. Deterministic
 //! (no random state), fast on the integer keys that dominate this workspace.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
