@@ -1,6 +1,9 @@
 //! Serving-path benchmarks: full TCP round-trips against a live `pit-server`
 //! worker pool, separating the cold path (every query computed) from the
-//! cached path (LRU hit).
+//! cached path (LRU hit), plus the cold path with every query traced
+//! (`--trace-sample 1`) so the overhead of span recording is visible
+//! against the untraced baseline (`cold`, where tracing is off and each
+//! hook is a single branch).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pit::{PitEngine, SummarizerKind};
@@ -55,7 +58,7 @@ fn served_queries(c: &mut Criterion) {
 
     // Cached server: one hot key, primed before measurement.
     let cached_state = Arc::new(ServerState::new(
-        engine,
+        Arc::clone(&engine),
         ServerConfig {
             workers: 2,
             cache_capacity: 1024,
@@ -65,10 +68,25 @@ fn served_queries(c: &mut Criterion) {
     ));
     let cached = pit_server::serve(cached_state, "127.0.0.1:0").expect("start cached server");
 
+    // Traced server: cold path again, but every query records spans.
+    let traced_state = Arc::new(ServerState::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 0,
+            query_budget: budget,
+            trace_sample: 1,
+            ..ServerConfig::default()
+        },
+    ));
+    let traced = pit_server::serve(traced_state, "127.0.0.1:0").expect("start traced server");
+
     let mut cold_conn = TcpStream::connect(cold.addr()).expect("connect cold");
     cold_conn.set_nodelay(true).unwrap();
     let mut cached_conn = TcpStream::connect(cached.addr()).expect("connect cached");
     cached_conn.set_nodelay(true).unwrap();
+    let mut traced_conn = TcpStream::connect(traced.addr()).expect("connect traced");
+    traced_conn.set_nodelay(true).unwrap();
     roundtrip(&mut cached_conn, "QUERY 7 10 query-0"); // prime the cache
 
     let mut group = c.benchmark_group("served_query");
@@ -85,14 +103,24 @@ fn served_queries(c: &mut Criterion) {
     group.bench_function("cached", |b| {
         b.iter(|| roundtrip(&mut cached_conn, "QUERY 7 10 query-0"));
     });
+    let mut traced_user = 0u32;
+    group.bench_function("cold_traced", |b| {
+        b.iter(|| {
+            traced_user = (traced_user + 1) % 1_000;
+            roundtrip(&mut traced_conn, &format!("QUERY {traced_user} 10 query-0"));
+        });
+    });
     group.finish();
 
     drop(cold_conn);
     drop(cached_conn);
+    drop(traced_conn);
     cold.shutdown();
     cached.shutdown();
+    traced.shutdown();
     cold.join();
     cached.join();
+    traced.join();
 }
 
 criterion_group!(benches, served_queries);

@@ -274,6 +274,13 @@ pub fn serve(p: &Parsed) -> Result<(), String> {
         // RELOAD/UPDATE so queries observably keep flowing on the old
         // generation while the swap is in flight.
         reload_drag: Duration::from_millis(p.num("reload-drag-ms", 0u64)?),
+        // Observability: sample one query in N into the trace ring (0 =
+        // off), and log any query slower than --slow-ms regardless.
+        trace_sample: p.num("trace-sample", defaults.trace_sample)?,
+        slow_threshold: Duration::from_millis(
+            p.num("slow-ms", defaults.slow_threshold.as_millis() as u64)?,
+        ),
+        trace_ring: p.num("trace-ring", defaults.trace_ring)?,
     };
     let state = Arc::new(pit_server::ServerState::new(engine, config.clone()));
     let handle = pit_server::serve(state, addr.as_str()).map_err(|e| e.to_string())?;
@@ -300,6 +307,10 @@ pub fn client(p: &Parsed) -> Result<(), String> {
     let request = match op {
         "ping" => protocol::Request::Ping,
         "stats" => protocol::Request::Stats,
+        "metrics" => protocol::Request::Metrics,
+        "trace" => protocol::Request::Trace {
+            n: p.num("n", pit_server::protocol::DEFAULT_TRACE_DUMP)?,
+        },
         "shutdown" => protocol::Request::Shutdown,
         "query" => {
             let user: u32 = p.num("user", u32::MAX)?;
@@ -317,7 +328,22 @@ pub fn client(p: &Parsed) -> Result<(), String> {
                 keywords,
             }
         }
-        other => return Err(format!("unknown op {other} (ping|stats|shutdown|query)")),
+        other => {
+            return Err(format!(
+                "unknown op {other} (ping|stats|metrics|trace|shutdown|query)"
+            ))
+        }
+    };
+    print_response(&exchange(addr, &request)?)
+}
+
+/// `pit trace` — dump a running daemon's slow-query log and sampled traces.
+/// Shorthand for `pit client --op trace`; see `pit serve --trace-sample` /
+/// `--slow-ms` for what gets captured.
+pub fn trace(p: &Parsed) -> Result<(), String> {
+    let addr = p.require("addr")?;
+    let request = pit_server::protocol::Request::Trace {
+        n: p.num("n", pit_server::protocol::DEFAULT_TRACE_DUMP)?,
     };
     print_response(&exchange(addr, &request)?)
 }
@@ -400,15 +426,26 @@ fn exchange(
     protocol::Response::parse(&text).map_err(|e| format!("bad reply: {e}"))
 }
 
+/// Write a rendered reply to stdout. A consumer that closed the pipe early
+/// (`pit trace | head`) is done reading, not an error — swallow the broken
+/// pipe instead of panicking mid-dump.
+fn emit(text: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    match writeln!(std::io::stdout(), "{text}") {
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        other => other.map_err(|e| format!("stdout: {e}")),
+    }
+}
+
 /// Render a server reply for the operator; error replies come back as `Err`
 /// with a what-to-do-about-it hint.
 fn print_response(response: &pit_server::protocol::Response) -> Result<(), String> {
     use pit_server::protocol;
 
-    match response {
-        protocol::Response::Pong => println!("PONG"),
-        protocol::Response::Bye => println!("BYE"),
-        protocol::Response::Generation(generation) => println!("generation {generation}"),
+    let text = match response {
+        protocol::Response::Pong => "PONG".to_string(),
+        protocol::Response::Bye => "BYE".to_string(),
+        protocol::Response::Generation(generation) => format!("generation {generation}"),
         protocol::Response::Err(reason) => {
             // The first word of the reason is the machine-readable class;
             // translate each into what the operator should do about it.
@@ -430,28 +467,35 @@ fn print_response(response: &pit_server::protocol::Response) -> Result<(), Strin
             };
             return Err(format!("server error: {reason} ({hint})"));
         }
-        protocol::Response::Stats(pairs) => {
-            for (key, value) in pairs {
-                println!("{key:<18} {value}");
-            }
-        }
+        protocol::Response::Stats(pairs) => pairs
+            .iter()
+            .map(|(key, value)| format!("{key:<18} {value}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        // Both bodies are already formatted for the terminal (Prometheus
+        // exposition / rendered traces): print them verbatim.
+        protocol::Response::Metrics(body) | protocol::Response::Traces(body) => body.clone(),
         protocol::Response::Topics {
             ranked,
             cached,
             micros,
         } => {
-            println!(
+            let mut out = format!(
                 "{} topics ({}, {:.2} ms)",
                 ranked.len(),
                 if *cached { "cached" } else { "fresh" },
                 *micros as f64 / 1e3
             );
             for (rank, (topic, score)) in ranked.iter().enumerate() {
-                println!("  {:>3}. topic {topic:<6} influence {score:.6}", rank + 1);
+                out.push_str(&format!(
+                    "\n  {:>3}. topic {topic:<6} influence {score:.6}",
+                    rank + 1
+                ));
             }
+            out
         }
-    }
-    Ok(())
+    };
+    emit(&text)
 }
 
 fn load(p: &Parsed) -> Result<PitEngine, String> {

@@ -9,6 +9,7 @@
 //! pit stats    --engine engine/
 //! pit serve    --engine engine/ [--addr 127.0.0.1:7878] [--workers 8]
 //! pit client   --addr 127.0.0.1:7878 --user 3 --keywords query-0 [--k 10]
+//! pit trace    --addr 127.0.0.1:7878 [--n 16]
 //! pit reload   --addr 127.0.0.1:7878 --dir engine-v2/
 //! pit update   --addr 127.0.0.1:7878 --edges 3:9:0.5 --assign 4:17
 //! ```
@@ -33,6 +34,7 @@ fn main() {
         "stats" => commands::stats(&parsed),
         "serve" => commands::serve(&parsed),
         "client" => commands::client(&parsed),
+        "trace" => commands::trace(&parsed),
         "reload" => commands::reload(&parsed),
         "update" => commands::update(&parsed),
         "help" | "--help" | "-h" => {
@@ -61,8 +63,11 @@ fn usage() {
          \x20 stats    --engine DIR\n\
          \x20 serve    --engine DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20          [--cache N] [--budget-ms MS] [--io-timeout-ms MS]   run the query daemon\n\
-         \x20 client   --addr HOST:PORT [--op ping|stats|shutdown|query]\n\
+         \x20          [--trace-sample N] [--slow-ms MS] [--trace-ring N]  per-query tracing\n\
+         \x20 client   --addr HOST:PORT [--op ping|stats|metrics|trace|shutdown|query]\n\
          \x20          [--user N --keywords a,b [--k K]]                   talk to a daemon\n\
+         \x20 trace    --addr HOST:PORT [--n N]       dump a daemon's slow-query log and\n\
+         \x20          sampled per-query traces (see serve --trace-sample/--slow-ms)\n\
          \x20 reload   --addr HOST:PORT --dir DIR      swap a running daemon onto a new\n\
          \x20          engine snapshot (queries keep flowing on the old one meanwhile)\n\
          \x20 update   --addr HOST:PORT [--edges u:v:p,…] [--assign u:t,…]\n\

@@ -1,0 +1,231 @@
+//! End-to-end observability test against the real binary: spawn `pit serve`
+//! with tracing on and a fault-injected slow user, run queries, and verify
+//! the slow one is findable — in the `TRACE` slow-query log with nonzero
+//! expand-round and probed-table spans, and in the `METRICS` exposition's
+//! slow-query counter. Also drives the `pit trace` and
+//! `pit client --op metrics` subcommands the way an operator would.
+
+use pit::{store, PitEngine, SummarizerKind};
+use pit_server::protocol::{read_frame, write_frame, Request, Response};
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pit-trace-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn build_engine(dir: &Path) {
+    let spec = pit_datasets::DatasetSpec {
+        name: "trace-it".to_string(),
+        nodes: 400,
+        kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+        topics: pit_datasets::spec::scaled_topic_config(400, 17),
+        seed: 17,
+    };
+    let ds = pit_datasets::generate(&spec);
+    let engine = PitEngine::builder()
+        .walk(pit_walk::WalkConfig::new(3, 8).with_seed(4))
+        .propagation(pit_index::PropIndexConfig::with_theta(0.02))
+        .summarizer(SummarizerKind::Lrw(pit_summarize::LrwConfig {
+            rep_count: Some(8),
+            ..pit_summarize::LrwConfig::default()
+        }))
+        .build_with_vocab(ds.graph, ds.space, Some(ds.vocab));
+    store::save_engine(dir, &engine).expect("save engine");
+}
+
+fn spawn_server(engine_dir: &Path, extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pit"));
+    cmd.args(["serve", "--engine"])
+        .arg(engine_dir)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn pit serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server printed a banner")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn ask(stream: &mut TcpStream, req: &Request) -> Response {
+    write_frame(stream, &req.render()).expect("send");
+    let text = read_frame(stream).expect("recv").expect("reply");
+    Response::parse(&text).expect("parse reply")
+}
+
+/// Run a `pit` subcommand against the daemon and return its stdout.
+fn pit_stdout(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_pit"))
+        .args(args)
+        .output()
+        .expect("run pit subcommand");
+    assert!(
+        out.status.success(),
+        "pit {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// The trace lines describing slow queries: everything between `[slow]`
+/// and `[sampled]` in a TRACE dump.
+fn slow_section(dump: &str) -> Vec<&str> {
+    dump.lines()
+        .skip_while(|l| !l.starts_with("[slow]"))
+        .take_while(|l| !l.starts_with("[sampled]"))
+        .collect()
+}
+
+/// `key=value` fields from a rendered trace header line.
+fn field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|w| w.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key}= in {line:?}"))
+}
+
+#[test]
+fn slow_query_is_findable_in_trace_and_metrics() {
+    let dir = scratch_dir("slow");
+    build_engine(&dir);
+    // User 7 drags 2ms at every cancellation check (every table probe), so
+    // its query takes tens of ms against a 5ms slow threshold; sampling
+    // every query keeps the sampled ring busy too.
+    let (mut child, addr) = spawn_server(
+        &dir,
+        &[
+            "--workers",
+            "2",
+            "--trace-sample",
+            "1",
+            "--slow-ms",
+            "5",
+            "--drag-user",
+            "7",
+            "--drag-us",
+            "2000",
+            "--cancel-every",
+            "1",
+        ],
+    );
+    let mut c = TcpStream::connect(&addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // A fast control query, then the dragged one.
+    let fast = Request::Query {
+        user: 3,
+        k: 5,
+        keywords: vec!["query-0".to_string()],
+    };
+    let slow = Request::Query {
+        user: 7,
+        k: 5,
+        keywords: vec!["query-0".to_string()],
+    };
+    assert!(matches!(ask(&mut c, &fast), Response::Topics { .. }));
+    let Response::Topics { micros, .. } = ask(&mut c, &slow) else {
+        panic!("expected topics for the dragged user");
+    };
+    assert!(
+        micros >= 5_000,
+        "dragged query finished in {micros}us — fault injection not biting"
+    );
+
+    // TRACE over the wire: the dragged query must sit in the slow-query
+    // log with real work recorded — a nonzero round/table summary and at
+    // least one expand_round span naming the tables it probed.
+    let Response::Traces(dump) = ask(&mut c, &Request::Trace { n: 16 }) else {
+        panic!("expected TRACES reply");
+    };
+    let slow_lines = slow_section(&dump);
+    let header = slow_lines
+        .iter()
+        .find(|l| l.contains("user=7") && l.contains("slow=yes"))
+        .unwrap_or_else(|| panic!("dragged user missing from slow log:\n{dump}"));
+    assert!(
+        header.contains("outcome=ok"),
+        "dragged query should finish: {header}"
+    );
+    assert!(
+        field(header, "rounds") >= 1,
+        "no expand rounds recorded: {header}"
+    );
+    assert!(
+        field(header, "tables") >= 1,
+        "no probed tables recorded: {header}"
+    );
+    let expand_spans: Vec<&&str> = slow_lines
+        .iter()
+        .filter(|l| l.trim_start().starts_with("expand_round"))
+        .collect();
+    assert!(
+        !expand_spans.is_empty(),
+        "no expand_round spans in slow log:\n{dump}"
+    );
+    assert!(
+        expand_spans.iter().any(|l| field(l, "tables") >= 1),
+        "expand_round spans recorded no probed tables:\n{dump}"
+    );
+
+    // The fast control query is in the sampled ring (sample_every=1) but
+    // must not pollute the slow log.
+    assert!(
+        !slow_lines.iter().any(|l| l.contains("user=3")),
+        "fast query leaked into the slow log:\n{dump}"
+    );
+    assert!(
+        dump.contains("user=3"),
+        "sampled ring missed the fast query:\n{dump}"
+    );
+
+    // METRICS over the wire: the slow-query counter and the work
+    // histograms saw it.
+    let Response::Metrics(body) = ask(&mut c, &Request::Metrics) else {
+        panic!("expected METRICS reply");
+    };
+    let counter = |name: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("no {name} in METRICS"))
+            .parse()
+            .expect("counter value")
+    };
+    assert!(counter("pit_slow_queries_total") >= 1);
+    assert_eq!(counter("pit_traces_sampled_total"), 2);
+    assert!(counter("pit_probed_tables_count") >= 2);
+    assert!(body.contains("# TYPE pit_latency_us histogram"));
+
+    // Operator-facing subcommands against the same daemon.
+    let cli_dump = pit_stdout(&["trace", "--addr", &addr, "--n", "8"]);
+    assert!(
+        cli_dump.contains("user=7") && cli_dump.contains("slow=yes"),
+        "pit trace did not show the slow query:\n{cli_dump}"
+    );
+    let cli_metrics = pit_stdout(&["client", "--addr", &addr, "--op", "metrics"]);
+    assert!(
+        cli_metrics.contains("# TYPE pit_slow_queries_total counter"),
+        "pit client --op metrics is not a Prometheus exposition:\n{cli_metrics}"
+    );
+
+    ask(&mut c, &Request::Shutdown);
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "server exited uncleanly: {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,32 @@
+//! # pit-obs
+//!
+//! Observability primitives for the serving stack, with zero external
+//! dependencies (consistent with the workspace's vendored-only policy):
+//!
+//! * [`trace`] — per-query span traces: a [`TraceId`] allocator, the
+//!   [`Stage`] vocabulary (queue wait, cache probe, gather, expand rounds,
+//!   ranking), a live [`SpanRecorder`], and the finished [`Trace`] record
+//!   with its human-readable rendering.
+//! * [`ring`] — [`TraceRing`], a fixed-size overwrite-on-wrap buffer of
+//!   finished traces with a lock-free slot claim, so capture never blocks
+//!   the query path on a reader.
+//! * [`sample`] — [`Sampler`], the `1/N` trace-sampling knob; the unsampled
+//!   path costs one branch plus one relaxed counter increment.
+//! * [`prom`] — Prometheus text-exposition rendering for counters, gauges,
+//!   and the workspace's power-of-two bucket histograms.
+//!
+//! This crate holds no clocks-forbidden engine logic and is *allowed* to
+//! read wall time (`Instant`): timestamps are captured here and in the
+//! server layer, never inside the deterministic engine crates (pit-lint
+//! rule L4).
+
+#![forbid(unsafe_code)]
+
+pub mod prom;
+pub mod ring;
+pub mod sample;
+pub mod trace;
+
+pub use ring::TraceRing;
+pub use sample::Sampler;
+pub use trace::{Span, SpanRecorder, Stage, Trace, TraceId};

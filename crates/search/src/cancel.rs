@@ -15,12 +15,15 @@ use std::time::{Duration, Instant};
 /// Why a search stopped without producing a ranking.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SearchError {
-    /// The token's flag was set or its deadline passed; `probed_tables`
-    /// counts the propagation tables absorbed before the search yielded,
-    /// so callers can see how much work the cancellation saved.
+    /// The token's flag was set or its deadline passed; the work counters
+    /// record the propagation tables absorbed and EXPAND rounds entered
+    /// before the search yielded, so callers (and query traces) can see how
+    /// much work the cancellation saved.
     Cancelled {
         /// Tables probed before the search noticed the cancellation.
         probed_tables: usize,
+        /// EXPAND rounds entered before the search noticed the cancellation.
+        expand_rounds: usize,
     },
     /// The query user is outside the indexed graph (the propagation index
     /// has exactly one table per node).
@@ -35,8 +38,15 @@ pub enum SearchError {
 impl std::fmt::Display for SearchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SearchError::Cancelled { probed_tables } => {
-                write!(f, "search cancelled after probing {probed_tables} tables")
+            SearchError::Cancelled {
+                probed_tables,
+                expand_rounds,
+            } => {
+                write!(
+                    f,
+                    "search cancelled after probing {probed_tables} tables \
+                     ({expand_rounds} expand rounds)"
+                )
             }
             SearchError::UserOutOfRange { user, nodes } => {
                 write!(f, "user {user} out of range (graph has {nodes} users)")

@@ -21,8 +21,10 @@ pub mod cancel;
 pub mod repindex;
 pub mod searcher;
 pub mod snapshot;
+pub mod trace;
 
 pub use audience::{find_audience, AudienceHit};
 pub use cancel::{CancelToken, SearchError};
 pub use repindex::TopicRepIndex;
-pub use searcher::{PersonalizedSearcher, SearchConfig, SearchOutcome, TopicScore};
+pub use searcher::{PersonalizedSearcher, SearchConfig, SearchOutcome, SearchStats, TopicScore};
+pub use trace::{NoTracer, SearchPhase, SearchTracer};

@@ -2,6 +2,7 @@
 
 use crate::cancel::{CancelToken, SearchError};
 use crate::repindex::TopicRepIndex;
+use crate::trace::{NoTracer, SearchPhase, SearchTracer};
 use pit_graph::{NodeId, TopicId};
 use pit_index::PropagationIndex;
 use pit_topics::{KeywordQuery, TopicSpace};
@@ -59,6 +60,36 @@ pub struct SearchOutcome {
     /// Representative entries loaded at query start (the transient space the
     /// paper measures in Figures 13/14).
     pub loaded_reps: usize,
+}
+
+/// The work counters of a [`SearchOutcome`] alone — the copyable part the
+/// serving stack records into traces and per-stage histograms without
+/// holding on to the ranking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// `|T_q|` — number of query-related topics considered.
+    pub candidate_topics: usize,
+    /// Topics eliminated by the upper-bound rule before exhaustion.
+    pub pruned_topics: usize,
+    /// EXPAND rounds actually executed.
+    pub expand_rounds: usize,
+    /// Propagation tables `Γ(·)` probed (1 + expanded marked nodes).
+    pub probed_tables: usize,
+    /// Representative entries loaded at query start.
+    pub loaded_reps: usize,
+}
+
+impl SearchOutcome {
+    /// The outcome's work counters.
+    pub fn stats(&self) -> SearchStats {
+        SearchStats {
+            candidate_topics: self.candidate_topics,
+            pruned_topics: self.pruned_topics,
+            expand_rounds: self.expand_rounds,
+            probed_tables: self.probed_tables,
+            loaded_reps: self.loaded_reps,
+        }
+    }
 }
 
 /// Per-topic working state during one query.
@@ -193,6 +224,25 @@ impl<'a> PersonalizedSearcher<'a> {
         query: &KeywordQuery,
         cancel: &CancelToken,
     ) -> Result<SearchOutcome, SearchError> {
+        self.try_search_traced(query, cancel, &mut NoTracer)
+    }
+
+    /// [`PersonalizedSearcher::try_search`] with stage callbacks.
+    ///
+    /// The `tracer` hears each phase begin/end (gather, every EXPAND round
+    /// with its probed-table count, ranking). This crate stays clock-free:
+    /// timestamps, if any, are captured by the tracer's implementation on
+    /// the caller's side (see the server layer's trace context). With
+    /// [`NoTracer`] this is exactly `try_search`.
+    ///
+    /// # Errors
+    /// Same as [`PersonalizedSearcher::try_search`].
+    pub fn try_search_traced(
+        &self,
+        query: &KeywordQuery,
+        cancel: &CancelToken,
+        tracer: &mut dyn SearchTracer,
+    ) -> Result<SearchOutcome, SearchError> {
         let v = query.user;
         if v.index() >= self.prop.len() {
             return Err(SearchError::UserOutOfRange {
@@ -204,6 +254,7 @@ impl<'a> PersonalizedSearcher<'a> {
         let mut until_check = check_every;
         let topic_ids = query.related_topics(self.space);
         let candidate_topics = topic_ids.len();
+        tracer.phase_begin(SearchPhase::Gather);
 
         // Load the representative sets (lines 1–3). This copy is the
         // transient query footprint the paper's space figures measure.
@@ -233,7 +284,7 @@ impl<'a> PersonalizedSearcher<'a> {
         let gamma_v = self.prop.gamma(v);
         probed_tables += 1;
         absorb_table(gamma_v, 1.0, &mut rep_map, &mut topics);
-        table_checkpoint(cancel, &mut until_check, check_every, probed_tables)?;
+        table_checkpoint(cancel, &mut until_check, check_every, probed_tables, 0)?;
 
         // Expansion resolution: the propagation index itself drops paths
         // below θ, so a frontier node whose *chained* propagation to the
@@ -249,11 +300,15 @@ impl<'a> PersonalizedSearcher<'a> {
             .map(|&u| (u, gamma_v.get(u).unwrap_or(0.0)))
             .filter(|&(_, ep)| ep >= min_ep)
             .collect();
+        tracer.phase_end(SearchPhase::Gather, loaded_reps as u64);
 
         let mut expand_rounds = 0usize;
         loop {
             if cancel.is_cancelled() {
-                return Err(SearchError::Cancelled { probed_tables });
+                return Err(SearchError::Cancelled {
+                    probed_tables,
+                    expand_rounds,
+                });
             }
             let max_ep = frontier.iter().map(|&(_, ep)| ep).fold(0.0, f64::max);
             if self.config.prune {
@@ -266,6 +321,8 @@ impl<'a> PersonalizedSearcher<'a> {
                 break;
             }
             expand_rounds += 1;
+            tracer.phase_begin(SearchPhase::ExpandRound);
+            let tables_before_round = probed_tables;
 
             // One EXPAND round (Algorithm 11): process each marked node and
             // collect the next ring. (Algorithm 11 re-prunes after every
@@ -280,7 +337,13 @@ impl<'a> PersonalizedSearcher<'a> {
                 let gamma_u = self.prop.gamma(u);
                 probed_tables += 1;
                 absorb_table(gamma_u, ep_u, &mut rep_map, &mut topics);
-                table_checkpoint(cancel, &mut until_check, check_every, probed_tables)?;
+                table_checkpoint(
+                    cancel,
+                    &mut until_check,
+                    check_every,
+                    probed_tables,
+                    expand_rounds,
+                )?;
                 for &w in gamma_u.marked() {
                     if !visited.contains(&w) {
                         let ep_w = ep_u * gamma_u.get(w).unwrap_or(0.0);
@@ -297,10 +360,15 @@ impl<'a> PersonalizedSearcher<'a> {
                 let next_max = next_frontier.iter().map(|&(_, ep)| ep).fold(0.0, f64::max);
                 self.prune_hopeless(&mut topics, round_bound.max(next_max));
             }
+            tracer.phase_end(
+                SearchPhase::ExpandRound,
+                (probed_tables - tables_before_round) as u64,
+            );
             frontier = next_frontier;
         }
 
         // Final ranking over every candidate's accumulated score.
+        tracer.phase_begin(SearchPhase::Rank);
         let mut ranked: Vec<TopicScore> = topics
             .iter()
             .map(|t| TopicScore {
@@ -310,6 +378,7 @@ impl<'a> PersonalizedSearcher<'a> {
             .collect();
         ranked.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.topic.cmp(&b.topic)));
         ranked.truncate(self.config.k);
+        tracer.phase_end(SearchPhase::Rank, candidate_topics as u64);
 
         Ok(SearchOutcome {
             top_k: ranked,
@@ -369,12 +438,16 @@ fn table_checkpoint(
     until_check: &mut u32,
     check_every: u32,
     probed_tables: usize,
+    expand_rounds: usize,
 ) -> Result<(), SearchError> {
     *until_check -= 1;
     if *until_check == 0 {
         *until_check = check_every;
         if cancel.checkpoint() {
-            return Err(SearchError::Cancelled { probed_tables });
+            return Err(SearchError::Cancelled {
+                probed_tables,
+                expand_rounds,
+            });
         }
     }
     Ok(())
@@ -651,6 +724,9 @@ mod tests {
 
     #[test]
     fn try_search_matches_search_with_inert_token() {
+        // A never-firing token must leave the ranking AND every work
+        // counter identical — trace numbers are only trustworthy if the
+        // cancellable path does exactly the same work.
         let (_g, space, prop, reps) = fig3_setup();
         let searcher = PersonalizedSearcher::new(&space, &prop, &reps, SearchConfig::top(2));
         let q = KeywordQuery::new(user(8), vec![TermId(0)]);
@@ -663,7 +739,116 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(ids(&plain), ids(&tried));
-        assert_eq!(plain.probed_tables, tried.probed_tables);
+        assert_eq!(plain.stats(), tried.stats());
+    }
+
+    #[test]
+    fn stats_are_exact_for_a_single_marked_node_expansion() {
+        // Hand-counted work on the Section 5.2 trace: Γ(8) holds exactly
+        // one marked node (node 11, entry probability 0.10 ≥ θ — pinned by
+        // pit-index's figure3 tests), so an unpruned exhaustive search from
+        // node 8 probes Γ(8), expands node 11, probes Γ(11), and stops.
+        let (_g, space, prop, reps) = fig3_setup();
+        let gamma8 = prop.gamma(user(8));
+        assert_eq!(gamma8.marked(), &[user(11)], "fixture contract");
+        assert!(gamma8.get(user(11)).unwrap() >= FIGURE3_THETA);
+        // The hand count requires the expansion to terminate after node 11:
+        // every marked node of Γ(11) must be already-visited or arrive
+        // below θ through the 0.10 hop.
+        let gamma11 = prop.gamma(user(11));
+        for &w in gamma11.marked() {
+            let chained = gamma8.get(user(11)).unwrap() * gamma11.get(w).unwrap_or(0.0);
+            assert!(
+                w == user(8) || w == user(11) || chained < FIGURE3_THETA,
+                "marked node {w} of Γ(11) would extend the frontier"
+            );
+        }
+
+        // Pruning off and k = 1 < 3 candidates, so `T' \ T^k ≠ ∅` forces
+        // the expansion to actually run (nothing is decided early).
+        let searcher = PersonalizedSearcher::new(
+            &space,
+            &prop,
+            &reps,
+            SearchConfig {
+                k: 1,
+                max_expand_rounds: 8,
+                prune: false,
+            },
+        );
+        let q = KeywordQuery::new(user(8), vec![TermId(0)]);
+        let stats = searcher.search(&q).stats();
+        assert_eq!(stats.probed_tables, 2, "Γ(8) + Γ(11), nothing else");
+        assert_eq!(stats.expand_rounds, 1, "one round expands node 11");
+        assert_eq!(stats.candidate_topics, 3);
+        assert_eq!(stats.pruned_topics, 0, "pruning was disabled");
+        assert_eq!(stats.loaded_reps, 4 + 3 + 3);
+    }
+
+    /// A tracer that records callbacks; pit-search may not read clocks
+    /// (pit-lint L4), so only order and details are checked here.
+    #[derive(Default)]
+    struct EchoTracer {
+        events: Vec<(bool, SearchPhase, u64)>,
+    }
+
+    impl SearchTracer for EchoTracer {
+        fn phase_begin(&mut self, phase: SearchPhase) {
+            self.events.push((true, phase, 0));
+        }
+        fn phase_end(&mut self, phase: SearchPhase, detail: u64) {
+            self.events.push((false, phase, detail));
+        }
+    }
+
+    #[test]
+    fn traced_search_reports_phases_matching_the_outcome() {
+        let (_g, space, prop, reps) = fig3_setup();
+        let searcher = PersonalizedSearcher::new(
+            &space,
+            &prop,
+            &reps,
+            SearchConfig {
+                k: 1,
+                max_expand_rounds: 8,
+                prune: false,
+            },
+        );
+        let q = KeywordQuery::new(user(8), vec![TermId(0)]);
+        let mut tracer = EchoTracer::default();
+        let outcome = searcher
+            .try_search_traced(&q, &CancelToken::none(), &mut tracer)
+            .unwrap();
+
+        let ends: Vec<(SearchPhase, u64)> = tracer
+            .events
+            .iter()
+            .filter(|(begin, _, _)| !begin)
+            .map(|&(_, p, d)| (p, d))
+            .collect();
+        // One gather (detail = loaded reps), one end per executed round
+        // (details sum to the expanded tables), one rank.
+        assert_eq!(ends[0], (SearchPhase::Gather, outcome.loaded_reps as u64));
+        let round_tables: u64 = ends
+            .iter()
+            .filter(|(p, _)| *p == SearchPhase::ExpandRound)
+            .map(|&(_, d)| d)
+            .sum();
+        assert_eq!(
+            ends.iter()
+                .filter(|(p, _)| *p == SearchPhase::ExpandRound)
+                .count(),
+            outcome.expand_rounds
+        );
+        assert_eq!(round_tables, outcome.probed_tables as u64 - 1);
+        assert_eq!(
+            ends.last().copied(),
+            Some((SearchPhase::Rank, outcome.candidate_topics as u64))
+        );
+
+        // The traced path is the plain path: identical outcome.
+        let plain = searcher.search(&q);
+        assert_eq!(plain.stats(), outcome.stats());
     }
 
     #[test]
@@ -706,10 +891,15 @@ mod tests {
         ))
         .with_check_every(1);
         let err = searcher.try_search(&q, &token).unwrap_err();
-        let SearchError::Cancelled { probed_tables } = err else {
+        let SearchError::Cancelled {
+            probed_tables,
+            expand_rounds,
+        } = err
+        else {
             panic!("expected cancellation, got {err:?}");
         };
         assert_eq!(probed_tables, 1, "must stop before any expansion");
+        assert_eq!(expand_rounds, 0, "cancelled before the first round");
         assert!(probed_tables < full.probed_tables);
     }
 

@@ -63,11 +63,13 @@ pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod state;
+pub mod trace;
 
 pub use cache::{QueryCache, QueryKey};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
 pub use state::{EngineGen, RankedTopics, ServerConfig, ServerState};
+pub use trace::{TraceCollector, TraceCtx};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use pit::Delta;
@@ -271,6 +273,8 @@ fn serve_connection(
             }
             Ok(Request::Ping) => Response::Pong,
             Ok(Request::Stats) => Response::Stats(state.stats()),
+            Ok(Request::Metrics) => Response::Metrics(state.metrics_text()),
+            Ok(Request::Trace { n }) => Response::Traces(state.tracing().dump(n)),
             Ok(Request::Shutdown) => {
                 stop.store(true, Ordering::Release);
                 protocol::write_frame(&mut stream, &Response::Bye.render())?;
@@ -346,10 +350,22 @@ fn answer_query(
     if stop.load(Ordering::Acquire) {
         return Response::Err("shutting-down".to_string());
     }
-    if let Some(ranked) = state.lookup(&key, current.generation) {
+    // The sampling decision for this query, made once; every later hook is
+    // a single branch when it said no.
+    let mut trace = state.tracing().begin(current.generation, started);
+    trace.begin(pit_obs::trace::Stage::CacheProbe);
+    let looked_up = state.lookup(&key, current.generation);
+    trace.end(
+        pit_obs::trace::Stage::CacheProbe,
+        u64::from(looked_up.is_some()),
+    );
+    if let Some(ranked) = looked_up {
         Metrics::bump(&state.metrics().queries);
         let elapsed = started.elapsed();
         state.metrics().latency.observe(elapsed);
+        state
+            .tracing()
+            .finish(trace, &key, "ok", true, None, elapsed, state.metrics());
         return Response::Topics {
             ranked: (*ranked).clone(),
             cached: true,
@@ -369,6 +385,9 @@ fn answer_query(
         enqueued: started,
         cancel: cancel.clone(),
         reply: reply_tx,
+        // The worker that answers the job finalizes the trace (queue wait,
+        // search phases, capture); a shed job's trace is simply dropped.
+        trace,
     };
     match pool.submit(job) {
         Admission::Overloaded => {

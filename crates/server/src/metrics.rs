@@ -25,9 +25,15 @@ fn bucket_index(micros: u64) -> usize {
 }
 
 /// Latency histogram with power-of-two microsecond buckets.
+///
+/// Despite the name the value axis is unit-agnostic: the serving stack also
+/// uses it for per-query work counts (EXPAND rounds, probed tables) via
+/// [`LatencyHistogram::observe_value`], with the same bucket layout.
 #[derive(Debug, Default)]
 pub struct LatencyHistogram {
     counts: [AtomicU64; BUCKETS],
+    /// Total of all observed values, for Prometheus `_sum`.
+    sum: AtomicU64,
 }
 
 impl LatencyHistogram {
@@ -38,14 +44,25 @@ impl LatencyHistogram {
 
     /// Record one observation.
     pub fn observe(&self, d: Duration) {
-        let micros = d.as_micros().min(u64::MAX as u128) as u64;
-        // Bucket i covers [2^(i-1), 2^i) µs; 0µs lands in bucket 0.
-        self.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.observe_value(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one raw value (µs for latency histograms, a count for work
+    /// histograms).
+    pub fn observe_value(&self, value: u64) {
+        // Bucket i covers [2^(i-1), 2^i); the value 0 lands in bucket 0.
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total of all observed values (the Prometheus `_sum` series).
+    pub fn sum_value(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
     }
 
     /// Per-bucket observation counts. Bucket 0 holds 0µs exactly; bucket
@@ -118,6 +135,22 @@ pub struct Metrics {
     /// Wall time of successful engine swaps (load/apply through the
     /// generation bump) on the updater thread.
     pub reload_latency: LatencyHistogram,
+    /// Queries whose total service time exceeded the slow-query threshold
+    /// (captured in the slow-query log regardless of sampling).
+    pub slow_queries: AtomicU64,
+    /// Queries captured with full spans by the trace sampler.
+    pub traces_sampled: AtomicU64,
+    /// EXPAND rounds per executed (non-cached) query — the work counter the
+    /// paper's pruning argument lives on. Value histogram, not µs.
+    pub expand_rounds: LatencyHistogram,
+    /// Propagation tables probed per executed query. Value histogram.
+    pub probed_tables: LatencyHistogram,
+    /// Result-cache probe time (µs) of traced queries.
+    pub cache_probe: LatencyHistogram,
+    /// Representative gather + `Γ(v)` probe time (µs) of traced queries.
+    pub gather: LatencyHistogram,
+    /// Final ranking time (µs) of traced queries.
+    pub rank: LatencyHistogram,
 }
 
 impl Metrics {
@@ -150,6 +183,11 @@ impl Metrics {
             (
                 "reload_failures".into(),
                 load(&self.reload_failures).to_string(),
+            ),
+            ("slow_queries".into(), load(&self.slow_queries).to_string()),
+            (
+                "traces_sampled".into(),
+                load(&self.traces_sampled).to_string(),
             ),
             (
                 "latency_p50_us".into(),
@@ -184,6 +222,136 @@ impl Metrics {
                 self.reload_latency.quantile_micros(0.99).to_string(),
             ),
         ]
+    }
+
+    /// Append every counter and histogram to a Prometheus text exposition.
+    /// Metric names are a stable registry — dashboards depend on them and a
+    /// golden test pins the full set; never rename, only add.
+    pub fn render_prometheus(&self, out: &mut String) {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let hist = |out: &mut String, name: &str, help: &str, h: &LatencyHistogram| {
+            pit_obs::prom::histogram(out, name, help, &h.bucket_counts(), h.sum_value());
+        };
+        pit_obs::prom::counter(
+            out,
+            "pit_queries_total",
+            "Queries answered successfully (fresh or cached).",
+            load(&self.queries),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_shed_total",
+            "Queries rejected because the request queue was full.",
+            load(&self.shed),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_timeouts_total",
+            "Queries that exceeded their time budget.",
+            load(&self.timeouts),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_errors_total",
+            "Requests answered with a malformed-input ERR.",
+            load(&self.errors),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_internal_errors_total",
+            "Queries lost to a server-side fault.",
+            load(&self.internal_errors),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_panics_total",
+            "Worker panics caught or survived via respawn.",
+            load(&self.panics),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_connections_total",
+            "Connections accepted over the server's lifetime.",
+            load(&self.connections),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_reloads_total",
+            "Engine swaps completed (RELOAD or UPDATE).",
+            load(&self.reloads),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_reload_failures_total",
+            "RELOAD/UPDATE attempts that failed.",
+            load(&self.reload_failures),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_slow_queries_total",
+            "Queries over the slow-query threshold.",
+            load(&self.slow_queries),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_traces_sampled_total",
+            "Queries captured with full spans by the trace sampler.",
+            load(&self.traces_sampled),
+        );
+        hist(
+            out,
+            "pit_latency_us",
+            "End-to-end service latency (µs) of successful queries.",
+            &self.latency,
+        );
+        hist(
+            out,
+            "pit_queue_wait_us",
+            "Time (µs) jobs spent queued before a worker picked them up.",
+            &self.queue_wait,
+        );
+        hist(
+            out,
+            "pit_execution_us",
+            "Pure execution time (µs) of completed searches.",
+            &self.execution,
+        );
+        hist(
+            out,
+            "pit_reload_us",
+            "Wall time (µs) of successful engine swaps.",
+            &self.reload_latency,
+        );
+        hist(
+            out,
+            "pit_expand_rounds",
+            "EXPAND rounds per executed query.",
+            &self.expand_rounds,
+        );
+        hist(
+            out,
+            "pit_probed_tables",
+            "Propagation tables probed per executed query.",
+            &self.probed_tables,
+        );
+        hist(
+            out,
+            "pit_cache_probe_us",
+            "Result-cache probe time (µs) of traced queries.",
+            &self.cache_probe,
+        );
+        hist(
+            out,
+            "pit_gather_us",
+            "Representative gather time (µs) of traced queries.",
+            &self.gather,
+        );
+        hist(
+            out,
+            "pit_rank_us",
+            "Final ranking time (µs) of traced queries.",
+            &self.rank,
+        );
     }
 }
 
@@ -241,6 +409,33 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile_micros(0.5), 0);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_value(), 0);
+    }
+
+    #[test]
+    fn sum_tracks_observed_values() {
+        let h = LatencyHistogram::new();
+        h.observe_value(3);
+        h.observe_value(0);
+        h.observe(Duration::from_micros(1024));
+        assert_eq!(h.sum_value(), 1027);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_counter() {
+        let m = Metrics::new();
+        Metrics::bump(&m.queries);
+        m.expand_rounds.observe_value(2);
+        let mut out = String::new();
+        m.render_prometheus(&mut out);
+        // One # TYPE line per metric; histograms carry sum/count/+Inf.
+        assert!(out.contains("# TYPE pit_queries_total counter\n"));
+        assert!(out.contains("pit_queries_total 1\n"));
+        assert!(out.contains("# TYPE pit_expand_rounds histogram\n"));
+        assert!(out.contains("pit_expand_rounds_sum 2\n"));
+        assert!(out.contains("pit_expand_rounds_count 1\n"));
+        assert!(out.contains("pit_expand_rounds_bucket{le=\"+Inf\"} 1\n"));
     }
 
     #[test]
@@ -260,6 +455,8 @@ mod tests {
                 "connections",
                 "reloads",
                 "reload_failures",
+                "slow_queries",
+                "traces_sampled",
                 "latency_p50_us",
                 "latency_p99_us",
                 "queue_p50_us",

@@ -17,9 +17,11 @@
 use crate::cache::QueryKey;
 use crate::metrics::Metrics;
 use crate::state::{EngineGen, RankedTopics, ServerState};
+use crate::trace::TraceCtx;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
-use pit_search_core::{CancelToken, SearchError};
+use pit_obs::trace::Stage;
+use pit_search_core::{CancelToken, SearchError, SearchStats};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -57,6 +59,9 @@ pub struct QueryJob {
     /// Where the result goes. Buffered (capacity 1), so a worker's send
     /// never blocks even when the waiter already gave up.
     pub reply: Sender<JobReply>,
+    /// Per-query trace handle, created at admission; the worker that
+    /// answers the job finalizes it (inert single branch when unsampled).
+    pub trace: TraceCtx,
 }
 
 /// Outcome of offering a job to the pool.
@@ -183,39 +188,80 @@ impl Drop for Sentinel {
 }
 
 fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
-    while let Ok(job) = rx.recv() {
+    while let Ok(mut job) = rx.recv() {
         let waited = job.enqueued.elapsed();
         state.metrics().queue_wait.observe(waited);
+        job.trace.event(Stage::QueueWait, waited, 0);
         if job.cancel.is_cancelled() {
             // Waiter already timed out (or the deadline expired in-queue):
             // don't burn CPU on an abandoned job.
+            state.tracing().finish(
+                job.trace,
+                &job.key,
+                "timeout",
+                false,
+                None,
+                job.enqueued.elapsed(),
+                state.metrics(),
+            );
             let _ = job.reply.send(Err(JobError::Search(SearchError::Cancelled {
                 probed_tables: 0,
+                expand_rounds: 0,
             })));
             continue;
         }
         let exec_started = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            state.try_execute(&job.engine, &job.key, &job.cancel)
+            state.try_execute(&job.engine, &job.key, &job.cancel, &mut job.trace)
         }));
-        let reply: JobReply = match result {
-            Ok(Ok(ranked)) => {
+        let (reply, outcome, stats): (JobReply, &'static str, Option<SearchStats>) = match result {
+            Ok(Ok((ranked, stats))) => {
                 state.metrics().execution.observe(exec_started.elapsed());
                 let elapsed = job.enqueued.elapsed();
                 let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
                 if !job.cancel.is_cancelled() {
                     state.metrics().latency.observe(elapsed);
                 }
-                Ok((ranked, micros))
+                (Ok((ranked, micros)), "ok", Some(stats))
             }
-            Ok(Err(e)) => Err(JobError::Search(e)),
+            Ok(Err(e)) => {
+                // A cancelled search still reports the work it did before
+                // the token fired — the trace and histograms see real work,
+                // not zeros.
+                let (outcome, stats) = match &e {
+                    SearchError::Cancelled {
+                        probed_tables,
+                        expand_rounds,
+                    } => (
+                        "timeout",
+                        Some(SearchStats {
+                            probed_tables: *probed_tables,
+                            expand_rounds: *expand_rounds,
+                            ..SearchStats::default()
+                        }),
+                    ),
+                    _ => ("error", None),
+                };
+                (Err(JobError::Search(e)), outcome, stats)
+            }
             Err(_) => {
                 // The panic payload already went to the panic hook (stderr);
                 // count it and keep serving.
                 Metrics::bump(&state.metrics().panics);
-                Err(JobError::Panicked)
+                (Err(JobError::Panicked), "panic", None)
             }
         };
+        // Finalize the trace before releasing the waiter: a client that has
+        // its answer is guaranteed to find the query in METRICS and TRACE.
+        state.tracing().finish(
+            job.trace,
+            &job.key,
+            outcome,
+            false,
+            stats,
+            job.enqueued.elapsed(),
+            state.metrics(),
+        );
         // The reply slot is buffered and the waiter may be gone — either way
         // this never blocks a worker.
         let _ = job.reply.send(reply);

@@ -12,6 +12,8 @@
 //! PING
 //! QUERY <user-id> <k> <keyword> [<keyword>...]      k ≤ 1024, ≤ 32 keywords
 //! STATS
+//! METRICS                                           Prometheus exposition
+//! TRACE [<n>]                                       last n traces (default 16)
 //! RELOAD <engine-dir>                               admin: swap in a snapshot
 //! UPDATE\nEDGE <u> <v> <p>\nASSIGN <u> <t>\n...     admin: apply a delta
 //! SHUTDOWN
@@ -23,6 +25,8 @@
 //! PONG
 //! TOPICS <n> <cached|fresh> <micros>\n<topic-id> <score>\n...
 //! STATS\n<key> <value>\n...
+//! METRICS\n<prometheus text exposition...>
+//! TRACES\n<rendered traces...>
 //! GEN <generation>       reply to RELOAD/UPDATE: the now-serving generation
 //! BYE
 //! ERR <reason...>        reasons: timeout | overloaded | shutting-down |
@@ -57,6 +61,13 @@ pub const MAX_KEYWORDS: usize = 32;
 /// should go through an offline rebuild and a `RELOAD`.
 pub const MAX_DELTA_LINES: usize = 65_536;
 
+/// Most traces one `TRACE` request may ask for — matches the largest
+/// sensible ring, and keeps the reply comfortably inside one frame.
+pub const MAX_TRACE_DUMP: usize = 1024;
+
+/// Traces returned by a bare `TRACE` (no count).
+pub const DEFAULT_TRACE_DUMP: usize = 16;
+
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -73,6 +84,13 @@ pub enum Request {
     },
     /// Server counters snapshot.
     Stats,
+    /// Full metrics in Prometheus text exposition format.
+    Metrics,
+    /// The last `n` captured traces (slow-query log first, then sampled).
+    Trace {
+        /// How many traces of each kind to return (1..=[`MAX_TRACE_DUMP`]).
+        n: usize,
+    },
     /// Admin: load the engine snapshot at `dir` (a `pit::store::save_engine`
     /// directory on the **server's** filesystem) and swap it in as the next
     /// serving generation.
@@ -116,7 +134,29 @@ impl Request {
         match verb {
             "PING" => single_line(verb).map(|()| Request::Ping),
             "STATS" => single_line(verb).map(|()| Request::Stats),
+            "METRICS" => single_line(verb).map(|()| Request::Metrics),
             "SHUTDOWN" => single_line(verb).map(|()| Request::Shutdown),
+            "TRACE" => {
+                single_line(verb)?;
+                let n = match words.next() {
+                    None => DEFAULT_TRACE_DUMP,
+                    Some(w) => w
+                        .parse::<usize>()
+                        .map_err(|_| "malformed: TRACE count is not a usize".to_string())?,
+                };
+                if words.next().is_some() {
+                    return Err("malformed: TRACE takes at most one argument".to_string());
+                }
+                if n == 0 {
+                    return Err("malformed: TRACE count must be positive".to_string());
+                }
+                if n > MAX_TRACE_DUMP {
+                    return Err(format!(
+                        "malformed: TRACE count {n} exceeds the cap of {MAX_TRACE_DUMP}"
+                    ));
+                }
+                Ok(Request::Trace { n })
+            }
             "QUERY" => {
                 single_line(verb)?;
                 let user = words
@@ -220,6 +260,8 @@ impl Request {
         match self {
             Request::Ping => "PING".to_string(),
             Request::Stats => "STATS".to_string(),
+            Request::Metrics => "METRICS".to_string(),
+            Request::Trace { n } => format!("TRACE {n}"),
             Request::Shutdown => "SHUTDOWN".to_string(),
             Request::Query { user, k, keywords } => {
                 format!("QUERY {user} {k} {}", keywords.join(" "))
@@ -256,6 +298,12 @@ pub enum Response {
     },
     /// Counter snapshot: `(name, value)` pairs.
     Stats(Vec<(String, String)>),
+    /// Prometheus text exposition (reply to [`Request::Metrics`]), carried
+    /// verbatim after a `METRICS` head line.
+    Metrics(String),
+    /// Rendered traces (reply to [`Request::Trace`]), carried verbatim
+    /// after a `TRACES` head line.
+    Traces(String),
     /// Reply to [`Request::Reload`] / [`Request::Update`]: the generation
     /// now serving (monotonically increasing across swaps).
     Generation(u64),
@@ -297,6 +345,8 @@ impl Response {
                 }
                 out
             }
+            Response::Metrics(body) => format!("METRICS\n{body}"),
+            Response::Traces(body) => format!("TRACES\n{body}"),
         }
     }
 
@@ -323,6 +373,12 @@ impl Response {
                 .parse::<u64>()
                 .map_err(|e| format!("bad generation: {e}"))?;
             return Ok(Response::Generation(generation));
+        }
+        if head == "METRICS" {
+            return Ok(Response::Metrics(lines.collect::<Vec<_>>().join("\n")));
+        }
+        if head == "TRACES" {
+            return Ok(Response::Traces(lines.collect::<Vec<_>>().join("\n")));
         }
         if head == "STATS" {
             let pairs = lines
@@ -423,6 +479,9 @@ mod tests {
         for req in [
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
+            Request::Trace { n: 5 },
+            Request::Trace { n: MAX_TRACE_DUMP },
             Request::Shutdown,
             Request::Query {
                 user: 3,
@@ -482,6 +541,12 @@ mod tests {
             "UPDATE\nASSIGN 1",
             "UPDATE\nASSIGN x 1",
             "UPDATE\nFROB 1 2",
+            "TRACE 0",
+            "TRACE notanum",
+            "TRACE 3 4",
+            "TRACE 1025",
+            "TRACE 5\nstray",
+            "METRICS\nstray",
         ] {
             let err = Request::parse(bad).unwrap_err();
             assert!(err.starts_with("malformed"), "{bad:?} -> {err}");
@@ -519,6 +584,16 @@ mod tests {
     }
 
     #[test]
+    fn bare_trace_defaults_its_count() {
+        assert_eq!(
+            Request::parse("TRACE").unwrap(),
+            Request::Trace {
+                n: DEFAULT_TRACE_DUMP
+            }
+        );
+    }
+
+    #[test]
     fn oversized_update_delta_is_rejected() {
         let mut text = "UPDATE".to_string();
         for _ in 0..=MAX_DELTA_LINES {
@@ -545,6 +620,11 @@ mod tests {
                 ("queries".into(), "12".into()),
                 ("cache_hit_rate".into(), "0.25".into()),
             ]),
+            Response::Metrics(
+                "# HELP pit_queries_total q\n# TYPE pit_queries_total counter\npit_queries_total 3"
+                    .into(),
+            ),
+            Response::Traces("captured sampled=1 slow=0\n[slow] showing 0 of 0".into()),
         ] {
             assert_eq!(Response::parse(&resp.render()).unwrap(), resp, "{resp:?}");
         }

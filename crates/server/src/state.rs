@@ -15,10 +15,12 @@
 
 use crate::cache::{QueryCache, QueryKey};
 use crate::metrics::Metrics;
+use crate::trace::TraceCollector;
 use parking_lot::RwLock;
 use pit::{Delta, PitEngine, UpdateReport};
 use pit_graph::NodeId;
-use pit_search_core::{CancelToken, SearchError};
+use pit_obs::prom;
+use pit_search_core::{CancelToken, SearchError, SearchStats, SearchTracer};
 use pit_topics::KeywordQuery;
 use std::path::Path;
 use std::sync::Arc;
@@ -72,6 +74,14 @@ pub struct ServerConfig {
     /// *before* the swap, so tests can prove queries keep flowing on the
     /// old generation while a slow reload is in flight.
     pub reload_drag: Duration,
+    /// Trace one query in this many (0 disables sampling). Sampled queries
+    /// record per-stage spans into the trace ring, readable via `TRACE`.
+    pub trace_sample: u64,
+    /// Queries slower than this land in the slow-query log regardless of
+    /// the sampling rate.
+    pub slow_threshold: Duration,
+    /// Capacity of the trace ring and the slow-query log (each).
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +101,9 @@ impl Default for ServerConfig {
             drag_user: None,
             drag_per_check: Duration::ZERO,
             reload_drag: Duration::ZERO,
+            trace_sample: 0,
+            slow_threshold: Duration::from_secs(1),
+            trace_ring: 256,
         }
     }
 }
@@ -101,6 +114,7 @@ pub struct ServerState {
     engine: RwLock<EngineGen>,
     cache: QueryCache<RankedTopics>,
     metrics: Metrics,
+    tracing: TraceCollector,
     config: ServerConfig,
 }
 
@@ -110,6 +124,11 @@ impl ServerState {
         ServerState {
             cache: QueryCache::new(config.cache_capacity),
             metrics: Metrics::new(),
+            tracing: TraceCollector::new(
+                config.trace_sample,
+                config.slow_threshold,
+                config.trace_ring,
+            ),
             engine: RwLock::named(
                 "server.state.engine",
                 EngineGen {
@@ -129,6 +148,11 @@ impl ServerState {
     /// The serving counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The per-query trace collector (sampling, trace ring, slow-query log).
+    pub fn tracing(&self) -> &TraceCollector {
+        &self.tracing
     }
 
     /// The engine generation serving right now. Cheap (an `Arc` clone under
@@ -268,7 +292,8 @@ impl ServerState {
     /// Run the search on the captured engine under `cancel` and populate
     /// the cache (tagged with the captured generation) on success. This is
     /// the expensive path — call it from a worker, not from a connection
-    /// thread.
+    /// thread. `tracer` receives the searcher's stage callbacks (inert
+    /// unless the query was sampled; see [`crate::trace::TraceCtx`]).
     ///
     /// # Errors
     /// Propagates the searcher's typed failures: cancellation (budget
@@ -283,7 +308,8 @@ impl ServerState {
         engine: &EngineGen,
         key: &QueryKey,
         cancel: &CancelToken,
-    ) -> Result<RankedTopics, SearchError> {
+        tracer: &mut dyn SearchTracer,
+    ) -> Result<(RankedTopics, SearchStats), SearchError> {
         if self.config.poison_user == Some(key.user) {
             panic!("poisoned query for user {} (fault injection)", key.user);
         }
@@ -295,7 +321,9 @@ impl ServerState {
             cancel
         };
         let query = KeywordQuery::new(NodeId(key.user), key.terms.clone());
-        let outcome = engine.engine.try_search(&query, key.k, cancel)?;
+        let outcome = engine
+            .engine
+            .try_search_traced(&query, key.k, cancel, tracer)?;
         let ranked: RankedTopics =
             Arc::new(outcome.top_k.iter().map(|s| (s.topic.0, s.score)).collect());
         // Tagged with the generation that computed it: if a swap landed
@@ -303,7 +331,7 @@ impl ServerState {
         // on its first post-swap touch instead of ever answering.
         self.cache
             .insert(key.clone(), engine.generation, Arc::clone(&ranked));
-        Ok(ranked)
+        Ok((ranked, outcome.stats()))
     }
 
     /// Everything `STATS` reports: serving counters, cache counters, the
@@ -328,5 +356,83 @@ impl ServerState {
             current.engine.index_bytes().to_string(),
         ));
         pairs
+    }
+
+    /// Everything `METRICS` reports, as Prometheus text exposition: the
+    /// serving counters and histograms, the cache counters, and the
+    /// resident-index gauges. Names are part of the wire contract — a
+    /// rename breaks downstream dashboards, so the full set is pinned by a
+    /// golden test.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        self.metrics.render_prometheus(&mut out);
+        prom::counter(
+            &mut out,
+            "pit_cache_hits_total",
+            "Result-cache hits",
+            self.cache.hits(),
+        );
+        prom::counter(
+            &mut out,
+            "pit_cache_misses_total",
+            "Result-cache misses",
+            self.cache.misses(),
+        );
+        prom::counter(
+            &mut out,
+            "pit_cache_evictions_total",
+            "Result-cache LRU evictions (capacity pressure)",
+            self.cache.evictions(),
+        );
+        prom::counter(
+            &mut out,
+            "pit_cache_stale_evictions_total",
+            "Result-cache entries lazily evicted after a generation swap",
+            self.cache.stale_evictions(),
+        );
+        let current = self.current();
+        prom::gauge(
+            &mut out,
+            "pit_generation",
+            "Engine generation serving right now",
+            current.generation,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_cache_entries",
+            "Result-cache entries resident",
+            self.cache.len() as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_workers",
+            "Configured query worker threads",
+            self.config.workers as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_queue_depth",
+            "Configured request-queue capacity",
+            self.config.queue_depth as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_graph_nodes",
+            "Social-graph nodes in the serving engine",
+            current.engine.graph().node_count() as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_topics",
+            "Topics in the serving engine",
+            current.engine.space().topic_count() as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_index_bytes",
+            "Resident bytes of the three offline indexes",
+            current.engine.index_bytes() as u64,
+        );
+        out
     }
 }

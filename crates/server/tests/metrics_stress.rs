@@ -4,12 +4,24 @@
 //! observation is a single atomic `fetch_add` on its bucket.
 
 use pit_server::{LatencyHistogram, Metrics};
+use proptest::prelude::*;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 const THREADS: usize = 8;
 const PER_THREAD: u64 = 20_000;
+
+/// The histogram's bucket layout, restated independently: 24 power-of-two
+/// buckets, value 0 in bucket 0, value `v ≥ 1` in bucket
+/// `floor(log2 v) + 1`, saturating into the catch-all.
+const BUCKETS: usize = 24;
+
+/// The exclusive upper bound of the bucket holding `value` — what
+/// `quantile_micros` reports when the quantile lands in that bucket.
+fn bucket_bound(value: u64) -> u64 {
+    1u64 << (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+}
 
 /// Each thread writes into its own private bucket: thread `t` observes
 /// `2^(2t)` µs, which lands in bucket `2t + 1` (buckets cover
@@ -112,4 +124,91 @@ fn counters_sum_exactly_across_threads() {
     assert_eq!(get("queries"), expected_queries.to_string());
     assert_eq!(get("shed"), expected_shed.to_string());
     assert_eq!(get("timeouts"), expected_timeouts.to_string());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `quantile_micros` is monotone in `q`: a higher quantile can never
+    /// report a lower bound. Exercised over the full value range the work
+    /// histograms see (0, small counts, huge latencies past the catch-all).
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in proptest::collection::vec(0u64..(1u64 << 40), 1..=200),
+        qs in proptest::collection::vec(0.0f64..1.0, 2..=8),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.observe_value(v);
+        }
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let bounds: Vec<u64> = qs.iter().map(|&q| h.quantile_micros(q)).collect();
+        for pair in bounds.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "quantile not monotone: {bounds:?} for qs {qs:?}"
+            );
+        }
+    }
+
+    /// Every quantile is at least the observed minimum's bucket bound (and
+    /// at most the maximum's): the report can be coarse, but it can never
+    /// point below where any sample actually landed.
+    #[test]
+    fn quantile_never_undershoots_the_minimum(
+        values in proptest::collection::vec(0u64..(1u64 << 40), 1..=200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.observe_value(v);
+        }
+        let min = *values.iter().min().expect("nonempty");
+        let max = *values.iter().max().expect("nonempty");
+        let got = h.quantile_micros(q);
+        prop_assert!(
+            got >= bucket_bound(min),
+            "quantile {q} reported {got} below the minimum {min}'s bucket bound {}",
+            bucket_bound(min)
+        );
+        prop_assert!(
+            got <= bucket_bound(max),
+            "quantile {q} reported {got} above the maximum {max}'s bucket bound {}",
+            bucket_bound(max)
+        );
+    }
+
+    /// Conservation under concurrent `observe_value` (the path the new
+    /// work/stage histograms use): per-bucket totals and `_sum` must equal
+    /// the per-thread contributions exactly — no lost updates, no drift
+    /// between the bucket array and the sum.
+    #[test]
+    fn observe_value_conserves_buckets_and_sum_concurrently(
+        per_thread in proptest::collection::vec(0u64..(1u64 << 30), 4..=4),
+    ) {
+        const ROUNDS: u64 = 2_000;
+        let h = Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for &value in &per_thread {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    h.observe_value(value);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("observer thread");
+        }
+        prop_assert_eq!(h.count(), per_thread.len() as u64 * ROUNDS);
+        let expected_sum: u64 = per_thread.iter().map(|&v| v * ROUNDS).sum();
+        prop_assert_eq!(h.sum_value(), expected_sum);
+        // Recompute the bucket totals independently and compare exactly.
+        let mut expected = vec![0u64; BUCKETS];
+        for &v in &per_thread {
+            expected[(64 - v.leading_zeros() as usize).min(BUCKETS - 1)] += ROUNDS;
+        }
+        prop_assert_eq!(h.bucket_counts(), expected);
+    }
 }

@@ -1,0 +1,164 @@
+//! Property tests for the wire protocol: the parsers must be total (no
+//! panic on any byte soup a client can send), and render → reparse must be
+//! the identity for every request and response shape — including the
+//! observability verbs `TRACE` and `METRICS`, whose replies carry verbatim
+//! multi-line bodies.
+
+use pit_server::protocol::{read_frame, Request, Response, MAX_K, MAX_KEYWORDS, MAX_TRACE_DUMP};
+use proptest::prelude::*;
+
+/// Tokens that steer the fuzz toward the parser's deep branches: real
+/// verbs, line kinds, and separators, mixed with junk.
+const TOKENS: &[&str] = &[
+    "PING",
+    "QUERY",
+    "STATS",
+    "METRICS",
+    "TRACE",
+    "RELOAD",
+    "UPDATE",
+    "SHUTDOWN",
+    "EDGE",
+    "ASSIGN",
+    "TOPICS",
+    "GEN",
+    "ERR",
+    "PONG",
+    "BYE",
+    "TRACES",
+    "0",
+    "1",
+    "42",
+    "-7",
+    "18446744073709551615",
+    "0.5",
+    "inf",
+    "NaN",
+    "kw",
+    "∞",
+    "\n",
+    " ",
+    "\t",
+    "\r\n",
+    "",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totality on raw bytes: whatever arrives in a frame, the parsers
+    /// return `Err`, never panic.
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..=160),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Request::parse(&text);
+        let _ = Response::parse(&text);
+    }
+
+    /// Totality on verb-shaped noise: sequences of real protocol tokens in
+    /// wrong orders/arities exercise every arm past the verb dispatch.
+    #[test]
+    fn parsers_never_panic_on_verb_shaped_noise(
+        picks in proptest::collection::vec(0usize..TOKENS.len(), 0..=24),
+        joiner in 0usize..3,
+    ) {
+        let sep = [" ", "\n", ""][joiner];
+        let text: String = picks
+            .iter()
+            .map(|&i| TOKENS[i])
+            .collect::<Vec<_>>()
+            .join(sep);
+        let _ = Request::parse(&text);
+        let _ = Response::parse(&text);
+    }
+
+    /// Totality on the frame reader: truncated prefixes, lying length
+    /// headers, and invalid UTF-8 all come back as `Err`/EOF, never panic.
+    #[test]
+    fn read_frame_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..=64),
+    ) {
+        let mut r: &[u8] = &bytes;
+        let _ = read_frame(&mut r);
+    }
+
+    /// render → parse is the identity for every query shape the caps admit.
+    #[test]
+    fn query_requests_roundtrip(
+        user in any::<u32>(),
+        k in 1usize..=MAX_K,
+        kw_seeds in proptest::collection::vec(0u32..10_000, 1..=MAX_KEYWORDS),
+    ) {
+        let req = Request::Query {
+            user,
+            k,
+            keywords: kw_seeds.iter().map(|s| format!("kw{s}")).collect(),
+        };
+        prop_assert_eq!(Request::parse(&req.render()), Ok(req));
+    }
+
+    /// render → parse identity for the observability and admin verbs.
+    #[test]
+    fn admin_and_observability_requests_roundtrip(
+        n in 1usize..=MAX_TRACE_DUMP,
+        dir_seed in 0u32..10_000,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>(), 0.0001f64..1.0), 0..=4),
+        assignments in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..=4),
+    ) {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Trace { n },
+            Request::Reload { dir: format!("/srv/engine-{dir_seed}") },
+            Request::Update { edges: edges.clone(), assignments: assignments.clone() },
+        ] {
+            prop_assert_eq!(Request::parse(&req.render()), Ok(req));
+        }
+    }
+
+    /// render → parse identity for the verbatim-body replies (`METRICS`,
+    /// `TRACES`): any newline-joined body of plain lines must survive.
+    #[test]
+    fn body_carrying_responses_roundtrip(
+        line_seeds in proptest::collection::vec((0u32..1000, 0u64..u64::MAX), 0..=12),
+    ) {
+        let body = line_seeds
+            .iter()
+            .map(|(name, value)| format!("pit_fuzzed_{name}_total {value}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        for resp in [Response::Metrics(body.clone()), Response::Traces(body.clone())] {
+            prop_assert_eq!(Response::parse(&resp.render()), Ok(resp));
+        }
+    }
+
+    /// render → parse identity for the remaining response shapes.
+    #[test]
+    fn plain_responses_roundtrip(
+        generation in any::<u64>(),
+        micros in any::<u64>(),
+        cached in any::<bool>(),
+        ranked in proptest::collection::vec((any::<u32>(), 0.0f64..1.0), 0..=8),
+        stats in proptest::collection::vec((0u32..1000, any::<u64>()), 0..=8),
+    ) {
+        for resp in [
+            Response::Pong,
+            Response::Bye,
+            Response::Generation(generation),
+            Response::Err("timeout".to_string()),
+            Response::Topics { ranked: ranked.clone(), cached, micros },
+            Response::Stats(
+                stats
+                    .iter()
+                    .map(|(k, v)| (format!("stat_{k}"), v.to_string()))
+                    .collect(),
+            ),
+        ] {
+            prop_assert_eq!(Response::parse(&resp.render()), Ok(resp));
+        }
+    }
+}

@@ -194,13 +194,28 @@ impl PitEngine {
         k: usize,
         cancel: &CancelToken,
     ) -> Result<SearchOutcome, SearchError> {
+        self.try_search_traced(query, k, cancel, &mut pit_search_core::NoTracer)
+    }
+
+    /// [`PitEngine::try_search`] with stage callbacks for the serving
+    /// stack's per-query traces (see [`pit_search_core::SearchTracer`]).
+    ///
+    /// # Errors
+    /// Same as [`PitEngine::try_search`].
+    pub fn try_search_traced(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        cancel: &CancelToken,
+        tracer: &mut dyn pit_search_core::SearchTracer,
+    ) -> Result<SearchOutcome, SearchError> {
         let config = SearchConfig {
             k,
             max_expand_rounds: self.max_expand_rounds,
             prune: true,
         };
         PersonalizedSearcher::new(&self.space, &self.prop, &self.reps, config)
-            .try_search(query, cancel)
+            .try_search_traced(query, cancel, tracer)
     }
 
     /// Convenience: single-term query by id.
