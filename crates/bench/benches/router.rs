@@ -1,0 +1,80 @@
+//! Scatter-gather overhead: the same query answered by a single-node
+//! engine and by in-process sharded fleets of 2 and 4. Both paths run the
+//! identical search state machine over the identical Γ tables — the delta
+//! is pure router coordination (probe partitioning, per-shard scatter
+//! threads, reply re-ordering), which is exactly the cost a fleet pays per
+//! expansion round before the wire is even involved.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pit::{PitEngine, SummarizerKind};
+use pit_graph::{NodeId, TermId};
+use pit_router::ShardedEngine;
+use pit_search_core::{CancelToken, NoTracer};
+use pit_server::{LocalServeEngine, ServeEngine};
+use pit_topics::KeywordQuery;
+use std::sync::Arc;
+
+fn engine() -> Arc<PitEngine> {
+    let spec = pit_datasets::DatasetSpec {
+        name: "router-bench".to_string(),
+        nodes: 1_500,
+        kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+        topics: pit_datasets::spec::scaled_topic_config(1_500, 0xBE7C),
+        seed: 0xBE7C,
+    };
+    let ds = pit_datasets::generate(&spec);
+    Arc::new(
+        PitEngine::builder()
+            .walk(pit_walk::WalkConfig::new(4, 16).with_seed(1))
+            .propagation(pit_index::PropIndexConfig::with_theta(0.05))
+            .summarizer(SummarizerKind::Lrw(pit_summarize::LrwConfig {
+                rep_count: Some(16),
+                ..pit_summarize::LrwConfig::default()
+            }))
+            .build_with_vocab(ds.graph, ds.space, Some(ds.vocab)),
+    )
+}
+
+fn run(e: &dyn ServeEngine, user: u32, term: TermId) {
+    let q = KeywordQuery::new(NodeId(user), vec![term]);
+    let out = e
+        .try_search(&q, 10, &CancelToken::none(), &mut NoTracer)
+        .expect("bench query");
+    assert!(out.partial.is_empty(), "healthy fleet answered partial");
+}
+
+fn scatter_gather(c: &mut Criterion) {
+    let engine = engine();
+    let term = TermId(0);
+    let single = LocalServeEngine::full(Arc::clone(&engine));
+    let sharded2 = ShardedEngine::split(&engine, 2);
+    let sharded4 = ShardedEngine::split(&engine, 4);
+
+    let mut group = c.benchmark_group("router_scatter");
+    group.sample_size(20);
+    let mut user = 0u32;
+    group.bench_function("single_node", |b| {
+        b.iter(|| {
+            user = (user + 1) % 1_000;
+            run(&single, user, term);
+        });
+    });
+    let mut user2 = 0u32;
+    group.bench_function("sharded_2", |b| {
+        b.iter(|| {
+            user2 = (user2 + 1) % 1_000;
+            run(&sharded2, user2, term);
+        });
+    });
+    let mut user4 = 0u32;
+    group.bench_function("sharded_4", |b| {
+        b.iter(|| {
+            user4 = (user4 + 1) % 1_000;
+            run(&sharded4, user4, term);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scatter_gather);
+criterion_main!(benches);

@@ -236,13 +236,10 @@ pub fn stats(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// `pit serve` — run the query daemon over a saved engine.
-pub fn serve(p: &Parsed) -> Result<(), String> {
-    use std::sync::Arc;
+/// The daemon configuration flags shared by `pit serve` and `pit route`.
+fn server_config(p: &Parsed) -> Result<pit_server::ServerConfig, String> {
     use std::time::Duration;
 
-    let engine = Arc::new(load(p)?);
-    let addr = p.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let defaults = pit_server::ServerConfig::default();
     // Fault-injection flags (chaos drills and the integration tests): a
     // user whose queries panic, and a user whose queries are slowed at
@@ -256,7 +253,7 @@ pub fn serve(p: &Parsed) -> Result<(), String> {
                 .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
         }
     };
-    let config = pit_server::ServerConfig {
+    Ok(pit_server::ServerConfig {
         workers: p.num("workers", defaults.workers)?,
         queue_depth: p.num("queue-depth", defaults.queue_depth)?,
         cache_capacity: p.num("cache", defaults.cache_capacity)?,
@@ -281,14 +278,38 @@ pub fn serve(p: &Parsed) -> Result<(), String> {
             p.num("slow-ms", defaults.slow_threshold.as_millis() as u64)?,
         ),
         trace_ring: p.num("trace-ring", defaults.trace_ring)?,
-    };
-    let state = Arc::new(pit_server::ServerState::new(engine, config.clone()));
+    })
+}
+
+/// `pit serve` — run the query daemon over a saved engine. A snapshot
+/// carrying a shard manifest (`pit shard-split` output) comes up as that
+/// slice automatically: it answers the router's probes and refuses direct
+/// queries.
+pub fn serve(p: &Parsed) -> Result<(), String> {
+    use pit_server::ServeEngine as _;
+    use std::sync::Arc;
+
+    let dir = Path::new(p.require("engine")?);
+    let engine = pit_server::LocalServeEngine::load(dir)?;
+    let shard = engine.shard_spec();
+    let addr = p.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let config = server_config(p)?;
+    let state = Arc::new(pit_server::ServerState::with_engine(
+        Arc::new(engine),
+        config.clone(),
+    ));
     let handle = pit_server::serve(state, addr.as_str()).map_err(|e| e.to_string())?;
     // The integration tests parse this line to learn the ephemeral port, so
     // keep its shape stable and flush it before blocking.
     println!("listening on {}", handle.addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    if let Some(spec) = shard {
+        eprintln!(
+            "serving shard {spec} of a split snapshot; direct QUERYs are refused — \
+             front the fleet with `pit route`"
+        );
+    }
     eprintln!(
         "{} workers, queue depth {}, cache {} entries, budget {:?}; stop with the SHUTDOWN verb",
         config.workers, config.queue_depth, config.cache_capacity, config.query_budget
@@ -298,11 +319,117 @@ pub fn serve(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// `pit client` — one request against a running `pit serve`.
+/// `pit shard-split` — slice an engine snapshot into N shard snapshots
+/// under `--out/shard-<i>`, re-loading and verifying the partition (every
+/// user owned exactly once, owned Γ tables bit-identical, unowned empty).
+pub fn shard_split(p: &Parsed) -> Result<(), String> {
+    let dir = Path::new(p.require("dir")?);
+    let out = Path::new(p.require("out")?);
+    let shards: u32 = p.num("shards", 0)?;
+    if shards == 0 {
+        return Err("missing required flag --shards N (N >= 1)".into());
+    }
+    eprintln!("splitting {} into {shards} shard snapshots…", dir.display());
+    let t0 = std::time::Instant::now();
+    let report = pit::shard::split_snapshot(dir, out, shards).map_err(|e| e.to_string())?;
+    println!(
+        "wrote and verified {} shards under {} in {:.1}s ({} users, each owned exactly once)",
+        report.shards,
+        out.display(),
+        t0.elapsed().as_secs_f64(),
+        report.nodes
+    );
+    for (i, owned) in report.owned_per_shard.iter().enumerate() {
+        println!("  shard-{i}: {owned} users");
+    }
+    Ok(())
+}
+
+/// `pit route` — run the scatter-gather router daemon. Two deployments:
+/// `--shards host:port,…` fronts remote `pit serve` backends (with
+/// `--engine` naming any shard snapshot to replicate the metadata from),
+/// while `--in-process N` splits a full snapshot into N in-process shards —
+/// same code path, no sockets — for drills and small fleets.
+pub fn route(p: &Parsed) -> Result<(), String> {
+    use pit_router::{RemoteTransport, ShardTransport, ShardedEngine};
+    use std::sync::Arc;
+
+    let addr = p.get("addr").unwrap_or("127.0.0.1:7979").to_string();
+    let config = server_config(p)?;
+    let engine: Arc<dyn pit_server::ServeEngine> = if let Some(list) = p.get("shards") {
+        let backends: Vec<Arc<dyn ShardTransport>> = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|backend| {
+                Arc::new(RemoteTransport::new(backend, config.io_timeout))
+                    as Arc<dyn ShardTransport>
+            })
+            .collect();
+        if backends.is_empty() {
+            return Err("--shards needs at least one host:port".into());
+        }
+        // The metadata engine: any shard snapshot works — the graph, topic
+        // space, vocabulary, and representative sets are replicated on
+        // every slice, and the router never probes its own Γ tables.
+        let meta = Arc::new(load(p)?);
+        Arc::new(ShardedEngine::assemble(meta, backends)?)
+    } else {
+        let n: u32 = p.num("in-process", 0)?;
+        if n == 0 {
+            return Err(
+                "pass --shards host:port,… (with --engine META_DIR) for a remote fleet, \
+                 or --engine DIR --in-process N to split in-process"
+                    .into(),
+            );
+        }
+        let full = Arc::new(load(p)?);
+        Arc::new(ShardedEngine::split(&full, n))
+    };
+    let shard_count = engine.shard_count();
+    let state = Arc::new(pit_server::ServerState::with_engine(engine, config.clone()));
+    let handle = pit_server::serve(state, addr.as_str()).map_err(|e| e.to_string())?;
+    // Same parseable first line as `pit serve`.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "scatter-gather over {shard_count} shards; {} workers, queue depth {}, cache {} \
+         entries, budget {:?}; stop with the SHUTDOWN verb",
+        config.workers, config.queue_depth, config.cache_capacity, config.query_budget
+    );
+    handle.join();
+    println!("drained; bye");
+    Ok(())
+}
+
+/// `pit client` — one request against a running `pit serve` (or, with
+/// `--via-router ADDR` in place of `--addr`, against a `pit route` daemon,
+/// confirming first that the target actually fronts a fleet).
 pub fn client(p: &Parsed) -> Result<(), String> {
     use pit_server::protocol;
 
-    let addr = p.require("addr")?;
+    let via_router = p.get("via-router");
+    let addr = match via_router {
+        Some(router) => router,
+        None => p.require("addr")?,
+    };
+    if via_router.is_some() {
+        // A shard slice also answers SHARD (with its own index), so probe
+        // before querying: a query accidentally aimed at one slice would be
+        // refused with a confusing "query the router" error.
+        match exchange(addr, &protocol::Request::Shard)? {
+            protocol::Response::ShardInfo { count, gen, .. } if count >= 2 => {
+                eprintln!("via router at {addr}: {count} shards, generation {gen}");
+            }
+            protocol::Response::ShardInfo { count, gen, .. } => {
+                eprintln!(
+                    "note: {addr} answers for {count} shard (generation {gen}) — \
+                     a single node, not a fleet"
+                );
+            }
+            other => return Err(format!("unexpected SHARD reply {other:?}")),
+        }
+    }
     let op = p.get("op").unwrap_or("query");
     let request = match op {
         "ping" => protocol::Request::Ping,
@@ -475,10 +602,21 @@ fn print_response(response: &pit_server::protocol::Response) -> Result<(), Strin
         // Both bodies are already formatted for the terminal (Prometheus
         // exposition / rendered traces): print them verbatim.
         protocol::Response::Metrics(body) | protocol::Response::Traces(body) => body.clone(),
+        protocol::Response::Staged => "staged (COMMIT to serve, ABORT to discard)".to_string(),
+        protocol::Response::ShardInfo { index, count, gen } => {
+            format!("shard {index} of {count}, generation {gen}")
+        }
+        // EXPAND is router-to-backend plumbing; an operator poking it by
+        // hand gets a summary, not the raw tables.
+        protocol::Response::Expanded { gen, bound, tables } => format!(
+            "{} probe tables (generation {gen}, residual bound {bound:.6})",
+            tables.len()
+        ),
         protocol::Response::Topics {
             ranked,
             cached,
             micros,
+            partial,
         } => {
             let mut out = format!(
                 "{} topics ({}, {:.2} ms)",
@@ -486,6 +624,13 @@ fn print_response(response: &pit_server::protocol::Response) -> Result<(), Strin
                 if *cached { "cached" } else { "fresh" },
                 *micros as f64 / 1e3
             );
+            if !partial.is_empty() {
+                let missing: Vec<String> = partial
+                    .iter()
+                    .map(|(shard, reason)| format!("shard {shard}: {reason}"))
+                    .collect();
+                out.push_str(&format!(" — PARTIAL, missing {}", missing.join(", ")));
+            }
             for (rank, (topic, score)) in ranked.iter().enumerate() {
                 out.push_str(&format!(
                     "\n  {:>3}. topic {topic:<6} influence {score:.6}",

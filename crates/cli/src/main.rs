@@ -8,7 +8,11 @@
 //! pit audience --engine engine/ --topic 0 --keyword query-0 [--k 3] [--sample 200]
 //! pit stats    --engine engine/
 //! pit serve    --engine engine/ [--addr 127.0.0.1:7878] [--workers 8]
+//! pit shard-split --dir engine/ --out shards/ --shards 4     # slice a snapshot
+//! pit route    --engine shards/shard-0 --shards h1:7878,h2:7878 [--addr 127.0.0.1:7979]
+//! pit route    --engine engine/ --in-process 4               # one-process fleet
 //! pit client   --addr 127.0.0.1:7878 --user 3 --keywords query-0 [--k 10]
+//! pit client   --via-router 127.0.0.1:7979 --user 3 --keywords query-0
 //! pit trace    --addr 127.0.0.1:7878 [--n 16]
 //! pit reload   --addr 127.0.0.1:7878 --dir engine-v2/
 //! pit update   --addr 127.0.0.1:7878 --edges 3:9:0.5 --assign 4:17
@@ -33,6 +37,8 @@ fn main() {
         "audience" => commands::audience(&parsed),
         "stats" => commands::stats(&parsed),
         "serve" => commands::serve(&parsed),
+        "shard-split" => commands::shard_split(&parsed),
+        "route" => commands::route(&parsed),
         "client" => commands::client(&parsed),
         "trace" => commands::trace(&parsed),
         "reload" => commands::reload(&parsed),
@@ -64,8 +70,14 @@ fn usage() {
          \x20 serve    --engine DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20          [--cache N] [--budget-ms MS] [--io-timeout-ms MS]   run the query daemon\n\
          \x20          [--trace-sample N] [--slow-ms MS] [--trace-ring N]  per-query tracing\n\
+         \x20          (a snapshot with a shard manifest comes up as that slice)\n\
+         \x20 shard-split --dir DIR --out DIR --shards N   slice a snapshot into N shard\n\
+         \x20          snapshots under out/shard-<i>, verifying the user partition\n\
+         \x20 route    --engine DIR (--shards HOST:PORT,… | --in-process N)\n\
+         \x20          [--addr HOST:PORT] [serve flags]     scatter-gather router daemon\n\
          \x20 client   --addr HOST:PORT [--op ping|stats|metrics|trace|shutdown|query]\n\
          \x20          [--user N --keywords a,b [--k K]]                   talk to a daemon\n\
+         \x20          (--via-router HOST:PORT targets a pit route front door)\n\
          \x20 trace    --addr HOST:PORT [--n N]       dump a daemon's slow-query log and\n\
          \x20          sampled per-query traces (see serve --trace-sample/--slow-ms)\n\
          \x20 reload   --addr HOST:PORT --dir DIR      swap a running daemon onto a new\n\

@@ -135,6 +135,31 @@ impl PropagationIndex {
         }
     }
 
+    /// A copy of this index that keeps only the tables of nodes selected by
+    /// `keep`; every other node gets an empty table. The table vector stays
+    /// full-length — the node universe is unchanged, only residency shrinks —
+    /// so `len()`, `gamma(v)` and the store's node-count validation all keep
+    /// working on a slice. This is how a shard holds just its own users'
+    /// Γ(v) tables (see the `pit` crate's shard module).
+    pub fn sliced(&self, keep: &dyn Fn(NodeId) -> bool) -> Self {
+        let tables = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if keep(NodeId::from_index(i)) {
+                    t.clone()
+                } else {
+                    NodePropagation::default()
+                }
+            })
+            .collect();
+        PropagationIndex {
+            config: self.config,
+            tables,
+        }
+    }
+
     /// Total entries across all tables (index size metric, Figures 13/14).
     pub fn total_entries(&self) -> usize {
         self.tables.iter().map(NodePropagation::len).sum()

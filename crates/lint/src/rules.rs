@@ -3,8 +3,9 @@
 //! and skips test regions where the rule is about production behaviour.
 //!
 //! - **L1** — no panic-capable calls (`unwrap`/`expect`/`panic!`/…) in the
-//!   serving stack (`crates/server/src`, `crates/search/src`) outside test
-//!   code, except via a justified allowlist entry.
+//!   serving stack (`crates/server/src`, `crates/search/src`,
+//!   `crates/router/src`) outside test code, except via a justified
+//!   allowlist entry.
 //! - **L2** — every `unsafe` block/impl/trait carries a `// SAFETY:`
 //!   comment on the same line or in the contiguous comment block above.
 //! - **L3** — `Ordering::Relaxed` only on allowlisted pure counters;
@@ -41,7 +42,11 @@ pub struct FileReport {
 
 /// Crates whose `src/` may not call into panics (rule L1): the concurrent
 /// serving stack, where a stray panic kills a worker or poisons a lock.
-const L1_SCOPE: &[&str] = &["crates/server/src/", "crates/search/src/"];
+const L1_SCOPE: &[&str] = &[
+    "crates/server/src/",
+    "crates/search/src/",
+    "crates/router/src/",
+];
 
 /// Panic-capable tokens forbidden by L1.
 const L1_TOKENS: &[&str] = &[

@@ -50,6 +50,38 @@ pub fn histogram(out: &mut String, name: &str, help: &str, buckets: &[u64], sum:
     let _ = writeln!(out, "{name}_count {total}");
 }
 
+/// Append one `histogram` metric carried by several labeled series — one
+/// `# HELP`/`# TYPE` header, then per-series `_bucket`/`_sum`/`_count`
+/// lines distinguished by a `{label_key="label_value"}` pair. Bucket layout
+/// and exactness are as in [`histogram`]. An empty series list renders just
+/// the header, which scrapes cleanly as "no data yet".
+pub fn histogram_labeled(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label_key: &str,
+    series: &[(String, Vec<u64>, u64)],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (label_value, buckets, sum) in series {
+        let tag = format!("{label_key}=\"{label_value}\"");
+        let mut cumulative = 0u64;
+        for (i, &count) in buckets.iter().enumerate() {
+            cumulative += count;
+            if i + 1 == buckets.len() {
+                break;
+            }
+            let le = (1u64 << i) - 1;
+            let _ = writeln!(out, "{name}_bucket{{{tag},le=\"{le}\"}} {cumulative}");
+        }
+        let total: u64 = buckets.iter().sum();
+        let _ = writeln!(out, "{name}_bucket{{{tag},le=\"+Inf\"}} {total}");
+        let _ = writeln!(out, "{name}_sum{{{tag}}} {sum}");
+        let _ = writeln!(out, "{name}_count{{{tag}}} {total}");
+    }
+}
+
 /// Extract every metric name from an exposition's `# TYPE` lines, in order.
 /// Used by golden tests pinning the registry.
 pub fn type_line_names(exposition: &str) -> Vec<String> {
@@ -101,6 +133,37 @@ mod tests {
             .map(|v| v.parse().unwrap())
             .collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn labeled_histogram_shares_one_header_across_series() {
+        let mut out = String::new();
+        histogram_labeled(
+            &mut out,
+            "pit_shard_fanout_us",
+            "Per-shard fan-out wait.",
+            "shard",
+            &[
+                ("0".to_string(), vec![1, 2, 0, 0], 3),
+                ("1".to_string(), vec![0, 0, 1, 0], 2),
+            ],
+        );
+        assert_eq!(
+            out.matches("# TYPE pit_shard_fanout_us histogram\n")
+                .count(),
+            1
+        );
+        assert!(
+            out.contains("pit_shard_fanout_us_bucket{shard=\"0\",le=\"0\"} 1\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("pit_shard_fanout_us_bucket{shard=\"1\",le=\"+Inf\"} 1\n"),
+            "{out}"
+        );
+        assert!(out.contains("pit_shard_fanout_us_sum{shard=\"0\"} 3\n"));
+        assert!(out.contains("pit_shard_fanout_us_count{shard=\"1\"} 1\n"));
+        assert_eq!(type_line_names(&out), vec!["pit_shard_fanout_us"]);
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! How the router reaches one shard: in-process (a slice engine behind the
+//! same [`ServeEngine`] trait the daemon serves) or over TCP (a framed
+//! client speaking the existing `pit-server` protocol).
+//!
+//! Failures map onto the serving taxonomy — `timeout` | `overloaded` |
+//! `internal` — because that is what a partial reply reports per missing
+//! shard; a transport never invents a fourth word.
+
+use parking_lot::Mutex;
+use pit::Delta;
+use pit_server::protocol::{read_frame, write_frame, ProbeTable, Request, Response};
+use pit_server::{ServeEngine, ServerConfig, ServerState};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why one shard could not answer, in the wire taxonomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shard did not answer within the query's remaining budget.
+    Timeout,
+    /// The shard shed the request at admission.
+    Overloaded,
+    /// Anything else: transport failure, generation mismatch, malformed
+    /// reply — a fault, with the reason preserved for logs.
+    Internal(String),
+}
+
+impl ShardError {
+    /// The single-word taxonomy class carried in `partial=` annotations.
+    pub fn word(&self) -> &'static str {
+        match self {
+            ShardError::Timeout => "timeout",
+            ShardError::Overloaded => "overloaded",
+            ShardError::Internal(_) => "internal",
+        }
+    }
+
+    /// Full human-readable reason (logs and `ServeError::Shard`).
+    pub fn describe(&self) -> String {
+        match self {
+            ShardError::Timeout => "timeout".to_string(),
+            ShardError::Overloaded => "overloaded".to_string(),
+            ShardError::Internal(reason) => reason.clone(),
+        }
+    }
+}
+
+/// One shard as the router sees it. Implementations are `Sync`: the router
+/// probes different shards from different scatter threads, but issues at
+/// most one in-flight call per shard at a time.
+pub trait ShardTransport: Send + Sync {
+    /// Where this shard lives, for error messages.
+    fn location(&self) -> String;
+
+    /// `SHARD` — the shard's position, fleet size, and serving generation.
+    ///
+    /// # Errors
+    /// Transport or protocol failure, classified.
+    fn shard_info(&self) -> Result<(u32, u32, u64), ShardError>;
+
+    /// `EXPAND` — probe Γ-tables for `probes` under generation `gen`,
+    /// returning one table per probe in request order plus the shard's
+    /// residual §5.2 upper bound. `deadline` caps the wait.
+    ///
+    /// # Errors
+    /// Transport failure, generation mismatch, or a backend `ERR`.
+    fn expand(
+        &self,
+        gen: u64,
+        terms: &[u32],
+        probes: &[(u32, f64)],
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<ProbeTable>, f64), ShardError>;
+
+    /// `PREPARE DIR` — stage a successor engine from a snapshot directory.
+    ///
+    /// # Errors
+    /// Build failure (reported verbatim) or transport failure.
+    fn prepare_dir(&self, dir: &Path) -> Result<(), ShardError>;
+
+    /// `PREPARE UPDATE` — stage a successor engine from a delta.
+    ///
+    /// # Errors
+    /// Build failure (reported verbatim) or transport failure.
+    fn prepare_update(&self, delta: &Delta) -> Result<(), ShardError>;
+
+    /// `COMMIT` — swap the staged successor in; returns the new generation.
+    ///
+    /// # Errors
+    /// Nothing staged, or transport failure.
+    fn commit(&self) -> Result<u64, ShardError>;
+
+    /// `ABORT` — drop any staged successor; returns the serving generation.
+    /// Idempotent by design, so a fleet-wide abort sweep can hit shards
+    /// that never staged.
+    ///
+    /// # Errors
+    /// Transport failure only.
+    fn abort(&self) -> Result<u64, ShardError>;
+}
+
+/// An in-process shard: a slice engine behind a private [`ServerState`], so
+/// generations, two-phase staging, and reload accounting behave exactly as
+/// they would in a remote `pit serve` — one code path, two deployments.
+pub struct LocalTransport {
+    state: ServerState,
+}
+
+impl LocalTransport {
+    /// Wrap one slice engine (generation starts at 1, like a fresh daemon).
+    pub fn new(engine: Arc<dyn ServeEngine>) -> Self {
+        LocalTransport {
+            state: ServerState::with_engine(engine, ServerConfig::default()),
+        }
+    }
+}
+
+impl ShardTransport for LocalTransport {
+    fn location(&self) -> String {
+        "in-process".to_string()
+    }
+
+    fn shard_info(&self) -> Result<(u32, u32, u64), ShardError> {
+        let current = self.state.current();
+        let (index, count) = match current.engine.shard_spec() {
+            Some(spec) => (spec.index, spec.count),
+            None => (0, 1),
+        };
+        Ok((index, count, current.generation))
+    }
+
+    fn expand(
+        &self,
+        gen: u64,
+        terms: &[u32],
+        probes: &[(u32, f64)],
+        _deadline: Option<Instant>,
+    ) -> Result<(Vec<ProbeTable>, f64), ShardError> {
+        // In-process probes cannot be abandoned mid-call; the driver's own
+        // cancellation checkpoints bound the query instead.
+        let current = self.state.current();
+        if current.generation != gen {
+            return Err(ShardError::Internal(format!(
+                "shard generation changed (serving {}, request {gen})",
+                current.generation
+            )));
+        }
+        current
+            .engine
+            .expand(terms, probes)
+            .map_err(ShardError::Internal)
+    }
+
+    fn prepare_dir(&self, dir: &Path) -> Result<(), ShardError> {
+        self.state.prepare_dir(dir).map_err(ShardError::Internal)
+    }
+
+    fn prepare_update(&self, delta: &Delta) -> Result<(), ShardError> {
+        self.state
+            .prepare_update(delta)
+            .map_err(ShardError::Internal)
+    }
+
+    fn commit(&self) -> Result<u64, ShardError> {
+        self.state.commit_staged().map_err(ShardError::Internal)
+    }
+
+    fn abort(&self) -> Result<u64, ShardError> {
+        Ok(self.state.abort_staged())
+    }
+}
+
+/// A remote shard behind a `pit serve` daemon, over the length-prefixed
+/// text protocol. One pooled connection, re-dialed on demand; any I/O error
+/// drops the connection (the stream position is unknowable mid-frame).
+pub struct RemoteTransport {
+    addr: String,
+    conn: Mutex<Option<TcpStream>>,
+    /// Per-call I/O cap. A query deadline can only *shorten* a call's wait,
+    /// never extend it past this — so one dragged shard costs the query at
+    /// most `io_timeout`, and the round degrades to an honest `partial`
+    /// instead of the whole query dying at its budget.
+    io_timeout: Duration,
+}
+
+impl RemoteTransport {
+    /// A transport for the daemon at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>, io_timeout: Duration) -> Self {
+        RemoteTransport {
+            addr: addr.into(),
+            conn: Mutex::named("router.transport.conn", None),
+            io_timeout,
+        }
+    }
+
+    /// One request/response exchange under `min(deadline, io_timeout)`.
+    /// Classifies every failure into the taxonomy.
+    fn call(&self, request: &Request, deadline: Option<Instant>) -> Result<Response, ShardError> {
+        let budget = match deadline {
+            Some(d) => {
+                let now = Instant::now();
+                if d <= now {
+                    return Err(ShardError::Timeout);
+                }
+                (d - now).min(self.io_timeout)
+            }
+            None => self.io_timeout,
+        };
+        let mut guard = self.conn.lock();
+        if guard.is_none() {
+            *guard = Some(self.dial(budget)?);
+        }
+        // The guard stays held for the exchange: the protocol is strictly
+        // request/reply per connection, and the router issues one call per
+        // shard at a time anyway.
+        let result = (|| {
+            let stream = guard.as_mut().ok_or(ShardError::Timeout)?;
+            stream
+                .set_write_timeout(Some(budget))
+                .and_then(|()| stream.set_read_timeout(Some(budget)))
+                .map_err(|e| ShardError::Internal(format!("{}: {e}", self.addr)))?;
+            write_frame(stream, &request.render()).map_err(|e| self.classify_io(&e))?;
+            let text = read_frame(stream)
+                .map_err(|e| self.classify_io(&e))?
+                .ok_or_else(|| {
+                    ShardError::Internal(format!("{}: connection closed mid-call", self.addr))
+                })?;
+            Response::parse(&text)
+                .map_err(|e| ShardError::Internal(format!("{}: bad reply: {e}", self.addr)))
+        })();
+        match result {
+            Ok(Response::Err(reason)) => {
+                // Server-side errors leave the connection usable.
+                Err(classify_err_reply(&reason))
+            }
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                // Transport-level failure: the stream may hold a half frame.
+                *guard = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn dial(&self, budget: Duration) -> Result<TcpStream, ShardError> {
+        let addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ShardError::Internal(format!("resolve {}: {e}", self.addr)))?;
+        let mut last = ShardError::Internal(format!("resolve {}: no addresses", self.addr));
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, budget) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    return Ok(stream);
+                }
+                Err(e) => last = self.classify_io(&e),
+            }
+        }
+        Err(last)
+    }
+
+    fn classify_io(&self, e: &std::io::Error) -> ShardError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ShardError::Timeout,
+            _ => ShardError::Internal(format!("{}: {e}", self.addr)),
+        }
+    }
+}
+
+/// Classify a backend `ERR <reason>` by its leading taxonomy word.
+fn classify_err_reply(reason: &str) -> ShardError {
+    let class = reason.split([' ', ':']).next().unwrap_or_default();
+    match class {
+        "timeout" => ShardError::Timeout,
+        "overloaded" => ShardError::Overloaded,
+        _ => ShardError::Internal(reason.to_string()),
+    }
+}
+
+impl ShardTransport for RemoteTransport {
+    fn location(&self) -> String {
+        self.addr.clone()
+    }
+
+    fn shard_info(&self) -> Result<(u32, u32, u64), ShardError> {
+        match self.call(&Request::Shard, None)? {
+            Response::ShardInfo { index, count, gen } => Ok((index, count, gen)),
+            other => Err(ShardError::Internal(format!(
+                "{}: unexpected SHARD reply {other:?}",
+                self.addr
+            ))),
+        }
+    }
+
+    fn expand(
+        &self,
+        gen: u64,
+        terms: &[u32],
+        probes: &[(u32, f64)],
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<ProbeTable>, f64), ShardError> {
+        let request = Request::Expand {
+            gen,
+            terms: terms.to_vec(),
+            probes: probes.to_vec(),
+        };
+        match self.call(&request, deadline)? {
+            Response::Expanded {
+                gen: reply_gen,
+                bound,
+                tables,
+            } => {
+                // Belt and braces: the backend already refuses mismatched
+                // generations, but a reply from a different generation than
+                // requested must never be fed into the driver.
+                if reply_gen != gen {
+                    return Err(ShardError::Internal(format!(
+                        "{}: shard generation changed (serving {reply_gen}, request {gen})",
+                        self.addr
+                    )));
+                }
+                if tables.len() != probes.len() {
+                    return Err(ShardError::Internal(format!(
+                        "{}: EXPAND answered {} tables for {} probes",
+                        self.addr,
+                        tables.len(),
+                        probes.len()
+                    )));
+                }
+                Ok((tables, bound))
+            }
+            other => Err(ShardError::Internal(format!(
+                "{}: unexpected EXPAND reply {other:?}",
+                self.addr
+            ))),
+        }
+    }
+
+    fn prepare_dir(&self, dir: &Path) -> Result<(), ShardError> {
+        let request = Request::PrepareDir {
+            dir: dir.display().to_string(),
+        };
+        match self.call(&request, None)? {
+            Response::Staged => Ok(()),
+            other => Err(ShardError::Internal(format!(
+                "{}: unexpected PREPARE reply {other:?}",
+                self.addr
+            ))),
+        }
+    }
+
+    fn prepare_update(&self, delta: &Delta) -> Result<(), ShardError> {
+        let request = Request::PrepareUpdate {
+            edges: delta
+                .new_edges
+                .iter()
+                .map(|&(u, v, p)| (u.0, v.0, p))
+                .collect(),
+            assignments: delta
+                .new_assignments
+                .iter()
+                .map(|&(u, t)| (u.0, t.0))
+                .collect(),
+        };
+        match self.call(&request, None)? {
+            Response::Staged => Ok(()),
+            other => Err(ShardError::Internal(format!(
+                "{}: unexpected PREPARE reply {other:?}",
+                self.addr
+            ))),
+        }
+    }
+
+    fn commit(&self) -> Result<u64, ShardError> {
+        match self.call(&Request::Commit, None)? {
+            Response::Generation(gen) => Ok(gen),
+            other => Err(ShardError::Internal(format!(
+                "{}: unexpected COMMIT reply {other:?}",
+                self.addr
+            ))),
+        }
+    }
+
+    fn abort(&self) -> Result<u64, ShardError> {
+        match self.call(&Request::Abort, None)? {
+            Response::Generation(gen) => Ok(gen),
+            other => Err(ShardError::Internal(format!(
+                "{}: unexpected ABORT reply {other:?}",
+                self.addr
+            ))),
+        }
+    }
+}

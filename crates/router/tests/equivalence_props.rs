@@ -1,0 +1,78 @@
+//! Property: for ANY shard count and ANY query, the sharded top-k is
+//! bit-identical to the single-node top-k — topics, order, tie-breaking,
+//! and raw `f64` score bits — and so are the driver's work counters.
+//!
+//! This holds by construction (one shared search state machine, probes fed
+//! in canonical order) and this test keeps it held: any divergence in the
+//! scatter order, wire float formatting, or feed sequencing shows up as a
+//! bit mismatch on some sampled query.
+
+use pit::PitEngine;
+use pit_graph::{NodeId, TermId};
+use pit_index::PropIndexConfig;
+use pit_router::ShardedEngine;
+use pit_search_core::{CancelToken, NoTracer};
+use pit_server::{LocalServeEngine, ServeEngine, ServeOutcome};
+use pit_topics::KeywordQuery;
+use pit_walk::WalkConfig;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+const NODES: usize = 180;
+
+/// One shared engine for every proptest case — the offline build is the
+/// expensive part, the queries are cheap.
+fn engine() -> &'static Arc<PitEngine> {
+    static ENGINE: OnceLock<Arc<PitEngine>> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let spec = pit_datasets::DatasetSpec {
+            name: "router-equivalence".to_string(),
+            nodes: NODES,
+            kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+            topics: pit_datasets::spec::scaled_topic_config(NODES, 41),
+            seed: 41,
+        };
+        let ds = pit_datasets::generate(&spec);
+        Arc::new(
+            PitEngine::builder()
+                .walk(WalkConfig::new(3, 8).with_seed(7))
+                .propagation(PropIndexConfig::with_theta(0.02))
+                .build_with_vocab(ds.graph, ds.space, Some(ds.vocab)),
+        )
+    })
+}
+
+fn run(e: &dyn ServeEngine, q: &KeywordQuery, k: usize) -> ServeOutcome {
+    e.try_search(q, k, &CancelToken::none(), &mut NoTracer)
+        .expect("search succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn sharded_topk_is_bit_identical_to_single_node(
+        user in 0u32..NODES as u32,
+        k in 1usize..8,
+        shards in 1u32..6,
+        term_seed in proptest::collection::vec(proptest::prelude::any::<u32>(), 1..3),
+    ) {
+        let engine = engine();
+        let terms: Vec<TermId> = term_seed
+            .iter()
+            .map(|&s| TermId(s % engine.space().term_count() as u32))
+            .collect();
+        let q = KeywordQuery::new(NodeId(user), terms);
+
+        let single = LocalServeEngine::full(Arc::clone(engine));
+        let router = ShardedEngine::split(engine, shards);
+        let a = run(&single, &q, k);
+        let b = run(&router, &q, k);
+
+        prop_assert!(b.partial.is_empty(), "healthy fleet answered partial: {:?}", b.partial);
+        let bits = |o: &ServeOutcome| -> Vec<(u32, u64)> {
+            o.ranked.iter().map(|&(t, s)| (t, s.to_bits())).collect()
+        };
+        prop_assert_eq!(bits(&a), bits(&b), "rankings diverged for {:?} k={} shards={}", q, k, shards);
+        prop_assert_eq!(a.stats, b.stats, "work counters diverged for {:?} k={} shards={}", q, k, shards);
+    }
+}

@@ -112,6 +112,13 @@ impl CancelToken {
         self
     }
 
+    /// The absolute deadline, when one was set. A scatter-gather caller
+    /// derives per-RPC read timeouts from this so a slow shard cannot hold
+    /// a reply past the query budget.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
     /// Probed tables between cancellation checks.
     pub fn check_every(&self) -> u32 {
         self.check_every.unwrap_or(Self::DEFAULT_CHECK_EVERY)

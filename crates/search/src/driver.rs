@@ -1,0 +1,648 @@
+//! The per-query search state machine, factored out of
+//! [`crate::searcher::PersonalizedSearcher`] so that table probes can come
+//! from anywhere.
+//!
+//! Algorithm 10/11 reads exactly one kind of index data at query time: the
+//! propagation tables `Γ(u)` of the query user and the expanded marked
+//! nodes. Everything else — representative bookkeeping, score accumulation,
+//! upper-bound pruning, round control, ranking — is pure arithmetic over
+//! those probes. [`SearchDriver`] owns that arithmetic and asks its caller
+//! to perform the probes:
+//!
+//! ```text
+//! loop {
+//!     match driver.next_step(...)? {
+//!         DriverStep::Probe(list) => for each (u, ep_u):
+//!             feed back TableProbe { Γ(u) ∩ reps, marked candidates },
+//!         DriverStep::Done(cause) => break,
+//!     }
+//! }
+//! driver.finish(...)
+//! ```
+//!
+//! The single-node searcher drives it with local [`probe_gamma`] calls; the
+//! sharded router (`pit-router`) drives the *same* state machine with
+//! batched remote probes, one scatter per round. Because every score
+//! mutation happens here, in probe order, a sharded search is bit-identical
+//! to a single-node one by construction — there is no second ranking code
+//! path to diverge.
+//!
+//! Probe replies must be fed back **in the order the probe list was
+//! issued**; that order is the absorption order of Algorithm 10/11, and
+//! first-cover representative absorption makes it semantically load-bearing.
+//! A caller that cannot obtain a table (failed shard) calls
+//! [`SearchDriver::skip_probe`] instead, explicitly accepting a degraded
+//! (non-bit-identical) answer.
+
+use crate::cancel::{CancelToken, SearchError};
+use crate::repindex::TopicRepIndex;
+use crate::searcher::{SearchConfig, SearchOutcome, TopicScore};
+use crate::trace::{SearchPhase, SearchTracer};
+use pit_graph::{NodeId, TopicId};
+use pit_index::NodePropagation;
+use pit_topics::{KeywordQuery, TopicSpace};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Per-topic working state during one query.
+struct TopicState {
+    topic: TopicId,
+    /// `W_r[t]` — total weight still outstanding (representatives of this
+    /// topic not yet absorbed).
+    remaining_weight: f64,
+    /// `heap[t]` — influence accumulated so far.
+    score: f64,
+    /// False once pruned or exhausted; no further refinement.
+    alive: bool,
+    /// True when eliminated by the upper-bound rule specifically.
+    pruned: bool,
+}
+
+/// Inverted per-query view of the loaded representative sets: representative
+/// node → the `(topic index, weight)` entries it carries. A representative is
+/// *absorbed* (removed) the first time a probed table contains it, which is
+/// exactly Algorithm 10/11's `S_i ← S_i \ vInner` bookkeeping — but allows a
+/// probed table to be intersected in one pass instead of rescanning every
+/// topic's remaining list.
+///
+/// Entries live in one flat arena (a node's entries are a contiguous slice)
+/// so loading a query's representative sets costs two allocations, not one
+/// per shared representative.
+struct RepMap {
+    /// node → (start, len) into `entries`.
+    index: FxHashMap<NodeId, (u32, u32)>,
+    /// Flat `(topic index, weight)` entries grouped by node.
+    entries: Vec<(u32, f64)>,
+}
+
+impl RepMap {
+    /// Build from `(node, topic index, weight)` triples.
+    fn build(mut triples: Vec<(NodeId, u32, f64)>) -> Self {
+        triples.sort_unstable_by_key(|&(n, _, _)| n);
+        let mut index = FxHashMap::with_capacity_and_hasher(triples.len(), Default::default());
+        let mut entries = Vec::with_capacity(triples.len());
+        let mut i = 0;
+        while i < triples.len() {
+            let node = triples[i].0;
+            let start = entries.len() as u32;
+            while i < triples.len() && triples[i].0 == node {
+                entries.push((triples[i].1, triples[i].2));
+                i += 1;
+            }
+            index.insert(node, (start, entries.len() as u32 - start));
+        }
+        RepMap { index, entries }
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.index.contains_key(&node)
+    }
+
+    /// Remove and return the entry slice bounds for `node`, if present.
+    fn take(&mut self, node: NodeId) -> Option<(u32, u32)> {
+        self.index.remove(&node)
+    }
+}
+
+/// One probed table's contribution, ready to feed into the driver.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableProbe {
+    /// `Γ(u)` restricted to (a superset of) the query's still-outstanding
+    /// representative nodes, with each probability pre-chained through the
+    /// probing entry point: `(x, ep_u · Γ(u)[x])`, **ascending by node id**
+    /// — the canonical credit order. Entries whose representative was
+    /// already absorbed are ignored at feed time, so a producer may
+    /// intersect against the query's initial representative universe
+    /// without tracking absorption.
+    pub hits: Vec<(NodeId, f64)>,
+    /// Marked nodes `w` of `Γ(u)` with their chained entry probability
+    /// `ep_w = ep_u · Γ(u)[w]`, already filtered to `ep_w ≥ θ`, in the
+    /// table's marked order (ascending by node id).
+    pub cands: Vec<(NodeId, f64)>,
+}
+
+impl TableProbe {
+    /// The residual upper bound this table adds to the frontier: the largest
+    /// chained entry probability among its candidates. This is the §5.2
+    /// bound a shard reports alongside its probe replies; a shard whose
+    /// outstanding bound falls below the global k-th score is never probed
+    /// again (see `pit-router`).
+    pub fn bound(&self) -> f64 {
+        self.cands.iter().map(|&(_, ep)| ep).fold(0.0, f64::max)
+    }
+}
+
+/// Compute one table's [`TableProbe`]: intersect `Γ(u)` with the
+/// representative universe (membership via `is_rep`) and chain its marked
+/// nodes through `ep_u`. Iterates `Γ(u)` in storage order (ascending node
+/// id), so both output lists come out canonically ordered.
+pub fn probe_gamma(
+    gamma: &NodePropagation,
+    ep_u: f64,
+    min_ep: f64,
+    is_rep: &dyn Fn(NodeId) -> bool,
+) -> TableProbe {
+    let mut hits = Vec::new();
+    for (x, p) in gamma.iter() {
+        if is_rep(x) {
+            hits.push((x, ep_u * p));
+        }
+    }
+    let mut cands = Vec::new();
+    for &w in gamma.marked() {
+        let ep_w = ep_u * gamma.get(w).unwrap_or(0.0);
+        if ep_w >= min_ep {
+            cands.push((w, ep_w));
+        }
+    }
+    TableProbe { hits, cands }
+}
+
+/// The set of representative nodes a query can ever credit — the union of
+/// the related topics' representative sets at query start. A shard answering
+/// probe requests rebuilds this from the query's terms (its topic space and
+/// representative index are replicated) and intersects tables against it.
+pub struct RepUniverse {
+    nodes: FxHashSet<NodeId>,
+}
+
+impl RepUniverse {
+    /// Collect the representative universe for `query`.
+    pub fn for_query(space: &TopicSpace, reps: &TopicRepIndex, query: &KeywordQuery) -> Self {
+        let mut nodes = FxHashSet::default();
+        for t in query.related_topics(space) {
+            for (node, _w) in reps.get(t).iter() {
+                nodes.insert(node);
+            }
+        }
+        RepUniverse { nodes }
+    }
+
+    /// Is `node` a representative of any related topic?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Number of distinct representative nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the query relates to no representatives at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Why the driver stopped asking for probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCause {
+    /// The top-k is decided: no alive topic outside it can still climb in
+    /// (`T' \ T^k = ∅` after pruning). Frontier nodes may remain unprobed —
+    /// the upper bound proved them irrelevant.
+    Settled,
+    /// The frontier ran dry: every reachable marked node above θ was probed.
+    FrontierExhausted,
+    /// The EXPAND round cap was reached with the frontier still live.
+    RoundCap,
+}
+
+/// What the caller must do next.
+#[derive(Clone, Debug)]
+pub enum DriverStep {
+    /// Probe `Γ(u)` for each `(u, ep_u)` and feed each reply back **in this
+    /// order** via [`SearchDriver::feed`] (or [`SearchDriver::skip_probe`]).
+    Probe(Vec<(NodeId, f64)>),
+    /// The search is complete; call [`SearchDriver::finish`].
+    Done(StopCause),
+}
+
+enum RoundState {
+    /// Round 0 — the query user's own `Γ(v)` — has not been issued yet.
+    Seed,
+    /// A probe list is outstanding; `fed` of `pending` replies arrived.
+    Probing,
+    /// Between rounds: evaluate stop conditions, maybe start another.
+    Idle,
+    /// Stop conditions fired.
+    Finished(StopCause),
+}
+
+/// The externally-probed Algorithm 10/11 state machine. See the module docs
+/// for the driving loop; [`crate::searcher::PersonalizedSearcher`] is the
+/// reference caller.
+pub struct SearchDriver {
+    config: SearchConfig,
+    min_ep: f64,
+    topics: Vec<TopicState>,
+    rep_map: RepMap,
+    visited: FxHashSet<NodeId>,
+    /// The current ring, as produced by the previous round (may contain
+    /// duplicates and already-visited nodes; filtered when a round starts).
+    frontier: Vec<(NodeId, f64)>,
+    /// The ring being collected by the in-flight round.
+    next_frontier: Vec<(NodeId, f64)>,
+    /// Probe list of the in-flight round, in issue order.
+    pending: Vec<(NodeId, f64)>,
+    fed: usize,
+    /// This round's `maxEP` at the time it started (the pruning bound).
+    round_bound: f64,
+    tables_at_round_start: usize,
+    state: RoundState,
+    /// False until the round-0 probe of `Γ(v)` has been fed.
+    seed_done: bool,
+    probed_tables: usize,
+    expand_rounds: usize,
+    candidate_topics: usize,
+    loaded_reps: usize,
+    check_every: u32,
+    until_check: u32,
+}
+
+impl SearchDriver {
+    /// Gather phase (Algorithm 10 lines 1–3): validate the user, load the
+    /// related topics' representative sets, and stage the seed probe of the
+    /// query user's own `Γ(v)`.
+    ///
+    /// `node_count` is the size of the indexed node universe (the
+    /// propagation index has one table per node); `min_ep` is the expansion
+    /// resolution θ — see [`crate::searcher::PersonalizedSearcher`].
+    ///
+    /// # Errors
+    /// [`SearchError::UserOutOfRange`] when `query.user` is not indexed.
+    ///
+    /// # Panics
+    /// Panics if `config.k` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin(
+        space: &TopicSpace,
+        reps: &TopicRepIndex,
+        config: SearchConfig,
+        query: &KeywordQuery,
+        node_count: usize,
+        min_ep: f64,
+        cancel: &CancelToken,
+        tracer: &mut dyn SearchTracer,
+    ) -> Result<SearchDriver, SearchError> {
+        assert!(config.k >= 1, "k must be positive");
+        let v = query.user;
+        if v.index() >= node_count {
+            return Err(SearchError::UserOutOfRange {
+                user: v.0,
+                nodes: node_count,
+            });
+        }
+        let check_every = cancel.check_every();
+        let topic_ids = query.related_topics(space);
+        let candidate_topics = topic_ids.len();
+        tracer.phase_begin(SearchPhase::Gather);
+
+        // Load the representative sets. This copy is the transient query
+        // footprint the paper's space figures measure.
+        let mut topics: Vec<TopicState> = Vec::with_capacity(topic_ids.len());
+        let mut triples: Vec<(NodeId, u32, f64)> = Vec::new();
+        for (ti, &t) in topic_ids.iter().enumerate() {
+            let set = reps.get(t);
+            for (node, w) in set.iter() {
+                triples.push((node, ti as u32, w));
+            }
+            topics.push(TopicState {
+                topic: t,
+                remaining_weight: set.total_weight(),
+                score: 0.0,
+                alive: true,
+                pruned: false,
+            });
+        }
+        let loaded_reps = triples.len();
+        let rep_map = RepMap::build(triples);
+        let mut visited = FxHashSet::default();
+        visited.insert(v);
+
+        Ok(SearchDriver {
+            config,
+            min_ep,
+            topics,
+            rep_map,
+            visited,
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            pending: vec![(v, 1.0)],
+            fed: 0,
+            round_bound: 0.0,
+            tables_at_round_start: 0,
+            state: RoundState::Seed,
+            seed_done: false,
+            probed_tables: 0,
+            expand_rounds: 0,
+            candidate_topics,
+            loaded_reps,
+            check_every,
+            until_check: check_every,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The expansion resolution θ this driver filters candidates with.
+    pub fn min_ep(&self) -> f64 {
+        self.min_ep
+    }
+
+    /// Tables fed (and counted) so far.
+    pub fn probed_tables(&self) -> usize {
+        self.probed_tables
+    }
+
+    /// EXPAND rounds started so far.
+    pub fn expand_rounds(&self) -> usize {
+        self.expand_rounds
+    }
+
+    /// Advance to the next step: either a probe list the caller must
+    /// resolve, or the stop verdict. Loop-top cancellation and upper-bound
+    /// pruning (Algorithm 10 lines 17–21) happen here.
+    ///
+    /// # Errors
+    /// [`SearchError::Cancelled`] when `cancel` has fired.
+    pub fn next_step(
+        &mut self,
+        cancel: &CancelToken,
+        tracer: &mut dyn SearchTracer,
+    ) -> Result<DriverStep, SearchError> {
+        loop {
+            match self.state {
+                RoundState::Seed => {
+                    self.state = RoundState::Probing;
+                    return Ok(DriverStep::Probe(self.pending.clone()));
+                }
+                RoundState::Probing => {
+                    // Re-issue the outstanding tail (idempotent for callers
+                    // that interleave next_step with feeds).
+                    return Ok(DriverStep::Probe(self.pending[self.fed..].to_vec()));
+                }
+                RoundState::Finished(cause) => return Ok(DriverStep::Done(cause)),
+                RoundState::Idle => {
+                    if cancel.is_cancelled() {
+                        return Err(SearchError::Cancelled {
+                            probed_tables: self.probed_tables,
+                            expand_rounds: self.expand_rounds,
+                        });
+                    }
+                    let max_ep = self.frontier.iter().map(|&(_, ep)| ep).fold(0.0, f64::max);
+                    if self.config.prune {
+                        self.prune_hopeless(max_ep);
+                    }
+                    let needs = self.needs_expansion();
+                    if !needs || self.frontier.is_empty() {
+                        let cause = if !needs {
+                            StopCause::Settled
+                        } else {
+                            StopCause::FrontierExhausted
+                        };
+                        self.state = RoundState::Finished(cause);
+                        continue;
+                    }
+                    if self.expand_rounds >= self.config.max_expand_rounds {
+                        self.state = RoundState::Finished(StopCause::RoundCap);
+                        continue;
+                    }
+                    self.expand_rounds += 1;
+                    tracer.phase_begin(SearchPhase::ExpandRound);
+                    self.round_bound = max_ep;
+                    self.tables_at_round_start = self.probed_tables;
+                    self.next_frontier.clear();
+
+                    // The round's probe list: frontier order, first
+                    // occurrence only, already-visited and dead entries
+                    // dropped (Algorithm 11's per-node visited check, hoisted
+                    // so the whole round can be scattered at once).
+                    let mut chosen = FxHashSet::default();
+                    let mut pending = Vec::new();
+                    for &(u, ep_u) in &self.frontier {
+                        if ep_u <= 0.0 || self.visited.contains(&u) || !chosen.insert(u) {
+                            continue;
+                        }
+                        pending.push((u, ep_u));
+                    }
+                    if pending.is_empty() {
+                        // The round ran with nothing probeable — close it
+                        // out exactly as a probed round would.
+                        tracer.phase_end(SearchPhase::ExpandRound, 0);
+                        if self.config.prune {
+                            self.prune_hopeless(self.round_bound);
+                        }
+                        self.frontier = std::mem::take(&mut self.next_frontier);
+                        continue;
+                    }
+                    self.pending = pending;
+                    self.fed = 0;
+                    self.state = RoundState::Probing;
+                    return Ok(DriverStep::Probe(self.pending.clone()));
+                }
+            }
+        }
+    }
+
+    /// Feed the reply for the next outstanding probe. Replies must arrive in
+    /// the order the probe list was issued; the driver absorbs the table's
+    /// representative hits (first cover wins) and extends the next ring with
+    /// its candidates.
+    ///
+    /// # Errors
+    /// [`SearchError::Cancelled`] at the per-table checkpoint cadence (same
+    /// as the single-node searcher).
+    pub fn feed(
+        &mut self,
+        cancel: &CancelToken,
+        tracer: &mut dyn SearchTracer,
+        probe: &TableProbe,
+    ) -> Result<(), SearchError> {
+        debug_assert!(
+            matches!(self.state, RoundState::Probing) && self.fed < self.pending.len(),
+            "feed without an outstanding probe"
+        );
+        let (u, _ep_u) = self.pending[self.fed];
+        self.visited.insert(u);
+        self.probed_tables += 1;
+        for &(x, p) in &probe.hits {
+            if let Some(slice) = self.rep_map.take(x) {
+                let (start, len) = (slice.0 as usize, slice.1 as usize);
+                for &(ti, w) in &self.rep_map.entries[start..start + len] {
+                    let state = &mut self.topics[ti as usize];
+                    state.score += p * w;
+                    state.remaining_weight = (state.remaining_weight - w).max(0.0);
+                    if state.remaining_weight <= f64::EPSILON {
+                        state.alive = false; // S_i exhausted
+                    }
+                }
+            }
+        }
+        let checkpoint = self.table_checkpoint(cancel);
+        // Candidates extend the ring only after a clean checkpoint, matching
+        // the single-node order (absorb, checkpoint, collect marked).
+        if checkpoint.is_ok() {
+            for &(w, ep_w) in &probe.cands {
+                if ep_w >= self.min_ep && !self.visited.contains(&w) {
+                    self.next_frontier.push((w, ep_w));
+                }
+            }
+            self.advance(tracer);
+        }
+        checkpoint
+    }
+
+    /// Skip the next outstanding probe: its table could not be obtained
+    /// (failed or timed-out shard) and the caller accepts a degraded answer.
+    /// The node is marked visited and contributes nothing; work counters do
+    /// not move.
+    pub fn skip_probe(&mut self, tracer: &mut dyn SearchTracer) {
+        debug_assert!(
+            matches!(self.state, RoundState::Probing) && self.fed < self.pending.len(),
+            "skip without an outstanding probe"
+        );
+        let (u, _ep_u) = self.pending[self.fed];
+        self.visited.insert(u);
+        self.advance(tracer);
+    }
+
+    /// Book one resolved probe; when the round's list is exhausted, close
+    /// the round (end-of-round pruning, ring swap).
+    fn advance(&mut self, tracer: &mut dyn SearchTracer) {
+        self.fed += 1;
+        if self.fed < self.pending.len() {
+            return;
+        }
+        if !self.seed_done {
+            // Round 0 (the query user's own table): the ring it produced IS
+            // the initial frontier; no pruning until the loop top sees it.
+            self.seed_done = true;
+            tracer.phase_end(SearchPhase::Gather, self.loaded_reps as u64);
+        } else {
+            tracer.phase_end(
+                SearchPhase::ExpandRound,
+                (self.probed_tables - self.tables_at_round_start) as u64,
+            );
+            if self.config.prune {
+                // Aggregated Γ values may exceed 1 on multi-path graphs, so
+                // the next ring's entry points can be *larger* than this
+                // round's; the bound must cover both rings we know about.
+                let next_max = self
+                    .next_frontier
+                    .iter()
+                    .map(|&(_, ep)| ep)
+                    .fold(0.0, f64::max);
+                self.prune_hopeless(self.round_bound.max(next_max));
+            }
+        }
+        self.frontier = std::mem::take(&mut self.next_frontier);
+        self.pending.clear();
+        self.fed = 0;
+        self.state = RoundState::Idle;
+    }
+
+    /// Probe a locally-available table against the driver's own outstanding
+    /// representative map (the single-node fast path).
+    pub fn probe_local(&self, gamma: &NodePropagation, ep_u: f64) -> TableProbe {
+        probe_gamma(gamma, ep_u, self.min_ep, &|x| self.rep_map.contains(x))
+    }
+
+    /// The probes a bound-driven stop left unexplored: the remaining
+    /// frontier after the same dedup/visited filtering a round would apply,
+    /// in frontier order. Empty unless the driver stopped with frontier
+    /// still live ([`StopCause::Settled`] or [`StopCause::RoundCap`]).
+    pub fn unexplored(&self) -> Vec<(NodeId, f64)> {
+        let mut chosen = FxHashSet::default();
+        let mut out = Vec::new();
+        for &(u, ep_u) in &self.frontier {
+            if ep_u <= 0.0 || self.visited.contains(&u) || !chosen.insert(u) {
+                continue;
+            }
+            out.push((u, ep_u));
+        }
+        out
+    }
+
+    /// Rank and return the outcome (Algorithm 10's final sort). Call after
+    /// [`DriverStep::Done`].
+    pub fn finish(self, tracer: &mut dyn SearchTracer) -> SearchOutcome {
+        tracer.phase_begin(SearchPhase::Rank);
+        let mut ranked: Vec<TopicScore> = self
+            .topics
+            .iter()
+            .map(|t| TopicScore {
+                topic: t.topic,
+                score: t.score,
+            })
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.topic.cmp(&b.topic)));
+        ranked.truncate(self.config.k);
+        tracer.phase_end(SearchPhase::Rank, self.candidate_topics as u64);
+        SearchOutcome {
+            top_k: ranked,
+            candidate_topics: self.candidate_topics,
+            pruned_topics: self.topics.iter().filter(|t| t.pruned).count(),
+            expand_rounds: self.expand_rounds,
+            probed_tables: self.probed_tables,
+            loaded_reps: self.loaded_reps,
+        }
+    }
+
+    /// The current `min(T^k)`: the k-th largest score, or `None` when fewer
+    /// than `k` candidates exist (then nothing can be pruned by score).
+    fn topk_threshold(&self) -> Option<f64> {
+        if self.topics.len() <= self.config.k {
+            return None;
+        }
+        let mut scores: Vec<f64> = self.topics.iter().map(|t| t.score).collect();
+        let idx = self.config.k - 1;
+        scores.select_nth_unstable_by(idx, |a, b| b.total_cmp(a));
+        Some(scores[idx])
+    }
+
+    /// Lines 17–20 / Algorithm 11 lines 10–12: stop refining topics whose
+    /// upper bound cannot reach the current top-k.
+    fn prune_hopeless(&mut self, max_ep: f64) {
+        let Some(threshold) = self.topk_threshold() else {
+            return;
+        };
+        for state in self.topics.iter_mut() {
+            if !state.alive {
+                continue;
+            }
+            let upper = state.remaining_weight * max_ep + state.score;
+            if threshold >= upper && state.score < threshold {
+                state.alive = false;
+                state.pruned = true;
+            }
+        }
+    }
+
+    /// Algorithm 10 line 21: expansion continues only while some topic
+    /// outside the current top-k is still alive (`T' \ T^k ≠ ∅`).
+    fn needs_expansion(&self) -> bool {
+        let Some(threshold) = self.topk_threshold() else {
+            // Everything fits in the top-k: refining cannot change the set.
+            return false;
+        };
+        self.topics.iter().any(|t| t.alive && t.score < threshold)
+    }
+
+    /// One per-probed-table cancellation checkpoint: fires every
+    /// `check_every` tables and stops the search with the work done so far.
+    fn table_checkpoint(&mut self, cancel: &CancelToken) -> Result<(), SearchError> {
+        self.until_check -= 1;
+        if self.until_check == 0 {
+            self.until_check = self.check_every;
+            if cancel.checkpoint() {
+                return Err(SearchError::Cancelled {
+                    probed_tables: self.probed_tables,
+                    expand_rounds: self.expand_rounds,
+                });
+            }
+        }
+        Ok(())
+    }
+}

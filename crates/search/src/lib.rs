@@ -18,6 +18,7 @@
 
 pub mod audience;
 pub mod cancel;
+pub mod driver;
 pub mod repindex;
 pub mod searcher;
 pub mod snapshot;
@@ -25,6 +26,7 @@ pub mod trace;
 
 pub use audience::{find_audience, AudienceHit};
 pub use cancel::{CancelToken, SearchError};
+pub use driver::{probe_gamma, DriverStep, RepUniverse, SearchDriver, StopCause, TableProbe};
 pub use repindex::TopicRepIndex;
 pub use searcher::{PersonalizedSearcher, SearchConfig, SearchOutcome, SearchStats, TopicScore};
 pub use trace::{NoTracer, SearchPhase, SearchTracer};

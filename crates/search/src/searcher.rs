@@ -1,12 +1,12 @@
 //! Top-k personalized influential topic search (Algorithms 10 and 11).
 
 use crate::cancel::{CancelToken, SearchError};
+use crate::driver::{DriverStep, SearchDriver};
 use crate::repindex::TopicRepIndex;
-use crate::trace::{NoTracer, SearchPhase, SearchTracer};
-use pit_graph::{NodeId, TopicId};
+use crate::trace::{NoTracer, SearchTracer};
+use pit_graph::TopicId;
 use pit_index::PropagationIndex;
 use pit_topics::{KeywordQuery, TopicSpace};
-use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Online search parameters.
 #[derive(Clone, Copy, Debug)]
@@ -92,68 +92,11 @@ impl SearchOutcome {
     }
 }
 
-/// Per-topic working state during one query.
-struct TopicState {
-    topic: TopicId,
-    /// `W_r[t]` — total weight still outstanding (representatives of this
-    /// topic not yet absorbed).
-    remaining_weight: f64,
-    /// `heap[t]` — influence accumulated so far.
-    score: f64,
-    /// False once pruned or exhausted; no further refinement.
-    alive: bool,
-    /// True when eliminated by the upper-bound rule specifically.
-    pruned: bool,
-}
-
-/// Inverted per-query view of the loaded representative sets: representative
-/// node → the `(topic index, weight)` entries it carries. A representative is
-/// *absorbed* (removed) the first time a probed table contains it, which is
-/// exactly Algorithm 10/11's `S_i ← S_i \ vInner` bookkeeping — but allows a
-/// probed table to be intersected in `O(min(|Γ|, remaining))` instead of
-/// rescanning every topic's remaining list.
-///
-/// Entries live in one flat arena (a node's entries are a contiguous slice)
-/// so loading a query's representative sets costs two allocations, not one
-/// per shared representative.
-struct RepMap {
-    /// node → (start, len) into `entries`.
-    index: FxHashMap<NodeId, (u32, u32)>,
-    /// Flat `(topic index, weight)` entries grouped by node.
-    entries: Vec<(u32, f64)>,
-}
-
-impl RepMap {
-    /// Build from `(node, topic index, weight)` triples.
-    fn build(mut triples: Vec<(NodeId, u32, f64)>) -> Self {
-        triples.sort_unstable_by_key(|&(n, _, _)| n);
-        let mut index = FxHashMap::with_capacity_and_hasher(triples.len(), Default::default());
-        let mut entries = Vec::with_capacity(triples.len());
-        let mut i = 0;
-        while i < triples.len() {
-            let node = triples[i].0;
-            let start = entries.len() as u32;
-            while i < triples.len() && triples[i].0 == node {
-                entries.push((triples[i].1, triples[i].2));
-                i += 1;
-            }
-            index.insert(node, (start, entries.len() as u32 - start));
-        }
-        RepMap { index, entries }
-    }
-
-    fn len(&self) -> usize {
-        self.index.len()
-    }
-
-    /// Remove and return the entry slice bounds for `node`, if present.
-    fn take(&mut self, node: NodeId) -> Option<(u32, u32)> {
-        self.index.remove(&node)
-    }
-}
-
 /// Algorithm 10 (`PERSONALIZED_SEARCH`) with the iterative EXPAND loop of
-/// Algorithm 11.
+/// Algorithm 11, driving the shared [`SearchDriver`] state machine with
+/// local propagation-table probes. The sharded router (`pit-router`) drives
+/// the same state machine with remote probes, which is what makes sharded
+/// rankings bit-identical to this searcher's.
 ///
 /// Two deliberate divergences from the pseudo-code as printed, both noted in
 /// DESIGN.md:
@@ -243,269 +186,32 @@ impl<'a> PersonalizedSearcher<'a> {
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
     ) -> Result<SearchOutcome, SearchError> {
-        let v = query.user;
-        if v.index() >= self.prop.len() {
-            return Err(SearchError::UserOutOfRange {
-                user: v.0,
-                nodes: self.prop.len(),
-            });
-        }
-        let check_every = cancel.check_every();
-        let mut until_check = check_every;
-        let topic_ids = query.related_topics(self.space);
-        let candidate_topics = topic_ids.len();
-        tracer.phase_begin(SearchPhase::Gather);
-
-        // Load the representative sets (lines 1–3). This copy is the
-        // transient query footprint the paper's space figures measure.
-        let mut topics: Vec<TopicState> = Vec::with_capacity(topic_ids.len());
-        let mut triples: Vec<(NodeId, u32, f64)> = Vec::new();
-        for (ti, &t) in topic_ids.iter().enumerate() {
-            let set = self.reps.get(t);
-            for (node, w) in set.iter() {
-                triples.push((node, ti as u32, w));
-            }
-            topics.push(TopicState {
-                topic: t,
-                remaining_weight: set.total_weight(),
-                score: 0.0,
-                alive: true,
-                pruned: false,
-            });
-        }
-        let loaded_reps = triples.len();
-        let mut rep_map = RepMap::build(triples);
-
-        let mut probed_tables = 0usize;
-        let mut visited: FxHashSet<NodeId> = FxHashSet::default();
-        visited.insert(v);
-
-        // Lines 4–13: absorb the directly indexed influence from Γ(v).
-        let gamma_v = self.prop.gamma(v);
-        probed_tables += 1;
-        absorb_table(gamma_v, 1.0, &mut rep_map, &mut topics);
-        table_checkpoint(cancel, &mut until_check, check_every, probed_tables, 0)?;
-
-        // Expansion resolution: the propagation index itself drops paths
-        // below θ, so a frontier node whose *chained* propagation to the
-        // query user falls below θ carries signal finer than the index can
-        // justify — following it only multiplies probe work. The cutoff also
-        // keeps the frontier from growing exponentially ring by ring.
-        let min_ep = self.prop.config().theta;
-
-        // Lines 14–16: initial frontier and maxEP.
-        let mut frontier: Vec<(NodeId, f64)> = gamma_v
-            .marked()
-            .iter()
-            .map(|&u| (u, gamma_v.get(u).unwrap_or(0.0)))
-            .filter(|&(_, ep)| ep >= min_ep)
-            .collect();
-        tracer.phase_end(SearchPhase::Gather, loaded_reps as u64);
-
-        let mut expand_rounds = 0usize;
-        loop {
-            if cancel.is_cancelled() {
-                return Err(SearchError::Cancelled {
-                    probed_tables,
-                    expand_rounds,
-                });
-            }
-            let max_ep = frontier.iter().map(|&(_, ep)| ep).fold(0.0, f64::max);
-            if self.config.prune {
-                self.prune_hopeless(&mut topics, max_ep);
-            }
-            if !self.needs_expansion(&topics) || frontier.is_empty() {
-                break;
-            }
-            if expand_rounds >= self.config.max_expand_rounds {
-                break;
-            }
-            expand_rounds += 1;
-            tracer.phase_begin(SearchPhase::ExpandRound);
-            let tables_before_round = probed_tables;
-
-            // One EXPAND round (Algorithm 11): process each marked node and
-            // collect the next ring. (Algorithm 11 re-prunes after every
-            // expanded node; we prune once per round — pruning frequency
-            // affects only how much work is skipped, never the result.)
-            let round_bound = max_ep;
-            let mut next_frontier: Vec<(NodeId, f64)> = Vec::new();
-            for &(u, ep_u) in &frontier {
-                if ep_u <= 0.0 || !visited.insert(u) {
-                    continue;
-                }
-                let gamma_u = self.prop.gamma(u);
-                probed_tables += 1;
-                absorb_table(gamma_u, ep_u, &mut rep_map, &mut topics);
-                table_checkpoint(
-                    cancel,
-                    &mut until_check,
-                    check_every,
-                    probed_tables,
-                    expand_rounds,
-                )?;
-                for &w in gamma_u.marked() {
-                    if !visited.contains(&w) {
-                        let ep_w = ep_u * gamma_u.get(w).unwrap_or(0.0);
-                        if ep_w >= min_ep {
-                            next_frontier.push((w, ep_w));
-                        }
-                    }
-                }
-            }
-            if self.config.prune {
-                // Aggregated Γ values may exceed 1 on multi-path graphs, so
-                // the next ring's entry points can be *larger* than this
-                // round's; the bound must cover both rings we know about.
-                let next_max = next_frontier.iter().map(|&(_, ep)| ep).fold(0.0, f64::max);
-                self.prune_hopeless(&mut topics, round_bound.max(next_max));
-            }
-            tracer.phase_end(
-                SearchPhase::ExpandRound,
-                (probed_tables - tables_before_round) as u64,
-            );
-            frontier = next_frontier;
-        }
-
-        // Final ranking over every candidate's accumulated score.
-        tracer.phase_begin(SearchPhase::Rank);
-        let mut ranked: Vec<TopicScore> = topics
-            .iter()
-            .map(|t| TopicScore {
-                topic: t.topic,
-                score: t.score,
-            })
-            .collect();
-        ranked.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.topic.cmp(&b.topic)));
-        ranked.truncate(self.config.k);
-        tracer.phase_end(SearchPhase::Rank, candidate_topics as u64);
-
-        Ok(SearchOutcome {
-            top_k: ranked,
-            candidate_topics,
-            pruned_topics: topics.iter().filter(|t| t.pruned).count(),
-            expand_rounds,
-            probed_tables,
-            loaded_reps,
-        })
-    }
-
-    /// The current `min(T^k)`: the k-th largest score, or 0 when fewer than
-    /// `k` candidates exist (then nothing can be pruned by score).
-    fn topk_threshold(&self, topics: &[TopicState]) -> Option<f64> {
-        if topics.len() <= self.config.k {
-            return None;
-        }
-        let mut scores: Vec<f64> = topics.iter().map(|t| t.score).collect();
-        let idx = self.config.k - 1;
-        scores.select_nth_unstable_by(idx, |a, b| b.total_cmp(a));
-        Some(scores[idx])
-    }
-
-    /// Lines 17–20 / Algorithm 11 lines 10–12: stop refining topics whose
-    /// upper bound cannot reach the current top-k.
-    fn prune_hopeless(&self, topics: &mut [TopicState], max_ep: f64) {
-        let Some(threshold) = self.topk_threshold(topics) else {
-            return;
-        };
-        for state in topics.iter_mut() {
-            if !state.alive {
-                continue;
-            }
-            let upper = state.remaining_weight * max_ep + state.score;
-            if threshold >= upper && state.score < threshold {
-                state.alive = false;
-                state.pruned = true;
+        let mut driver = SearchDriver::begin(
+            self.space,
+            self.reps,
+            self.config,
+            query,
+            self.prop.len(),
+            self.prop.config().theta,
+            cancel,
+            tracer,
+        )?;
+        while let DriverStep::Probe(list) = driver.next_step(cancel, tracer)? {
+            for (u, ep_u) in list {
+                let probe = driver.probe_local(self.prop.gamma(u), ep_u);
+                driver.feed(cancel, tracer, &probe)?;
             }
         }
-    }
-
-    /// Algorithm 10 line 21: expansion continues only while some topic
-    /// outside the current top-k is still alive (`T' \ T^k ≠ ∅`).
-    fn needs_expansion(&self, topics: &[TopicState]) -> bool {
-        let Some(threshold) = self.topk_threshold(topics) else {
-            // Everything fits in the top-k: refining cannot change the set.
-            return false;
-        };
-        topics.iter().any(|t| t.alive && t.score < threshold)
-    }
-}
-
-/// One per-probed-table cancellation checkpoint: fires every `check_every`
-/// tables and stops the search with the work done so far.
-fn table_checkpoint(
-    cancel: &CancelToken,
-    until_check: &mut u32,
-    check_every: u32,
-    probed_tables: usize,
-    expand_rounds: usize,
-) -> Result<(), SearchError> {
-    *until_check -= 1;
-    if *until_check == 0 {
-        *until_check = check_every;
-        if cancel.checkpoint() {
-            return Err(SearchError::Cancelled {
-                probed_tables,
-                expand_rounds,
-            });
-        }
-    }
-    Ok(())
-}
-
-/// Absorb the influence of every remaining representative present in
-/// `gamma`, scaled by `scale` (1 for the query user's own table, the chained
-/// propagation for expanded tables). Absorbed representatives are removed
-/// from the map (Algorithm 10 line 13 / Algorithm 11 line 8: `S_i ← S_i \
-/// vInner`), so each representative is counted through the first table that
-/// covers it. Iterates the smaller of the two sides.
-fn absorb_table(
-    gamma: &pit_index::NodePropagation,
-    scale: f64,
-    rep_map: &mut RepMap,
-    topics: &mut [TopicState],
-) {
-    fn credit(
-        topics: &mut [TopicState],
-        entries: &[(u32, f64)],
-        slice: (u32, u32),
-        scale: f64,
-        p: f64,
-    ) {
-        let (start, len) = (slice.0 as usize, slice.1 as usize);
-        for &(ti, w) in &entries[start..start + len] {
-            let state = &mut topics[ti as usize];
-            state.score += scale * p * w;
-            state.remaining_weight = (state.remaining_weight - w).max(0.0);
-            if state.remaining_weight <= f64::EPSILON {
-                state.alive = false; // S_i exhausted
-            }
-        }
-    }
-    if gamma.len() <= rep_map.len() {
-        for (x, p) in gamma.iter() {
-            if let Some(slice) = rep_map.take(x) {
-                credit(topics, &rep_map.entries, slice, scale, p);
-            }
-        }
-    } else {
-        let hits: Vec<(NodeId, f64)> = rep_map
-            .index
-            .keys()
-            .filter_map(|&x| gamma.get(x).map(|p| (x, p)))
-            .collect();
-        for (x, p) in hits {
-            let slice = rep_map.take(x).expect("key just seen");
-            credit(topics, &rep_map.entries, slice, scale, p);
-        }
+        Ok(driver.finish(tracer))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::SearchPhase;
     use pit_graph::fixtures::{self, user, FIGURE3_THETA};
-    use pit_graph::TermId;
+    use pit_graph::{NodeId, TermId};
     use pit_index::PropIndexConfig;
     use pit_summarize::RepresentativeSet;
     use pit_topics::TopicSpaceBuilder;

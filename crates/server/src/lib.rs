@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod engine;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
@@ -66,8 +67,9 @@ pub mod state;
 pub mod trace;
 
 pub use cache::{QueryCache, QueryKey};
+pub use engine::{LocalServeEngine, ServeEngine, ServeError, ServeOutcome};
 pub use metrics::{LatencyHistogram, Metrics};
-pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
+pub use protocol::{read_frame, write_frame, ProbeTable, Request, Response, MAX_FRAME_BYTES};
 pub use state::{EngineGen, RankedTopics, ServerConfig, ServerState};
 pub use trace::{TraceCollector, TraceCtx};
 
@@ -140,19 +142,40 @@ pub fn serve<A: ToSocketAddrs>(state: Arc<ServerState>, addr: A) -> io::Result<S
     })
 }
 
-/// One admin mutation bound for the updater thread. Both verbs reply with
-/// the new serving generation or a `reload-failed: …` reason.
+/// What the updater thread answers a successful admin verb with: a new
+/// serving generation (`RELOAD`/`UPDATE`/`COMMIT`/`ABORT`, rendered as
+/// `GEN <n>`) or a parked-but-not-serving stage (`PREPARE …`, rendered as
+/// `STAGED`).
+type AdminReply = Result<Option<u64>, String>;
+
+/// One admin mutation bound for the updater thread. Every verb replies
+/// through the same [`AdminReply`] shape or a `reload-failed: …` reason.
 enum AdminJob {
     /// `RELOAD <dir>`: load the snapshot at `dir`, swap it in.
     Reload {
         dir: PathBuf,
-        reply: Sender<Result<u64, String>>,
+        reply: Sender<AdminReply>,
     },
     /// `UPDATE`: apply an edge/assignment delta to the serving engine.
     Update {
         delta: Delta,
-        reply: Sender<Result<u64, String>>,
+        reply: Sender<AdminReply>,
     },
+    /// `PREPARE DIR <dir>`: build the successor engine but park it staged —
+    /// phase one of a router's all-or-nothing fleet reload.
+    PrepareDir {
+        dir: PathBuf,
+        reply: Sender<AdminReply>,
+    },
+    /// `PREPARE UPDATE`: apply a delta into the staged slot without serving.
+    PrepareUpdate {
+        delta: Delta,
+        reply: Sender<AdminReply>,
+    },
+    /// `COMMIT`: swap whatever is staged into service.
+    Commit { reply: Sender<AdminReply> },
+    /// `ABORT`: discard any staged engine; idempotent.
+    Abort { reply: Sender<AdminReply> },
 }
 
 /// The updater thread: serializes every engine mutation so concurrent
@@ -163,10 +186,26 @@ fn updater_loop(rx: &Receiver<AdminJob>, state: &ServerState) {
     while let Ok(job) = rx.recv() {
         match job {
             AdminJob::Reload { dir, reply } => {
-                let _ = reply.send(state.reload(&dir));
+                let _ = reply.send(state.reload(&dir).map(Some));
             }
             AdminJob::Update { delta, reply } => {
-                let _ = reply.send(state.apply_update(&delta).map(|(generation, _)| generation));
+                let _ = reply.send(
+                    state
+                        .apply_update(&delta)
+                        .map(|(generation, _)| Some(generation)),
+                );
+            }
+            AdminJob::PrepareDir { dir, reply } => {
+                let _ = reply.send(state.prepare_dir(&dir).map(|()| None));
+            }
+            AdminJob::PrepareUpdate { delta, reply } => {
+                let _ = reply.send(state.prepare_update(&delta).map(|()| None));
+            }
+            AdminJob::Commit { reply } => {
+                let _ = reply.send(state.commit_staged().map(Some));
+            }
+            AdminJob::Abort { reply } => {
+                let _ = reply.send(Ok(Some(state.abort_staged())));
             }
         }
     }
@@ -297,6 +336,40 @@ fn serve_connection(
                 };
                 submit_admin(admin, |reply| AdminJob::Update { delta, reply })
             }
+            Ok(Request::PrepareDir { dir }) => submit_admin(admin, |reply| AdminJob::PrepareDir {
+                dir: PathBuf::from(dir),
+                reply,
+            }),
+            Ok(Request::PrepareUpdate { edges, assignments }) => {
+                let delta = Delta {
+                    new_edges: edges
+                        .iter()
+                        .map(|&(u, v, p)| (NodeId(u), NodeId(v), p))
+                        .collect(),
+                    new_assignments: assignments
+                        .iter()
+                        .map(|&(u, t)| (NodeId(u), TopicId(t)))
+                        .collect(),
+                };
+                submit_admin(admin, |reply| AdminJob::PrepareUpdate { delta, reply })
+            }
+            Ok(Request::Commit) => submit_admin(admin, |reply| AdminJob::Commit { reply }),
+            Ok(Request::Abort) => submit_admin(admin, |reply| AdminJob::Abort { reply }),
+            Ok(Request::Shard) => {
+                let current = state.current();
+                let (index, count) = match current.engine.shard_spec() {
+                    Some(spec) => (spec.index, spec.count),
+                    None => (0, current.engine.shard_count()),
+                };
+                Response::ShardInfo {
+                    index,
+                    count,
+                    gen: current.generation,
+                }
+            }
+            Ok(Request::Expand { gen, terms, probes }) => {
+                answer_expand(state, gen, &terms, &probes)
+            }
             Ok(Request::Query { user, k, keywords }) => {
                 answer_query(state, pool, stop, user, k, &keywords)
             }
@@ -314,16 +387,53 @@ fn serve_connection(
 /// whole time — that is the point of the dedicated updater.
 fn submit_admin(
     admin: &Sender<AdminJob>,
-    make_job: impl FnOnce(Sender<Result<u64, String>>) -> AdminJob,
+    make_job: impl FnOnce(Sender<AdminReply>) -> AdminJob,
 ) -> Response {
     let (reply_tx, reply_rx) = channel::bounded(1);
     if admin.send(make_job(reply_tx)).is_err() {
         return Response::Err("shutting-down".to_string());
     }
     match reply_rx.recv() {
-        Ok(Ok(generation)) => Response::Generation(generation),
+        Ok(Ok(Some(generation))) => Response::Generation(generation),
+        Ok(Ok(None)) => Response::Staged,
         Ok(Err(reason)) => Response::Err(reason),
         Err(_) => Response::Err("shutting-down".to_string()),
+    }
+}
+
+/// Answer one `EXPAND` probe round inline on the connection thread. The
+/// round is a pure read against the captured engine generation — no queue,
+/// no budget of its own; the *router's* query budget bounds the wait, and a
+/// shard that answers late is reported `partial` there.
+fn answer_expand(state: &ServerState, gen: u64, terms: &[u32], probes: &[(u32, f64)]) -> Response {
+    let current = state.current();
+    if current.generation != gen {
+        // A reload landed between the router's admission and this round.
+        // Refusing is what makes mixed-generation answers structurally
+        // impossible: the router sees the error and reports the shard.
+        Metrics::bump(&state.metrics().internal_errors);
+        return Response::Err(format!(
+            "internal: shard generation changed (serving {}, request {gen})",
+            current.generation
+        ));
+    }
+    // Fault-injection hook for drills: dragging a configured user slows the
+    // shard that owns it, exactly like a hot neighbor would.
+    if let Some(dragged) = state.config().drag_user {
+        if probes.iter().any(|&(u, _)| u == dragged) {
+            std::thread::sleep(state.config().drag_per_check);
+        }
+    }
+    match current.engine.expand(terms, probes) {
+        Ok((tables, bound)) => Response::Expanded {
+            gen: current.generation,
+            bound,
+            tables,
+        },
+        Err(reason) => {
+            Metrics::bump(&state.metrics().errors);
+            Response::Err(reason)
+        }
     }
 }
 
@@ -340,7 +450,7 @@ fn answer_query(
     // execution, and cache fill all use this engine, even if a RELOAD swap
     // lands mid-request.
     let current = state.current();
-    let key = match state.make_key(&current.engine, user, k, keywords) {
+    let key = match state.make_key(current.engine.as_ref(), user, k, keywords) {
         Ok(key) => key,
         Err(reason) => {
             Metrics::bump(&state.metrics().errors);
@@ -370,6 +480,8 @@ fn answer_query(
             ranked: (*ranked).clone(),
             cached: true,
             micros: elapsed.as_micros().min(u64::MAX as u128) as u64,
+            // Partial answers are never cached, so a hit is always complete.
+            partial: Vec::new(),
         };
     }
     let (reply_tx, reply_rx) = channel::bounded(1);
@@ -396,12 +508,13 @@ fn answer_query(
         }
         Admission::Closed => Response::Err("shutting-down".to_string()),
         Admission::Queued => match reply_rx.recv_timeout(state.config().query_budget) {
-            Ok(Ok((ranked, micros))) => {
+            Ok(Ok((ranked, micros, partial))) => {
                 Metrics::bump(&state.metrics().queries);
                 Response::Topics {
                     ranked: (*ranked).clone(),
                     cached: false,
                     micros,
+                    partial,
                 }
             }
             // The worker noticed the deadline before our recv_timeout fired
@@ -419,6 +532,13 @@ fn answer_query(
             Ok(Err(JobError::Panicked)) => {
                 Metrics::bump(&state.metrics().internal_errors);
                 Response::Err("internal: query execution panicked".to_string())
+            }
+            // The query user's own home shard was unreachable: there is no
+            // honest ranking to degrade from, so the whole query fails as a
+            // server fault.
+            Ok(Err(JobError::Shard(reason))) => {
+                Metrics::bump(&state.metrics().internal_errors);
+                Response::Err(format!("internal: {reason}"))
             }
             Err(RecvTimeoutError::Timeout) => {
                 cancel.cancel();
@@ -464,8 +584,17 @@ mod tests {
             .build_with_vocab(ds.graph, ds.space, Some(ds.vocab))
     }
 
+    /// The server behind `Arc<dyn ServeEngine>` plus a raw handle to the
+    /// same `PitEngine`, for tests that compare served answers against the
+    /// offline search path.
+    fn tiny_pair(config: ServerConfig) -> (Arc<PitEngine>, Arc<ServerState>) {
+        let engine = Arc::new(tiny_engine(9));
+        let state = Arc::new(ServerState::new(Arc::clone(&engine), config));
+        (engine, state)
+    }
+
     fn tiny_state(config: ServerConfig) -> Arc<ServerState> {
-        Arc::new(ServerState::new(Arc::new(tiny_engine(9)), config))
+        tiny_pair(config).1
     }
 
     fn offline_ranking(engine: &PitEngine, user: u32, k: usize) -> Vec<(u32, f64)> {
@@ -493,7 +622,7 @@ mod tests {
 
     #[test]
     fn serves_ping_query_stats_and_shuts_down() {
-        let state = tiny_state(ServerConfig {
+        let (engine, state) = tiny_pair(ServerConfig {
             workers: 2,
             cache_capacity: 16,
             ..ServerConfig::default()
@@ -514,9 +643,7 @@ mod tests {
         assert!(!cached);
         assert!(!ranked.is_empty());
         // Served scores bit-match the offline path.
-        let offline = state
-            .current()
-            .engine
+        let offline = engine
             .search_keywords(pit_graph::NodeId(5), &["query-0"], 5)
             .unwrap();
         let offline: Vec<(u32, f64)> = offline.top_k.iter().map(|s| (s.topic.0, s.score)).collect();
@@ -641,7 +768,7 @@ mod tests {
         // for probed_tables × 1s. The 100ms budget must (a) answer the
         // waiter on time and (b) release the worker at the first check.
         let drag = Duration::from_millis(1000);
-        let state = tiny_state(ServerConfig {
+        let (engine, state) = tiny_pair(ServerConfig {
             workers: 1,
             cache_capacity: 0,
             query_budget: Duration::from_millis(100),
@@ -651,9 +778,7 @@ mod tests {
             ..ServerConfig::default()
         });
         // How long the dragged search would run to completion.
-        let full = state
-            .current()
-            .engine
+        let full = engine
             .search_keywords(pit_graph::NodeId(7), &["query-0"], 3)
             .unwrap();
         assert!(
@@ -718,13 +843,13 @@ mod tests {
 
     #[test]
     fn reload_swaps_generation_and_cache_never_crosses() {
-        let state = tiny_state(ServerConfig {
+        let (engine, state) = tiny_pair(ServerConfig {
             workers: 2,
             cache_capacity: 16,
             ..ServerConfig::default()
         });
         let next = tiny_engine(10);
-        let old_ranking = offline_ranking(&state.current().engine, 5, 5);
+        let old_ranking = offline_ranking(&engine, 5, 5);
         let new_ranking = offline_ranking(&next, 5, 5);
         assert_ne!(old_ranking, new_ranking, "fixture engines must disagree");
         let dir = scratch_dir("reload");
@@ -784,12 +909,12 @@ mod tests {
 
     #[test]
     fn failed_reload_keeps_the_old_generation_serving() {
-        let state = tiny_state(ServerConfig {
+        let (engine, state) = tiny_pair(ServerConfig {
             workers: 1,
             cache_capacity: 16,
             ..ServerConfig::default()
         });
-        let old_ranking = offline_ranking(&state.current().engine, 5, 5);
+        let old_ranking = offline_ranking(&engine, 5, 5);
         let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
         let mut c = TcpStream::connect(handle.addr()).unwrap();
 
@@ -825,12 +950,11 @@ mod tests {
 
     #[test]
     fn update_applies_delta_and_serves_the_successor_generation() {
-        let state = tiny_state(ServerConfig {
+        let (base, state) = tiny_pair(ServerConfig {
             workers: 2,
             cache_capacity: 16,
             ..ServerConfig::default()
         });
-        let base = Arc::clone(&state.current().engine);
         // Pick an edge the fixture graph does not have, so the delta is valid.
         let u = pit_graph::NodeId(5);
         let v = (0..base.graph().node_count() as u32)

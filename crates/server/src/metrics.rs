@@ -10,7 +10,9 @@
 //! pressure from slow queries: `queue_wait` (admission → dequeue),
 //! `execution` (dequeue → answer), and `latency` (their end-to-end sum).
 
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Bucket count. Bucket 0 holds 0µs exactly; bucket `i ≥ 1` covers
@@ -151,6 +153,19 @@ pub struct Metrics {
     pub gather: LatencyHistogram,
     /// Final ranking time (µs) of traced queries.
     pub rank: LatencyHistogram,
+    /// Shards never probed because the cross-shard upper bound proved them
+    /// irrelevant (§5.2 pruning generalized over the fan-out). Always 0 on
+    /// a single-node server.
+    pub shards_pruned: AtomicU64,
+    /// Queries answered with an honest `partial=` tag because one or more
+    /// shards failed or timed out mid-fan-out. Partial answers are never
+    /// cached.
+    pub partial_replies: AtomicU64,
+    /// Per-shard time spent waiting on `EXPAND` round-trips, one histogram
+    /// per shard index, grown on first observation. A leaf lock (anonymous:
+    /// never held together with another lock); the histograms are `Arc`ed
+    /// out so observation happens outside the lock.
+    shard_fanout: RwLock<Vec<Arc<LatencyHistogram>>>,
 }
 
 impl Metrics {
@@ -162,6 +177,44 @@ impl Metrics {
     /// Increment `counter` by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment `counter` by `n` (scatter-gather counters arrive batched
+    /// per query).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one fan-out wait for `shard`, growing the per-shard histogram
+    /// vector on first sight of a new index.
+    pub fn observe_shard_fanout(&self, shard: u32, micros: u64) {
+        let shard = shard as usize;
+        let hist = {
+            let read = self.shard_fanout.read();
+            read.get(shard).cloned()
+        };
+        let hist = match hist {
+            Some(h) => h,
+            None => {
+                let mut write = self.shard_fanout.write();
+                while write.len() <= shard {
+                    write.push(Arc::new(LatencyHistogram::new()));
+                }
+                Arc::clone(&write[shard])
+            }
+        };
+        hist.observe_value(micros);
+    }
+
+    /// Snapshot the per-shard fan-out histograms as
+    /// `(shard label, bucket counts, sum)` for labeled rendering.
+    pub fn shard_fanout_series(&self) -> Vec<(String, Vec<u64>, u64)> {
+        self.shard_fanout
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (i.to_string(), h.bucket_counts(), h.sum_value()))
+            .collect()
     }
 
     /// Render every counter as `(name, value)` pairs for the `STATS` reply.
@@ -188,6 +241,14 @@ impl Metrics {
             (
                 "traces_sampled".into(),
                 load(&self.traces_sampled).to_string(),
+            ),
+            (
+                "shards_pruned".into(),
+                load(&self.shards_pruned).to_string(),
+            ),
+            (
+                "partial_replies".into(),
+                load(&self.partial_replies).to_string(),
             ),
             (
                 "latency_p50_us".into(),
@@ -298,6 +359,18 @@ impl Metrics {
             "Queries captured with full spans by the trace sampler.",
             load(&self.traces_sampled),
         );
+        pit_obs::prom::counter(
+            out,
+            "pit_shards_pruned_total",
+            "Shards never probed because the cross-shard bound proved them irrelevant.",
+            load(&self.shards_pruned),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_partial_replies_total",
+            "Queries answered partial because a shard failed or timed out.",
+            load(&self.partial_replies),
+        );
         hist(
             out,
             "pit_latency_us",
@@ -351,6 +424,13 @@ impl Metrics {
             "pit_rank_us",
             "Final ranking time (µs) of traced queries.",
             &self.rank,
+        );
+        pit_obs::prom::histogram_labeled(
+            out,
+            "pit_shard_fanout_us",
+            "Per-shard EXPAND round-trip wait (µs), labeled by shard index.",
+            "shard",
+            &self.shard_fanout_series(),
         );
     }
 }
@@ -439,6 +519,27 @@ mod tests {
     }
 
     #[test]
+    fn shard_fanout_grows_per_shard_series() {
+        let m = Metrics::new();
+        assert!(m.shard_fanout_series().is_empty(), "no shards observed yet");
+        m.observe_shard_fanout(2, 100);
+        m.observe_shard_fanout(0, 5);
+        m.observe_shard_fanout(2, 200);
+        let series = m.shard_fanout_series();
+        assert_eq!(series.len(), 3, "grown to cover shard 2");
+        assert_eq!(series[0].0, "0");
+        assert_eq!(series[0].2, 5);
+        assert_eq!(series[1].2, 0, "shard 1 never observed");
+        assert_eq!(series[2].2, 300);
+        let mut out = String::new();
+        m.render_prometheus(&mut out);
+        assert!(
+            out.contains("pit_shard_fanout_us_sum{shard=\"2\"} 300\n"),
+            "{out}"
+        );
+    }
+
+    #[test]
     fn snapshot_names_are_stable() {
         let m = Metrics::new();
         Metrics::bump(&m.queries);
@@ -457,6 +558,8 @@ mod tests {
                 "reload_failures",
                 "slow_queries",
                 "traces_sampled",
+                "shards_pruned",
+                "partial_replies",
                 "latency_p50_us",
                 "latency_p99_us",
                 "queue_p50_us",

@@ -15,6 +15,7 @@
 //! pool never silently bleeds capacity.
 
 use crate::cache::QueryKey;
+use crate::engine::ServeError;
 use crate::metrics::Metrics;
 use crate::state::{EngineGen, RankedTopics, ServerState};
 use crate::trace::TraceCtx;
@@ -35,10 +36,16 @@ pub enum JobError {
     Panicked,
     /// A typed search failure (cancelled mid-flight or unindexed user).
     Search(SearchError),
+    /// A router could not seed the search: the query user's home shard was
+    /// unreachable. Maps to `ERR internal: …` — backend health is the
+    /// server's fault, never the client's.
+    Shard(String),
 }
 
-/// What a worker sends back for an admitted job.
-pub type JobReply = Result<(RankedTopics, u64), JobError>;
+/// What a worker sends back for an admitted job: the ranking, the service
+/// time in µs, and the (usually empty) partial-answer provenance —
+/// `(shard index, reason)` for every shard that could not contribute.
+pub type JobReply = Result<(RankedTopics, u64, Vec<(u32, String)>), JobError>;
 
 /// One admitted query, owned by a worker until answered.
 pub struct QueryJob {
@@ -215,16 +222,25 @@ fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
             state.try_execute(&job.engine, &job.key, &job.cancel, &mut job.trace)
         }));
         let (reply, outcome, stats): (JobReply, &'static str, Option<SearchStats>) = match result {
-            Ok(Ok((ranked, stats))) => {
+            Ok(Ok((ranked, serve))) => {
                 state.metrics().execution.observe(exec_started.elapsed());
                 let elapsed = job.enqueued.elapsed();
                 let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
                 if !job.cancel.is_cancelled() {
                     state.metrics().latency.observe(elapsed);
                 }
-                (Ok((ranked, micros)), "ok", Some(stats))
+                let label = if serve.partial.is_empty() {
+                    "ok"
+                } else {
+                    "partial"
+                };
+                (
+                    Ok((ranked, micros, serve.partial)),
+                    label,
+                    Some(serve.stats),
+                )
             }
-            Ok(Err(e)) => {
+            Ok(Err(ServeError::Search(e))) => {
                 // A cancelled search still reports the work it did before
                 // the token fired — the trace and histograms see real work,
                 // not zeros.
@@ -244,6 +260,7 @@ fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
                 };
                 (Err(JobError::Search(e)), outcome, stats)
             }
+            Ok(Err(ServeError::Shard(reason))) => (Err(JobError::Shard(reason)), "error", None),
             Err(_) => {
                 // The panic payload already went to the panic hook (stderr);
                 // count it and keep serving.

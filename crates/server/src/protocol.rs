@@ -16,6 +16,12 @@
 //! TRACE [<n>]                                       last n traces (default 16)
 //! RELOAD <engine-dir>                               admin: swap in a snapshot
 //! UPDATE\nEDGE <u> <v> <p>\nASSIGN <u> <t>\n...     admin: apply a delta
+//! SHARD                                             which slice is serving?
+//! EXPAND <gen> <nterms> <term>...\nF <node> <ep>\n...   router: probe Γ tables
+//! PREPARE DIR <engine-dir>                          two-phase reload: stage
+//! PREPARE UPDATE\nEDGE...\nASSIGN...                two-phase delta: stage
+//! COMMIT                                            swap the staged engine in
+//! ABORT                                             drop the staged engine
 //! SHUTDOWN
 //! ```
 //!
@@ -23,15 +29,29 @@
 //!
 //! ```text
 //! PONG
-//! TOPICS <n> <cached|fresh> <micros>\n<topic-id> <score>\n...
+//! TOPICS <n> <cached|fresh> <micros> [partial=<shard>:<reason>,...]\n
+//!        <topic-id> <score>\n...
 //! STATS\n<key> <value>\n...
 //! METRICS\n<prometheus text exposition...>
 //! TRACES\n<rendered traces...>
-//! GEN <generation>       reply to RELOAD/UPDATE: the now-serving generation
+//! GEN <generation>       reply to RELOAD/UPDATE/COMMIT/ABORT
+//! SHARD <index> <count> <generation>                reply to SHARD
+//! EXPANDED <gen> <ntables> <bound>\nT <node> <nhits> <ncands>\n
+//!          H <node> <ep>\n... C <node> <ep>\n...    reply to EXPAND
+//! STAGED                 reply to PREPARE: successor built, awaiting COMMIT
 //! BYE
 //! ERR <reason...>        reasons: timeout | overloaded | shutting-down |
 //!                        malformed ... | internal ... | reload-failed ...
 //! ```
+//!
+//! The router verbs keep the search's numeric path bit-exact on the wire:
+//! every probability travels as 17-significant-digit scientific notation,
+//! which round-trips `f64` exactly. An `EXPAND` carries the query's resolved
+//! term ids plus frontier entries `(node, ep)`; the matching `EXPANDED`
+//! returns, per probed node *in request order*, the Γ-table hits against the
+//! query's representative universe (pre-scaled by `ep`) and the θ-surviving
+//! marked candidates, plus the shard's residual upper bound (its best
+//! unexpanded candidate — the Section 5.2 bound generalized per shard).
 //!
 //! The first word of an `ERR` reason is machine-readable and exhaustive:
 //! `timeout` (budget expired, search cancelled), `overloaded` (shed at
@@ -67,6 +87,30 @@ pub const MAX_TRACE_DUMP: usize = 1024;
 
 /// Traces returned by a bare `TRACE` (no count).
 pub const DEFAULT_TRACE_DUMP: usize = 16;
+
+/// Most frontier probes (`F` lines) accepted in one `EXPAND`. Routers chunk
+/// far below this (see [`ROUTER_EXPAND_CHUNK`]); the cap is the parser's
+/// totality bound on hostile input.
+pub const MAX_EXPAND_PROBES: usize = 4096;
+
+/// Frontier probes a router sends per `EXPAND` call. Small enough that a
+/// worst-case `EXPANDED` reply (every probe a dense Γ table) stays far
+/// inside [`MAX_FRAME_BYTES`]; the router loops over chunks within a round.
+pub const ROUTER_EXPAND_CHUNK: usize = 128;
+
+/// One probed Γ table as carried by an `EXPANDED` reply: the frontier node
+/// it answers for, its representative-universe hits with probabilities
+/// pre-scaled by the probe's `ep` (ready to credit), and its θ-surviving
+/// marked candidates `(node, ep)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProbeTable {
+    /// The frontier node this table answers for.
+    pub node: u32,
+    /// `(representative node, ep · Γ(node)[rep])`, ascending node id.
+    pub hits: Vec<(u32, f64)>,
+    /// `(marked node, ep · Γ(node)[marked])` with ep ≥ θ.
+    pub cands: Vec<(u32, f64)>,
+}
 
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -106,6 +150,39 @@ pub enum Request {
         /// New topic mentions `(user, topic)`.
         assignments: Vec<(u32, u32)>,
     },
+    /// Which shard slice (and generation) is this backend serving?
+    Shard,
+    /// Router: probe the Γ tables of `probes` frontier nodes against the
+    /// query whose resolved term ids are `terms`. `gen` pins the engine
+    /// generation the query was admitted against — a backend serving a
+    /// different generation must refuse rather than contribute
+    /// mixed-generation scores.
+    Expand {
+        /// Engine generation the router admitted the query against.
+        gen: u64,
+        /// Resolved term ids of the query (replicated vocabulary).
+        terms: Vec<u32>,
+        /// Frontier entries `(node, ep)` to probe, in driver order.
+        probes: Vec<(u32, f64)>,
+    },
+    /// Two-phase reload, phase 1: build the successor engine from a
+    /// snapshot directory but do not swap it in.
+    PrepareDir {
+        /// Engine directory path, server-side.
+        dir: String,
+    },
+    /// Two-phase delta, phase 1: build the successor engine from a delta
+    /// but do not swap it in.
+    PrepareUpdate {
+        /// New influence edges `(from, to, transition probability)`.
+        edges: Vec<(u32, u32, f64)>,
+        /// New topic mentions `(user, topic)`.
+        assignments: Vec<(u32, u32)>,
+    },
+    /// Two-phase, phase 2: swap the staged successor in.
+    Commit,
+    /// Drop the staged successor without swapping.
+    Abort,
     /// Graceful stop: drain in-flight queries, then exit.
     Shutdown,
 }
@@ -205,51 +282,109 @@ impl Request {
                 if words.next().is_some() {
                     return Err("malformed: UPDATE takes no arguments on its head line".to_string());
                 }
-                let mut edges = Vec::new();
-                let mut assignments = Vec::new();
+                let (edges, assignments) = parse_delta_lines(lines)?;
+                Ok(Request::Update { edges, assignments })
+            }
+            // The router verbs are machine-to-machine: stricter than the
+            // operator verbs, trailing words are rejected too.
+            "SHARD" | "COMMIT" | "ABORT" => {
+                single_line(verb)?;
+                if words.next().is_some() {
+                    return Err(format!("malformed: {verb} takes no arguments"));
+                }
+                Ok(match verb {
+                    "SHARD" => Request::Shard,
+                    "COMMIT" => Request::Commit,
+                    _ => Request::Abort,
+                })
+            }
+            "PREPARE" => match words.next() {
+                Some("DIR") => {
+                    single_line(verb)?;
+                    let dir = line
+                        .strip_prefix("PREPARE")
+                        .and_then(|r| r.trim_start().strip_prefix("DIR"))
+                        .map(str::trim)
+                        .unwrap_or_default()
+                        .to_string();
+                    if dir.is_empty() {
+                        return Err("malformed: PREPARE DIR missing engine directory".to_string());
+                    }
+                    Ok(Request::PrepareDir { dir })
+                }
+                Some("UPDATE") => {
+                    if words.next().is_some() {
+                        return Err(
+                            "malformed: PREPARE UPDATE takes no further head arguments".to_string()
+                        );
+                    }
+                    let (edges, assignments) = parse_delta_lines(lines)?;
+                    Ok(Request::PrepareUpdate { edges, assignments })
+                }
+                _ => Err("malformed: PREPARE needs DIR <path> or UPDATE".to_string()),
+            },
+            "EXPAND" => {
+                let gen = words
+                    .next()
+                    .ok_or_else(|| "malformed: EXPAND missing generation".to_string())?
+                    .parse::<u64>()
+                    .map_err(|_| "malformed: EXPAND generation is not a u64".to_string())?;
+                let nterms = words
+                    .next()
+                    .ok_or_else(|| "malformed: EXPAND missing term count".to_string())?
+                    .parse::<usize>()
+                    .map_err(|_| "malformed: EXPAND term count is not a usize".to_string())?;
+                if nterms == 0 {
+                    return Err("malformed: EXPAND needs at least one term".to_string());
+                }
+                if nterms > MAX_KEYWORDS {
+                    return Err(format!(
+                        "malformed: EXPAND has {nterms} terms, cap is {MAX_KEYWORDS}"
+                    ));
+                }
+                // Collect what is actually present; never allocate from the
+                // claimed count.
+                let mut terms = Vec::new();
+                for w in words {
+                    terms.push(
+                        w.parse::<u32>()
+                            .map_err(|_| "malformed: EXPAND term is not a u32".to_string())?,
+                    );
+                }
+                if terms.len() != nterms {
+                    return Err(format!(
+                        "malformed: EXPAND claims {nterms} terms but carries {}",
+                        terms.len()
+                    ));
+                }
+                let mut probes = Vec::new();
                 for (i, l) in lines.enumerate() {
-                    if i >= MAX_DELTA_LINES {
+                    if i >= MAX_EXPAND_PROBES {
                         return Err(format!(
-                            "malformed: UPDATE delta exceeds {MAX_DELTA_LINES} lines"
+                            "malformed: EXPAND exceeds {MAX_EXPAND_PROBES} probes"
                         ));
                     }
                     let mut w = l.split_ascii_whitespace();
-                    match w.next() {
-                        Some("EDGE") => {
-                            let (u, v, p) = (w.next(), w.next(), w.next());
-                            let (Some(u), Some(v), Some(p), None) = (u, v, p, w.next()) else {
-                                return Err(format!("malformed: bad EDGE line {l:?}"));
-                            };
-                            let parse = |s: &str, what: &str| -> Result<u32, String> {
-                                s.parse()
-                                    .map_err(|_| format!("malformed: EDGE {what} is not a u32"))
-                            };
-                            let prob: f64 = p
-                                .parse()
-                                .map_err(|_| "malformed: EDGE probability is not a number")?;
-                            if !prob.is_finite() {
-                                return Err("malformed: EDGE probability is not finite".into());
-                            }
-                            edges.push((parse(u, "source")?, parse(v, "target")?, prob));
-                        }
-                        Some("ASSIGN") => {
-                            let (u, t) = (w.next(), w.next());
-                            let (Some(u), Some(t), None) = (u, t, w.next()) else {
-                                return Err(format!("malformed: bad ASSIGN line {l:?}"));
-                            };
-                            let parse = |s: &str, what: &str| -> Result<u32, String> {
-                                s.parse()
-                                    .map_err(|_| format!("malformed: ASSIGN {what} is not a u32"))
-                            };
-                            assignments.push((parse(u, "user")?, parse(t, "topic")?));
-                        }
-                        Some(other) => {
-                            return Err(format!("malformed: unknown UPDATE line kind {other}"))
-                        }
-                        None => return Err("malformed: empty UPDATE line".to_string()),
+                    let (Some("F"), Some(node), Some(ep), None) =
+                        (w.next(), w.next(), w.next(), w.next())
+                    else {
+                        return Err(format!("malformed: bad EXPAND probe line {l:?}"));
+                    };
+                    let node = node
+                        .parse::<u32>()
+                        .map_err(|_| "malformed: EXPAND probe node is not a u32".to_string())?;
+                    let ep = ep
+                        .parse::<f64>()
+                        .map_err(|_| "malformed: EXPAND probe ep is not a number".to_string())?;
+                    if !ep.is_finite() {
+                        return Err("malformed: EXPAND probe ep is not finite".to_string());
                     }
+                    probes.push((node, ep));
                 }
-                Ok(Request::Update { edges, assignments })
+                if probes.is_empty() {
+                    return Err("malformed: EXPAND needs at least one probe".to_string());
+                }
+                Ok(Request::Expand { gen, terms, probes })
             }
             other => Err(format!("malformed: unknown verb {other}")),
         }
@@ -263,22 +398,98 @@ impl Request {
             Request::Metrics => "METRICS".to_string(),
             Request::Trace { n } => format!("TRACE {n}"),
             Request::Shutdown => "SHUTDOWN".to_string(),
+            Request::Shard => "SHARD".to_string(),
+            Request::Commit => "COMMIT".to_string(),
+            Request::Abort => "ABORT".to_string(),
             Request::Query { user, k, keywords } => {
                 format!("QUERY {user} {k} {}", keywords.join(" "))
             }
             Request::Reload { dir } => format!("RELOAD {dir}"),
+            Request::PrepareDir { dir } => format!("PREPARE DIR {dir}"),
             Request::Update { edges, assignments } => {
                 let mut out = "UPDATE".to_string();
-                for (u, v, p) in edges {
-                    // 17 significant digits round-trip f64 exactly.
-                    out.push_str(&format!("\nEDGE {u} {v} {p:.17e}"));
+                render_delta_lines(&mut out, edges, assignments);
+                out
+            }
+            Request::PrepareUpdate { edges, assignments } => {
+                let mut out = "PREPARE UPDATE".to_string();
+                render_delta_lines(&mut out, edges, assignments);
+                out
+            }
+            Request::Expand { gen, terms, probes } => {
+                let mut out = format!("EXPAND {gen} {}", terms.len());
+                for t in terms {
+                    out.push_str(&format!(" {t}"));
                 }
-                for (u, t) in assignments {
-                    out.push_str(&format!("\nASSIGN {u} {t}"));
+                for (node, ep) in probes {
+                    // 17 significant digits round-trip f64 exactly.
+                    out.push_str(&format!("\nF {node} {ep:.17e}"));
                 }
                 out
             }
         }
+    }
+}
+
+/// Parse `EDGE u v p` / `ASSIGN u t` continuation lines (shared by `UPDATE`
+/// and `PREPARE UPDATE`).
+#[allow(clippy::type_complexity)]
+fn parse_delta_lines<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<(Vec<(u32, u32, f64)>, Vec<(u32, u32)>), String> {
+    let mut edges = Vec::new();
+    let mut assignments = Vec::new();
+    for (i, l) in lines.enumerate() {
+        if i >= MAX_DELTA_LINES {
+            return Err(format!(
+                "malformed: UPDATE delta exceeds {MAX_DELTA_LINES} lines"
+            ));
+        }
+        let mut w = l.split_ascii_whitespace();
+        match w.next() {
+            Some("EDGE") => {
+                let (u, v, p) = (w.next(), w.next(), w.next());
+                let (Some(u), Some(v), Some(p), None) = (u, v, p, w.next()) else {
+                    return Err(format!("malformed: bad EDGE line {l:?}"));
+                };
+                let parse = |s: &str, what: &str| -> Result<u32, String> {
+                    s.parse()
+                        .map_err(|_| format!("malformed: EDGE {what} is not a u32"))
+                };
+                let prob: f64 = p
+                    .parse()
+                    .map_err(|_| "malformed: EDGE probability is not a number")?;
+                if !prob.is_finite() {
+                    return Err("malformed: EDGE probability is not finite".into());
+                }
+                edges.push((parse(u, "source")?, parse(v, "target")?, prob));
+            }
+            Some("ASSIGN") => {
+                let (u, t) = (w.next(), w.next());
+                let (Some(u), Some(t), None) = (u, t, w.next()) else {
+                    return Err(format!("malformed: bad ASSIGN line {l:?}"));
+                };
+                let parse = |s: &str, what: &str| -> Result<u32, String> {
+                    s.parse()
+                        .map_err(|_| format!("malformed: ASSIGN {what} is not a u32"))
+                };
+                assignments.push((parse(u, "user")?, parse(t, "topic")?));
+            }
+            Some(other) => return Err(format!("malformed: unknown UPDATE line kind {other}")),
+            None => return Err("malformed: empty UPDATE line".to_string()),
+        }
+    }
+    Ok((edges, assignments))
+}
+
+/// Render delta continuation lines (inverse of [`parse_delta_lines`]).
+fn render_delta_lines(out: &mut String, edges: &[(u32, u32, f64)], assignments: &[(u32, u32)]) {
+    for (u, v, p) in edges {
+        // 17 significant digits round-trip f64 exactly.
+        out.push_str(&format!("\nEDGE {u} {v} {p:.17e}"));
+    }
+    for (u, t) in assignments {
+        out.push_str(&format!("\nASSIGN {u} {t}"));
     }
 }
 
@@ -295,6 +506,11 @@ pub enum Response {
         cached: bool,
         /// Service time in microseconds (queue wait + execution).
         micros: u64,
+        /// Shards whose contribution is missing, as `(shard, reason)` with
+        /// the reason a single taxonomy word (`timeout` | `overloaded` |
+        /// `internal`). Empty for a complete answer — the only kind a
+        /// single-node server produces, and the only kind ever cached.
+        partial: Vec<(u32, String)>,
     },
     /// Counter snapshot: `(name, value)` pairs.
     Stats(Vec<(String, String)>),
@@ -304,9 +520,34 @@ pub enum Response {
     /// Rendered traces (reply to [`Request::Trace`]), carried verbatim
     /// after a `TRACES` head line.
     Traces(String),
-    /// Reply to [`Request::Reload`] / [`Request::Update`]: the generation
-    /// now serving (monotonically increasing across swaps).
+    /// Reply to [`Request::Reload`] / [`Request::Update`] /
+    /// [`Request::Commit`] / [`Request::Abort`]: the generation now serving
+    /// (monotonically increasing across swaps).
     Generation(u64),
+    /// Reply to [`Request::Shard`]: which slice this backend serves, under
+    /// which generation. An unsharded server reports `0` of `1`.
+    ShardInfo {
+        /// Shard index in `0..count`.
+        index: u32,
+        /// Total shards in the partition.
+        count: u32,
+        /// Serving generation.
+        gen: u64,
+    },
+    /// Reply to [`Request::Expand`]: the probed tables in request order,
+    /// plus this shard's residual upper bound (best θ-surviving candidate
+    /// across the returned tables; `0` when none survive).
+    Expanded {
+        /// Generation the probes executed against.
+        gen: u64,
+        /// The shard's residual upper bound (Section 5.2, per shard).
+        bound: f64,
+        /// One table per probe, in request order.
+        tables: Vec<ProbeTable>,
+    },
+    /// Reply to [`Request::PrepareDir`] / [`Request::PrepareUpdate`]: the
+    /// successor engine is built and parked, awaiting `COMMIT` or `ABORT`.
+    Staged,
     /// Reply to [`Request::Shutdown`].
     Bye,
     /// Failure; the string is the machine-readable reason.
@@ -319,18 +560,46 @@ impl Response {
         match self {
             Response::Pong => "PONG".to_string(),
             Response::Bye => "BYE".to_string(),
+            Response::Staged => "STAGED".to_string(),
             Response::Generation(generation) => format!("GEN {generation}"),
+            Response::ShardInfo { index, count, gen } => format!("SHARD {index} {count} {gen}"),
             Response::Err(reason) => format!("ERR {reason}"),
+            Response::Expanded { gen, bound, tables } => {
+                let mut out = format!("EXPANDED {gen} {} {bound:.17e}", tables.len());
+                for t in tables {
+                    out.push_str(&format!(
+                        "\nT {} {} {}",
+                        t.node,
+                        t.hits.len(),
+                        t.cands.len()
+                    ));
+                    for (x, p) in &t.hits {
+                        out.push_str(&format!("\nH {x} {p:.17e}"));
+                    }
+                    for (w, ep) in &t.cands {
+                        out.push_str(&format!("\nC {w} {ep:.17e}"));
+                    }
+                }
+                out
+            }
             Response::Topics {
                 ranked,
                 cached,
                 micros,
+                partial,
             } => {
                 let mut out = format!(
                     "TOPICS {} {} {micros}",
                     ranked.len(),
                     if *cached { "cached" } else { "fresh" }
                 );
+                if !partial.is_empty() {
+                    let missing: Vec<String> = partial
+                        .iter()
+                        .map(|(shard, reason)| format!("{shard}:{reason}"))
+                        .collect();
+                    out.push_str(&format!(" partial={}", missing.join(",")));
+                }
                 for (topic, score) in ranked {
                     // 17 significant digits round-trip f64 exactly, so the
                     // served scores compare bit-equal to the offline path.
@@ -363,6 +632,31 @@ impl Response {
         }
         if head == "BYE" {
             return Ok(Response::Bye);
+        }
+        if head == "STAGED" {
+            return Ok(Response::Staged);
+        }
+        if let Some(rest) = head.strip_prefix("SHARD ") {
+            let mut words = rest.split_ascii_whitespace();
+            let index: u32 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| "SHARD missing index".to_string())?;
+            let count: u32 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| "SHARD missing count".to_string())?;
+            let gen: u64 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| "SHARD missing generation".to_string())?;
+            if count == 0 || index >= count {
+                return Err(format!("SHARD index {index} outside count {count}"));
+            }
+            return Ok(Response::ShardInfo { index, count, gen });
+        }
+        if let Some(rest) = head.strip_prefix("EXPANDED ") {
+            return parse_expanded(rest, lines);
         }
         if let Some(reason) = head.strip_prefix("ERR ") {
             return Ok(Response::Err(reason.to_string()));
@@ -404,6 +698,27 @@ impl Response {
                 .next()
                 .and_then(|w| w.parse().ok())
                 .ok_or_else(|| "TOPICS missing service time".to_string())?;
+            let mut partial = Vec::new();
+            if let Some(tail) = words.next() {
+                let spec = tail
+                    .strip_prefix("partial=")
+                    .ok_or_else(|| format!("TOPICS trailing word {tail:?}"))?;
+                for entry in spec.split(',') {
+                    let (shard, reason) = entry
+                        .split_once(':')
+                        .ok_or_else(|| format!("partial entry without reason: {entry}"))?;
+                    let shard = shard
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad partial shard id: {e}"))?;
+                    if reason.is_empty() {
+                        return Err(format!("partial entry with empty reason: {entry}"));
+                    }
+                    partial.push((shard, reason.to_string()));
+                }
+            }
+            if words.next().is_some() {
+                return Err("TOPICS head has trailing words".to_string());
+            }
             let ranked = lines
                 .map(|l| {
                     let (t, s) = l
@@ -421,10 +736,107 @@ impl Response {
                 ranked,
                 cached,
                 micros,
+                partial,
             });
         }
         Err(format!("unrecognized response head: {head}"))
     }
+}
+
+/// Parse the body of an `EXPANDED` reply. Table, hit, and candidate counts
+/// are claimed up front and verified against the lines actually carried, so
+/// a truncated or padded frame is rejected rather than silently reshaped.
+fn parse_expanded<'a, I>(rest: &str, mut lines: I) -> Result<Response, String>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let mut words = rest.split_ascii_whitespace();
+    let gen: u64 = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| "EXPANDED missing generation".to_string())?;
+    let ntables: usize = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| "EXPANDED missing table count".to_string())?;
+    let bound: f64 = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| "EXPANDED missing bound".to_string())?;
+    if !bound.is_finite() {
+        return Err("EXPANDED bound is not finite".to_string());
+    }
+    if ntables > MAX_EXPAND_PROBES {
+        return Err(format!(
+            "EXPANDED claims {ntables} tables, cap is {MAX_EXPAND_PROBES}"
+        ));
+    }
+    let mut tables = Vec::new();
+    for _ in 0..ntables {
+        let head = lines
+            .next()
+            .ok_or_else(|| "EXPANDED truncated before table head".to_string())?;
+        let mut words = head.split_ascii_whitespace();
+        if words.next() != Some("T") {
+            return Err(format!("expected table head, got: {head}"));
+        }
+        let node: u32 = words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| "table head missing node".to_string())?;
+        let nhits: usize = words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| "table head missing hit count".to_string())?;
+        let ncands: usize = words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| "table head missing candidate count".to_string())?;
+        if nhits.saturating_add(ncands) > MAX_FRAME_BYTES {
+            return Err(format!(
+                "table claims {nhits}+{ncands} rows, frame cannot carry them"
+            ));
+        }
+        let mut table = ProbeTable {
+            node,
+            hits: Vec::new(),
+            cands: Vec::new(),
+        };
+        for (tag, n, dest) in [
+            ("H", nhits, &mut table.hits),
+            ("C", ncands, &mut table.cands),
+        ] {
+            for _ in 0..n {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| format!("EXPANDED truncated inside {tag} rows"))?;
+                let mut words = line.split_ascii_whitespace();
+                if words.next() != Some(tag) {
+                    return Err(format!("expected {tag} row, got: {line}"));
+                }
+                let id: u32 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("{tag} row missing node id"))?;
+                let val: f64 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("{tag} row missing value"))?;
+                if !val.is_finite() {
+                    return Err(format!("{tag} row value is not finite"));
+                }
+                if words.next().is_some() {
+                    return Err(format!("{tag} row has trailing words: {line}"));
+                }
+                dest.push((id, val));
+            }
+        }
+        tables.push(table);
+    }
+    if lines.next().is_some() {
+        return Err("EXPANDED has lines past the claimed tables".to_string());
+    }
+    Ok(Response::Expanded { gen, bound, tables })
 }
 
 /// Write `text` as one frame.
@@ -499,6 +911,25 @@ mod tests {
                 edges: vec![],
                 assignments: vec![],
             },
+            Request::Shard,
+            Request::Commit,
+            Request::Abort,
+            Request::PrepareDir {
+                dir: "/var/lib/pit/shards/shard-3".into(),
+            },
+            Request::PrepareUpdate {
+                edges: vec![(3, 7, 0.1 + 0.2)],
+                assignments: vec![(5, 2)],
+            },
+            Request::PrepareUpdate {
+                edges: vec![],
+                assignments: vec![],
+            },
+            Request::Expand {
+                gen: 9,
+                terms: vec![0, 4],
+                probes: vec![(8, 1.0), (11, 0.1 + 0.2)],
+            },
         ] {
             assert_eq!(Request::parse(&req.render()).unwrap(), req);
         }
@@ -547,6 +978,26 @@ mod tests {
             "TRACE 1025",
             "TRACE 5\nstray",
             "METRICS\nstray",
+            "SHARD extra",
+            "COMMIT extra",
+            "ABORT\nstray",
+            "PREPARE",
+            "PREPARE DIR",
+            "PREPARE DIR /dir\nstray",
+            "PREPARE FROB /dir",
+            "PREPARE UPDATE\nEDGE 1 2",
+            "EXPAND",
+            "EXPAND 1",
+            "EXPAND 1 1",
+            "EXPAND 1 0\nF 3 0.5",
+            "EXPAND 1 1 notaterm\nF 3 0.5",
+            "EXPAND 1 1 0\nF 3",
+            "EXPAND 1 1 0\nF 3 inf",
+            "EXPAND 1 1 0\nF x 0.5",
+            "EXPAND 1 1 0\nG 3 0.5",
+            "EXPAND 1 1 0",
+            "EXPAND 1 2 0\nF 3 0.5",
+            "EXPAND notanum 1 0\nF 3 0.5",
         ] {
             let err = Request::parse(bad).unwrap_err();
             assert!(err.starts_with("malformed"), "{bad:?} -> {err}");
@@ -615,6 +1066,40 @@ mod tests {
                 ranked: vec![(7, 0.137), (2, 1.0 / 3.0), (0, 0.0)],
                 cached: true,
                 micros: 412,
+                partial: vec![],
+            },
+            Response::Topics {
+                ranked: vec![(7, 0.137)],
+                cached: false,
+                micros: 9001,
+                partial: vec![(1, "timeout".into()), (3, "internal".into())],
+            },
+            Response::Staged,
+            Response::ShardInfo {
+                index: 2,
+                count: 4,
+                gen: 17,
+            },
+            Response::Expanded {
+                gen: 3,
+                bound: 0.1 + 0.2,
+                tables: vec![
+                    ProbeTable {
+                        node: 8,
+                        hits: vec![(2, 1.0 / 3.0), (6, 1e-300)],
+                        cands: vec![(11, 0.137)],
+                    },
+                    ProbeTable {
+                        node: 11,
+                        hits: vec![],
+                        cands: vec![],
+                    },
+                ],
+            },
+            Response::Expanded {
+                gen: 1,
+                bound: 0.0,
+                tables: vec![],
             },
             Response::Stats(vec![
                 ("queries".into(), "12".into()),
@@ -641,6 +1126,7 @@ mod tests {
                 .collect(),
             cached: false,
             micros: 1,
+            partial: vec![],
         };
         let Response::Topics { ranked, .. } = Response::parse(&resp.render()).unwrap() else {
             panic!("wrong variant");
@@ -648,6 +1134,60 @@ mod tests {
         for ((_, got), &want) in ranked.iter().zip(scores.iter()) {
             assert_eq!(got.to_bits(), want.to_bits(), "score did not roundtrip");
         }
+    }
+
+    #[test]
+    fn router_responses_reject_malformed() {
+        for bad in [
+            "SHARD",
+            "SHARD 1",
+            "SHARD 1 2",
+            "SHARD 2 2 5", // index outside count
+            "SHARD 0 0 5", // zero shards cannot serve
+            "SHARD x 2 5",
+            "EXPANDED",
+            "EXPANDED 1",
+            "EXPANDED 1 1",
+            "EXPANDED 1 1 inf",
+            "EXPANDED 1 1 0.5",                   // claims a table, carries none
+            "EXPANDED 1 0 0.5\nT 3 0 0",          // carries a table, claims none
+            "EXPANDED 1 1 0.5\nT 3 1 0",          // claims a hit, carries none
+            "EXPANDED 1 1 0.5\nT 3 0 0\nH 2 0.5", // stray row past the claim
+            "EXPANDED 1 1 0.5\nT 3 1 0\nC 2 0.5", // C row where H claimed
+            "EXPANDED 1 1 0.5\nT 3 1 0\nH 2 inf",
+            "EXPANDED 1 1 0.5\nT 3 1 0\nH 2 0.5 extra",
+            "TOPICS 0 fresh 1 partial=",
+            "TOPICS 0 fresh 1 partial=3",  // entry without reason
+            "TOPICS 0 fresh 1 partial=3:", // empty reason
+            "TOPICS 0 fresh 1 partial=x:timeout",
+            "TOPICS 0 fresh 1 stray",
+            "TOPICS 0 fresh 1 partial=3:timeout stray",
+        ] {
+            assert!(Response::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn expanded_probabilities_roundtrip_exactly() {
+        let resp = Response::Expanded {
+            gen: 1,
+            bound: 1e-300,
+            tables: vec![ProbeTable {
+                node: 8,
+                hits: vec![(2, 0.1 + 0.2)],
+                cands: vec![(11, std::f64::consts::PI)],
+            }],
+        };
+        let Response::Expanded { bound, tables, .. } = Response::parse(&resp.render()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(bound.to_bits(), 1e-300f64.to_bits());
+        assert_eq!(tables[0].hits[0].1.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(
+            tables[0].cands[0].1.to_bits(),
+            std::f64::consts::PI.to_bits()
+        );
     }
 
     #[test]

@@ -14,13 +14,14 @@
 //! (atomics).
 
 use crate::cache::{QueryCache, QueryKey};
+use crate::engine::{LocalServeEngine, ServeEngine, ServeError, ServeOutcome};
 use crate::metrics::Metrics;
 use crate::trace::TraceCollector;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use pit::{Delta, PitEngine, UpdateReport};
 use pit_graph::NodeId;
 use pit_obs::prom;
-use pit_search_core::{CancelToken, SearchError, SearchStats, SearchTracer};
+use pit_search_core::{CancelToken, SearchTracer};
 use pit_topics::KeywordQuery;
 use std::path::Path;
 use std::sync::Arc;
@@ -37,8 +38,10 @@ pub type RankedTopics = Arc<Vec<(u32, f64)>>;
 /// even if a swap lands mid-flight.
 #[derive(Clone)]
 pub struct EngineGen {
-    /// The engine; in-flight queries keep the `Arc` they captured.
-    pub engine: Arc<PitEngine>,
+    /// The engine; in-flight queries keep the `Arc` they captured. Behind
+    /// the [`ServeEngine`] trait so a single-node engine, a shard slice,
+    /// and a scatter-gather router all serve through the same machinery.
+    pub engine: Arc<dyn ServeEngine>,
     /// Serving generation, starting at 1 and bumped by every swap.
     pub generation: u64,
 }
@@ -112,6 +115,10 @@ impl Default for ServerConfig {
 /// pool, and the updater thread.
 pub struct ServerState {
     engine: RwLock<EngineGen>,
+    /// The two-phase staging slot: a successor engine built by `PREPARE`
+    /// awaiting `COMMIT` (swap in) or `ABORT` (drop). Held only for the
+    /// instant of a stage/take — never while building or serving.
+    staged: Mutex<Option<Arc<dyn ServeEngine>>>,
     cache: QueryCache<RankedTopics>,
     metrics: Metrics,
     tracing: TraceCollector,
@@ -119,8 +126,14 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    /// Wrap a fully built engine for serving, as generation 1.
+    /// Wrap a fully built single-node engine for serving, as generation 1.
     pub fn new(engine: Arc<PitEngine>, config: ServerConfig) -> Self {
+        Self::with_engine(Arc::new(LocalServeEngine::full(engine)), config)
+    }
+
+    /// Wrap any [`ServeEngine`] (shard slice, router, …) for serving, as
+    /// generation 1.
+    pub fn with_engine(engine: Arc<dyn ServeEngine>, config: ServerConfig) -> Self {
         ServerState {
             cache: QueryCache::new(config.cache_capacity),
             metrics: Metrics::new(),
@@ -136,6 +149,7 @@ impl ServerState {
                     generation: 1,
                 },
             ),
+            staged: Mutex::named("server.state.staged", None),
             config,
         }
     }
@@ -166,7 +180,7 @@ impl ServerState {
     /// captured; queries admitted after see only the new engine. The cache
     /// needs no sweep — generation-tagged entries die lazily on first
     /// cross-generation touch.
-    fn swap_engine(&self, engine: Arc<PitEngine>) -> u64 {
+    fn swap_engine(&self, engine: Arc<dyn ServeEngine>) -> u64 {
         let mut slot = self.engine.write();
         slot.engine = engine;
         slot.generation += 1;
@@ -182,11 +196,8 @@ impl ServerState {
     /// corrupt; the old generation keeps serving and `reload_failures` is
     /// bumped.
     pub fn reload(&self, dir: &Path) -> Result<u64, String> {
-        self.admin_swap(|| {
-            pit::store::load_engine(dir)
-                .map(Arc::new)
-                .map_err(|e| format!("reload-failed: {e}"))
-        })
+        let base = self.current();
+        self.admin_swap(|| base.engine.successor_from_dir(dir))
     }
 
     /// Apply an edge/assignment delta to the current engine (building the
@@ -202,24 +213,88 @@ impl ServerState {
             return Ok((self.current().generation, UpdateReport::default()));
         }
         let mut report = UpdateReport::default();
-        // Validate assignment topics here: PitEngine::with_delta asserts on
-        // unknown topics, and an admin typo must be an ERR, not a panic.
         let base = self.current();
-        for &(_, t) in &delta.new_assignments {
-            if t.index() >= base.engine.space().topic_count() {
-                Metrics::bump(&self.metrics.reload_failures);
-                return Err(format!("reload-failed: delta references unknown topic {t}"));
-            }
-        }
         let generation = self.admin_swap(|| {
-            let (next, r) = base
-                .engine
-                .with_delta(delta)
-                .map_err(|e| format!("reload-failed: {e}"))?;
+            let (next, r) = base.engine.successor_from_delta(delta)?;
             report = r;
-            Ok(Arc::new(next))
+            Ok(next)
         })?;
         Ok((generation, report))
+    }
+
+    /// Two-phase reload, phase one: build a successor from the snapshot at
+    /// `dir` and park it in the staging slot. Nothing serves it until
+    /// `COMMIT`; a subsequent `PREPARE` replaces it. Runs on the updater
+    /// thread.
+    ///
+    /// # Errors
+    /// A `reload-failed: …` reason; the staging slot is left as it was and
+    /// `reload_failures` is bumped.
+    pub fn prepare_dir(&self, dir: &Path) -> Result<(), String> {
+        let base = self.current();
+        self.stage(|| base.engine.successor_from_dir(dir))
+    }
+
+    /// Two-phase update, phase one: build a successor by applying `delta`
+    /// and park it in the staging slot.
+    ///
+    /// # Errors
+    /// Same contract as [`ServerState::prepare_dir`].
+    pub fn prepare_update(&self, delta: &Delta) -> Result<(), String> {
+        let base = self.current();
+        self.stage(|| Ok(base.engine.successor_from_delta(delta)?.0))
+    }
+
+    /// Shared staging plumbing: run `build` (slow), park the successor on
+    /// success. The build time lands in `reload_latency` — the commit
+    /// itself is just a pointer swap.
+    fn stage(
+        &self,
+        build: impl FnOnce() -> Result<Arc<dyn ServeEngine>, String>,
+    ) -> Result<(), String> {
+        let started = Instant::now();
+        if !self.config.reload_drag.is_zero() {
+            std::thread::sleep(self.config.reload_drag);
+        }
+        match build() {
+            Ok(engine) => {
+                self.metrics.reload_latency.observe(started.elapsed());
+                *self.staged.lock() = Some(engine);
+                Ok(())
+            }
+            Err(reason) => {
+                Metrics::bump(&self.metrics.reload_failures);
+                Err(reason)
+            }
+        }
+    }
+
+    /// Two-phase reload, phase two: swap the staged successor in and bump
+    /// the generation.
+    ///
+    /// # Errors
+    /// A `reload-failed: …` reason when nothing is staged.
+    pub fn commit_staged(&self) -> Result<u64, String> {
+        let staged = self.staged.lock().take();
+        match staged {
+            Some(engine) => {
+                let generation = self.swap_engine(engine);
+                Metrics::bump(&self.metrics.reloads);
+                Ok(generation)
+            }
+            None => {
+                Metrics::bump(&self.metrics.reload_failures);
+                Err("reload-failed: nothing staged; PREPARE first".to_string())
+            }
+        }
+    }
+
+    /// Two-phase reload, abort: drop whatever is staged (idempotent — a
+    /// router aborting its whole fleet must be able to hit backends that
+    /// never staged) and report the still-serving generation.
+    pub fn abort_staged(&self) -> u64 {
+        *self.staged.lock() = None;
+        self.current().generation
     }
 
     /// Shared swap plumbing: run `build` (slow — a disk load or a delta
@@ -227,7 +302,7 @@ impl ServerState {
     /// latency histogram either way.
     fn admin_swap(
         &self,
-        build: impl FnOnce() -> Result<Arc<PitEngine>, String>,
+        build: impl FnOnce() -> Result<Arc<dyn ServeEngine>, String>,
     ) -> Result<u64, String> {
         let started = Instant::now();
         if !self.config.reload_drag.is_zero() {
@@ -256,28 +331,23 @@ impl ServerState {
     /// not in the vocabulary; sent back verbatim in an `ERR` reply.
     pub fn make_key(
         &self,
-        engine: &PitEngine,
+        engine: &dyn ServeEngine,
         user: u32,
         k: usize,
         keywords: &[String],
     ) -> Result<QueryKey, String> {
-        let nodes = engine.graph().node_count();
+        // A shard slice refuses direct queries outright: its local answer
+        // would be silently wrong once expansion crosses shard boundaries.
+        if let Some(reason) = engine.forbid_direct_query() {
+            return Err(reason);
+        }
+        let nodes = engine.node_count();
         if user as usize >= nodes {
             return Err(format!(
                 "malformed: user {user} out of range (graph has {nodes} users)"
             ));
         }
-        let vocab = engine
-            .vocab()
-            .ok_or_else(|| "malformed: engine has no vocabulary".to_string())?;
-        let terms = keywords
-            .iter()
-            .map(|kw| {
-                vocab
-                    .get(kw)
-                    .ok_or_else(|| format!("malformed: unknown keyword {kw}"))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let terms = engine.resolve_terms(keywords)?;
         // Keyword order and duplicates never change the answer — the searcher
         // unions topic postings over terms — so the normalized key is exact.
         Ok(QueryKey::new(user, k, terms))
@@ -309,7 +379,7 @@ impl ServerState {
         key: &QueryKey,
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
-    ) -> Result<(RankedTopics, SearchStats), SearchError> {
+    ) -> Result<(RankedTopics, ServeOutcome), ServeError> {
         if self.config.poison_user == Some(key.user) {
             panic!("poisoned query for user {} (fault injection)", key.user);
         }
@@ -321,17 +391,28 @@ impl ServerState {
             cancel
         };
         let query = KeywordQuery::new(NodeId(key.user), key.terms.clone());
-        let outcome = engine
-            .engine
-            .try_search_traced(&query, key.k, cancel, tracer)?;
-        let ranked: RankedTopics =
-            Arc::new(outcome.top_k.iter().map(|s| (s.topic.0, s.score)).collect());
-        // Tagged with the generation that computed it: if a swap landed
-        // mid-search this entry is already stale and will be lazily evicted
-        // on its first post-swap touch instead of ever answering.
-        self.cache
-            .insert(key.clone(), engine.generation, Arc::clone(&ranked));
-        Ok((ranked, outcome.stats()))
+        let outcome = engine.engine.try_search(&query, key.k, cancel, tracer)?;
+        let ranked: RankedTopics = Arc::new(outcome.ranked.clone());
+        Metrics::add(
+            &self.metrics.shards_pruned,
+            u64::from(outcome.shards_pruned),
+        );
+        for &(shard, micros) in &outcome.fanout_micros {
+            self.metrics.observe_shard_fanout(shard, micros);
+        }
+        if outcome.partial.is_empty() {
+            // Tagged with the generation that computed it: if a swap landed
+            // mid-search this entry is already stale and will be lazily
+            // evicted on its first post-swap touch instead of ever answering.
+            self.cache
+                .insert(key.clone(), engine.generation, Arc::clone(&ranked));
+        } else {
+            // A partial ranking is an honest degraded answer for *this*
+            // request only — caching it would keep serving the degradation
+            // after the shard recovers.
+            Metrics::bump(&self.metrics.partial_replies);
+        }
+        Ok((ranked, outcome))
     }
 
     /// Everything `STATS` reports: serving counters, cache counters, the
@@ -345,16 +426,14 @@ impl ServerState {
         pairs.push(("queue_depth".into(), self.config.queue_depth.to_string()));
         pairs.push((
             "graph_nodes".into(),
-            current.engine.graph().node_count().to_string(),
+            current.engine.node_count().to_string(),
         ));
-        pairs.push((
-            "topics".into(),
-            current.engine.space().topic_count().to_string(),
-        ));
+        pairs.push(("topics".into(), current.engine.topic_count().to_string()));
         pairs.push((
             "index_bytes".into(),
             current.engine.index_bytes().to_string(),
         ));
+        pairs.push(("shards".into(), current.engine.shard_count().to_string()));
         pairs
     }
 
@@ -419,19 +498,25 @@ impl ServerState {
             &mut out,
             "pit_graph_nodes",
             "Social-graph nodes in the serving engine",
-            current.engine.graph().node_count() as u64,
+            current.engine.node_count() as u64,
         );
         prom::gauge(
             &mut out,
             "pit_topics",
             "Topics in the serving engine",
-            current.engine.space().topic_count() as u64,
+            current.engine.topic_count() as u64,
         );
         prom::gauge(
             &mut out,
             "pit_index_bytes",
             "Resident bytes of the three offline indexes",
             current.engine.index_bytes() as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_shards",
+            "Backing shards answering for this server (1 unless routing)",
+            u64::from(current.engine.shard_count()),
         );
         out
     }

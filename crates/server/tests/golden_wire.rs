@@ -34,6 +34,8 @@ const STATS_KEYS: &[&str] = &[
     "reload_failures",
     "slow_queries",
     "traces_sampled",
+    "shards_pruned",
+    "partial_replies",
     "latency_p50_us",
     "latency_p99_us",
     "queue_p50_us",
@@ -57,6 +59,7 @@ const STATS_KEYS: &[&str] = &[
     "graph_nodes",
     "topics",
     "index_bytes",
+    "shards",
 ];
 
 /// Every Prometheus series the `METRICS` reply exposes, in reply order.
@@ -72,6 +75,8 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_reload_failures_total", "counter"),
     ("pit_slow_queries_total", "counter"),
     ("pit_traces_sampled_total", "counter"),
+    ("pit_shards_pruned_total", "counter"),
+    ("pit_partial_replies_total", "counter"),
     ("pit_latency_us", "histogram"),
     ("pit_queue_wait_us", "histogram"),
     ("pit_execution_us", "histogram"),
@@ -81,6 +86,9 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_cache_probe_us", "histogram"),
     ("pit_gather_us", "histogram"),
     ("pit_rank_us", "histogram"),
+    // Labeled per-shard fan-out histogram: header always present, one
+    // series per shard that has answered an EXPAND (none on a single node).
+    ("pit_shard_fanout_us", "histogram"),
     ("pit_cache_hits_total", "counter"),
     ("pit_cache_misses_total", "counter"),
     ("pit_cache_evictions_total", "counter"),
@@ -92,6 +100,7 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_graph_nodes", "gauge"),
     ("pit_topics", "gauge"),
     ("pit_index_bytes", "gauge"),
+    ("pit_shards", "gauge"),
 ];
 
 fn tiny_engine() -> PitEngine {
@@ -247,6 +256,12 @@ fn assert_valid_prometheus(body: &str) {
 
     for (name, kind) in METRIC_NAMES {
         if *kind != "histogram" {
+            continue;
+        }
+        // The per-shard fan-out histogram is labeled (one series per shard)
+        // and legitimately empty on a single node: only its header is
+        // pinned above, not a bucket shape.
+        if *name == "pit_shard_fanout_us" {
             continue;
         }
         let buckets: Vec<(String, u64)> = body

@@ -4,7 +4,10 @@
 //! observability verbs `TRACE` and `METRICS`, whose replies carry verbatim
 //! multi-line bodies.
 
-use pit_server::protocol::{read_frame, Request, Response, MAX_K, MAX_KEYWORDS, MAX_TRACE_DUMP};
+use pit_server::protocol::{
+    read_frame, ProbeTable, Request, Response, MAX_EXPAND_PROBES, MAX_K, MAX_KEYWORDS,
+    MAX_TRACE_DUMP,
+};
 use proptest::prelude::*;
 
 /// Tokens that steer the fuzz toward the parser's deep branches: real
@@ -26,6 +29,20 @@ const TOKENS: &[&str] = &[
     "PONG",
     "BYE",
     "TRACES",
+    "SHARD",
+    "EXPAND",
+    "EXPANDED",
+    "PREPARE",
+    "DIR",
+    "COMMIT",
+    "ABORT",
+    "STAGED",
+    "F",
+    "T",
+    "H",
+    "C",
+    "partial=",
+    "partial=1:timeout",
     "0",
     "1",
     "42",
@@ -120,6 +137,29 @@ proptest! {
         }
     }
 
+    /// render → parse identity for the router-facing request verbs.
+    #[test]
+    fn router_requests_roundtrip(
+        gen in any::<u64>(),
+        dir_seed in 0u32..10_000,
+        terms in proptest::collection::vec(any::<u32>(), 1..=MAX_KEYWORDS),
+        probes in proptest::collection::vec((any::<u32>(), 0.0f64..1.0), 1..=16),
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>(), 0.0001f64..1.0), 0..=4),
+        assignments in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..=4),
+    ) {
+        prop_assert!(probes.len() <= MAX_EXPAND_PROBES);
+        for req in [
+            Request::Shard,
+            Request::Commit,
+            Request::Abort,
+            Request::PrepareDir { dir: format!("/srv/shard-{dir_seed}") },
+            Request::PrepareUpdate { edges: edges.clone(), assignments: assignments.clone() },
+            Request::Expand { gen, terms: terms.clone(), probes: probes.clone() },
+        ] {
+            prop_assert_eq!(Request::parse(&req.render()), Ok(req));
+        }
+    }
+
     /// render → parse identity for the verbatim-body replies (`METRICS`,
     /// `TRACES`): any newline-joined body of plain lines must survive.
     #[test]
@@ -144,13 +184,25 @@ proptest! {
         cached in any::<bool>(),
         ranked in proptest::collection::vec((any::<u32>(), 0.0f64..1.0), 0..=8),
         stats in proptest::collection::vec((0u32..1000, any::<u64>()), 0..=8),
+        partial_seeds in proptest::collection::vec((any::<u32>(), 0usize..3), 0..=3),
     ) {
+        let reasons = ["timeout", "overloaded", "internal"];
+        let partial: Vec<(u32, String)> = partial_seeds
+            .iter()
+            .map(|&(shard, r)| (shard, reasons[r].to_string()))
+            .collect();
         for resp in [
             Response::Pong,
             Response::Bye,
             Response::Generation(generation),
             Response::Err("timeout".to_string()),
-            Response::Topics { ranked: ranked.clone(), cached, micros },
+            Response::Staged,
+            Response::Topics {
+                ranked: ranked.clone(),
+                cached,
+                micros,
+                partial: partial.clone(),
+            },
             Response::Stats(
                 stats
                     .iter()
@@ -160,5 +212,41 @@ proptest! {
         ] {
             prop_assert_eq!(Response::parse(&resp.render()), Ok(resp));
         }
+    }
+
+    /// Router-facing responses survive render → parse for arbitrary
+    /// generations, shard layouts, and probe-table contents — including the
+    /// bit-exact `f64` transport the sharded/single-node identity rests on.
+    #[test]
+    fn router_responses_roundtrip(
+        gen in any::<u64>(),
+        index in 0u32..16,
+        extra in 0u32..16,
+        bound in 0.0f64..1.0,
+        tables in proptest::collection::vec(
+            (
+                any::<u32>(),
+                proptest::collection::vec((any::<u32>(), 0.0f64..1.0), 0..=4),
+                proptest::collection::vec((any::<u32>(), 0.0f64..1.0), 0..=4),
+            ),
+            0..=4,
+        ),
+    ) {
+        let count = index + extra + 1; // index < count always holds
+        let shard = Response::ShardInfo { index, count, gen };
+        prop_assert_eq!(Response::parse(&shard.render()), Ok(shard));
+        let expanded = Response::Expanded {
+            gen,
+            bound,
+            tables: tables
+                .iter()
+                .map(|(node, hits, cands)| ProbeTable {
+                    node: *node,
+                    hits: hits.clone(),
+                    cands: cands.clone(),
+                })
+                .collect(),
+        };
+        prop_assert_eq!(Response::parse(&expanded.render()), Ok(expanded));
     }
 }

@@ -240,6 +240,49 @@ impl WalkIndex {
         self.reach_set(v).binary_search(&x).is_ok()
     }
 
+    /// A copy of this index that keeps only the walk rows of nodes selected
+    /// by `keep`; every other node's walks become zero-length rows. The
+    /// offset array stays full-length (the node universe is unchanged), so
+    /// `node_count()` and the store's validation keep working on a slice.
+    /// The frequency and reach parts are kept whole: they are dense
+    /// per-node summaries a fraction of the walk data's size, and the
+    /// shard-replicated summarizers read them for every topic.
+    pub fn sliced(&self, keep: &dyn Fn(NodeId) -> bool) -> Self {
+        if !self.parts.walks {
+            return self.clone();
+        }
+        let r = self.config.r;
+        let mut offsets = Vec::with_capacity(self.node_count * r + 1);
+        offsets.push(0u32);
+        let mut data = Vec::new();
+        for w in 0..self.node_count {
+            let owned = keep(NodeId::from_index(w));
+            for i in 0..r {
+                let slot = w * r + i;
+                let lo = self.walk_offsets[slot] as usize;
+                let hi = self.walk_offsets[slot + 1] as usize;
+                let len = if owned {
+                    data.extend_from_slice(&self.walk_data[lo..hi]);
+                    (hi - lo) as u32
+                } else {
+                    0
+                };
+                let last = *offsets.last().expect("offsets start non-empty");
+                offsets.push(next_walk_offset(last, len));
+            }
+        }
+        WalkIndex {
+            config: self.config,
+            node_count: self.node_count,
+            parts: self.parts,
+            walk_offsets: offsets,
+            walk_data: data,
+            freq: self.freq.clone(),
+            reach_offsets: self.reach_offsets.clone(),
+            reach_data: self.reach_data.clone(),
+        }
+    }
+
     /// Estimated resident heap size in bytes.
     pub fn heap_size_bytes(&self) -> usize {
         self.walk_offsets.capacity() * 4

@@ -58,9 +58,11 @@ pub use pit_topics as topics;
 pub use pit_walk as walk;
 
 pub mod engine;
+pub mod shard;
 pub mod store;
 pub mod update;
 
 pub use engine::{PitEngine, PitEngineBuilder, SummarizerKind};
 pub use pit_search_core::{CancelToken, SearchError};
+pub use shard::{shard_of, ShardSpec};
 pub use update::{Delta, UpdateReport};

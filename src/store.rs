@@ -58,16 +58,59 @@ const META_VERSION: u8 = 1;
 /// crash mid-save leaves either the previous engine or the new one — never
 /// a torn snapshot that a concurrent or later [`load_engine`] could read.
 pub fn save_engine(dir: &Path, engine: &PitEngine) -> Result<(), StoreError> {
+    save_engine_inner(dir, engine, None)
+}
+
+/// Persist a shard slice of an engine: identical to [`save_engine`] plus a
+/// `shard.pits` manifest recording the slice's `(index, count)`, written
+/// inside the same staged commit so the manifest can never be torn from its
+/// artifacts. The directory stays loadable by plain [`load_engine`];
+/// [`load_shard_spec`] recovers the manifest.
+pub fn save_shard(
+    dir: &Path,
+    engine: &PitEngine,
+    spec: crate::shard::ShardSpec,
+) -> Result<(), StoreError> {
+    save_engine_inner(dir, engine, Some(spec))
+}
+
+fn save_engine_inner(
+    dir: &Path,
+    engine: &PitEngine,
+    shard: Option<crate::shard::ShardSpec>,
+) -> Result<(), StoreError> {
     let (parent, name) = split_target(dir)?;
     fs::create_dir_all(&parent)?;
     let staging = parent.join(format!(".{name}.staging.{}", std::process::id()));
     let _ = fs::remove_dir_all(&staging);
     fs::create_dir_all(&staging)?;
-    let staged = write_artifacts(&staging, engine).and_then(|()| commit(&staging, dir));
+    let staged = write_artifacts(&staging, engine)
+        .and_then(|()| match shard {
+            Some(spec) => {
+                fs::write(staging.join(crate::shard::MANIFEST_FILE), spec.encode())?;
+                Ok(())
+            }
+            None => Ok(()),
+        })
+        .and_then(|()| commit(&staging, dir));
     if staged.is_err() {
         let _ = fs::remove_dir_all(&staging);
     }
     staged
+}
+
+/// Read the shard manifest of an engine directory, if it has one. A plain
+/// (unsharded) snapshot yields `Ok(None)`.
+///
+/// # Errors
+/// I/O failures other than the manifest being absent, or a
+/// [`StoreError::Corrupt`] for a malformed manifest.
+pub fn load_shard_spec(dir: &Path) -> Result<Option<crate::shard::ShardSpec>, StoreError> {
+    match fs::read(dir.join(crate::shard::MANIFEST_FILE)) {
+        Ok(bytes) => Ok(Some(crate::shard::ShardSpec::decode(&bytes)?)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
 }
 
 /// Split `dir` into its parent directory and file name, defaulting the

@@ -86,6 +86,28 @@ impl PitEngine {
     /// # Errors
     /// As [`PitEngine::apply_delta`].
     pub fn with_delta(&self, delta: &Delta) -> Result<(PitEngine, UpdateReport), GraphError> {
+        self.with_delta_scoped(delta, None)
+    }
+
+    /// Shard-aware [`PitEngine::with_delta`]: apply `delta` to a shard slice
+    /// without resurrecting the artifacts the slice does not own. Γ tables
+    /// are refreshed only for *owned* affected nodes (unowned tables stay
+    /// empty), and the rebuilt walk index is re-sliced to the shard's users.
+    /// Re-summarization runs against the *full* rebuilt walk index — walks
+    /// are seed-deterministic over the replicated graph, so every shard
+    /// derives bit-identical representative sets without coordination, and
+    /// the shard invariant `slice(full.with_delta(d)) ==
+    /// slice(full).with_delta_scoped(d, spec)` holds exactly.
+    ///
+    /// With `shard == None` this is exactly [`PitEngine::with_delta`].
+    ///
+    /// # Errors
+    /// As [`PitEngine::apply_delta`].
+    pub fn with_delta_scoped(
+        &self,
+        delta: &Delta,
+        shard: Option<&crate::shard::ShardSpec>,
+    ) -> Result<(PitEngine, UpdateReport), GraphError> {
         if delta.is_empty() {
             let clone = PitEngine::from_parts(
                 self.graph().clone(),
@@ -129,11 +151,16 @@ impl PitEngine {
         //    new edge's head can gain or lose θ-surviving in-paths.
         let heads: Vec<NodeId> = delta.new_edges.iter().map(|&(_, v, _)| v).collect();
         let mut prop: PropagationIndex = self.propagation().clone();
-        let affected_gamma = if heads.is_empty() {
+        let mut affected_gamma = if heads.is_empty() {
             Vec::new()
         } else {
             new_graph.downstream_within(&heads, prop.config().max_depth)
         };
+        if let Some(spec) = shard {
+            // Unowned tables are empty by the shard invariant and must stay
+            // so; recomputing them here would silently un-slice the engine.
+            affected_gamma.retain(|&v| spec.owns(v));
+        }
         prop.refresh_nodes(&new_graph, &affected_gamma);
 
         // 4. Walk index: deterministic full rebuild against the new graph.
@@ -209,6 +236,12 @@ impl PitEngine {
             refreshed_gamma_tables: affected_gamma.len(),
             resummarized_topics: affected_topics.len(),
             walk_index_rebuilt: true,
+        };
+        // Summarization above needed the full walk index; the stored slice
+        // keeps only the shard's own rows.
+        let walks = match shard {
+            Some(spec) => walks.sliced(&|v| spec.owns(v)),
+            None => walks,
         };
         let next = PitEngine::from_parts(
             new_graph,
@@ -412,6 +445,47 @@ mod tests {
             new_assignments: vec![],
         };
         assert!(e.apply_delta(&bad).is_err());
+    }
+
+    #[test]
+    fn scoped_delta_commutes_with_slicing() {
+        // The shard invariant: updating a slice in place must land exactly
+        // where slicing the updated full engine would — same Γ tables, same
+        // representative sets — for every shard of every partition width.
+        use crate::shard::{slice_engine, ShardSpec};
+        let e = engine();
+        let delta = Delta {
+            new_edges: vec![(user(11), user(6), 0.9)],
+            new_assignments: vec![(user(5), TopicId(2))],
+        };
+        let (full_next, full_report) = e.with_delta(&delta).unwrap();
+        for count in [2u32, 3] {
+            for i in 0..count {
+                let spec = ShardSpec::new(i, count);
+                let slice = slice_engine(&e, spec);
+                let (next, report) = slice.with_delta_scoped(&delta, Some(&spec)).unwrap();
+                let expect = slice_engine(&full_next, spec);
+                for v in next.graph().nodes() {
+                    assert_eq!(
+                        next.propagation().gamma(v),
+                        expect.propagation().gamma(v),
+                        "shard {spec}: Γ({v}) diverged"
+                    );
+                }
+                for t in next.space().topics() {
+                    assert_eq!(
+                        next.reps().get(t),
+                        expect.reps().get(t),
+                        "shard {spec}: representatives of {t} diverged"
+                    );
+                }
+                assert!(report.walk_index_rebuilt);
+                assert!(
+                    report.refreshed_gamma_tables <= full_report.refreshed_gamma_tables,
+                    "a shard refreshes no more tables than the full engine"
+                );
+            }
+        }
     }
 
     #[test]
