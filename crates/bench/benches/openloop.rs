@@ -1,0 +1,155 @@
+//! Open-loop load generator for the serving stack: latency vs *offered* QPS.
+//!
+//! Closed-loop benchmarks (like `serve.rs`) wait for each reply before
+//! sending the next request, so a slow server quietly throttles its own
+//! load and the numbers hide queueing — the coordinated-omission trap. This
+//! harness instead fixes an absolute send schedule per connection and
+//! measures every reply against its *scheduled* send time: if the server
+//! falls behind, the backlog shows up in the tail percentiles instead of
+//! disappearing from the offered rate.
+//!
+//! Four connections share the offered rate round-robin (interleaved
+//! schedules), mirroring the event-loop front-end's expectation of few
+//! sockets carrying many requests. The sweep prints one line per rate;
+//! the knee where p99 detaches from p50 is the stack's capacity.
+//!
+//! Run with `cargo bench -p pit-bench --bench openloop`.
+
+use pit::{PitEngine, SummarizerKind};
+use pit_server::protocol::{read_frame, write_frame};
+use pit_server::{ServerConfig, ServerState};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Connections sharing the offered rate.
+const CONNS: usize = 4;
+
+/// Measurement window per offered rate.
+const WINDOW: Duration = Duration::from_secs(2);
+
+/// Offered rates to sweep (queries per second across all connections).
+const RATES: [u64; 3] = [100, 400, 1200];
+
+fn engine() -> Arc<PitEngine> {
+    let spec = pit_datasets::DatasetSpec {
+        name: "openloop-bench".to_string(),
+        nodes: 1_500,
+        kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+        topics: pit_datasets::spec::scaled_topic_config(1_500, 0xBE7C),
+        seed: 0xBE7C,
+    };
+    let ds = pit_datasets::generate(&spec);
+    Arc::new(
+        PitEngine::builder()
+            .walk(pit_walk::WalkConfig::new(4, 16).with_seed(1))
+            .propagation(pit_index::PropIndexConfig::with_theta(0.05))
+            .summarizer(SummarizerKind::Lrw(pit_summarize::LrwConfig {
+                rep_count: Some(16),
+                ..pit_summarize::LrwConfig::default()
+            }))
+            .build_with_vocab(ds.graph, ds.space, Some(ds.vocab)),
+    )
+}
+
+/// Drive one rate: every connection follows its own absolute schedule and
+/// sends on schedule *even when behind* (the open-loop property). Returns
+/// all latencies, measured from scheduled send time, sorted ascending.
+fn sweep(addr: SocketAddr, qps: u64) -> Vec<u64> {
+    let interval = Duration::from_secs_f64(CONNS as f64 / qps as f64);
+    // A common epoch slightly in the future so every thread's first tick
+    // is scheduled, not late.
+    let epoch = Instant::now() + Duration::from_millis(100);
+    let handles: Vec<_> = (0..CONNS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("read timeout");
+                // Interleave the CONNS schedules across the interval.
+                let offset = interval.mul_f64(c as f64 / CONNS as f64);
+                let mut lats = Vec::new();
+                let mut tick = 0u32;
+                loop {
+                    let due = epoch + offset + interval * tick;
+                    if due.duration_since(epoch) >= WINDOW {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if due > now {
+                        thread::sleep(due - now);
+                    }
+                    // Rotate users so the LRU cannot absorb the sweep.
+                    let user = (c as u32 * 383 + tick) % 1_000;
+                    write_frame(&mut stream, &format!("QUERY {user} 10 query-0")).expect("send");
+                    let reply = read_frame(&mut stream).expect("recv").expect("reply");
+                    assert!(reply.starts_with("TOPICS"), "unexpected reply: {reply}");
+                    // Latency from the *scheduled* instant: queueing caused
+                    // by running behind is charged to the server, not hidden.
+                    lats.push(due.elapsed().as_micros() as u64);
+                    tick += 1;
+                }
+                lats
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("load thread"))
+        .collect();
+    all.sort_unstable();
+    all
+}
+
+/// Nearest-rank percentile over an ascending slice.
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    // `cargo bench` passes filter/--bench args; this harness ignores them.
+    let engine = engine();
+    let state = Arc::new(ServerState::new(
+        engine,
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 0,
+            query_budget: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    ));
+    let server = pit_server::serve(state, "127.0.0.1:0").expect("start server");
+    let addr = server.addr();
+
+    println!(
+        "open-loop sweep: {CONNS} connections, {}s per rate, cold queries, \
+         latency measured from scheduled send time",
+        WINDOW.as_secs()
+    );
+    println!(
+        "{:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "offered_qps", "sent", "p50_us", "p90_us", "p99_us", "max_us"
+    );
+    for qps in RATES {
+        let lats = sweep(addr, qps);
+        println!(
+            "{:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            qps,
+            lats.len(),
+            pct(&lats, 50.0),
+            pct(&lats, 90.0),
+            pct(&lats, 99.0),
+            lats.last().copied().unwrap_or(0)
+        );
+    }
+
+    server.shutdown();
+    server.join();
+}

@@ -263,6 +263,17 @@ fn server_config(p: &Parsed) -> Result<pit_server::ServerConfig, String> {
         io_timeout: Duration::from_millis(
             p.num("io-timeout-ms", defaults.io_timeout.as_millis() as u64)?,
         ),
+        // Event-loop sizing: a handful of I/O threads own every client
+        // socket, so connection count never grows the thread count.
+        io_threads: p.num("io-threads", defaults.io_threads)?,
+        // Single-flight coalescing (`--coalesce on|off`): concurrent
+        // identical cold queries share one execution and one cache fill.
+        coalesce: match p.get("coalesce") {
+            None => defaults.coalesce,
+            Some("on" | "true" | "1") => true,
+            Some("off" | "false" | "0") => false,
+            Some(v) => return Err(format!("flag --coalesce: expected on|off, got {v:?}")),
+        },
         cancel_check_tables: p.num("cancel-every", defaults.cancel_check_tables)?,
         poison_user: opt_user("poison-user")?,
         drag_user: opt_user("drag-user")?,

@@ -290,6 +290,228 @@ fn budget_expiry_cancels_mid_search_and_frees_the_worker() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Build a second, disagreeing engine snapshot for RELOAD drills.
+fn build_variant_engine(dir: &Path) -> PitEngine {
+    let spec = pit_datasets::DatasetSpec {
+        name: "serve-it-v2".to_string(),
+        nodes: 400,
+        kind: pit_datasets::DatasetKind::PowerLaw { edges_per_node: 4 },
+        topics: pit_datasets::spec::scaled_topic_config(400, 23),
+        seed: 23,
+    };
+    let ds = pit_datasets::generate(&spec);
+    let engine = PitEngine::builder()
+        .walk(pit_walk::WalkConfig::new(3, 8).with_seed(4))
+        .propagation(pit_index::PropIndexConfig::with_theta(0.02))
+        .summarizer(SummarizerKind::Lrw(pit_summarize::LrwConfig {
+            rep_count: Some(8),
+            ..pit_summarize::LrwConfig::default()
+        }))
+        .build_with_vocab(ds.graph, ds.space, Some(ds.vocab));
+    store::save_engine(dir, &engine).expect("save variant engine");
+    engine
+}
+
+/// Fire `n` identical queries from `n` fresh connections through a barrier
+/// and return every reply.
+fn herd(addr: &str, n: usize, req: &Request) -> Vec<Response> {
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            let req = req.clone();
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+            std::thread::spawn(move || {
+                barrier.wait();
+                ask(&mut c, &req)
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("herd thread"))
+        .collect()
+}
+
+#[test]
+fn reload_herd_drill_coalesces_to_one_execution_per_generation() {
+    // The real-binary thundering-herd drill: a RELOAD bumps the generation,
+    // every cached ranking goes stale at once, and a burst of identical
+    // queries lands cold. Single-flight coalescing must turn each such
+    // burst into exactly one execution with bit-identical replies.
+    let dir = scratch_dir("herd-gen1");
+    let dir2 = scratch_dir("herd-gen2");
+    let engine = build_engine(&dir);
+    let engine2 = build_variant_engine(&dir2);
+    // The drag makes the single execution slow enough (~100 ms per probed
+    // table) that all herd members register while it is in flight; the
+    // reload drag exercises queries-keep-flowing during the swap.
+    let (mut child, addr) = spawn_server(
+        &dir,
+        &[
+            "--workers",
+            "2",
+            "--cache",
+            "64",
+            "--budget-ms",
+            "30000",
+            "--cancel-every",
+            "1",
+            "--drag-user",
+            "7",
+            "--drag-us",
+            "100000",
+            "--reload-drag-ms",
+            "100",
+        ],
+    );
+    let herd_query = query(7, 5, "query-0");
+
+    let offline = |e: &PitEngine| -> Vec<(u32, f64)> {
+        e.search_keywords(pit_graph::NodeId(7), &["query-0"], 5)
+            .expect("offline search")
+            .top_k
+            .iter()
+            .map(|s| (s.topic.0, s.score))
+            .collect()
+    };
+    let check_herd = |replies: &[Response], want: &[(u32, f64)], label: &str| {
+        for reply in replies {
+            assert_eq!(
+                reply, &replies[0],
+                "{label}: coalesced replies must be bit-identical"
+            );
+            let Response::Topics { ranked, cached, .. } = reply else {
+                panic!("{label}: expected topics, got {reply:?}");
+            };
+            assert!(!cached, "{label}: herd must be cold");
+            assert_eq!(ranked, want, "{label}: ranking diverged from offline");
+        }
+    };
+
+    // Cold herd on generation 1.
+    check_herd(&herd(&addr, 8, &herd_query), &offline(&engine), "gen1");
+
+    let mut c = TcpStream::connect(&addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let Response::Stats(pairs) = ask(&mut c, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert_eq!(get_stat(&pairs, "inflight_executions"), 1);
+    assert_eq!(get_stat(&pairs, "coalesced_queries"), 7);
+    assert_eq!(get_stat(&pairs, "queries"), 8);
+
+    // Swap generations — this is the moment the cache goes cold at once.
+    let reload = Request::Reload {
+        dir: dir2.display().to_string(),
+    };
+    assert_eq!(ask(&mut c, &reload), Response::Generation(2));
+
+    // Post-reload herd: recomputed once on the new engine, shared by all.
+    check_herd(&herd(&addr, 8, &herd_query), &offline(&engine2), "gen2");
+
+    let Response::Stats(pairs) = ask(&mut c, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert_eq!(
+        get_stat(&pairs, "inflight_executions"),
+        2,
+        "each generation's herd must share exactly one execution"
+    );
+    assert_eq!(get_stat(&pairs, "coalesced_queries"), 14);
+    assert_eq!(get_stat(&pairs, "queries"), 16);
+
+    assert_eq!(ask(&mut c, &Request::Shutdown), Response::Bye);
+    assert!(child.wait().expect("server exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn ten_thousand_idle_connections_cost_fds_not_threads() {
+    // The event-loop acceptance drill: idle clients must not grow the
+    // server's thread count, and the daemon must stay responsive with
+    // thousands of sockets parked.
+    const TARGET: usize = 10_000;
+    const FLOOR: usize = 8_000;
+    let dir = scratch_dir("idle10k");
+    build_engine(&dir);
+    let (mut child, addr) = spawn_server(
+        &dir,
+        &[
+            "--workers",
+            "2",
+            "--io-threads",
+            "2",
+            "--io-timeout-ms",
+            "120000",
+        ],
+    );
+    let server_pid = child.id();
+
+    // Ramp up, tolerating fd exhaustion (EMFILE) and transient backlog
+    // refusals on either side — but insisting on a large floor.
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(TARGET);
+    let mut refusals = 0u32;
+    while idle.len() < TARGET {
+        match TcpStream::connect(&addr) {
+            Ok(s) => idle.push(s),
+            Err(_) if refusals < 50 => {
+                refusals += 1;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                assert!(
+                    idle.len() >= FLOOR,
+                    "only {} connections before {e} (floor {FLOOR})",
+                    idle.len()
+                );
+                break;
+            }
+        }
+    }
+    let parked = idle.len();
+    assert!(parked >= FLOOR, "parked only {parked} connections");
+
+    // A fresh connection is still served promptly despite the parked herd.
+    let mut c = TcpStream::connect(&addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    assert_eq!(ask(&mut c, &Request::Ping), Response::Pong);
+    assert!(matches!(
+        ask(&mut c, &query(7, 5, "query-0")),
+        Response::Topics { .. }
+    ));
+
+    // STATS separates connection count from queue depth: every parked
+    // socket is registered, none of them occupies the worker queue.
+    let Response::Stats(pairs) = ask(&mut c, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert!(
+        get_stat(&pairs, "open_connections") >= parked as u64,
+        "open_connections = {} with {parked} parked",
+        get_stat(&pairs, "open_connections")
+    );
+    assert_eq!(get_stat(&pairs, "queued_jobs"), 0);
+    assert_eq!(get_stat(&pairs, "io_threads"), 2);
+
+    // The thread count is fixed: main + acceptor + 2 io + 2 workers +
+    // updater plus a little slack — nowhere near one-per-connection.
+    let tasks = std::fs::read_dir(format!("/proc/{server_pid}/task"))
+        .expect("read /proc tasks")
+        .count();
+    assert!(
+        tasks <= 16,
+        "server runs {tasks} threads with {parked} connections parked"
+    );
+
+    drop(idle);
+    assert_eq!(ask(&mut c, &Request::Shutdown), Response::Bye);
+    assert!(child.wait().expect("server exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn serve_sheds_or_answers_under_tiny_queue() {
     let dir = scratch_dir("shed");

@@ -345,6 +345,27 @@ mod tests {
     }
 
     #[test]
+    fn l1_scope_covers_the_event_loop_front_end_modules() {
+        // The connection front-end lives in files added long after the
+        // scope was written (conn.rs, event.rs, cache.rs); the prefix
+        // match must pick them up without anyone editing L1_SCOPE.
+        let src = "fn f() { x.unwrap(); thread::sleep(d); }\n";
+        for rel in [
+            "crates/server/src/conn.rs",
+            "crates/server/src/event.rs",
+            "crates/server/src/cache.rs",
+        ] {
+            let v = check(rel, src);
+            assert_eq!(v.len(), 1, "{rel}: {v:?}");
+            assert_eq!(v[0].rule, "L1", "{rel} must sit inside L1 scope");
+        }
+        // Same source inside the engine crates trips L4 as well: the
+        // server may sleep (its readiness backoff), the engine may not.
+        let v = check("crates/search/src/newmod.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
     fn l1_ignores_comments_strings_and_debug_asserts() {
         let src = "fn f() {\n\
                    // x.unwrap() would be wrong\n\

@@ -172,9 +172,47 @@ impl ShardTransport for LocalTransport {
     }
 }
 
+/// A transport-level failure, plus whether it has the shape a server-side
+/// idle cut leaves on a pooled connection — the one shape that proves the
+/// request was never served and is therefore safe to retry.
+struct CallFailure {
+    error: ShardError,
+    stale: bool,
+}
+
+impl CallFailure {
+    /// A failure that must never trigger a retry.
+    fn hard(error: ShardError) -> Self {
+        CallFailure {
+            error,
+            stale: false,
+        }
+    }
+}
+
+/// `min(deadline − now, io_timeout)` — or `Timeout` if the deadline passed.
+fn remaining_budget(
+    deadline: Option<Instant>,
+    io_timeout: Duration,
+) -> Result<Duration, ShardError> {
+    match deadline {
+        Some(d) => {
+            let now = Instant::now();
+            if d <= now {
+                Err(ShardError::Timeout)
+            } else {
+                Ok((d - now).min(io_timeout))
+            }
+        }
+        None => Ok(io_timeout),
+    }
+}
+
 /// A remote shard behind a `pit serve` daemon, over the length-prefixed
 /// text protocol. One pooled connection, re-dialed on demand; any I/O error
-/// drops the connection (the stream position is unknowable mid-frame).
+/// drops the connection (the stream position is unknowable mid-frame). The
+/// single failure shape an idle-cut pooled connection produces is retried
+/// once on a fresh dial — see `call` for the exact conditions.
 pub struct RemoteTransport {
     addr: String,
     conn: Mutex<Option<TcpStream>>,
@@ -197,51 +235,106 @@ impl RemoteTransport {
 
     /// One request/response exchange under `min(deadline, io_timeout)`.
     /// Classifies every failure into the taxonomy.
+    ///
+    /// A *pooled* connection that the server idled out between calls fails
+    /// with a distinctive signature — the write is refused, or EOF arrives
+    /// before a single reply byte — meaning the request was never served.
+    /// That one case is retried once on a fresh dial (within whatever
+    /// remains of the deadline), so routine server-side idle cuts never
+    /// surface as shard faults. A failure on a fresh connection, or one
+    /// after reply bytes started flowing, is reported as-is.
     fn call(&self, request: &Request, deadline: Option<Instant>) -> Result<Response, ShardError> {
-        let budget = match deadline {
-            Some(d) => {
-                let now = Instant::now();
-                if d <= now {
-                    return Err(ShardError::Timeout);
-                }
-                (d - now).min(self.io_timeout)
-            }
-            None => self.io_timeout,
-        };
+        let budget = remaining_budget(deadline, self.io_timeout)?;
         let mut guard = self.conn.lock();
+        let reused = guard.is_some();
         if guard.is_none() {
             *guard = Some(self.dial(budget)?);
         }
         // The guard stays held for the exchange: the protocol is strictly
         // request/reply per connection, and the router issues one call per
         // shard at a time anyway.
-        let result = (|| {
-            let stream = guard.as_mut().ok_or(ShardError::Timeout)?;
-            stream
-                .set_write_timeout(Some(budget))
-                .and_then(|()| stream.set_read_timeout(Some(budget)))
-                .map_err(|e| ShardError::Internal(format!("{}: {e}", self.addr)))?;
-            write_frame(stream, &request.render()).map_err(|e| self.classify_io(&e))?;
-            let text = read_frame(stream)
-                .map_err(|e| self.classify_io(&e))?
-                .ok_or_else(|| {
-                    ShardError::Internal(format!("{}: connection closed mid-call", self.addr))
-                })?;
-            Response::parse(&text)
-                .map_err(|e| ShardError::Internal(format!("{}: bad reply: {e}", self.addr)))
-        })();
-        match result {
+        let Some(stream) = guard.as_mut() else {
+            // Unreachable — the dial above just filled the slot — but the
+            // serving stack returns errors rather than panicking.
+            return Err(ShardError::Internal(format!(
+                "{}: connection pool invariant broken",
+                self.addr
+            )));
+        };
+        let failure = match self.exchange(stream, budget, request) {
             Ok(Response::Err(reason)) => {
                 // Server-side errors leave the connection usable.
-                Err(classify_err_reply(&reason))
+                return Err(classify_err_reply(&reason));
             }
-            Ok(resp) => Ok(resp),
-            Err(e) => {
-                // Transport-level failure: the stream may hold a half frame.
-                *guard = None;
-                Err(e)
-            }
+            Ok(resp) => return Ok(resp),
+            Err(f) => f,
+        };
+        // Transport-level failure: the stream may hold a half frame.
+        *guard = None;
+        if reused && failure.stale {
+            let budget = remaining_budget(deadline, self.io_timeout)?;
+            let mut fresh = self.dial(budget)?;
+            return match self.exchange(&mut fresh, budget, request) {
+                Ok(Response::Err(reason)) => {
+                    *guard = Some(fresh);
+                    Err(classify_err_reply(&reason))
+                }
+                Ok(resp) => {
+                    *guard = Some(fresh);
+                    Ok(resp)
+                }
+                Err(retry_failure) => Err(retry_failure.error),
+            };
         }
+        Err(failure.error)
+    }
+
+    /// Write one request and read its reply on `stream`, flagging the
+    /// failure shapes an idle-cut pooled connection produces.
+    fn exchange(
+        &self,
+        stream: &mut TcpStream,
+        budget: Duration,
+        request: &Request,
+    ) -> Result<Response, CallFailure> {
+        stream
+            .set_write_timeout(Some(budget))
+            .and_then(|()| stream.set_read_timeout(Some(budget)))
+            .map_err(|e| CallFailure::hard(ShardError::Internal(format!("{}: {e}", self.addr))))?;
+        write_frame(stream, &request.render()).map_err(|e| CallFailure {
+            // A peer that already closed refuses the write outright — the
+            // request never left this process.
+            stale: matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ),
+            error: self.classify_io(&e),
+        })?;
+        let text = read_frame(stream)
+            .map_err(|e| CallFailure {
+                // A reset before any reply byte means the peer discarded the
+                // request; a timeout or a torn frame does not, so those are
+                // never retried.
+                stale: matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+                ),
+                error: self.classify_io(&e),
+            })?
+            .ok_or_else(|| CallFailure {
+                // Clean EOF at the frame boundary with zero reply bytes:
+                // the server closed (idle cut) without serving the request.
+                stale: true,
+                error: ShardError::Internal(format!("{}: connection closed mid-call", self.addr)),
+            })?;
+        Response::parse(&text).map_err(|e| {
+            CallFailure::hard(ShardError::Internal(format!(
+                "{}: bad reply: {e}",
+                self.addr
+            )))
+        })
     }
 
     fn dial(&self, budget: Duration) -> Result<TcpStream, ShardError> {
@@ -392,5 +485,111 @@ impl ShardTransport for RemoteTransport {
                 self.addr
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn shard_reply(gen: u64) -> String {
+        Response::ShardInfo {
+            index: 0,
+            count: 1,
+            gen,
+        }
+        .render()
+    }
+
+    /// A pooled connection the server closed between calls (an idle cut)
+    /// must not surface as a shard fault: the transport re-dials once and
+    /// the caller sees only the answer from the fresh connection.
+    #[test]
+    fn stale_pooled_connection_is_redialed_once() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let server = thread::spawn(move || {
+            // Connection 1: answer one SHARD, then close — exactly what a
+            // server-side idle cut does to a parked router connection.
+            {
+                let (mut s, _) = listener.accept().expect("accept #1");
+                let req = read_frame(&mut s).expect("read #1").expect("frame #1");
+                assert_eq!(req, Request::Shard.render());
+                write_frame(&mut s, &shard_reply(1)).expect("reply #1");
+            }
+            // Connection 2: the transparent retry lands here.
+            let (mut s, _) = listener.accept().expect("accept #2");
+            let req = read_frame(&mut s).expect("read #2").expect("frame #2");
+            assert_eq!(req, Request::Shard.render());
+            write_frame(&mut s, &shard_reply(2)).expect("reply #2");
+            // Keep the socket open until the client has read the reply.
+            thread::sleep(Duration::from_millis(200));
+        });
+
+        let transport = RemoteTransport::new(addr.to_string(), Duration::from_secs(5));
+        assert_eq!(transport.shard_info().expect("call #1"), (0, 1, 1));
+        // Let the server's FIN land so the pooled socket is visibly dead.
+        thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            transport
+                .shard_info()
+                .expect("call #2 should retry on a fresh dial"),
+            (0, 1, 2)
+        );
+        server.join().expect("server thread");
+    }
+
+    /// A connection that dies on its *first* use proves nothing about idle
+    /// cuts — the shard itself is misbehaving, and retrying would only mask
+    /// that. The failure must be reported without a second dial.
+    #[test]
+    fn fresh_connection_failure_is_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let server = thread::spawn(move || {
+            {
+                let (mut s, _) = listener.accept().expect("accept #1");
+                let _ = read_frame(&mut s); // swallow the request,
+            } // answer nothing, close.
+              // Any re-dial would land here within the transport's 5s budget;
+              // watch long enough to catch it.
+            listener.set_nonblocking(true).expect("nonblocking");
+            let patience = Instant::now() + Duration::from_millis(400);
+            while Instant::now() < patience {
+                assert!(
+                    listener.accept().is_err(),
+                    "a first-use failure must not be retried"
+                );
+                thread::sleep(Duration::from_millis(10));
+            }
+        });
+
+        let transport = RemoteTransport::new(addr.to_string(), Duration::from_secs(5));
+        let err = transport
+            .shard_info()
+            .expect_err("first use died unanswered");
+        assert!(matches!(err, ShardError::Internal(_)), "got {err:?}");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn remaining_budget_caps_and_times_out() {
+        let io = Duration::from_secs(3);
+        // No deadline: the per-call cap alone.
+        assert_eq!(remaining_budget(None, io).expect("uncapped"), io);
+        // Distant deadline: still capped by io_timeout.
+        let far = Instant::now() + Duration::from_secs(60);
+        assert_eq!(remaining_budget(Some(far), io).expect("capped"), io);
+        // Near deadline: the remaining slice wins.
+        let near = Instant::now() + Duration::from_millis(50);
+        assert!(remaining_budget(Some(near), io).expect("sliced") <= Duration::from_millis(50));
+        // Expired deadline: an honest Timeout before any I/O happens.
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            remaining_budget(Some(past), io).expect_err("expired"),
+            ShardError::Timeout
+        );
     }
 }

@@ -13,10 +13,12 @@
 //! cache, and no post-swap response can ever be served from a pre-swap
 //! ranking.
 
+use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use pit_graph::TermId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Cache key: the complete identity of a query.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -222,6 +224,153 @@ impl<V: Clone> QueryCache<V> {
     }
 }
 
+/// What [`InflightMap::begin`] handed the caller: leadership of a fresh
+/// flight (with the cancel handle every waiter shares) or a seat on an
+/// existing one.
+pub enum FlightRole<C> {
+    /// No identical execution was in flight: the caller must run the search
+    /// and eventually [`InflightMap::resolve`] the flight. Carries the
+    /// flight's shared cancel handle.
+    Lead(C),
+    /// An identical execution is already running; the caller's channel was
+    /// registered as a waiter and the result will arrive on it.
+    Join,
+}
+
+struct Flight<R, C> {
+    /// One reply channel per waiting connection (leader included).
+    waiters: Vec<Sender<R>>,
+    /// Waiters still interested. Decremented by [`InflightMap::abandon`];
+    /// at zero the flight's execution is pointless and gets cancelled.
+    live: usize,
+    /// The cancel handle shared by the single execution.
+    cancel: C,
+    /// The leader's deadline. A flight can only outlive it by the worker's
+    /// resolve lag; one lingering far past it is a corpse (the worker died
+    /// between dequeue and resolve) and gets taken over — see
+    /// [`STALE_GRACE`].
+    deadline: Instant,
+}
+
+/// How long past its deadline a flight may linger before `begin` declares
+/// it dead and re-leads. Normal resolution removes the entry within the
+/// cancel-check lag; only a worker that died mid-resolve leaves a corpse,
+/// and without this takeover that `(generation, key)` would time out every
+/// future query forever.
+const STALE_GRACE: Duration = Duration::from_secs(30);
+
+/// Single-flight registry: at most one execution per `(generation, key)` is
+/// in flight at a time; identical concurrent cold queries register as
+/// waiters on it and all receive the one result.
+///
+/// Generic over the result (`R`, cloned per waiter) and the cancel handle
+/// (`C`, e.g. a `CancelToken`) so the map itself stays a pure data
+/// structure: resolution sends happen in the caller, outside the lock.
+pub struct InflightMap<R, C> {
+    flights: Mutex<HashMap<(u64, QueryKey), Flight<R, C>>>,
+}
+
+impl<R, C: Clone> InflightMap<R, C> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        InflightMap {
+            flights: Mutex::named("server.cache.inflight", HashMap::new()),
+        }
+    }
+
+    /// Register `tx` for the flight over `(generation, key)`. If none is in
+    /// flight, `make` builds the flight's cancel handle and the caller
+    /// becomes the leader (with `deadline` recorded as the flight's);
+    /// otherwise the caller joins the existing flight. A flight lingering
+    /// `STALE_GRACE` past its own deadline is a corpse: its waiters are
+    /// dropped (their receivers observe the disconnect) and the caller
+    /// re-leads a fresh flight.
+    pub fn begin(
+        &self,
+        generation: u64,
+        key: &QueryKey,
+        tx: Sender<R>,
+        deadline: Instant,
+        make: impl FnOnce() -> C,
+    ) -> FlightRole<C> {
+        let mut flights = self.flights.lock();
+        match flights.entry((generation, key.clone())) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let stale = Instant::now()
+                    .checked_duration_since(e.get().deadline)
+                    .is_some_and(|lag| lag >= STALE_GRACE);
+                if stale {
+                    let cancel = make();
+                    e.insert(Flight {
+                        waiters: vec![tx],
+                        live: 1,
+                        cancel: cancel.clone(),
+                        deadline,
+                    });
+                    return FlightRole::Lead(cancel);
+                }
+                let flight = e.get_mut();
+                flight.waiters.push(tx);
+                flight.live += 1;
+                FlightRole::Join
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let cancel = make();
+                e.insert(Flight {
+                    waiters: vec![tx],
+                    live: 1,
+                    cancel: cancel.clone(),
+                    deadline,
+                });
+                FlightRole::Lead(cancel)
+            }
+        }
+    }
+
+    /// One waiter stopped caring (its own deadline passed or its connection
+    /// died). When the last live waiter abandons, the flight's cancel
+    /// handle is returned so the caller can stop the now-pointless
+    /// execution; the entry itself stays until [`InflightMap::resolve`], so
+    /// late joiners in the race window still get a (cancelled) reply.
+    pub fn abandon(&self, generation: u64, key: &QueryKey) -> Option<C> {
+        let mut flights = self.flights.lock();
+        let flight = flights.get_mut(&(generation, key.clone()))?;
+        flight.live = flight.live.saturating_sub(1);
+        if flight.live == 0 {
+            Some(flight.cancel.clone())
+        } else {
+            None
+        }
+    }
+
+    /// The execution finished (or failed to start): remove the flight and
+    /// hand back every waiter channel. The caller sends the result outside
+    /// the lock.
+    pub fn resolve(&self, generation: u64, key: &QueryKey) -> Vec<Sender<R>> {
+        let mut flights = self.flights.lock();
+        match flights.remove(&(generation, key.clone())) {
+            Some(flight) => flight.waiters,
+            None => Vec::new(),
+        }
+    }
+
+    /// Flights currently registered (tests and debugging).
+    pub fn len(&self) -> usize {
+        self.flights.lock().len()
+    }
+
+    /// Whether no flight is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<R, C: Clone> Default for InflightMap<R, C> {
+    fn default() -> Self {
+        InflightMap::new()
+    }
+}
+
 impl<V> Inner<V> {
     /// Detach `slot` from the recency list (no-op if already detached).
     fn unlink(&mut self, slot: usize) {
@@ -392,6 +541,100 @@ mod tests {
             }
         }
         assert_eq!(live, 8);
+    }
+
+    /// A deadline far enough out that no test flight ever reads as stale.
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    #[test]
+    fn single_flight_leads_then_joins_then_resolves() {
+        let m: InflightMap<u64, u32> = InflightMap::new();
+        let (tx1, rx1) = crossbeam::channel::bounded(1);
+        let (tx2, rx2) = crossbeam::channel::bounded(1);
+        assert!(matches!(
+            m.begin(1, &key(7), tx1, soon(), || 99),
+            FlightRole::Lead(99)
+        ));
+        assert!(matches!(
+            m.begin(1, &key(7), tx2, soon(), || unreachable!(
+                "joiner never makes a handle"
+            )),
+            FlightRole::Join
+        ));
+        assert_eq!(m.len(), 1, "one flight covers both callers");
+        let waiters = m.resolve(1, &key(7));
+        assert_eq!(waiters.len(), 2);
+        for tx in waiters {
+            tx.send(42).unwrap();
+        }
+        assert_eq!(rx1.recv().unwrap(), 42);
+        assert_eq!(rx2.recv().unwrap(), 42);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn different_generation_or_key_is_a_separate_flight() {
+        let m: InflightMap<u64, u32> = InflightMap::new();
+        let (tx, _rx) = crossbeam::channel::bounded(1);
+        assert!(matches!(
+            m.begin(1, &key(7), tx.clone(), soon(), || 1),
+            FlightRole::Lead(_)
+        ));
+        assert!(matches!(
+            m.begin(2, &key(7), tx.clone(), soon(), || 2),
+            FlightRole::Lead(_)
+        ));
+        assert!(matches!(
+            m.begin(1, &key(8), tx, soon(), || 3),
+            FlightRole::Lead(_)
+        ));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn a_flight_lingering_past_grace_is_taken_over() {
+        let m: InflightMap<u64, u32> = InflightMap::new();
+        let (tx1, rx1) = crossbeam::channel::bounded::<u64>(1);
+        let (tx2, _rx2) = crossbeam::channel::bounded(1);
+        // A corpse: its deadline passed more than STALE_GRACE ago (clamped
+        // to "now" if the clock is too young to subtract from, in which
+        // case the flight reads fresh and the takeover simply can't be
+        // exercised — skip rather than flake).
+        let Some(long_dead) = Instant::now().checked_sub(STALE_GRACE + Duration::from_secs(1))
+        else {
+            return;
+        };
+        assert!(matches!(
+            m.begin(1, &key(7), tx1, long_dead, || 1),
+            FlightRole::Lead(1)
+        ));
+        // The next identical query must not join the corpse forever: it
+        // re-leads, and the corpse's waiters observe the disconnect.
+        assert!(matches!(
+            m.begin(1, &key(7), tx2, soon(), || 2),
+            FlightRole::Lead(2)
+        ));
+        assert_eq!(m.len(), 1, "takeover replaces, never duplicates");
+        assert!(
+            rx1.try_recv().is_err(),
+            "corpse waiter sees disconnect, not a value"
+        );
+    }
+
+    #[test]
+    fn last_abandon_surfaces_the_cancel_handle_but_keeps_the_entry() {
+        let m: InflightMap<u64, u32> = InflightMap::new();
+        let (tx1, _rx1) = crossbeam::channel::bounded(1);
+        let (tx2, _rx2) = crossbeam::channel::bounded(1);
+        let _ = m.begin(1, &key(7), tx1, soon(), || 5);
+        let _ = m.begin(1, &key(7), tx2, soon(), || unreachable!());
+        assert_eq!(m.abandon(1, &key(7)), None, "one waiter still live");
+        assert_eq!(m.abandon(1, &key(7)), Some(5), "last abandon cancels");
+        // The entry survives so a racing resolve still finds the waiters.
+        assert_eq!(m.resolve(1, &key(7)).len(), 2);
+        assert_eq!(m.abandon(1, &key(7)), None, "resolved flight: no-op");
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! serving and answers `ERR reload-failed …`.
 //!
 //! Failure semantics are deadline-true and typed. A query's budget travels
-//! as a [`CancelToken`] (shared flag + deadline) checked cooperatively
+//! as a `CancelToken` (shared flag + deadline) checked cooperatively
 //! inside the search, so expiry frees the worker mid-flight instead of
 //! merely abandoning the waiter. Every `ERR` reason names what actually
 //! happened:
@@ -44,22 +44,34 @@
 //! (`ERR internal`), never a worker, and is counted in `STATS` (`panics`,
 //! `internal_errors`) instead of masquerading as a timeout.
 //!
-//! Threading model:
+//! Threading model — connections cost file descriptors, not threads:
 //!
 //! ```text
-//! acceptor ──spawns──► connection threads ──try_send──► bounded queue
-//!    │                      ▲    ▲  │                        │
-//!    │ (shutdown flag)      │    └──┴─reply────◄──────── worker pool
-//!    │                      └─reply─── updater thread (RELOAD/UPDATE,
-//!    │                                  swaps the engine generation)
-//!    └── on shutdown: stop accepting, join connections, drain pool,
-//!        join updater
+//! acceptor ──round-robin──► io threads (event loop) ──try_send──► bounded queue
+//!    │                        ▲   ▲ │  [conn state machines]           │
+//!    │ (shutdown flag)        │   └─┴──reply channels────◄──────── worker pool
+//!    │                        └─reply── updater thread (RELOAD/UPDATE,
+//!    │                                   swaps the engine generation)
+//!    └── on shutdown: stop accepting, drop the io channels, io threads
+//!        drain their connections, then drain pool, join updater
 //! ```
+//!
+//! A fixed set of I/O threads (`event`) own every client socket as a
+//! nonblocking state machine (`conn`); CPU work is handed to the worker
+//! pool and admin mutations to the updater, so tens of thousands of idle or
+//! slow clients never exhaust threads — the failure mode that used to drop
+//! connections silently at accept. Concurrent identical cold queries are
+//! **coalesced** into a single flight ([`cache::InflightMap`]): one
+//! execution, one cache fill, every waiter gets the same reply — which is
+//! what keeps a post-`RELOAD` thundering herd from recomputing the same
+//! ranking N times.
 
 #![forbid(unsafe_code)]
 
 pub mod cache;
+mod conn;
 pub mod engine;
+mod event;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
@@ -73,22 +85,20 @@ pub use protocol::{read_frame, write_frame, ProbeTable, Request, Response, MAX_F
 pub use state::{EngineGen, RankedTopics, ServerConfig, ServerState};
 pub use trace::{TraceCollector, TraceCtx};
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{self, Receiver, Sender};
 use pit::Delta;
-use pit_graph::{NodeId, TopicId};
-use pit_search_core::{CancelToken, SearchError};
-use pool::{Admission, JobError, QueryJob, WorkerPool};
+use pool::WorkerPool;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// How often blocked threads re-check the shutdown flag. Bounds both the
-/// accept-poll latency and how long a drain waits on an idle connection.
-const POLL: Duration = Duration::from_millis(100);
+/// How long the acceptor sleeps when the listener has nothing for it; also
+/// bounds how fast it notices the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// A running server. Dropping the handle does **not** stop the server; call
 /// [`ServerHandle::shutdown`] (or send the `SHUTDOWN` verb) then
@@ -129,11 +139,39 @@ pub fn serve<A: ToSocketAddrs>(state: Arc<ServerState>, addr: A) -> io::Result<S
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let pool = WorkerPool::start(Arc::clone(&state));
+    let (admin_tx, admin_rx) = channel::unbounded::<AdminJob>();
+    let updater = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("pit-updater".to_string())
+            .spawn(move || updater_loop(&admin_rx, &state))?
+    };
+    let shared = Arc::new(event::EventShared {
+        state,
+        pool,
+        admin: admin_tx,
+        stop: Arc::clone(&stop),
+    });
+    // A fixed, small I/O thread count — connection count never grows it.
+    let io_threads = shared.state.config().io_threads.max(1);
+    let mut senders = Vec::with_capacity(io_threads);
+    let mut io_handles = Vec::with_capacity(io_threads);
+    for i in 0..io_threads {
+        let (tx, rx) = channel::unbounded::<TcpStream>();
+        let shared = Arc::clone(&shared);
+        io_handles.push(
+            std::thread::Builder::new()
+                .name(format!("pit-io-{i}"))
+                .spawn(move || event::io_loop(&shared, &rx))?,
+        );
+        senders.push(tx);
+    }
     let acceptor = {
         let stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name("pit-acceptor".to_string())
-            .spawn(move || accept_loop(&listener, &state, &stop))?
+            .spawn(move || accept_loop(&listener, shared, senders, io_handles, updater, &stop))?
     };
     Ok(ServerHandle {
         addr,
@@ -146,11 +184,11 @@ pub fn serve<A: ToSocketAddrs>(state: Arc<ServerState>, addr: A) -> io::Result<S
 /// serving generation (`RELOAD`/`UPDATE`/`COMMIT`/`ABORT`, rendered as
 /// `GEN <n>`) or a parked-but-not-serving stage (`PREPARE …`, rendered as
 /// `STAGED`).
-type AdminReply = Result<Option<u64>, String>;
+pub(crate) type AdminReply = Result<Option<u64>, String>;
 
 /// One admin mutation bound for the updater thread. Every verb replies
 /// through the same [`AdminReply`] shape or a `reload-failed: …` reason.
-enum AdminJob {
+pub(crate) enum AdminJob {
     /// `RELOAD <dir>`: load the snapshot at `dir`, swap it in.
     Reload {
         dir: PathBuf,
@@ -211,348 +249,61 @@ fn updater_loop(rx: &Receiver<AdminJob>, state: &ServerState) {
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
-    let pool = WorkerPool::start(Arc::clone(state));
-    let pool = Arc::new(pool);
-    let (admin_tx, admin_rx) = channel::unbounded::<AdminJob>();
-    let updater = {
-        let state = Arc::clone(state);
-        std::thread::Builder::new()
-            .name("pit-updater".to_string())
-            .spawn(move || updater_loop(&admin_rx, &state))
-            .expect("spawn updater thread")
-    };
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+fn accept_loop(
+    listener: &TcpListener,
+    shared: Arc<event::EventShared>,
+    senders: Vec<Sender<TcpStream>>,
+    io_handles: Vec<JoinHandle<()>>,
+    updater: JoinHandle<()>,
+    stop: &AtomicBool,
+) {
+    let mut next = 0usize;
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
-            Ok((stream, _)) => {
-                metrics::Metrics::bump(&state.metrics().connections);
-                let state = Arc::clone(state);
-                let stop = Arc::clone(stop);
-                let pool = Arc::clone(&pool);
-                let admin = admin_tx.clone();
-                match std::thread::Builder::new()
-                    .name("pit-conn".to_string())
-                    .spawn(move || {
-                        let _ = serve_connection(stream, &state, &pool, &admin, &stop);
-                    }) {
-                    Ok(h) => connections.push(h),
-                    Err(_) => { /* thread exhaustion: drop the connection */ }
+            Ok((mut stream, _)) => {
+                let metrics = shared.state.metrics();
+                Metrics::bump(&metrics.connections);
+                if stream.set_nonblocking(true).is_err() {
+                    // The fd is unusable for the event loop (exhaustion or a
+                    // socket already dying): count it and tell the client,
+                    // best effort, instead of dropping silently.
+                    Metrics::bump(&metrics.accept_errors);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = protocol::write_frame(
+                        &mut stream,
+                        &Response::Err("overloaded".to_string()).render(),
+                    );
+                    continue;
                 }
-                // Reap finished handlers so long-lived servers don't
-                // accumulate joinable threads.
-                connections.retain(|h| !h.is_finished());
+                let _ = stream.set_nodelay(true);
+                Metrics::bump(&metrics.open_connections);
+                // Unbounded + round-robin: the send cannot fail while the
+                // I/O threads are alive, and they outlive this loop.
+                let _ = senders[next % senders.len()].send(stream);
+                next = next.wrapping_add(1);
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(_) => std::thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => {
+                Metrics::bump(&shared.state.metrics().accept_errors);
+                std::thread::sleep(ACCEPT_POLL);
+            }
         }
     }
-    // Drain: connections observe the flag within one POLL and return after
-    // finishing their in-flight request; then the pool empties its queue,
-    // and the updater finishes any queued admin work before exiting.
-    for h in connections {
+    // Drain: dropping the senders tells every I/O thread to exit once its
+    // connections finish their in-flight request; then the pool empties its
+    // queue, and the updater finishes any queued admin work before exiting.
+    drop(senders);
+    for h in io_handles {
         let _ = h.join();
     }
-    match Arc::try_unwrap(pool) {
-        Ok(pool) => pool.shutdown(),
-        Err(_) => unreachable!("all connection threads joined"),
+    match Arc::try_unwrap(shared) {
+        Ok(sh) => {
+            sh.pool.shutdown();
+            drop(sh.admin);
+        }
+        Err(_) => unreachable!("all I/O threads joined"),
     }
-    drop(admin_tx);
     let _ = updater.join();
-}
-
-/// Block until a frame is readable, EOF, idle expiry, or shutdown.
-///
-/// Uses `peek` under a short read timeout so waiting consumes no bytes: a
-/// frame is only read once at least one byte is available, under the full
-/// I/O deadline.
-fn next_frame(
-    stream: &mut TcpStream,
-    stop: &AtomicBool,
-    io_timeout: Duration,
-) -> io::Result<Option<String>> {
-    let mut idle = Duration::ZERO;
-    let mut probe = [0u8; 1];
-    loop {
-        stream.set_read_timeout(Some(POLL.min(io_timeout)))?;
-        match stream.peek(&mut probe) {
-            Ok(0) => return Ok(None), // clean EOF
-            Ok(_) => {
-                stream.set_read_timeout(Some(io_timeout))?;
-                return protocol::read_frame(stream);
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                idle += POLL;
-                if stop.load(Ordering::Acquire) || idle >= io_timeout {
-                    return Ok(None);
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    state: &ServerState,
-    pool: &WorkerPool,
-    admin: &Sender<AdminJob>,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    let io_timeout = state.config().io_timeout;
-    stream.set_write_timeout(Some(io_timeout))?;
-    stream.set_nodelay(true)?;
-    while let Some(text) = next_frame(&mut stream, stop, io_timeout)? {
-        let response = match Request::parse(&text) {
-            Err(reason) => {
-                Metrics::bump(&state.metrics().errors);
-                Response::Err(reason)
-            }
-            Ok(Request::Ping) => Response::Pong,
-            Ok(Request::Stats) => Response::Stats(state.stats()),
-            Ok(Request::Metrics) => Response::Metrics(state.metrics_text()),
-            Ok(Request::Trace { n }) => Response::Traces(state.tracing().dump(n)),
-            Ok(Request::Shutdown) => {
-                stop.store(true, Ordering::Release);
-                protocol::write_frame(&mut stream, &Response::Bye.render())?;
-                break;
-            }
-            Ok(Request::Reload { dir }) => submit_admin(admin, |reply| AdminJob::Reload {
-                dir: PathBuf::from(dir),
-                reply,
-            }),
-            Ok(Request::Update { edges, assignments }) => {
-                let delta = Delta {
-                    new_edges: edges
-                        .iter()
-                        .map(|&(u, v, p)| (NodeId(u), NodeId(v), p))
-                        .collect(),
-                    new_assignments: assignments
-                        .iter()
-                        .map(|&(u, t)| (NodeId(u), TopicId(t)))
-                        .collect(),
-                };
-                submit_admin(admin, |reply| AdminJob::Update { delta, reply })
-            }
-            Ok(Request::PrepareDir { dir }) => submit_admin(admin, |reply| AdminJob::PrepareDir {
-                dir: PathBuf::from(dir),
-                reply,
-            }),
-            Ok(Request::PrepareUpdate { edges, assignments }) => {
-                let delta = Delta {
-                    new_edges: edges
-                        .iter()
-                        .map(|&(u, v, p)| (NodeId(u), NodeId(v), p))
-                        .collect(),
-                    new_assignments: assignments
-                        .iter()
-                        .map(|&(u, t)| (NodeId(u), TopicId(t)))
-                        .collect(),
-                };
-                submit_admin(admin, |reply| AdminJob::PrepareUpdate { delta, reply })
-            }
-            Ok(Request::Commit) => submit_admin(admin, |reply| AdminJob::Commit { reply }),
-            Ok(Request::Abort) => submit_admin(admin, |reply| AdminJob::Abort { reply }),
-            Ok(Request::Shard) => {
-                let current = state.current();
-                let (index, count) = match current.engine.shard_spec() {
-                    Some(spec) => (spec.index, spec.count),
-                    None => (0, current.engine.shard_count()),
-                };
-                Response::ShardInfo {
-                    index,
-                    count,
-                    gen: current.generation,
-                }
-            }
-            Ok(Request::Expand { gen, terms, probes }) => {
-                answer_expand(state, gen, &terms, &probes)
-            }
-            Ok(Request::Query { user, k, keywords }) => {
-                answer_query(state, pool, stop, user, k, &keywords)
-            }
-        };
-        protocol::write_frame(&mut stream, &response.render())?;
-        if stop.load(Ordering::Acquire) {
-            break;
-        }
-    }
-    Ok(())
-}
-
-/// Hand one admin mutation to the updater thread and block this connection
-/// (only) until it answers. Queries on other connections keep flowing the
-/// whole time — that is the point of the dedicated updater.
-fn submit_admin(
-    admin: &Sender<AdminJob>,
-    make_job: impl FnOnce(Sender<AdminReply>) -> AdminJob,
-) -> Response {
-    let (reply_tx, reply_rx) = channel::bounded(1);
-    if admin.send(make_job(reply_tx)).is_err() {
-        return Response::Err("shutting-down".to_string());
-    }
-    match reply_rx.recv() {
-        Ok(Ok(Some(generation))) => Response::Generation(generation),
-        Ok(Ok(None)) => Response::Staged,
-        Ok(Err(reason)) => Response::Err(reason),
-        Err(_) => Response::Err("shutting-down".to_string()),
-    }
-}
-
-/// Answer one `EXPAND` probe round inline on the connection thread. The
-/// round is a pure read against the captured engine generation — no queue,
-/// no budget of its own; the *router's* query budget bounds the wait, and a
-/// shard that answers late is reported `partial` there.
-fn answer_expand(state: &ServerState, gen: u64, terms: &[u32], probes: &[(u32, f64)]) -> Response {
-    let current = state.current();
-    if current.generation != gen {
-        // A reload landed between the router's admission and this round.
-        // Refusing is what makes mixed-generation answers structurally
-        // impossible: the router sees the error and reports the shard.
-        Metrics::bump(&state.metrics().internal_errors);
-        return Response::Err(format!(
-            "internal: shard generation changed (serving {}, request {gen})",
-            current.generation
-        ));
-    }
-    // Fault-injection hook for drills: dragging a configured user slows the
-    // shard that owns it, exactly like a hot neighbor would.
-    if let Some(dragged) = state.config().drag_user {
-        if probes.iter().any(|&(u, _)| u == dragged) {
-            std::thread::sleep(state.config().drag_per_check);
-        }
-    }
-    match current.engine.expand(terms, probes) {
-        Ok((tables, bound)) => Response::Expanded {
-            gen: current.generation,
-            bound,
-            tables,
-        },
-        Err(reason) => {
-            Metrics::bump(&state.metrics().errors);
-            Response::Err(reason)
-        }
-    }
-}
-
-fn answer_query(
-    state: &ServerState,
-    pool: &WorkerPool,
-    stop: &AtomicBool,
-    user: u32,
-    k: usize,
-    keywords: &[String],
-) -> Response {
-    let started = Instant::now();
-    // Capture the serving generation once: validation, cache lookup,
-    // execution, and cache fill all use this engine, even if a RELOAD swap
-    // lands mid-request.
-    let current = state.current();
-    let key = match state.make_key(current.engine.as_ref(), user, k, keywords) {
-        Ok(key) => key,
-        Err(reason) => {
-            Metrics::bump(&state.metrics().errors);
-            return Response::Err(reason);
-        }
-    };
-    if stop.load(Ordering::Acquire) {
-        return Response::Err("shutting-down".to_string());
-    }
-    // The sampling decision for this query, made once; every later hook is
-    // a single branch when it said no.
-    let mut trace = state.tracing().begin(current.generation, started);
-    trace.begin(pit_obs::trace::Stage::CacheProbe);
-    let looked_up = state.lookup(&key, current.generation);
-    trace.end(
-        pit_obs::trace::Stage::CacheProbe,
-        u64::from(looked_up.is_some()),
-    );
-    if let Some(ranked) = looked_up {
-        Metrics::bump(&state.metrics().queries);
-        let elapsed = started.elapsed();
-        state.metrics().latency.observe(elapsed);
-        state
-            .tracing()
-            .finish(trace, &key, "ok", true, None, elapsed, state.metrics());
-        return Response::Topics {
-            ranked: (*ranked).clone(),
-            cached: true,
-            micros: elapsed.as_micros().min(u64::MAX as u128) as u64,
-            // Partial answers are never cached, so a hit is always complete.
-            partial: Vec::new(),
-        };
-    }
-    let (reply_tx, reply_rx) = channel::bounded(1);
-    // The token is the deadline's single source of truth: the waiter sets
-    // its flag on budget expiry, and the embedded deadline stops the search
-    // even if this connection thread dies first.
-    let cancel = CancelToken::with_flag(Arc::new(AtomicBool::new(false)))
-        .with_deadline(started + state.config().query_budget)
-        .with_check_every(state.config().cancel_check_tables);
-    let job = QueryJob {
-        engine: current,
-        key,
-        enqueued: started,
-        cancel: cancel.clone(),
-        reply: reply_tx,
-        // The worker that answers the job finalizes the trace (queue wait,
-        // search phases, capture); a shed job's trace is simply dropped.
-        trace,
-    };
-    match pool.submit(job) {
-        Admission::Overloaded => {
-            Metrics::bump(&state.metrics().shed);
-            Response::Err("overloaded".to_string())
-        }
-        Admission::Closed => Response::Err("shutting-down".to_string()),
-        Admission::Queued => match reply_rx.recv_timeout(state.config().query_budget) {
-            Ok(Ok((ranked, micros, partial))) => {
-                Metrics::bump(&state.metrics().queries);
-                Response::Topics {
-                    ranked: (*ranked).clone(),
-                    cached: false,
-                    micros,
-                    partial,
-                }
-            }
-            // The worker noticed the deadline before our recv_timeout fired
-            // (it checks the token's own clock): still a timeout.
-            Ok(Err(JobError::Search(SearchError::Cancelled { .. }))) => {
-                Metrics::bump(&state.metrics().timeouts);
-                Response::Err("timeout".to_string())
-            }
-            // Unreachable through make_key, but surfaced honestly if a key
-            // is ever built around validation.
-            Ok(Err(JobError::Search(e @ SearchError::UserOutOfRange { .. }))) => {
-                Metrics::bump(&state.metrics().errors);
-                Response::Err(format!("malformed: {e}"))
-            }
-            Ok(Err(JobError::Panicked)) => {
-                Metrics::bump(&state.metrics().internal_errors);
-                Response::Err("internal: query execution panicked".to_string())
-            }
-            // The query user's own home shard was unreachable: there is no
-            // honest ranking to degrade from, so the whole query fails as a
-            // server fault.
-            Ok(Err(JobError::Shard(reason))) => {
-                Metrics::bump(&state.metrics().internal_errors);
-                Response::Err(format!("internal: {reason}"))
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                cancel.cancel();
-                Metrics::bump(&state.metrics().timeouts);
-                Response::Err("timeout".to_string())
-            }
-            // A dropped reply sender means the worker died without even a
-            // caught panic — a server fault, never a slow query.
-            Err(RecvTimeoutError::Disconnected) => {
-                Metrics::bump(&state.metrics().internal_errors);
-                Response::Err("internal: worker vanished".to_string())
-            }
-        },
-    }
 }
 
 #[cfg(test)]
@@ -564,6 +315,7 @@ mod tests {
     use pit_walk::WalkConfig;
     use std::io::Write as _;
     use std::net::TcpStream;
+    use std::time::Instant;
 
     fn tiny_engine(seed: u64) -> PitEngine {
         let spec = pit_datasets::DatasetSpec {

@@ -161,6 +161,25 @@ pub struct Metrics {
     /// shards failed or timed out mid-fan-out. Partial answers are never
     /// cached.
     pub partial_replies: AtomicU64,
+    /// Cold queries that joined an already-in-flight identical execution
+    /// instead of running their own search (single-flight coalescing).
+    /// Leaders are not counted here; see `inflight_executions`.
+    pub coalesced_queries: AtomicU64,
+    /// Cold-query executions actually started (flight leaders, plus every
+    /// uncoalesced miss). `queries - cache_hits - inflight_executions` is
+    /// the work the cache *and* coalescing together saved.
+    pub inflight_executions: AtomicU64,
+    /// Accept-loop failures that cost a connection: fd exhaustion or any
+    /// other non-retryable `accept(2)` error. The client saw a refused or
+    /// dropped connection, not an `ERR`.
+    pub accept_errors: AtomicU64,
+    /// Gauge: client connections currently registered with the I/O threads.
+    /// Incremented at accept, decremented when the event loop drops the
+    /// socket (close, idle cut, error, drain).
+    pub open_connections: AtomicU64,
+    /// Gauge: jobs currently admitted to the worker queue (queued or
+    /// executing). Separates CPU backlog from connection count in STATS.
+    pub queued_jobs: AtomicU64,
     /// Per-shard time spent waiting on `EXPAND` round-trips, one histogram
     /// per shard index, grown on first observation. A leaf lock (anonymous:
     /// never held together with another lock); the histograms are `Arc`ed
@@ -183,6 +202,17 @@ impl Metrics {
     /// per query).
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrement a gauge by one. Callers pair every `dec` with an earlier
+    /// `bump` on the same gauge, so the value never wraps.
+    pub fn dec(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Read a counter or gauge.
+    pub fn value(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
     }
 
     /// Record one fan-out wait for `shard`, growing the per-shard histogram
@@ -249,6 +279,18 @@ impl Metrics {
             (
                 "partial_replies".into(),
                 load(&self.partial_replies).to_string(),
+            ),
+            (
+                "coalesced_queries".into(),
+                load(&self.coalesced_queries).to_string(),
+            ),
+            (
+                "inflight_executions".into(),
+                load(&self.inflight_executions).to_string(),
+            ),
+            (
+                "accept_errors".into(),
+                load(&self.accept_errors).to_string(),
             ),
             (
                 "latency_p50_us".into(),
@@ -370,6 +412,24 @@ impl Metrics {
             "pit_partial_replies_total",
             "Queries answered partial because a shard failed or timed out.",
             load(&self.partial_replies),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_coalesced_queries_total",
+            "Cold queries that joined an in-flight identical execution.",
+            load(&self.coalesced_queries),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_inflight_executions_total",
+            "Cold-query executions started (flight leaders + uncoalesced misses).",
+            load(&self.inflight_executions),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_accept_errors_total",
+            "Accept-loop failures that cost a connection (e.g. fd exhaustion).",
+            load(&self.accept_errors),
         );
         hist(
             out,
@@ -560,6 +620,9 @@ mod tests {
                 "traces_sampled",
                 "shards_pruned",
                 "partial_replies",
+                "coalesced_queries",
+                "inflight_executions",
+                "accept_errors",
                 "latency_p50_us",
                 "latency_p99_us",
                 "queue_p50_us",

@@ -17,6 +17,7 @@
 use crate::cache::QueryKey;
 use crate::engine::ServeError;
 use crate::metrics::Metrics;
+use crate::protocol::Response;
 use crate::state::{EngineGen, RankedTopics, ServerState};
 use crate::trace::TraceCtx;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
@@ -40,12 +41,53 @@ pub enum JobError {
     /// unreachable. Maps to `ERR internal: …` — backend health is the
     /// server's fault, never the client's.
     Shard(String),
+    /// The flight leader could not admit the shared execution: the bounded
+    /// queue was full. Every waiter of that flight maps this to
+    /// `ERR overloaded` (and one `shed` bump each), exactly as if it had
+    /// been shed at its own admission.
+    Shed,
+    /// The flight leader found the pool gone — the server is draining.
+    /// Maps to `ERR shutting-down`.
+    Closed,
 }
 
 /// What a worker sends back for an admitted job: the ranking, the service
 /// time in µs, and the (usually empty) partial-answer provenance —
 /// `(shard index, reason)` for every shard that could not contribute.
 pub type JobReply = Result<(RankedTopics, u64, Vec<(u32, String)>), JobError>;
+
+/// Where a finished query's [`JobReply`] goes.
+pub enum ReplyTo {
+    /// A single waiter's buffered channel (coalescing off, or a
+    /// cache-bypassing caller).
+    Direct(Sender<JobReply>),
+    /// The single-flight registry: the worker resolves the flight keyed by
+    /// the job's `(generation, key)`, delivering one clone per waiter.
+    Flight,
+}
+
+/// One unit of work admitted to the bounded queue.
+pub enum Job {
+    /// A client `QUERY` (the expensive path).
+    Query(QueryJob),
+    /// One router `EXPAND` probe round — a pure read against the captured
+    /// generation. Runs on the pool so a dragged round blocks a worker,
+    /// never an I/O thread.
+    Expand(ExpandJob),
+}
+
+/// One `EXPAND` probe round bound for a worker.
+pub struct ExpandJob {
+    /// Engine generation captured (and verified against the request) at
+    /// dispatch; the round answers under exactly this generation.
+    pub engine: EngineGen,
+    /// Resolved query term ids.
+    pub terms: Vec<u32>,
+    /// `(user, mass)` probes to expand.
+    pub probes: Vec<(u32, f64)>,
+    /// Buffered (capacity 1) reply slot; the send never blocks a worker.
+    pub reply: Sender<Response>,
+}
 
 /// One admitted query, owned by a worker until answered.
 pub struct QueryJob {
@@ -63,9 +105,10 @@ pub struct QueryJob {
     /// the budget expires, and the token's own deadline stops the search
     /// even if the waiter is gone.
     pub cancel: CancelToken,
-    /// Where the result goes. Buffered (capacity 1), so a worker's send
-    /// never blocks even when the waiter already gave up.
-    pub reply: Sender<JobReply>,
+    /// Where the result goes. Direct sends are buffered (capacity 1) and
+    /// flight resolution skips dead receivers, so a worker's send never
+    /// blocks even when every waiter already gave up.
+    pub reply: ReplyTo,
     /// Per-query trace handle, created at admission; the worker that
     /// answers the job finalizes it (inert single branch when unsampled).
     pub trace: TraceCtx,
@@ -83,7 +126,7 @@ pub enum Admission {
 
 /// Everything a worker thread (and its respawn sentinel) needs.
 struct PoolShared {
-    rx: Receiver<QueryJob>,
+    rx: Receiver<Job>,
     state: Arc<ServerState>,
     /// Live worker handles; respawned replacements are recorded here so
     /// shutdown joins them too.
@@ -96,7 +139,7 @@ struct PoolShared {
 
 /// The worker pool plus the sending side of its queue.
 pub struct WorkerPool {
-    jobs: Sender<QueryJob>,
+    jobs: Sender<Job>,
     shared: Arc<PoolShared>,
 }
 
@@ -105,7 +148,7 @@ impl WorkerPool {
     /// `state.config().queue_depth`.
     pub fn start(state: Arc<ServerState>) -> WorkerPool {
         let workers = state.config().workers.max(1);
-        let (jobs, rx) = channel::bounded::<QueryJob>(state.config().queue_depth);
+        let (jobs, rx) = channel::bounded::<Job>(state.config().queue_depth);
         let shared = Arc::new(PoolShared {
             rx,
             state,
@@ -122,11 +165,22 @@ impl WorkerPool {
     }
 
     /// Offer a job without blocking; a full queue is the load-shed signal.
-    pub fn submit(&self, job: QueryJob) -> Admission {
+    /// Maintains the `queued_jobs` gauge: incremented before the offer so a
+    /// worker's decrement can never precede it, decremented right back when
+    /// the offer is refused.
+    pub fn submit(&self, job: Job) -> Admission {
+        let gauge = &self.shared.state.metrics().queued_jobs;
+        Metrics::bump(gauge);
         match self.jobs.try_send(job) {
             Ok(()) => Admission::Queued,
-            Err(TrySendError::Full(_)) => Admission::Overloaded,
-            Err(TrySendError::Disconnected(_)) => Admission::Closed,
+            Err(TrySendError::Full(_)) => {
+                Metrics::dec(gauge);
+                Admission::Overloaded
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Metrics::dec(gauge);
+                Admission::Closed
+            }
         }
     }
 
@@ -194,14 +248,74 @@ impl Drop for Sentinel {
     }
 }
 
-fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
-    while let Ok(mut job) = rx.recv() {
+fn worker_loop(rx: &Receiver<Job>, state: &ServerState) {
+    while let Ok(job) = rx.recv() {
+        Metrics::dec(&state.metrics().queued_jobs);
+        match job {
+            Job::Query(job) => run_query(job, state),
+            Job::Expand(job) => run_expand(job, state),
+        }
+    }
+}
+
+/// Deliver one query reply: to the single direct waiter, or to every
+/// registered waiter of the job's flight.
+fn deliver(
+    reply_to: &ReplyTo,
+    engine: &EngineGen,
+    key: &QueryKey,
+    reply: JobReply,
+    state: &ServerState,
+) {
+    match reply_to {
+        ReplyTo::Direct(tx) => {
+            let _ = tx.send(reply);
+        }
+        ReplyTo::Flight => state.flight_resolve(engine.generation, key, &reply),
+    }
+}
+
+/// One `EXPAND` round on a worker. The generation was verified at dispatch;
+/// the captured engine is immutable, so the reply's generation tag is
+/// correct even if a swap lands mid-round.
+fn run_expand(job: ExpandJob, state: &ServerState) {
+    // Fault-injection hook for drills: dragging a configured user slows the
+    // shard that owns it, exactly like a hot neighbor would.
+    if let Some(dragged) = state.config().drag_user {
+        if job.probes.iter().any(|&(u, _)| u == dragged) {
+            std::thread::sleep(state.config().drag_per_check);
+        }
+    }
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        job.engine.engine.expand(&job.terms, &job.probes)
+    }));
+    let response = match result {
+        Ok(Ok((tables, bound))) => Response::Expanded {
+            gen: job.engine.generation,
+            bound,
+            tables,
+        },
+        Ok(Err(reason)) => {
+            Metrics::bump(&state.metrics().errors);
+            Response::Err(reason)
+        }
+        Err(_) => {
+            Metrics::bump(&state.metrics().panics);
+            Metrics::bump(&state.metrics().internal_errors);
+            Response::Err("internal: expand panicked".to_string())
+        }
+    };
+    let _ = job.reply.send(response);
+}
+
+fn run_query(mut job: QueryJob, state: &ServerState) {
+    {
         let waited = job.enqueued.elapsed();
         state.metrics().queue_wait.observe(waited);
         job.trace.event(Stage::QueueWait, waited, 0);
         if job.cancel.is_cancelled() {
-            // Waiter already timed out (or the deadline expired in-queue):
-            // don't burn CPU on an abandoned job.
+            // Every waiter already timed out (or the deadline expired
+            // in-queue): don't burn CPU on an abandoned job.
             state.tracing().finish(
                 job.trace,
                 &job.key,
@@ -211,11 +325,17 @@ fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
                 job.enqueued.elapsed(),
                 state.metrics(),
             );
-            let _ = job.reply.send(Err(JobError::Search(SearchError::Cancelled {
-                probed_tables: 0,
-                expand_rounds: 0,
-            })));
-            continue;
+            deliver(
+                &job.reply,
+                &job.engine,
+                &job.key,
+                Err(JobError::Search(SearchError::Cancelled {
+                    probed_tables: 0,
+                    expand_rounds: 0,
+                })),
+                state,
+            );
+            return;
         }
         let exec_started = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -279,8 +399,8 @@ fn worker_loop(rx: &Receiver<QueryJob>, state: &ServerState) {
             job.enqueued.elapsed(),
             state.metrics(),
         );
-        // The reply slot is buffered and the waiter may be gone — either way
-        // this never blocks a worker.
-        let _ = job.reply.send(reply);
+        // Direct reply slots are buffered and flight resolution skips dead
+        // receivers — either way this never blocks a worker.
+        deliver(&job.reply, &job.engine, &job.key, reply, state);
     }
 }

@@ -13,10 +13,12 @@
 //! the LRU cache (mutex, generation-tagged entries) and the metrics
 //! (atomics).
 
-use crate::cache::{QueryCache, QueryKey};
+use crate::cache::{FlightRole, InflightMap, QueryCache, QueryKey};
 use crate::engine::{LocalServeEngine, ServeEngine, ServeError, ServeOutcome};
 use crate::metrics::Metrics;
+use crate::pool::JobReply;
 use crate::trace::TraceCollector;
+use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 use pit::{Delta, PitEngine, UpdateReport};
 use pit_graph::NodeId;
@@ -24,6 +26,7 @@ use pit_obs::prom;
 use pit_search_core::{CancelToken, SearchTracer};
 use pit_topics::KeywordQuery;
 use std::path::Path;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -60,6 +63,14 @@ pub struct ServerConfig {
     pub query_budget: Duration,
     /// Socket read/write deadline for client connections.
     pub io_timeout: Duration,
+    /// I/O threads running the readiness event loop. Each owns a share of
+    /// the client sockets; connections cost file descriptors, not threads,
+    /// so this stays small no matter how many clients are connected.
+    pub io_threads: usize,
+    /// Single-flight coalescing: concurrent identical cold queries share
+    /// one execution and one cache fill. On by default; off restores one
+    /// execution per admitted query.
+    pub coalesce: bool,
     /// Propagation tables the searcher probes between cancellation checks.
     /// Smaller means a timed-out query releases its worker sooner, at the
     /// cost of more frequent deadline reads.
@@ -99,6 +110,8 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             query_budget: Duration::from_secs(5),
             io_timeout: Duration::from_secs(30),
+            io_threads: 2,
+            coalesce: true,
             cancel_check_tables: CancelToken::DEFAULT_CHECK_EVERY,
             poison_user: None,
             drag_user: None,
@@ -120,6 +133,10 @@ pub struct ServerState {
     /// instant of a stage/take — never while building or serving.
     staged: Mutex<Option<Arc<dyn ServeEngine>>>,
     cache: QueryCache<RankedTopics>,
+    /// Single-flight registry: one execution per `(generation, key)` at a
+    /// time; concurrent identical cold queries wait on it instead of
+    /// recomputing the same ranking N times (the post-reload herd).
+    inflight: InflightMap<JobReply, CancelToken>,
     metrics: Metrics,
     tracing: TraceCollector,
     config: ServerConfig,
@@ -136,6 +153,7 @@ impl ServerState {
     pub fn with_engine(engine: Arc<dyn ServeEngine>, config: ServerConfig) -> Self {
         ServerState {
             cache: QueryCache::new(config.cache_capacity),
+            inflight: InflightMap::new(),
             metrics: Metrics::new(),
             tracing: TraceCollector::new(
                 config.trace_sample,
@@ -359,6 +377,61 @@ impl ServerState {
         self.cache.get(key, generation)
     }
 
+    /// A fresh cancellation token armed with `deadline` and the configured
+    /// check cadence — the single source of truth for one query's budget.
+    pub fn query_token(&self, deadline: Instant) -> CancelToken {
+        CancelToken::with_flag(Arc::new(AtomicBool::new(false)))
+            .with_deadline(deadline)
+            .with_check_every(self.config.cancel_check_tables)
+    }
+
+    /// Single-flight admission for a cold query under `generation`.
+    /// Returns `Some(token)` when the caller leads a fresh flight (it must
+    /// submit the one execution, which resolves via
+    /// [`ServerState::flight_resolve`]) and `None` when it joined an
+    /// existing one — either way `tx` receives the flight's single
+    /// [`JobReply`]. Counts leaders in `inflight_executions` and joiners in
+    /// `coalesced_queries`.
+    pub fn flight_begin(
+        &self,
+        generation: u64,
+        key: &QueryKey,
+        tx: Sender<JobReply>,
+        deadline: Instant,
+    ) -> Option<CancelToken> {
+        let role = self
+            .inflight
+            .begin(generation, key, tx, deadline, || self.query_token(deadline));
+        match role {
+            FlightRole::Lead(cancel) => {
+                Metrics::bump(&self.metrics.inflight_executions);
+                Some(cancel)
+            }
+            FlightRole::Join => {
+                Metrics::bump(&self.metrics.coalesced_queries);
+                None
+            }
+        }
+    }
+
+    /// One flight waiter gave up (its deadline passed or its connection
+    /// died). When the last live waiter abandons, the shared execution is
+    /// cancelled — nobody is left to care about its result.
+    pub fn flight_abandon(&self, generation: u64, key: &QueryKey) {
+        if let Some(cancel) = self.inflight.abandon(generation, key) {
+            cancel.cancel();
+        }
+    }
+
+    /// Deliver one reply to every waiter of the flight over
+    /// `(generation, key)` and retire it. Waiters that already gave up are
+    /// skipped harmlessly (their receivers are gone).
+    pub fn flight_resolve(&self, generation: u64, key: &QueryKey, reply: &JobReply) {
+        for tx in self.inflight.resolve(generation, key) {
+            let _ = tx.send(reply.clone());
+        }
+    }
+
     /// Run the search on the captured engine under `cancel` and populate
     /// the cache (tagged with the captured generation) on success. This is
     /// the expensive path — call it from a worker, not from a connection
@@ -424,6 +497,15 @@ impl ServerState {
         pairs.push(("generation".into(), current.generation.to_string()));
         pairs.push(("workers".into(), self.config.workers.to_string()));
         pairs.push(("queue_depth".into(), self.config.queue_depth.to_string()));
+        pairs.push(("io_threads".into(), self.config.io_threads.to_string()));
+        pairs.push((
+            "open_connections".into(),
+            Metrics::value(&self.metrics.open_connections).to_string(),
+        ));
+        pairs.push((
+            "queued_jobs".into(),
+            Metrics::value(&self.metrics.queued_jobs).to_string(),
+        ));
         pairs.push((
             "graph_nodes".into(),
             current.engine.node_count().to_string(),
@@ -493,6 +575,24 @@ impl ServerState {
             "pit_queue_depth",
             "Configured request-queue capacity",
             self.config.queue_depth as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_io_threads",
+            "Configured event-loop I/O threads",
+            self.config.io_threads as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_open_connections",
+            "Client connections currently registered with the I/O threads",
+            Metrics::value(&self.metrics.open_connections),
+        );
+        prom::gauge(
+            &mut out,
+            "pit_queued_jobs",
+            "Jobs currently admitted to the worker queue (queued or executing)",
+            Metrics::value(&self.metrics.queued_jobs),
         );
         prom::gauge(
             &mut out,

@@ -36,6 +36,9 @@ const STATS_KEYS: &[&str] = &[
     "traces_sampled",
     "shards_pruned",
     "partial_replies",
+    "coalesced_queries",
+    "inflight_executions",
+    "accept_errors",
     "latency_p50_us",
     "latency_p99_us",
     "queue_p50_us",
@@ -56,6 +59,9 @@ const STATS_KEYS: &[&str] = &[
     "generation",
     "workers",
     "queue_depth",
+    "io_threads",
+    "open_connections",
+    "queued_jobs",
     "graph_nodes",
     "topics",
     "index_bytes",
@@ -77,6 +83,9 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_traces_sampled_total", "counter"),
     ("pit_shards_pruned_total", "counter"),
     ("pit_partial_replies_total", "counter"),
+    ("pit_coalesced_queries_total", "counter"),
+    ("pit_inflight_executions_total", "counter"),
+    ("pit_accept_errors_total", "counter"),
     ("pit_latency_us", "histogram"),
     ("pit_queue_wait_us", "histogram"),
     ("pit_execution_us", "histogram"),
@@ -97,6 +106,9 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_cache_entries", "gauge"),
     ("pit_workers", "gauge"),
     ("pit_queue_depth", "gauge"),
+    ("pit_io_threads", "gauge"),
+    ("pit_open_connections", "gauge"),
+    ("pit_queued_jobs", "gauge"),
     ("pit_graph_nodes", "gauge"),
     ("pit_topics", "gauge"),
     ("pit_index_bytes", "gauge"),
