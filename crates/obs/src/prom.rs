@@ -16,11 +16,37 @@ pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+/// Append one `counter` metric carried by several labeled series — one
+/// `# HELP`/`# TYPE` header, then one sample line per series distinguished
+/// by a `{label_key="label_value"}` pair. An empty series list renders just
+/// the header, which scrapes cleanly as "no data yet".
+pub fn counter_labeled(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label_key: &str,
+    series: &[(&str, u64)],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (label_value, value) in series {
+        let _ = writeln!(out, "{name}{{{label_key}=\"{label_value}\"}} {value}");
+    }
+}
+
 /// Append one `gauge` metric with its `# TYPE` line.
 pub fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} gauge");
     let _ = writeln!(out, "{name} {value}");
+}
+
+/// Append one fractional `gauge` metric (ratios such as a warmup coverage)
+/// with its `# TYPE` line, rendered with four decimal places.
+pub fn gauge_f64(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value:.4}");
 }
 
 /// Append one `histogram` metric from per-bucket counts in the workspace's
@@ -110,6 +136,43 @@ mod tests {
             type_line_names(&out),
             vec!["pit_queries_total", "pit_generation"]
         );
+    }
+
+    #[test]
+    fn labeled_counter_shares_one_header_across_series() {
+        let mut out = String::new();
+        counter_labeled(
+            &mut out,
+            "pit_cache_stale_by_reason_total",
+            "Entries marked stale, by reason.",
+            "reason",
+            &[("edge-added", 3), ("full-reload", 7)],
+        );
+        assert_eq!(
+            out.matches("# TYPE pit_cache_stale_by_reason_total counter\n")
+                .count(),
+            1
+        );
+        assert!(
+            out.contains("pit_cache_stale_by_reason_total{reason=\"edge-added\"} 3\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("pit_cache_stale_by_reason_total{reason=\"full-reload\"} 7\n"),
+            "{out}"
+        );
+        assert_eq!(
+            type_line_names(&out),
+            vec!["pit_cache_stale_by_reason_total"]
+        );
+    }
+
+    #[test]
+    fn fractional_gauge_renders_four_decimals() {
+        let mut out = String::new();
+        gauge_f64(&mut out, "pit_warmup_coverage", "Coverage.", 0.5);
+        assert!(out.contains("# TYPE pit_warmup_coverage gauge\n"));
+        assert!(out.contains("pit_warmup_coverage 0.5000\n"), "{out}");
     }
 
     #[test]

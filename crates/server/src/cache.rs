@@ -6,22 +6,30 @@
 //! per-operation allocation beyond the stored value — behind one
 //! `parking_lot::Mutex`, with hit/miss/eviction counters read by `STATS`.
 //!
-//! Every entry is tagged with the engine **generation** that computed it.
-//! After a live `RELOAD`/`UPDATE` swaps the engine, a lookup against a
-//! pre-swap entry is treated as a miss and the stale entry is evicted
-//! lazily, right there — the swap itself never stops the world to sweep the
-//! cache, and no post-swap response can ever be served from a pre-swap
-//! ranking.
+//! Every entry is tagged with the engine **generation** that computed it,
+//! plus an optional **stale reason**. A full `RELOAD` marks every entry
+//! stale ([`StaleReason::FullReload`]); an `UPDATE` instead compares each
+//! entry against the delta's [`DeltaScope`] and re-tags the entries the
+//! delta provably cannot affect to the new generation — they *survive* the
+//! swap and keep hitting (counted in `cache_survivors`), while intersecting
+//! entries are marked with a typed reason and die lazily on first touch.
+//! Lookups additionally keep a generation check as a backstop (a worker
+//! racing a swap can insert under the old generation after the sweep ran),
+//! so no post-swap response can ever be served from a pre-swap ranking.
+//!
+//! The cache also keeps a small space-saving frequency sketch of looked-up
+//! keys; [`QueryCache::hottest`] feeds the post-reload warmup job.
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use pit_graph::TermId;
+use pit::DeltaScope;
+use pit_graph::{NodeId, TermId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Cache key: the complete identity of a query.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryKey {
     /// Querying user.
     pub user: u32,
@@ -41,7 +49,58 @@ impl QueryKey {
     }
 }
 
+/// Why a swap declared a cache entry stale. Rendered on the wire (STATS
+/// keys, Prometheus `reason` label) via [`StaleReason::as_str`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaleReason {
+    /// A new edge's downstream Γ closure or walk region reaches the entry.
+    EdgeAdded,
+    /// Reserved: [`pit::Delta`] carries no removals yet, so this is never
+    /// produced today — the wire key exists so adding removals is not a
+    /// breaking change.
+    EdgeRemoved,
+    /// A topic sharing a term with the entry gained a member and was
+    /// re-summarized.
+    AssignmentChanged,
+    /// A full `RELOAD` (or staged `COMMIT`) replaced the engine wholesale.
+    FullReload,
+}
+
+impl StaleReason {
+    /// Wire spelling of the reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StaleReason::EdgeAdded => "edge-added",
+            StaleReason::EdgeRemoved => "edge-removed",
+            StaleReason::AssignmentChanged => "assignment-changed",
+            StaleReason::FullReload => "full-reload",
+        }
+    }
+
+    /// Dense index into per-reason counter arrays.
+    fn index(self) -> usize {
+        match self {
+            StaleReason::EdgeAdded => 0,
+            StaleReason::EdgeRemoved => 1,
+            StaleReason::AssignmentChanged => 2,
+            StaleReason::FullReload => 3,
+        }
+    }
+
+    /// Every reason, in `StaleReason::index` order.
+    pub const ALL: [StaleReason; 4] = [
+        StaleReason::EdgeAdded,
+        StaleReason::EdgeRemoved,
+        StaleReason::AssignmentChanged,
+        StaleReason::FullReload,
+    ];
+}
+
 const NIL: usize = usize::MAX;
+
+/// Keys tracked by the hot-key frequency sketch (space-saving: bounded
+/// memory, over-estimates only — good enough to pick warmup candidates).
+const HOT_TRACKED: usize = 64;
 
 struct Slot<V> {
     key: QueryKey,
@@ -49,8 +108,49 @@ struct Slot<V> {
     /// Engine generation that computed `value`; a lookup from any other
     /// generation is a miss.
     generation: u64,
+    /// Set when a swap declared this entry stale; it dies lazily on first
+    /// touch (or is reclaimed by an at-capacity insert) and never answers.
+    stale: Option<StaleReason>,
     prev: usize,
     next: usize,
+}
+
+/// Space-saving heavy-hitters sketch over query keys. Bounded at
+/// [`HOT_TRACKED`] entries: an unseen key at capacity replaces the
+/// minimum-count entry and inherits its count (+1), so frequent keys always
+/// surface even though counts over-estimate. Ties break on key order for
+/// determinism.
+struct HotKeys {
+    counts: HashMap<QueryKey, u64>,
+}
+
+impl HotKeys {
+    fn record(&mut self, key: &QueryKey) {
+        if let Some(c) = self.counts.get_mut(key) {
+            *c += 1;
+            return;
+        }
+        if self.counts.len() < HOT_TRACKED {
+            self.counts.insert(key.clone(), 1);
+            return;
+        }
+        let victim = self
+            .counts
+            .iter()
+            .min_by(|(ka, ca), (kb, cb)| ca.cmp(cb).then_with(|| ka.cmp(kb)))
+            .map(|(k, c)| (k.clone(), *c));
+        if let Some((victim, floor)) = victim {
+            self.counts.remove(&victim);
+            self.counts.insert(key.clone(), floor + 1);
+        }
+    }
+
+    /// The `n` highest-count keys, hottest first; ties break on key order.
+    fn top(&self, n: usize) -> Vec<QueryKey> {
+        let mut ranked: Vec<(&QueryKey, u64)> = self.counts.iter().map(|(k, c)| (k, *c)).collect();
+        ranked.sort_by(|(ka, ca), (kb, cb)| cb.cmp(ca).then_with(|| ka.cmp(kb)));
+        ranked.into_iter().take(n).map(|(k, _)| k.clone()).collect()
+    }
 }
 
 struct Inner<V> {
@@ -59,6 +159,13 @@ struct Inner<V> {
     free: Vec<usize>,
     head: usize,
     tail: usize,
+    /// Frequency sketch of looked-up keys, for post-reload warmup.
+    hot: HotKeys,
+    /// Slots a sweep marked stale — reclamation candidates for at-capacity
+    /// inserts. Entries are hints, not truth: a slot may have been lazily
+    /// evicted or overwritten since, so candidates are re-validated when
+    /// popped.
+    stale_slots: Vec<usize>,
 }
 
 /// Thread-safe LRU cache of query results.
@@ -69,6 +176,11 @@ pub struct QueryCache<V> {
     misses: AtomicU64,
     evictions: AtomicU64,
     stale_evictions: AtomicU64,
+    /// Entries that outlived an `UPDATE` swap because the delta provably
+    /// could not change their answer.
+    survivors: AtomicU64,
+    /// Entries marked stale, by [`StaleReason::index`].
+    stale_by_reason: [AtomicU64; 4],
 }
 
 impl<V: Clone> QueryCache<V> {
@@ -83,6 +195,10 @@ impl<V: Clone> QueryCache<V> {
                     free: Vec::new(),
                     head: NIL,
                     tail: NIL,
+                    hot: HotKeys {
+                        counts: HashMap::with_capacity(HOT_TRACKED),
+                    },
+                    stale_slots: Vec::new(),
                 },
             ),
             capacity,
@@ -90,24 +206,35 @@ impl<V: Clone> QueryCache<V> {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             stale_evictions: AtomicU64::new(0),
+            survivors: AtomicU64::new(0),
+            stale_by_reason: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
         }
     }
 
     /// Look up `key` as seen by engine `generation`, promoting it to
-    /// most-recently-used on a hit. An entry computed under a different
-    /// generation is a miss: it is evicted on the spot (counted in
+    /// most-recently-used on a hit. An entry a swap marked stale — or one
+    /// computed under a different generation (the backstop for inserts
+    /// racing a swap) — is a miss: it is evicted on the spot (counted in
     /// `cache_stale_evictions`) so one stale ranking is never served twice.
+    /// Every lookup also feeds the hot-key sketch behind
+    /// [`QueryCache::hottest`].
     pub fn get(&self, key: &QueryKey, generation: u64) -> Option<V> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let mut inner = self.inner.lock();
+        inner.hot.record(key);
         let Some(&slot) = inner.map.get(key) else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
-        if inner.slots[slot].generation != generation {
+        if inner.slots[slot].stale.is_some() || inner.slots[slot].generation != generation {
             inner.remove(slot);
             self.stale_evictions.fetch_add(1, Ordering::Relaxed);
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -119,9 +246,25 @@ impl<V: Clone> QueryCache<V> {
         Some(inner.slots[slot].value.clone())
     }
 
-    /// Insert `key → value` as computed under engine `generation`, evicting
-    /// the least-recently-used entry when at capacity. Overwrites any
-    /// existing entry for `key` (from any generation).
+    /// Whether a live entry for `key` exists under `generation`, without
+    /// touching counters, recency, or the hot-key sketch. The warmup job
+    /// uses this to skip keys an earlier client already repopulated.
+    pub fn contains(&self, key: &QueryKey, generation: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let inner = self.inner.lock();
+        inner.map.get(key).is_some_and(|&slot| {
+            inner.slots[slot].stale.is_none() && inner.slots[slot].generation == generation
+        })
+    }
+
+    /// Insert `key → value` as computed under engine `generation`. At
+    /// capacity, a known-stale slot is reclaimed first — a cache full of
+    /// swap-killed corpses must not push out fresh post-swap answers — and
+    /// only when every entry is live does the least-recently-used one go.
+    /// Overwrites any existing entry for `key` (from any generation,
+    /// clearing its stale mark).
     pub fn insert(&self, key: QueryKey, generation: u64, value: V) {
         if self.capacity == 0 {
             return;
@@ -130,35 +273,44 @@ impl<V: Clone> QueryCache<V> {
         if let Some(&slot) = inner.map.get(&key) {
             inner.slots[slot].value = value;
             inner.slots[slot].generation = generation;
+            inner.slots[slot].stale = None;
             inner.unlink(slot);
             inner.push_front(slot);
             return;
         }
         if inner.map.len() >= self.capacity {
-            let lru = inner.tail;
-            debug_assert_ne!(lru, NIL);
-            inner.unlink(lru);
-            let old = &mut inner.slots[lru];
-            let old_key = std::mem::replace(&mut old.key, key.clone());
-            old.value = value;
-            old.generation = generation;
-            inner.map.remove(&old_key);
-            inner.map.insert(key, lru);
-            inner.push_front(lru);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            return;
+            if let Some(slot) = inner.pop_stale_slot() {
+                inner.remove(slot);
+                self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let lru = inner.tail;
+                debug_assert_ne!(lru, NIL);
+                inner.unlink(lru);
+                let old = &mut inner.slots[lru];
+                let old_key = std::mem::replace(&mut old.key, key.clone());
+                old.value = value;
+                old.generation = generation;
+                old.stale = None;
+                inner.map.remove(&old_key);
+                inner.map.insert(key, lru);
+                inner.push_front(lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
         let slot = if let Some(free) = inner.free.pop() {
             let s = &mut inner.slots[free];
             s.key = key.clone();
             s.value = value;
             s.generation = generation;
+            s.stale = None;
             free
         } else {
             inner.slots.push(Slot {
                 key: key.clone(),
                 value,
                 generation,
+                stale: None,
                 prev: NIL,
                 next: NIL,
             });
@@ -166,6 +318,71 @@ impl<V: Clone> QueryCache<V> {
         };
         inner.map.insert(key, slot);
         inner.push_front(slot);
+    }
+
+    /// Mark every entry stale with `reason` (a full `RELOAD`/`COMMIT`
+    /// replaced the engine wholesale). Entries die lazily on first touch —
+    /// the swap never stops the world — but at-capacity inserts reclaim
+    /// them ahead of live entries.
+    pub fn mark_all_stale(&self, reason: StaleReason) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let live: Vec<usize> = inner.map.values().copied().collect();
+        for slot in live {
+            if inner.slots[slot].stale.is_some() {
+                continue;
+            }
+            inner.slots[slot].stale = Some(reason);
+            inner.stale_slots.push(slot);
+            self.stale_by_reason[reason.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Delta-aware sweep for an `UPDATE` swap from `from_gen` to `to_gen`:
+    /// entries the delta's [`DeltaScope`] can affect are marked stale with a
+    /// typed reason, everything else is re-tagged to `to_gen` and keeps
+    /// hitting (counted in `cache_survivors`). Entries from generations
+    /// older than `from_gen` (already-stale corpses, or inserts that raced
+    /// an earlier swap) get the [`StaleReason::FullReload`] backstop — their
+    /// provenance is unknown, so surviving them would be unsound.
+    ///
+    /// Must run before any reader can query under `to_gen` (the caller
+    /// holds the engine swap lock), otherwise the generation backstop in
+    /// [`QueryCache::get`] would evict survivors first.
+    pub fn retag_after_update(&self, from_gen: u64, to_gen: u64, scope: &DeltaScope) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let live: Vec<usize> = inner.map.values().copied().collect();
+        for slot in live {
+            if inner.slots[slot].stale.is_some() {
+                continue;
+            }
+            let verdict = if inner.slots[slot].generation != from_gen {
+                Some(StaleReason::FullReload)
+            } else {
+                classify(scope, &inner.slots[slot].key)
+            };
+            match verdict {
+                Some(reason) => {
+                    inner.slots[slot].stale = Some(reason);
+                    inner.stale_slots.push(slot);
+                    self.stale_by_reason[reason.index()].fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    inner.slots[slot].generation = to_gen;
+                    self.survivors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// The `n` most-frequently-looked-up keys, hottest first.
+    pub fn hottest(&self, n: usize) -> Vec<QueryKey> {
+        self.inner.lock().hot.top(n)
     }
 
     /// Hits so far.
@@ -190,6 +407,21 @@ impl<V: Clone> QueryCache<V> {
         self.stale_evictions.load(Ordering::Relaxed)
     }
 
+    /// Entries that outlived an `UPDATE` swap untouched.
+    pub fn survivors(&self) -> u64 {
+        self.survivors.load(Ordering::Relaxed)
+    }
+
+    /// Entries marked stale so far, per reason ([`StaleReason::ALL`] order).
+    pub fn stale_by_reason(&self) -> [u64; 4] {
+        [
+            self.stale_by_reason[0].load(Ordering::Relaxed),
+            self.stale_by_reason[1].load(Ordering::Relaxed),
+            self.stale_by_reason[2].load(Ordering::Relaxed),
+            self.stale_by_reason[3].load(Ordering::Relaxed),
+        ]
+    }
+
     /// Entries currently cached.
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()
@@ -198,6 +430,18 @@ impl<V: Clone> QueryCache<V> {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Entries currently cached, split into live and swap-killed stale
+    /// (still occupying slots until lazily evicted or reclaimed).
+    pub fn len_by_liveness(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        let stale = inner
+            .map
+            .values()
+            .filter(|&&slot| inner.slots[slot].stale.is_some())
+            .count();
+        (inner.map.len() - stale, stale)
     }
 
     /// `(name, value)` pairs for the `STATS` reply.
@@ -209,8 +453,10 @@ impl<V: Clone> QueryCache<V> {
         } else {
             0.0
         };
+        let (live, stale) = self.len_by_liveness();
+        let by_reason = self.stale_by_reason();
         vec![
-            ("cache_entries".into(), self.len().to_string()),
+            ("cache_entries".into(), (live + stale).to_string()),
             ("cache_capacity".into(), self.capacity.to_string()),
             ("cache_hits".into(), hits.to_string()),
             ("cache_misses".into(), misses.to_string()),
@@ -220,8 +466,44 @@ impl<V: Clone> QueryCache<V> {
                 self.stale_evictions().to_string(),
             ),
             ("cache_hit_rate".into(), format!("{rate:.4}")),
+            ("cache_entries_live".into(), live.to_string()),
+            ("cache_entries_stale".into(), stale.to_string()),
+            ("cache_survivors".into(), self.survivors().to_string()),
+            (
+                "cache_stale_edge_added".into(),
+                by_reason[StaleReason::EdgeAdded.index()].to_string(),
+            ),
+            (
+                "cache_stale_edge_removed".into(),
+                by_reason[StaleReason::EdgeRemoved.index()].to_string(),
+            ),
+            (
+                "cache_stale_assignment_changed".into(),
+                by_reason[StaleReason::AssignmentChanged.index()].to_string(),
+            ),
+            (
+                "cache_stale_full_reload".into(),
+                by_reason[StaleReason::FullReload.index()].to_string(),
+            ),
         ]
     }
+}
+
+/// Which [`StaleReason`] (if any) `scope` assigns to a cached query. The
+/// Γ-region check comes first — an edge that reaches the user makes the
+/// probed tables themselves differ — then term-bag intersections against
+/// the re-summarized topics, assignment-caused before edge-caused.
+fn classify(scope: &DeltaScope, key: &QueryKey) -> Option<StaleReason> {
+    if scope.touches_user(NodeId(key.user)) {
+        return Some(StaleReason::EdgeAdded);
+    }
+    if scope.touches_assignment_terms(&key.terms) {
+        return Some(StaleReason::AssignmentChanged);
+    }
+    if scope.touches_edge_terms(&key.terms) {
+        return Some(StaleReason::EdgeAdded);
+    }
+    None
 }
 
 /// What [`InflightMap::begin`] handed the caller: leadership of a fresh
@@ -229,9 +511,16 @@ impl<V: Clone> QueryCache<V> {
 /// existing one.
 pub enum FlightRole<C> {
     /// No identical execution was in flight: the caller must run the search
-    /// and eventually [`InflightMap::resolve`] the flight. Carries the
-    /// flight's shared cancel handle.
-    Lead(C),
+    /// and eventually [`InflightMap::resolve`] the flight.
+    Lead {
+        /// The fresh flight's shared cancel handle.
+        cancel: C,
+        /// Present when leadership was won by taking over a corpse: the dead
+        /// flight's cancel handle. The caller must trigger it — a worker may
+        /// still be wedged on the corpse's execution, and nothing else will
+        /// ever release it.
+        stale_cancel: Option<C>,
+    },
     /// An identical execution is already running; the caller's channel was
     /// registered as a waiter and the result will arrive on it.
     Join,
@@ -245,6 +534,11 @@ struct Flight<R, C> {
     live: usize,
     /// The cancel handle shared by the single execution.
     cancel: C,
+    /// Whether [`InflightMap::abandon`] already handed `cancel` out. The
+    /// hand-off is one-shot: once `live` saturates at zero, further racing
+    /// abandons (late joiners whose own deadlines fire) must not surface the
+    /// handle again and double-cancel a revived flight.
+    cancel_taken: bool,
     /// The leader's deadline. A flight can only outlive it by the worker's
     /// resolve lag; one lingering far past it is a corpse (the worker died
     /// between dequeue and resolve) and gets taken over — see
@@ -283,8 +577,10 @@ impl<R, C: Clone> InflightMap<R, C> {
     /// becomes the leader (with `deadline` recorded as the flight's);
     /// otherwise the caller joins the existing flight. A flight lingering
     /// `STALE_GRACE` past its own deadline is a corpse: its waiters are
-    /// dropped (their receivers observe the disconnect) and the caller
-    /// re-leads a fresh flight.
+    /// dropped (their receivers observe the disconnect), the caller re-leads
+    /// a fresh flight, and the corpse's cancel handle rides back in
+    /// [`FlightRole::Lead::stale_cancel`] for the caller to trigger — a
+    /// worker may still be pinned on the dead execution.
     pub fn begin(
         &self,
         generation: u64,
@@ -301,13 +597,17 @@ impl<R, C: Clone> InflightMap<R, C> {
                     .is_some_and(|lag| lag >= STALE_GRACE);
                 if stale {
                     let cancel = make();
-                    e.insert(Flight {
+                    let corpse = e.insert(Flight {
                         waiters: vec![tx],
                         live: 1,
                         cancel: cancel.clone(),
+                        cancel_taken: false,
                         deadline,
                     });
-                    return FlightRole::Lead(cancel);
+                    return FlightRole::Lead {
+                        cancel,
+                        stale_cancel: Some(corpse.cancel),
+                    };
                 }
                 let flight = e.get_mut();
                 flight.waiters.push(tx);
@@ -320,23 +620,30 @@ impl<R, C: Clone> InflightMap<R, C> {
                     waiters: vec![tx],
                     live: 1,
                     cancel: cancel.clone(),
+                    cancel_taken: false,
                     deadline,
                 });
-                FlightRole::Lead(cancel)
+                FlightRole::Lead {
+                    cancel,
+                    stale_cancel: None,
+                }
             }
         }
     }
 
     /// One waiter stopped caring (its own deadline passed or its connection
     /// died). When the last live waiter abandons, the flight's cancel
-    /// handle is returned so the caller can stop the now-pointless
-    /// execution; the entry itself stays until [`InflightMap::resolve`], so
-    /// late joiners in the race window still get a (cancelled) reply.
+    /// handle is returned — exactly once — so the caller can stop the
+    /// now-pointless execution; the entry itself stays until
+    /// [`InflightMap::resolve`], so late joiners in the race window still
+    /// get a (cancelled) reply, and their own later abandons are no-ops
+    /// rather than a second cancellation.
     pub fn abandon(&self, generation: u64, key: &QueryKey) -> Option<C> {
         let mut flights = self.flights.lock();
         let flight = flights.get_mut(&(generation, key.clone()))?;
         flight.live = flight.live.saturating_sub(1);
-        if flight.live == 0 {
+        if flight.live == 0 && !flight.cancel_taken {
+            flight.cancel_taken = true;
             Some(flight.cancel.clone())
         } else {
             None
@@ -415,6 +722,25 @@ impl<V> Inner<V> {
         let key = self.slots[slot].key.clone();
         self.map.remove(&key);
         self.free.push(slot);
+    }
+
+    /// A validated stale-reclamation candidate, or `None` when every cached
+    /// entry is live. `stale_slots` holds hints: a hinted slot may have been
+    /// lazily evicted, overwritten in place, or recycled for another key
+    /// since the sweep pushed it, so each pop re-checks that the slot still
+    /// holds a mapped, stale entry.
+    fn pop_stale_slot(&mut self) -> Option<usize> {
+        while let Some(slot) = self.stale_slots.pop() {
+            let current = self.slots.get(slot).is_some_and(|s| s.stale.is_some())
+                && self
+                    .slots
+                    .get(slot)
+                    .is_some_and(|s| self.map.get(&s.key) == Some(&slot));
+            if current {
+                return Some(slot);
+            }
+        }
+        None
     }
 }
 
@@ -543,6 +869,106 @@ mod tests {
         assert_eq!(live, 8);
     }
 
+    #[test]
+    fn mark_all_stale_kills_entries_lazily_with_a_typed_reason() {
+        let cache: QueryCache<u64> = QueryCache::new(4);
+        cache.insert(key(1), 1, 11);
+        cache.insert(key(2), 1, 22);
+        cache.mark_all_stale(StaleReason::FullReload);
+        assert_eq!(cache.len_by_liveness(), (0, 2));
+        assert_eq!(cache.stale_by_reason()[StaleReason::FullReload.index()], 2);
+        // Same generation, but the flag alone kills the entry on touch.
+        assert_eq!(cache.get(&key(1), 1), None);
+        assert_eq!(cache.stale_evictions(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn at_capacity_insert_reclaims_stale_slots_before_live_entries() {
+        let cache: QueryCache<u64> = QueryCache::new(2);
+        cache.insert(key(1), 1, 11);
+        cache.insert(key(2), 1, 22);
+        cache.mark_all_stale(StaleReason::FullReload);
+        // A cache full of corpses: fresh inserts must reclaim them instead
+        // of evicting each other through the LRU path.
+        cache.insert(key(3), 2, 33);
+        cache.insert(key(4), 2, 44);
+        assert_eq!(cache.evictions(), 0, "no live entry was evicted");
+        assert_eq!(cache.get(&key(3), 2), Some(33));
+        assert_eq!(cache.get(&key(4), 2), Some(44));
+        assert_eq!(cache.len_by_liveness(), (2, 0));
+        // Genuinely full of live entries again: LRU eviction resumes.
+        cache.insert(key(5), 2, 55);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn update_retag_keeps_survivors_and_types_stale_reasons() {
+        let cache: QueryCache<u64> = QueryCache::new(8);
+        // Generation-1 entries: Γ-affected user, assignment-term match,
+        // edge-term match, and one the delta cannot touch.
+        cache.insert(QueryKey::new(5, 10, vec![TermId(9)]), 1, 1);
+        cache.insert(QueryKey::new(1, 10, vec![TermId(2)]), 1, 2);
+        cache.insert(QueryKey::new(2, 10, vec![TermId(3)]), 1, 3);
+        cache.insert(QueryKey::new(3, 10, vec![TermId(9)]), 1, 4);
+        // An older-generation leftover gets the full-reload backstop: its
+        // provenance is unknown, surviving it would be unsound.
+        cache.insert(QueryKey::new(4, 10, vec![TermId(9)]), 0, 5);
+        let scope = DeltaScope {
+            edge_users: vec![NodeId(5), NodeId(7)],
+            assignment_terms: vec![TermId(2)],
+            edge_terms: vec![TermId(3)],
+        };
+        cache.retag_after_update(1, 2, &scope);
+        assert_eq!(cache.survivors(), 1);
+        let by = cache.stale_by_reason();
+        assert_eq!(by[StaleReason::EdgeAdded.index()], 2);
+        assert_eq!(by[StaleReason::AssignmentChanged.index()], 1);
+        assert_eq!(by[StaleReason::FullReload.index()], 1);
+        assert_eq!(by[StaleReason::EdgeRemoved.index()], 0);
+        // The survivor answers under the new generation without recompute…
+        assert_eq!(
+            cache.get(&QueryKey::new(3, 10, vec![TermId(9)]), 2),
+            Some(4)
+        );
+        // …while every affected entry is a miss.
+        assert_eq!(cache.get(&QueryKey::new(5, 10, vec![TermId(9)]), 2), None);
+        assert_eq!(cache.get(&QueryKey::new(1, 10, vec![TermId(2)]), 2), None);
+        assert_eq!(cache.get(&QueryKey::new(2, 10, vec![TermId(3)]), 2), None);
+        assert_eq!(cache.get(&QueryKey::new(4, 10, vec![TermId(9)]), 2), None);
+    }
+
+    #[test]
+    fn hottest_ranks_frequent_keys_first() {
+        let cache: QueryCache<u64> = QueryCache::new(4);
+        for _ in 0..5 {
+            let _ = cache.get(&key(1), G);
+        }
+        for _ in 0..3 {
+            let _ = cache.get(&key(2), G);
+        }
+        let _ = cache.get(&key(3), G);
+        assert_eq!(cache.hottest(2), vec![key(1), key(2)]);
+        assert_eq!(cache.hottest(10).len(), 3);
+        // Zero-capacity caches never track (caching is disabled wholesale).
+        let off: QueryCache<u64> = QueryCache::new(0);
+        let _ = off.get(&key(1), G);
+        assert!(off.hottest(4).is_empty());
+    }
+
+    #[test]
+    fn contains_peeks_without_counting() {
+        let cache: QueryCache<u64> = QueryCache::new(2);
+        cache.insert(key(1), 1, 10);
+        assert!(cache.contains(&key(1), 1));
+        assert!(!cache.contains(&key(1), 2), "wrong generation");
+        assert!(!cache.contains(&key(2), 1), "never inserted");
+        assert_eq!(cache.hits() + cache.misses(), 0, "peeks count nothing");
+        cache.mark_all_stale(StaleReason::FullReload);
+        assert!(!cache.contains(&key(1), 1), "stale entries don't count");
+    }
+
     /// A deadline far enough out that no test flight ever reads as stale.
     fn soon() -> Instant {
         Instant::now() + Duration::from_secs(60)
@@ -555,7 +981,10 @@ mod tests {
         let (tx2, rx2) = crossbeam::channel::bounded(1);
         assert!(matches!(
             m.begin(1, &key(7), tx1, soon(), || 99),
-            FlightRole::Lead(99)
+            FlightRole::Lead {
+                cancel: 99,
+                stale_cancel: None
+            }
         ));
         assert!(matches!(
             m.begin(1, &key(7), tx2, soon(), || unreachable!(
@@ -580,15 +1009,15 @@ mod tests {
         let (tx, _rx) = crossbeam::channel::bounded(1);
         assert!(matches!(
             m.begin(1, &key(7), tx.clone(), soon(), || 1),
-            FlightRole::Lead(_)
+            FlightRole::Lead { .. }
         ));
         assert!(matches!(
             m.begin(2, &key(7), tx.clone(), soon(), || 2),
-            FlightRole::Lead(_)
+            FlightRole::Lead { .. }
         ));
         assert!(matches!(
             m.begin(1, &key(8), tx, soon(), || 3),
-            FlightRole::Lead(_)
+            FlightRole::Lead { .. }
         ));
         assert_eq!(m.len(), 3);
     }
@@ -608,13 +1037,20 @@ mod tests {
         };
         assert!(matches!(
             m.begin(1, &key(7), tx1, long_dead, || 1),
-            FlightRole::Lead(1)
+            FlightRole::Lead {
+                cancel: 1,
+                stale_cancel: None
+            }
         ));
         // The next identical query must not join the corpse forever: it
-        // re-leads, and the corpse's waiters observe the disconnect.
+        // re-leads, and the corpse's cancel handle is surfaced so the
+        // caller can release any worker still wedged on the dead execution.
         assert!(matches!(
             m.begin(1, &key(7), tx2, soon(), || 2),
-            FlightRole::Lead(2)
+            FlightRole::Lead {
+                cancel: 2,
+                stale_cancel: Some(1)
+            }
         ));
         assert_eq!(m.len(), 1, "takeover replaces, never duplicates");
         assert!(
@@ -632,9 +1068,34 @@ mod tests {
         let _ = m.begin(1, &key(7), tx2, soon(), || unreachable!());
         assert_eq!(m.abandon(1, &key(7)), None, "one waiter still live");
         assert_eq!(m.abandon(1, &key(7)), Some(5), "last abandon cancels");
+        assert_eq!(
+            m.abandon(1, &key(7)),
+            None,
+            "the cancel hand-off is one-shot, even with live saturated at 0"
+        );
         // The entry survives so a racing resolve still finds the waiters.
         assert_eq!(m.resolve(1, &key(7)).len(), 2);
         assert_eq!(m.abandon(1, &key(7)), None, "resolved flight: no-op");
+    }
+
+    #[test]
+    fn a_revived_flight_is_not_double_cancelled_by_a_racing_abandon() {
+        let m: InflightMap<u64, u32> = InflightMap::new();
+        let (tx1, _rx1) = crossbeam::channel::bounded(1);
+        let (tx2, _rx2) = crossbeam::channel::bounded(1);
+        let _ = m.begin(1, &key(7), tx1, soon(), || 5);
+        assert_eq!(m.abandon(1, &key(7)), Some(5), "sole waiter left: cancel");
+        // A late joiner revives the flight in the window before resolve…
+        assert!(matches!(
+            m.begin(1, &key(7), tx2, soon(), || unreachable!()),
+            FlightRole::Join
+        ));
+        // …and its own abandon must not surface the handle a second time.
+        assert_eq!(
+            m.abandon(1, &key(7)),
+            None,
+            "an already-cancelled flight is never cancelled twice"
+        );
     }
 
     #[test]

@@ -53,7 +53,8 @@
 //!    │                        └─reply── updater thread (RELOAD/UPDATE,
 //!    │                                   swaps the engine generation)
 //!    └── on shutdown: stop accepting, drop the io channels, io threads
-//!        drain their connections, then drain pool, join updater
+//!        drain their connections, then join updater, drain pool (the
+//!        updater holds a pool sender for warmup, so it retires first)
 //! ```
 //!
 //! A fixed set of I/O threads (`event`) own every client socket as a
@@ -87,14 +88,14 @@ pub use trace::{TraceCollector, TraceCtx};
 
 use crossbeam::channel::{self, Receiver, Sender};
 use pit::Delta;
-use pool::WorkerPool;
+use pool::{Admission, Job, PoolClient, QueryJob, ReplyTo, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the acceptor sleeps when the listener has nothing for it; also
 /// bounds how fast it notices the shutdown flag.
@@ -143,9 +144,10 @@ pub fn serve<A: ToSocketAddrs>(state: Arc<ServerState>, addr: A) -> io::Result<S
     let (admin_tx, admin_rx) = channel::unbounded::<AdminJob>();
     let updater = {
         let state = Arc::clone(&state);
+        let jobs = pool.client();
         std::thread::Builder::new()
             .name("pit-updater".to_string())
-            .spawn(move || updater_loop(&admin_rx, &state))?
+            .spawn(move || updater_loop(&admin_rx, &state, &jobs))?
     };
     let shared = Arc::new(event::EventShared {
         state,
@@ -220,11 +222,21 @@ pub(crate) enum AdminJob {
 /// RELOAD/UPDATE requests apply one at a time, and the worker pool never
 /// blocks on a rebuild. Exits when the last admin sender drops (drain),
 /// after finishing whatever was already queued.
-fn updater_loop(rx: &Receiver<AdminJob>, state: &ServerState) {
+///
+/// After a successful blanket-flush swap (`RELOAD`/`COMMIT`) the thread
+/// runs the bounded cache warmup ([`warm_cache`]) before replying, so a
+/// `GEN <n>` answer means the new generation's cache is as warm as the
+/// budget allowed. `UPDATE` never warms: its delta-scoped retag keeps the
+/// unaffected entries alive, which is the whole point of this module.
+fn updater_loop(rx: &Receiver<AdminJob>, state: &ServerState, jobs: &PoolClient) {
     while let Ok(job) = rx.recv() {
         match job {
             AdminJob::Reload { dir, reply } => {
-                let _ = reply.send(state.reload(&dir).map(Some));
+                let result = state.reload(&dir);
+                if result.is_ok() {
+                    warm_cache(state, jobs);
+                }
+                let _ = reply.send(result.map(Some));
             }
             AdminJob::Update { delta, reply } => {
                 let _ = reply.send(
@@ -240,13 +252,87 @@ fn updater_loop(rx: &Receiver<AdminJob>, state: &ServerState) {
                 let _ = reply.send(state.prepare_update(&delta).map(|()| None));
             }
             AdminJob::Commit { reply } => {
-                let _ = reply.send(state.commit_staged().map(Some));
+                let result = state.commit_staged();
+                if result.is_ok() {
+                    warm_cache(state, jobs);
+                }
+                let _ = reply.send(result.map(Some));
             }
             AdminJob::Abort { reply } => {
                 let _ = reply.send(Ok(Some(state.abort_staged())));
             }
         }
     }
+}
+
+/// Replay the hottest query keys through the normal worker path so the
+/// first clients after a blanket flush hit a warm cache instead of forming
+/// a thundering herd of cold misses. Runs on the updater thread, strictly
+/// bounded by `warmup_budget` (zero disables warmup entirely, the
+/// default); each replayed query also carries the regular per-query budget
+/// so one dragged search cannot eat the whole window.
+///
+/// Replays go through the pool's bounded queue like any client query —
+/// `Overloaded` means real traffic is already warming the cache the honest
+/// way, so that key is simply skipped. Keys whose user fell out of the new
+/// engine (a shrinking reload) are dropped; keys a live client already
+/// repopulated count as warmed without a replay.
+fn warm_cache(state: &ServerState, jobs: &PoolClient) {
+    let budget = state.config().warmup_budget;
+    if budget.is_zero() || state.config().cache_capacity == 0 {
+        return;
+    }
+    let metrics = state.metrics();
+    let current = state.current();
+    let keys = state.hot_keys(state.config().warmup_top);
+    Metrics::set(&metrics.warmup_target, keys.len() as u64);
+    Metrics::set(&metrics.warmup_warmed, 0);
+    let deadline = Instant::now() + budget;
+    let mut warmed = 0u64;
+    for key in keys {
+        let now = Instant::now();
+        let remaining = deadline.saturating_duration_since(now);
+        if remaining.is_zero() {
+            Metrics::bump(&metrics.warmup_budget_exhausted);
+            break;
+        }
+        if key.user as usize >= current.engine.node_count() {
+            continue;
+        }
+        if state.cached_under(&key, current.generation) {
+            warmed += 1;
+            continue;
+        }
+        let (tx, rx) = channel::bounded::<pool::JobReply>(1);
+        let job = Job::Query(QueryJob {
+            engine: current.clone(),
+            key,
+            enqueued: now,
+            cancel: state.query_token(now + state.config().query_budget.min(remaining)),
+            reply: ReplyTo::Direct(tx),
+            trace: state.tracing().begin(current.generation, now),
+        });
+        match jobs.submit(job) {
+            Admission::Queued => {
+                Metrics::bump(&metrics.warmup_queries);
+                match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                    // try_execute filled the cache under the new generation.
+                    Ok(Ok(_)) => warmed += 1,
+                    // Timeout/panic/unindexed user: the key stays cold.
+                    Ok(Err(_)) => {}
+                    Err(_) => {
+                        // Budget elapsed mid-flight; the worker's eventual
+                        // cache fill still lands, but the run is over.
+                        Metrics::bump(&metrics.warmup_budget_exhausted);
+                        break;
+                    }
+                }
+            }
+            Admission::Overloaded => continue,
+            Admission::Closed => break,
+        }
+    }
+    Metrics::set(&metrics.warmup_warmed, warmed);
 }
 
 fn accept_loop(
@@ -298,12 +384,18 @@ fn accept_loop(
     }
     match Arc::try_unwrap(shared) {
         Ok(sh) => {
-            sh.pool.shutdown();
+            // The updater holds a pool submit handle (post-reload warmup),
+            // and workers only exit once *every* job sender is gone — so
+            // the updater must be retired before the pool can drain. Drop
+            // the last admin sender, join the updater (which drops its
+            // handle), then shut the pool down. The reverse order
+            // deadlocks.
             drop(sh.admin);
+            let _ = updater.join();
+            sh.pool.shutdown();
         }
         Err(_) => unreachable!("all I/O threads joined"),
     }
-    let _ = updater.join();
 }
 
 #[cfg(test)]
@@ -768,6 +860,189 @@ mod tests {
 
         roundtrip(&mut c, &Request::Shutdown);
         handle.join();
+    }
+
+    /// Two disconnected five-node islands, each with its own topic and its
+    /// own term. An edge delta inside one island provably cannot touch the
+    /// other: no walk, Γ table, or term bag crosses the gap.
+    fn island_engine() -> PitEngine {
+        use pit_graph::NodeId;
+        let mut g = pit_graph::GraphBuilder::new(10);
+        // Island A: 0→1→2→3→4→0 ring plus a 0→2 shortcut.
+        // Island B: 5→6→7→8→9→5 ring plus a 5→7 shortcut; 6→9 is left out
+        // so the delta below adds a genuinely new edge. Rings, so influence
+        // is mutual and scores are nonzero — a chain's source-node rep
+        // would make every answer a degenerate 0.0.
+        for &(a, b) in &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)] {
+            g.add_edge(NodeId(a), NodeId(b), 0.5).unwrap();
+        }
+        for &(a, b) in &[(5, 6), (6, 7), (7, 8), (8, 9), (9, 5), (5, 7)] {
+            g.add_edge(NodeId(a), NodeId(b), 0.5).unwrap();
+        }
+        let graph = g.build().unwrap();
+        let mut vocab = pit_topics::Vocabulary::new();
+        let term_a = vocab.intern("island-a");
+        let term_b = vocab.intern("island-b");
+        let mut b = pit_topics::TopicSpaceBuilder::new(10, 2);
+        let t_a = b.add_topic(vec![term_a]);
+        for m in 0..5 {
+            b.assign(NodeId(m), t_a);
+        }
+        let t_b = b.add_topic(vec![term_b]);
+        for m in 5..10 {
+            b.assign(NodeId(m), t_b);
+        }
+        PitEngine::builder()
+            .walk(WalkConfig::new(4, 8).with_seed(3))
+            .propagation(PropIndexConfig::with_theta(0.01))
+            .summarizer(SummarizerKind::Lrw(LrwConfig::default()))
+            .build_with_vocab(graph, b.build(), Some(vocab))
+    }
+
+    #[test]
+    fn update_leaves_disjoint_cache_entries_hitting() {
+        let base = Arc::new(island_engine());
+        let state = Arc::new(ServerState::new(
+            Arc::clone(&base),
+            ServerConfig {
+                workers: 2,
+                cache_capacity: 16,
+                ..ServerConfig::default()
+            },
+        ));
+        // A new edge strictly inside island B.
+        let delta = Delta {
+            new_edges: vec![(pit_graph::NodeId(6), pit_graph::NodeId(9), 0.9)],
+            new_assignments: vec![],
+        };
+        // Offline ground truth: the blast radius stays inside island B.
+        let (next_engine, report) = base.with_delta(&delta).unwrap();
+        let scope = &report.scope;
+        let term_a = base.vocab().unwrap().get("island-a").unwrap();
+        assert!(!scope.touches_user(pit_graph::NodeId(0)), "{scope:?}");
+        assert!(!scope.touches_assignment_terms(&[term_a]));
+        assert!(!scope.touches_edge_terms(&[term_a]), "{scope:?}");
+        assert!(scope.touches_user(pit_graph::NodeId(9)), "{scope:?}");
+
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        let disjoint = Request::Query {
+            user: 0,
+            k: 3,
+            keywords: vec!["island-a".to_string()],
+        };
+        let affected = Request::Query {
+            user: 9,
+            k: 3,
+            keywords: vec!["island-b".to_string()],
+        };
+        // Warm both under generation 1.
+        assert!(matches!(
+            roundtrip(&mut c, &disjoint),
+            Response::Topics { cached: false, .. }
+        ));
+        assert!(matches!(
+            roundtrip(&mut c, &affected),
+            Response::Topics { cached: false, .. }
+        ));
+
+        let update = Request::Update {
+            edges: vec![(6, 9, 0.9)],
+            assignments: vec![],
+        };
+        assert_eq!(roundtrip(&mut c, &update), Response::Generation(2));
+
+        // The island-A entry crossed the generation bump alive — and its
+        // cached answer bit-matches a fresh computation on the new engine.
+        let Response::Topics { ranked, cached, .. } = roundtrip(&mut c, &disjoint) else {
+            panic!("expected topics");
+        };
+        assert!(cached, "disjoint entry must survive a scoped UPDATE");
+        let recomputed: Vec<(u32, f64)> = next_engine
+            .search_keywords(pit_graph::NodeId(0), &["island-a"], 3)
+            .unwrap()
+            .top_k
+            .iter()
+            .map(|s| (s.topic.0, s.score))
+            .collect();
+        assert_eq!(ranked, recomputed, "survivor must equal recompute");
+
+        // The island-B entry did not survive.
+        assert!(matches!(
+            roundtrip(&mut c, &affected),
+            Response::Topics { cached: false, .. }
+        ));
+
+        let Response::Stats(pairs) = roundtrip(&mut c, &Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(get_stat(&pairs, "generation"), 2);
+        assert!(get_stat(&pairs, "cache_survivors") >= 1);
+        assert!(
+            get_stat(&pairs, "cache_stale_edge_added") >= 1,
+            "affected entry must carry the edge-added stale reason"
+        );
+
+        roundtrip(&mut c, &Request::Shutdown);
+        handle.join();
+    }
+
+    #[test]
+    fn reload_warmup_repopulates_the_hottest_keys() {
+        let state = tiny_state(ServerConfig {
+            workers: 2,
+            cache_capacity: 16,
+            warmup_budget: Duration::from_secs(10),
+            warmup_top: 4,
+            ..ServerConfig::default()
+        });
+        let next = tiny_engine(10);
+        let new_ranking = offline_ranking(&next, 5, 5);
+        let dir = scratch_dir("warmup");
+        pit::store::save_engine(&dir, &next).unwrap();
+
+        let handle = serve(Arc::clone(&state), "127.0.0.1:0").unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        let hot = Request::Query {
+            user: 5,
+            k: 5,
+            keywords: vec!["query-0".to_string()],
+        };
+        // Make user 5 the hottest key in the frequency sketch.
+        for _ in 0..3 {
+            assert!(matches!(roundtrip(&mut c, &hot), Response::Topics { .. }));
+        }
+
+        let reload = Request::Reload {
+            dir: dir.display().to_string(),
+        };
+        // The GEN reply arrives only after the warmup run finished.
+        assert_eq!(roundtrip(&mut c, &reload), Response::Generation(2));
+
+        // First post-reload query: already warm, and warm with the *new*
+        // engine's ranking — warmup replayed it through the worker path.
+        let Response::Topics { ranked, cached, .. } = roundtrip(&mut c, &hot) else {
+            panic!("expected topics");
+        };
+        assert!(cached, "warmup must repopulate the hottest key");
+        assert_eq!(ranked, new_ranking);
+
+        let Response::Stats(pairs) = roundtrip(&mut c, &Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(get_stat(&pairs, "warmup_queries") >= 1);
+        let coverage: f64 = pairs
+            .iter()
+            .find(|(k, _)| k == "warmup_coverage")
+            .expect("missing stat warmup_coverage")
+            .1
+            .parse()
+            .unwrap();
+        assert!(coverage > 0.0, "last warmup run must report coverage");
+
+        roundtrip(&mut c, &Request::Shutdown);
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -173,6 +173,16 @@ pub struct Metrics {
     /// other non-retryable `accept(2)` error. The client saw a refused or
     /// dropped connection, not an `ERR`.
     pub accept_errors: AtomicU64,
+    /// Warmup queries replayed by the updater thread after a full reload
+    /// (the post-swap cold-cliff shrinker), over the server's lifetime.
+    pub warmup_queries: AtomicU64,
+    /// Warmup runs that ran out of `--warmup-budget-ms` before finishing
+    /// their key list.
+    pub warmup_budget_exhausted: AtomicU64,
+    /// Gauge: keys the most recent warmup run set out to replay.
+    pub warmup_target: AtomicU64,
+    /// Gauge: keys the most recent warmup run actually repopulated.
+    pub warmup_warmed: AtomicU64,
     /// Gauge: client connections currently registered with the I/O threads.
     /// Incremented at accept, decremented when the event loop drops the
     /// socket (close, idle cut, error, drain).
@@ -208,6 +218,21 @@ impl Metrics {
     /// `bump` on the same gauge, so the value never wraps.
     pub fn dec(counter: &AtomicU64) {
         counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrite a gauge (last-run style gauges like the warmup coverage).
+    pub fn set(gauge: &AtomicU64, value: u64) {
+        gauge.store(value, Ordering::Relaxed);
+    }
+
+    /// Fraction of the most recent warmup run's target keys that were
+    /// actually repopulated, in `[0, 1]`; 0 when no warmup ran yet.
+    pub fn warmup_coverage(&self) -> f64 {
+        let target = self.warmup_target.load(Ordering::Relaxed);
+        if target == 0 {
+            return 0.0;
+        }
+        self.warmup_warmed.load(Ordering::Relaxed) as f64 / target as f64
     }
 
     /// Read a counter or gauge.
@@ -324,6 +349,18 @@ impl Metrics {
                 "reload_p99_us".into(),
                 self.reload_latency.quantile_micros(0.99).to_string(),
             ),
+            (
+                "warmup_queries".into(),
+                load(&self.warmup_queries).to_string(),
+            ),
+            (
+                "warmup_coverage".into(),
+                format!("{:.4}", self.warmup_coverage()),
+            ),
+            (
+                "warmup_budget_exhausted".into(),
+                load(&self.warmup_budget_exhausted).to_string(),
+            ),
         ]
     }
 
@@ -430,6 +467,18 @@ impl Metrics {
             "pit_accept_errors_total",
             "Accept-loop failures that cost a connection (e.g. fd exhaustion).",
             load(&self.accept_errors),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_warmup_queries_total",
+            "Warmup queries replayed by the updater thread after full reloads.",
+            load(&self.warmup_queries),
+        );
+        pit_obs::prom::counter(
+            out,
+            "pit_warmup_budget_exhausted_total",
+            "Warmup runs that ran out of budget before finishing their key list.",
+            load(&self.warmup_budget_exhausted),
         );
         hist(
             out,
@@ -630,7 +679,10 @@ mod tests {
                 "exec_p50_us",
                 "exec_p99_us",
                 "reload_p50_us",
-                "reload_p99_us"
+                "reload_p99_us",
+                "warmup_queries",
+                "warmup_coverage",
+                "warmup_budget_exhausted"
             ]
         );
     }

@@ -143,6 +143,46 @@ pub struct WorkerPool {
     shared: Arc<PoolShared>,
 }
 
+/// A cloneable submit handle onto the pool's bounded queue, for threads
+/// that inject work without owning the pool (the updater's post-reload
+/// cache warmup). Admission semantics are identical to
+/// [`WorkerPool::submit`].
+///
+/// Holding a `PoolClient` keeps the workers alive — they exit only when
+/// every job sender is gone — so its owner must drop it (or exit) before
+/// [`WorkerPool::shutdown`] can finish draining.
+#[derive(Clone)]
+pub struct PoolClient {
+    jobs: Sender<Job>,
+    state: Arc<ServerState>,
+}
+
+impl PoolClient {
+    /// Offer a job without blocking; a full queue is the load-shed signal.
+    pub fn submit(&self, job: Job) -> Admission {
+        offer(&self.jobs, &self.state, job)
+    }
+}
+
+/// Shared admission path: maintains the `queued_jobs` gauge — incremented
+/// before the offer so a worker's decrement can never precede it,
+/// decremented right back when the offer is refused.
+fn offer(jobs: &Sender<Job>, state: &ServerState, job: Job) -> Admission {
+    let gauge = &state.metrics().queued_jobs;
+    Metrics::bump(gauge);
+    match jobs.try_send(job) {
+        Ok(()) => Admission::Queued,
+        Err(TrySendError::Full(_)) => {
+            Metrics::dec(gauge);
+            Admission::Overloaded
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            Metrics::dec(gauge);
+            Admission::Closed
+        }
+    }
+}
+
 impl WorkerPool {
     /// Spawn `state.config().workers` threads over a queue of depth
     /// `state.config().queue_depth`.
@@ -165,22 +205,18 @@ impl WorkerPool {
     }
 
     /// Offer a job without blocking; a full queue is the load-shed signal.
-    /// Maintains the `queued_jobs` gauge: incremented before the offer so a
-    /// worker's decrement can never precede it, decremented right back when
-    /// the offer is refused.
+    /// Maintains the `queued_jobs` gauge (see the module-private `offer`).
     pub fn submit(&self, job: Job) -> Admission {
-        let gauge = &self.shared.state.metrics().queued_jobs;
-        Metrics::bump(gauge);
-        match self.jobs.try_send(job) {
-            Ok(()) => Admission::Queued,
-            Err(TrySendError::Full(_)) => {
-                Metrics::dec(gauge);
-                Admission::Overloaded
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                Metrics::dec(gauge);
-                Admission::Closed
-            }
+        offer(&self.jobs, &self.shared.state, job)
+    }
+
+    /// A detached submit handle for threads that outlive individual
+    /// connections (the updater). See [`PoolClient`] for the shutdown
+    /// ordering obligation this creates.
+    pub fn client(&self) -> PoolClient {
+        PoolClient {
+            jobs: self.jobs.clone(),
+            state: Arc::clone(&self.shared.state),
         }
     }
 

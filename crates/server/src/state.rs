@@ -13,14 +13,14 @@
 //! the LRU cache (mutex, generation-tagged entries) and the metrics
 //! (atomics).
 
-use crate::cache::{FlightRole, InflightMap, QueryCache, QueryKey};
+use crate::cache::{FlightRole, InflightMap, QueryCache, QueryKey, StaleReason};
 use crate::engine::{LocalServeEngine, ServeEngine, ServeError, ServeOutcome};
 use crate::metrics::Metrics;
 use crate::pool::JobReply;
 use crate::trace::TraceCollector;
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
-use pit::{Delta, PitEngine, UpdateReport};
+use pit::{Delta, DeltaScope, PitEngine, UpdateReport};
 use pit_graph::NodeId;
 use pit_obs::prom;
 use pit_search_core::{CancelToken, SearchTracer};
@@ -96,6 +96,14 @@ pub struct ServerConfig {
     pub slow_threshold: Duration,
     /// Capacity of the trace ring and the slow-query log (each).
     pub trace_ring: usize,
+    /// Time budget for the post-`RELOAD` cache warmup job on the updater
+    /// thread (zero disables warmup). After a blanket flush, the hottest
+    /// cached keys are replayed through the normal worker path until the
+    /// budget runs out, shrinking the cold cliff clients would otherwise
+    /// absorb.
+    pub warmup_budget: Duration,
+    /// How many of the hottest keys the warmup job replays, at most.
+    pub warmup_top: usize,
 }
 
 impl Default for ServerConfig {
@@ -120,8 +128,20 @@ impl Default for ServerConfig {
             trace_sample: 0,
             slow_threshold: Duration::from_secs(1),
             trace_ring: 256,
+            warmup_budget: Duration::ZERO,
+            warmup_top: 16,
         }
     }
+}
+
+/// What a generation swap does to the result cache, decided by the swap's
+/// provenance: a full engine replacement can vouch for nothing (flush),
+/// while a delta apply knows its exact blast radius (retag survivors).
+enum CacheAction {
+    /// Mark every entry stale with the given reason.
+    Flush(StaleReason),
+    /// Delta-aware sweep: entries outside the scope survive re-tagged.
+    Retag(DeltaScope),
 }
 
 /// Serving state shared by the acceptor, connection threads, the worker
@@ -193,16 +213,28 @@ impl ServerState {
         self.engine.read().clone()
     }
 
-    /// Install `engine` as the next generation and return its number.
-    /// Queries admitted before the swap finish against the `Arc` they
-    /// captured; queries admitted after see only the new engine. The cache
-    /// needs no sweep — generation-tagged entries die lazily on first
-    /// cross-generation touch.
-    fn swap_engine(&self, engine: Arc<dyn ServeEngine>) -> u64 {
+    /// Install `engine` as the next generation, apply `action` to the
+    /// cache, and return the new generation number. Queries admitted before
+    /// the swap finish against the `Arc` they captured; queries admitted
+    /// after see only the new engine.
+    ///
+    /// The cache sweep runs while the engine write lock is still held: no
+    /// reader can capture the new generation until the sweep finishes, so
+    /// the generation backstop in [`QueryCache::get`] can never evict a
+    /// survivor in the instant before it is re-tagged. (Lock nesting is
+    /// engine → cache; nothing locks in the other order.) Stale entries
+    /// still die lazily — the sweep only flips flags, it frees nothing.
+    fn swap_engine(&self, engine: Arc<dyn ServeEngine>, action: CacheAction) -> u64 {
         let mut slot = self.engine.write();
+        let from_gen = slot.generation;
         slot.engine = engine;
         slot.generation += 1;
-        slot.generation
+        let to_gen = slot.generation;
+        match action {
+            CacheAction::Flush(reason) => self.cache.mark_all_stale(reason),
+            CacheAction::Retag(scope) => self.cache.retag_after_update(from_gen, to_gen, &scope),
+        }
+        to_gen
     }
 
     /// Load the snapshot at `dir` and swap it in. Runs on the updater
@@ -215,13 +247,21 @@ impl ServerState {
     /// bumped.
     pub fn reload(&self, dir: &Path) -> Result<u64, String> {
         let base = self.current();
-        self.admin_swap(|| base.engine.successor_from_dir(dir))
+        self.admin_swap(|| {
+            let next = base.engine.successor_from_dir(dir)?;
+            // A wholesale replacement can vouch for no cached entry.
+            Ok((next, CacheAction::Flush(StaleReason::FullReload)))
+        })
     }
 
     /// Apply an edge/assignment delta to the current engine (building the
     /// successor off to the side; see [`PitEngine::with_delta`]) and swap
     /// the result in. Runs on the updater thread. An empty delta is a no-op
     /// that reports the current generation without a swap.
+    ///
+    /// Unlike a full reload, the delta's [`DeltaScope`] is known exactly,
+    /// so the swap re-tags cache entries outside the scope instead of
+    /// flushing: untouched users keep hitting across the generation bump.
     ///
     /// # Errors
     /// A `reload-failed: …` reason when the delta is invalid (bad edge or
@@ -234,8 +274,9 @@ impl ServerState {
         let base = self.current();
         let generation = self.admin_swap(|| {
             let (next, r) = base.engine.successor_from_delta(delta)?;
+            let scope = r.scope.clone();
             report = r;
-            Ok(next)
+            Ok((next, CacheAction::Retag(scope)))
         })?;
         Ok((generation, report))
     }
@@ -296,7 +337,11 @@ impl ServerState {
         let staged = self.staged.lock().take();
         match staged {
             Some(engine) => {
-                let generation = self.swap_engine(engine);
+                // The staged successor may have been built from a delta, but
+                // the staging slot does not carry its scope and an arbitrary
+                // time passed since PREPARE — flush, don't guess.
+                let generation =
+                    self.swap_engine(engine, CacheAction::Flush(StaleReason::FullReload));
                 Metrics::bump(&self.metrics.reloads);
                 Ok(generation)
             }
@@ -316,19 +361,19 @@ impl ServerState {
     }
 
     /// Shared swap plumbing: run `build` (slow — a disk load or a delta
-    /// apply), then swap on success, maintaining the reload counters and
-    /// latency histogram either way.
+    /// apply), then swap on success with the cache action `build` decided,
+    /// maintaining the reload counters and latency histogram either way.
     fn admin_swap(
         &self,
-        build: impl FnOnce() -> Result<Arc<dyn ServeEngine>, String>,
+        build: impl FnOnce() -> Result<(Arc<dyn ServeEngine>, CacheAction), String>,
     ) -> Result<u64, String> {
         let started = Instant::now();
         if !self.config.reload_drag.is_zero() {
             std::thread::sleep(self.config.reload_drag);
         }
         match build() {
-            Ok(engine) => {
-                let generation = self.swap_engine(engine);
+            Ok((engine, action)) => {
+                let generation = self.swap_engine(engine, action);
                 Metrics::bump(&self.metrics.reloads);
                 self.metrics.reload_latency.observe(started.elapsed());
                 Ok(generation)
@@ -377,6 +422,19 @@ impl ServerState {
         self.cache.get(key, generation)
     }
 
+    /// The `n` most-frequently-queried cache keys (hottest first), from the
+    /// cache's frequency sketch. Feeds the post-reload warmup job.
+    pub fn hot_keys(&self, n: usize) -> Vec<QueryKey> {
+        self.cache.hottest(n)
+    }
+
+    /// Whether a live cache entry for `key` exists under `generation`,
+    /// without counting a hit or miss. The warmup job uses this to skip
+    /// keys a client query already repopulated.
+    pub fn cached_under(&self, key: &QueryKey, generation: u64) -> bool {
+        self.cache.contains(key, generation)
+    }
+
     /// A fresh cancellation token armed with `deadline` and the configured
     /// check cadence — the single source of truth for one query's budget.
     pub fn query_token(&self, deadline: Instant) -> CancelToken {
@@ -403,7 +461,16 @@ impl ServerState {
             .inflight
             .begin(generation, key, tx, deadline, || self.query_token(deadline));
         match role {
-            FlightRole::Lead(cancel) => {
+            FlightRole::Lead {
+                cancel,
+                stale_cancel,
+            } => {
+                if let Some(corpse) = stale_cancel {
+                    // Leadership was taken over from a dead flight. A worker
+                    // may still be wedged on the corpse's execution; firing
+                    // its cancel handle is the only thing that releases it.
+                    corpse.cancel();
+                }
                 Metrics::bump(&self.metrics.inflight_executions);
                 Some(cancel)
             }
@@ -551,7 +618,27 @@ impl ServerState {
             "Result-cache entries lazily evicted after a generation swap",
             self.cache.stale_evictions(),
         );
+        prom::counter(
+            &mut out,
+            "pit_cache_survivors_total",
+            "Result-cache entries that outlived an UPDATE swap untouched",
+            self.cache.survivors(),
+        );
+        let by_reason = self.cache.stale_by_reason();
+        let reason_series: Vec<(&str, u64)> = StaleReason::ALL
+            .iter()
+            .zip(by_reason.iter())
+            .map(|(r, &v)| (r.as_str(), v))
+            .collect();
+        prom::counter_labeled(
+            &mut out,
+            "pit_cache_stale_by_reason_total",
+            "Result-cache entries marked stale by a swap, by reason",
+            "reason",
+            &reason_series,
+        );
         let current = self.current();
+        let (cache_live, cache_stale) = self.cache.len_by_liveness();
         prom::gauge(
             &mut out,
             "pit_generation",
@@ -563,6 +650,18 @@ impl ServerState {
             "pit_cache_entries",
             "Result-cache entries resident",
             self.cache.len() as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_cache_entries_live",
+            "Result-cache entries currently able to answer",
+            cache_live as u64,
+        );
+        prom::gauge(
+            &mut out,
+            "pit_cache_entries_stale",
+            "Swap-killed result-cache entries awaiting lazy eviction",
+            cache_stale as u64,
         );
         prom::gauge(
             &mut out,
@@ -617,6 +716,12 @@ impl ServerState {
             "pit_shards",
             "Backing shards answering for this server (1 unless routing)",
             u64::from(current.engine.shard_count()),
+        );
+        prom::gauge_f64(
+            &mut out,
+            "pit_warmup_coverage",
+            "Fraction of the last warmup run's target keys repopulated",
+            self.metrics.warmup_coverage(),
         );
         out
     }

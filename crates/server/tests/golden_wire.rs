@@ -47,6 +47,10 @@ const STATS_KEYS: &[&str] = &[
     "exec_p99_us",
     "reload_p50_us",
     "reload_p99_us",
+    // Post-reload warmup (lifetime counters + last-run coverage).
+    "warmup_queries",
+    "warmup_coverage",
+    "warmup_budget_exhausted",
     // Cache counters (QueryCache::snapshot).
     "cache_entries",
     "cache_capacity",
@@ -55,6 +59,15 @@ const STATS_KEYS: &[&str] = &[
     "cache_evictions",
     "cache_stale_evictions",
     "cache_hit_rate",
+    // Delta-aware invalidation: live/stale split, survivors of scoped
+    // UPDATE retags, and per-reason staleness counts.
+    "cache_entries_live",
+    "cache_entries_stale",
+    "cache_survivors",
+    "cache_stale_edge_added",
+    "cache_stale_edge_removed",
+    "cache_stale_assignment_changed",
+    "cache_stale_full_reload",
     // Engine inventory.
     "generation",
     "workers",
@@ -86,6 +99,8 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_coalesced_queries_total", "counter"),
     ("pit_inflight_executions_total", "counter"),
     ("pit_accept_errors_total", "counter"),
+    ("pit_warmup_queries_total", "counter"),
+    ("pit_warmup_budget_exhausted_total", "counter"),
     ("pit_latency_us", "histogram"),
     ("pit_queue_wait_us", "histogram"),
     ("pit_execution_us", "histogram"),
@@ -102,8 +117,14 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_cache_misses_total", "counter"),
     ("pit_cache_evictions_total", "counter"),
     ("pit_cache_stale_evictions_total", "counter"),
+    ("pit_cache_survivors_total", "counter"),
+    // Labeled by `reason`: edge-added | edge-removed | assignment-changed
+    // | full-reload.
+    ("pit_cache_stale_by_reason_total", "counter"),
     ("pit_generation", "gauge"),
     ("pit_cache_entries", "gauge"),
+    ("pit_cache_entries_live", "gauge"),
+    ("pit_cache_entries_stale", "gauge"),
     ("pit_workers", "gauge"),
     ("pit_queue_depth", "gauge"),
     ("pit_io_threads", "gauge"),
@@ -113,6 +134,7 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_topics", "gauge"),
     ("pit_index_bytes", "gauge"),
     ("pit_shards", "gauge"),
+    ("pit_warmup_coverage", "gauge"),
 ];
 
 fn tiny_engine() -> PitEngine {

@@ -65,4 +65,4 @@ pub mod update;
 pub use engine::{PitEngine, PitEngineBuilder, SummarizerKind};
 pub use pit_search_core::{CancelToken, SearchError};
 pub use shard::{shard_of, ShardSpec};
-pub use update::{Delta, UpdateReport};
+pub use update::{Delta, DeltaScope, UpdateReport};

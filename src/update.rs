@@ -24,7 +24,7 @@
 //! tests pin down the exact guarantees.
 
 use crate::engine::{PitEngine, SummarizerKind};
-use pit_graph::{GraphError, NodeId, TopicId};
+use pit_graph::{GraphError, NodeId, TermId, TopicId};
 use pit_index::PropagationIndex;
 use pit_search_core::TopicRepIndex;
 use pit_summarize::{LrwSummarizer, RclSummarizer, SummarizeContext, Summarizer};
@@ -56,6 +56,68 @@ pub struct UpdateReport {
     pub resummarized_topics: usize,
     /// Whether the walk index was rebuilt (false only for empty deltas).
     pub walk_index_rebuilt: bool,
+    /// The query-visible blast radius of the delta (see [`DeltaScope`]).
+    pub scope: DeltaScope,
+}
+
+/// The query-visible blast radius of a delta: which `(user, terms)` queries
+/// can observe a different answer on the successor engine. A query reads
+/// exactly three kinds of offline data — the Γ tables of the query user and
+/// its upstream expansion candidates, the representative sets of its related
+/// topics, and the term → topic postings (fixed at topic creation) — so a
+/// query is unaffected when none of its probed tables were refreshed *and*
+/// none of its related topics were re-summarized:
+///
+/// * Γ side: refreshed tables are downstream of a new edge's head, and a
+///   query only probes tables of nodes that can reach the query user, so
+///   every Γ-affected user sits in the downstream closure of the heads
+///   ([`DeltaScope::edge_users`], computed on the post-delta graph).
+/// * Rep side: a related topic is a topic sharing a term with the query, so
+///   a re-summarized topic touches a query iff their term bags intersect
+///   ([`DeltaScope::assignment_terms`] / [`DeltaScope::edge_terms`], split
+///   by what caused the re-summarization).
+///
+/// Scope is always computed against the *full* engine (before any shard
+/// slicing) so a serving tier can compare cached query keys against it
+/// regardless of which shard answered them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaScope {
+    /// Every node reachable from a new edge's head on the post-delta graph
+    /// (heads included), sorted ascending: the users whose probed Γ tables
+    /// may differ.
+    pub edge_users: Vec<NodeId>,
+    /// Terms of topics re-summarized because they gained a member, sorted
+    /// and deduplicated.
+    pub assignment_terms: Vec<TermId>,
+    /// Terms of topics re-summarized because their walk region touches a
+    /// new edge, sorted and deduplicated.
+    pub edge_terms: Vec<TermId>,
+}
+
+impl DeltaScope {
+    /// Whether the delta can change no query at all.
+    pub fn is_empty(&self) -> bool {
+        self.edge_users.is_empty() && self.assignment_terms.is_empty() && self.edge_terms.is_empty()
+    }
+
+    /// Whether `user`'s probed Γ region intersects the refreshed tables.
+    pub fn touches_user(&self, user: NodeId) -> bool {
+        self.edge_users.binary_search(&user).is_ok()
+    }
+
+    /// Whether any of `terms` belongs to an assignment-re-summarized topic.
+    pub fn touches_assignment_terms(&self, terms: &[TermId]) -> bool {
+        terms
+            .iter()
+            .any(|t| self.assignment_terms.binary_search(t).is_ok())
+    }
+
+    /// Whether any of `terms` belongs to an edge-re-summarized topic.
+    pub fn touches_edge_terms(&self, terms: &[TermId]) -> bool {
+        terms
+            .iter()
+            .any(|t| self.edge_terms.binary_search(t).is_ok())
+    }
 }
 
 impl PitEngine {
@@ -150,6 +212,16 @@ impl PitEngine {
         // 3. Localized propagation-index refresh: only nodes downstream of a
         //    new edge's head can gain or lose θ-surviving in-paths.
         let heads: Vec<NodeId> = delta.new_edges.iter().map(|&(_, v, _)| v).collect();
+        // Cache-invalidation scope, always on the *full* post-delta graph
+        // (before the shard retain below): a query probes the Γ tables of
+        // nodes that can reach it, so every query whose probe region meets a
+        // refreshed table sits in the unbounded downstream closure of the
+        // heads. `downstream_within` returns its frontier sorted.
+        let scope_users = if heads.is_empty() {
+            Vec::new()
+        } else {
+            new_graph.downstream_within(&heads, usize::MAX)
+        };
         let mut prop: PropagationIndex = self.propagation().clone();
         let mut affected_gamma = if heads.is_empty() {
             Vec::new()
@@ -232,10 +304,34 @@ impl PitEngine {
             }
         }
 
+        // Split the re-summarized topics' term bags by cause: a topic named
+        // in the delta re-summarizes because it gained a member, the rest
+        // because their walks sit near a changed edge.
+        let assigned: FxHashSet<TopicId> = delta.new_assignments.iter().map(|&(_, t)| t).collect();
+        let mut assignment_terms: Vec<TermId> = Vec::new();
+        let mut edge_terms: Vec<TermId> = Vec::new();
+        for &t in &affected_topics {
+            let bag = if assigned.contains(&t) {
+                &mut assignment_terms
+            } else {
+                &mut edge_terms
+            };
+            bag.extend_from_slice(new_space.topic_terms(t));
+        }
+        assignment_terms.sort_unstable();
+        assignment_terms.dedup();
+        edge_terms.sort_unstable();
+        edge_terms.dedup();
+
         let report = UpdateReport {
             refreshed_gamma_tables: affected_gamma.len(),
             resummarized_topics: affected_topics.len(),
             walk_index_rebuilt: true,
+            scope: DeltaScope {
+                edge_users: scope_users,
+                assignment_terms,
+                edge_terms,
+            },
         };
         // Summarization above needed the full walk index; the stored slice
         // keeps only the shard's own rows.
@@ -486,6 +582,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn delta_scope_is_the_head_closure_plus_affected_term_bags() {
+        let e = engine();
+        // Edge-only delta: the user scope is exactly the downstream closure
+        // of the head on the post-delta graph, and every re-summarized topic
+        // files its terms under the edge cause.
+        let delta = Delta {
+            new_edges: vec![(user(4), user(7), 0.9)],
+            new_assignments: vec![],
+        };
+        let (next, report) = e.with_delta(&delta).unwrap();
+        let expect = next.graph().downstream_within(&[user(7)], usize::MAX);
+        assert_eq!(report.scope.edge_users, expect);
+        assert!(report.scope.touches_user(user(7)));
+        assert!(report.scope.assignment_terms.is_empty());
+        assert!(report.resummarized_topics > 0);
+        // Figure 1 has a single term, so any re-summarized topic puts
+        // TermId(0) in the edge bag.
+        assert_eq!(report.scope.edge_terms, vec![TermId(0)]);
+        assert!(report.scope.touches_edge_terms(&[TermId(0)]));
+
+        // Assignment-only delta: no Γ table refreshes, no edge terms; the
+        // assigned topic's terms land in the assignment bag.
+        let delta = Delta {
+            new_edges: vec![],
+            new_assignments: vec![(user(5), TopicId(2))],
+        };
+        let (_, report) = e.with_delta(&delta).unwrap();
+        assert!(report.scope.edge_users.is_empty());
+        assert!(report.scope.edge_terms.is_empty());
+        assert_eq!(report.scope.assignment_terms, vec![TermId(0)]);
+        assert!(report.scope.touches_assignment_terms(&[TermId(0)]));
+        assert!(!report.scope.is_empty());
     }
 
     #[test]
