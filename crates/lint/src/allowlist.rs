@@ -6,17 +6,22 @@
 //! Format — one entry per line, four `|`-separated fields:
 //!
 //! ```text
-//! # rule | path | needle | justification
+//! # rule | path | needle[ @line] | justification
 //! L1 | crates/server/src/state.rs | panic!("poisoned query | fault injection: the worker pool's catch_unwind path is exercised by tests
+//! L3 | crates/server/src/metrics.rs | c.load(Ordering::Relaxed); @278 | monotone counter reads, no ordering dependency
 //! ```
 //!
-//! - **rule**: `L1`…`L5`;
+//! - **rule**: `L1`…`L9`;
 //! - **path**: workspace-relative, forward slashes;
-//! - **needle**: a substring of the offending raw source line (keep it
-//!   tight — an entry waives *every* line in the file containing it);
+//! - **needle**: a substring of the offending raw source line. An entry is
+//!   **single-site**: it must match exactly one flagged line. When the same
+//!   needle appears on several flagged lines, anchor it with ` @<line>`
+//!   (1-based) — an unanchored entry matching more than one site fails the
+//!   run, so a waiver can never silently spread to new code;
 //! - **justification**: free text, at least [`MIN_JUSTIFICATION`] chars —
 //!   say *which invariant* makes the flagged pattern safe.
 
+use crate::rules::Violation;
 use std::cell::Cell;
 use std::fmt;
 
@@ -30,8 +35,10 @@ pub struct Entry {
     pub rule: String,
     /// Workspace-relative path the waiver applies to.
     pub path: String,
-    /// Raw-line substring identifying the waived site(s).
+    /// Raw-line substring identifying the waived site.
     pub needle: String,
+    /// Optional 1-based line anchor (` @N` suffix on the needle field).
+    pub anchor: Option<usize>,
     /// The written invariant justification.
     pub justification: String,
     /// Source line in the allowlist file (for diagnostics).
@@ -44,6 +51,18 @@ pub struct Entry {
 #[derive(Debug, Default)]
 pub struct Allowlist {
     entries: Vec<Entry>,
+}
+
+/// The outcome of applying the allowlist to a set of candidate violations.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Violations no entry waived, original order preserved.
+    pub violations: Vec<Violation>,
+    /// Sites excused by a justified entry.
+    pub waived: usize,
+    /// Ambiguous entries: an unanchored needle that matched more than one
+    /// flagged site. These fail the run — nothing they matched is waived.
+    pub errors: Vec<String>,
 }
 
 /// A malformed allowlist line.
@@ -60,6 +79,8 @@ impl fmt::Display for ParseError {
         write!(f, "lint.allow:{}: {}", self.line, self.message)
     }
 }
+
+const RULE_IDS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"];
 
 impl Allowlist {
     /// An empty allowlist (waives nothing).
@@ -91,10 +112,10 @@ impl Allowlist {
                 });
             }
             let (rule, path, needle, justification) = (fields[0], fields[1], fields[2], fields[3]);
-            if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5") {
+            if !RULE_IDS.contains(&rule) {
                 return Err(ParseError {
                     line,
-                    message: format!("unknown rule id {rule:?} (expected L1..L5)"),
+                    message: format!("unknown rule id {rule:?} (expected L1..L9)"),
                 });
             }
             if path.is_empty() || path.contains('\\') {
@@ -103,6 +124,10 @@ impl Allowlist {
                     message: "path must be non-empty and use forward slashes".to_string(),
                 });
             }
+            let (needle, anchor) = match split_anchor(needle) {
+                Ok(pair) => pair,
+                Err(msg) => return Err(ParseError { line, message: msg }),
+            };
             if needle.is_empty() {
                 return Err(ParseError {
                     line,
@@ -122,6 +147,7 @@ impl Allowlist {
                 rule: rule.to_string(),
                 path: path.to_string(),
                 needle: needle.to_string(),
+                anchor,
                 justification: justification.to_string(),
                 line,
                 used: Cell::new(false),
@@ -130,17 +156,64 @@ impl Allowlist {
         Ok(Allowlist { entries })
     }
 
-    /// Is this `(rule, path, raw line)` violation waived? Marks the
-    /// matching entry as used.
-    pub fn waives(&self, rule: &str, path: &str, raw_line: &str) -> bool {
-        let mut hit = false;
+    /// Apply the allowlist to every candidate violation the rules emitted.
+    /// Each entry must match exactly one site: a match waives it, more than
+    /// one match (unanchored) is an [`Applied::errors`] entry, zero matches
+    /// leaves the entry for [`Allowlist::unused`] reporting.
+    pub fn apply(&self, candidates: Vec<Violation>) -> Applied {
+        let mut waive = vec![false; candidates.len()];
+        let mut errors = Vec::new();
         for e in &self.entries {
-            if e.rule == rule && e.path == path && raw_line.contains(&e.needle) {
-                e.used.set(true);
-                hit = true;
+            let matches: Vec<usize> = candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| {
+                    v.rule == e.rule
+                        && v.path == e.path
+                        && v.raw.contains(&e.needle)
+                        && e.anchor.is_none_or(|a| a == v.line)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            match matches.len() {
+                0 => {}
+                1 => {
+                    e.used.set(true);
+                    waive[matches[0]] = true;
+                }
+                _ => {
+                    // The entry is live (don't double-report it as unused)
+                    // but waives nothing: over-broad waivers are the bug
+                    // this check exists for.
+                    e.used.set(true);
+                    let lines: Vec<String> = matches
+                        .iter()
+                        .map(|i| candidates[*i].line.to_string())
+                        .collect();
+                    errors.push(format!(
+                        "lint.allow:{}: entry ({} | {} | {}) matches {} sites (lines {}) — \
+                         an entry waives exactly one; anchor it with ` @<line>` or add one \
+                         entry per site",
+                        e.line,
+                        e.rule,
+                        e.path,
+                        e.needle,
+                        matches.len(),
+                        lines.join(", ")
+                    ));
+                }
             }
         }
-        hit
+        let waived = waive.iter().filter(|w| **w).count();
+        Applied {
+            violations: candidates
+                .into_iter()
+                .zip(waive)
+                .filter_map(|(v, w)| (!w).then_some(v))
+                .collect(),
+            waived,
+            errors,
+        }
     }
 
     /// Entries that never matched a violation — stale waivers that must be
@@ -160,9 +233,39 @@ impl Allowlist {
     }
 }
 
+/// Split a trailing ` @<digits>` anchor off the needle field.
+fn split_anchor(needle: &str) -> Result<(&str, Option<usize>), String> {
+    let Some(at) = needle.rfind(" @") else {
+        return Ok((needle, None));
+    };
+    let digits = &needle[at + 2..];
+    if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        // An `@` that isn't an anchor (e.g. inside a code snippet) is part
+        // of the needle itself.
+        return Ok((needle, None));
+    }
+    let line: usize = digits
+        .parse()
+        .map_err(|_| format!("line anchor `@{digits}` does not fit in usize"))?;
+    if line == 0 {
+        return Err("line anchor must be 1-based".to_string());
+    }
+    Ok((needle[..at].trim_end(), Some(line)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn candidate(rule: &'static str, path: &str, line: usize, raw: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "test".to_string(),
+            raw: raw.to_string(),
+        }
+    }
 
     const GOOD: &str = "\
 # a comment\n\
@@ -171,38 +274,100 @@ L1 | crates/server/src/state.rs | panic!(\"poisoned | fault injection exercised 
 L3 | crates/server/src/cache.rs | Ordering::Relaxed | pure hit/miss counters, no ordering dependency\n";
 
     #[test]
-    fn parses_and_waives() {
+    fn parses_and_waives_single_sites() {
         let a = Allowlist::parse(GOOD).expect("parses");
         assert_eq!(a.len(), 2);
-        assert!(a.waives(
-            "L1",
-            "crates/server/src/state.rs",
-            "            panic!(\"poisoned query for user {}\", key.user);"
-        ));
-        assert!(!a.waives("L1", "crates/server/src/state.rs", "x.unwrap()"));
-        assert!(!a.waives("L2", "crates/server/src/state.rs", "panic!(\"poisoned"));
-        assert!(!a.waives("L1", "crates/server/src/pool.rs", "panic!(\"poisoned"));
+        let applied = a.apply(vec![
+            candidate(
+                "L1",
+                "crates/server/src/state.rs",
+                10,
+                "            panic!(\"poisoned query for user {}\", key.user);",
+            ),
+            candidate("L1", "crates/server/src/state.rs", 20, "x.unwrap()"),
+            candidate("L2", "crates/server/src/state.rs", 30, "panic!(\"poisoned"),
+            candidate("L1", "crates/server/src/pool.rs", 40, "panic!(\"poisoned"),
+        ]);
+        assert_eq!(applied.waived, 1);
+        assert!(applied.errors.is_empty());
+        // Wrong rule, wrong path, wrong needle all stay.
+        assert_eq!(applied.violations.len(), 3);
     }
 
     #[test]
     fn unused_entries_are_reported() {
         let a = Allowlist::parse(GOOD).expect("parses");
         assert_eq!(a.unused().len(), 2);
-        a.waives(
+        a.apply(vec![candidate(
             "L3",
             "crates/server/src/cache.rs",
+            5,
             "hits.fetch_add(1, Ordering::Relaxed)",
-        );
+        )]);
         let unused = a.unused();
         assert_eq!(unused.len(), 1);
         assert_eq!(unused[0].rule, "L1");
     }
 
     #[test]
+    fn an_entry_matching_two_sites_is_an_error_and_waives_nothing() {
+        let a = Allowlist::parse(
+            "L3 | m.rs | Ordering::Relaxed | pure counters with no ordering dependency\n",
+        )
+        .expect("parses");
+        let applied = a.apply(vec![
+            candidate("L3", "m.rs", 1, "a.load(Ordering::Relaxed)"),
+            candidate("L3", "m.rs", 9, "b.load(Ordering::Relaxed)"),
+        ]);
+        assert_eq!(applied.waived, 0, "over-broad entries must not waive");
+        assert_eq!(applied.violations.len(), 2);
+        assert_eq!(applied.errors.len(), 1);
+        assert!(
+            applied.errors[0].contains("matches 2 sites"),
+            "{}",
+            applied.errors[0]
+        );
+        assert!(
+            applied.errors[0].contains("lines 1, 9"),
+            "{}",
+            applied.errors[0]
+        );
+        assert!(a.unused().is_empty(), "ambiguous is not unused");
+    }
+
+    #[test]
+    fn line_anchors_disambiguate_identical_raw_lines() {
+        let a = Allowlist::parse(
+            "L3 | m.rs | Ordering::Relaxed @9 | the reader side of the pure counter pair\n",
+        )
+        .expect("parses");
+        let applied = a.apply(vec![
+            candidate("L3", "m.rs", 1, "a.load(Ordering::Relaxed)"),
+            candidate("L3", "m.rs", 9, "a.load(Ordering::Relaxed)"),
+        ]);
+        assert_eq!(applied.waived, 1);
+        assert!(applied.errors.is_empty());
+        assert_eq!(applied.violations.len(), 1);
+        assert_eq!(
+            applied.violations[0].line, 1,
+            "only the anchored line is waived"
+        );
+    }
+
+    #[test]
+    fn a_non_numeric_at_suffix_is_part_of_the_needle() {
+        let a =
+            Allowlist::parse("L1 | a.rs | send(user @domain) | a needle containing an at-sign\n")
+                .expect("parses");
+        let applied = a.apply(vec![candidate("L1", "a.rs", 3, "send(user @domain)")]);
+        assert_eq!(applied.waived, 1);
+    }
+
+    #[test]
     fn rejects_malformed_lines() {
         assert!(Allowlist::parse("L1 | a.rs | needle").is_err(), "3 fields");
         assert!(
-            Allowlist::parse("L9 | a.rs | needle | a perfectly long justification").is_err(),
+            Allowlist::parse("L12 | a.rs | needle | a perfectly long justification").is_err(),
             "bad rule"
         );
         assert!(
@@ -210,5 +375,17 @@ L3 | crates/server/src/cache.rs | Ordering::Relaxed | pure hit/miss counters, no
             "empty needle"
         );
         assert!(Allowlist::parse("L1 | a.rs | needle | too short").is_err());
+        assert!(
+            Allowlist::parse("L1 | a.rs | needle @0 | a perfectly long justification").is_err(),
+            "zero anchor"
+        );
+    }
+
+    #[test]
+    fn contract_rule_ids_parse() {
+        for rule in ["L6", "L7", "L8", "L9"] {
+            let text = format!("{rule} | a.rs | needle | a perfectly long justification\n");
+            assert!(Allowlist::parse(&text).is_ok(), "{rule}");
+        }
     }
 }

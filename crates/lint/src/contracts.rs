@@ -1,0 +1,928 @@
+//! Cross-file contract rules: the workspace analyzed as a whole, over the
+//! [`crate::extract`] item layer.
+//!
+//! - **L6 wire-contract drift** — every STATS key and Prometheus series
+//!   the server emits must be pinned in the golden wire test and
+//!   documented (in backticks) in README/DESIGN — and vice versa: a pinned
+//!   name nothing emits is a dead wire key.
+//! - **L7 taxonomy exhaustiveness** — every `StaleReason` variant has a
+//!   kebab wire rendering, a parse arm, and a STATS counter; every
+//!   `SearchError` variant has a `Display` rendering and a server-side
+//!   mapping onto the ERR taxonomy; every literal handed to
+//!   `Response::Err` starts with a declared taxonomy word, and each word
+//!   is documented and counted.
+//! - **L8 static lock-order** — the acquisition graph of the named locks
+//!   (direct nesting plus an intra-crate call-graph approximation) must be
+//!   acyclic and must not contradict the declared engine→cache order.
+//!
+//! The emitter/golden/doc locations below are themselves part of the
+//! contract: if a named fn or const disappears, the rule reports the
+//! absence instead of silently passing.
+
+use crate::extract::{Acquisition, FileIndex};
+use crate::lexer::find_token;
+use crate::rules::Violation;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Functions whose string literals are the STATS wire keys.
+const STATS_EMITTERS: &[(&str, &str)] = &[
+    ("crates/server/src/metrics.rs", "snapshot"),
+    ("crates/server/src/cache.rs", "snapshot"),
+    ("crates/server/src/state.rs", "stats"),
+];
+
+/// Functions whose `pit_…` string literals are the Prometheus series.
+const PROM_EMITTERS: &[(&str, &str)] = &[
+    ("crates/server/src/metrics.rs", "render_prometheus"),
+    ("crates/server/src/state.rs", "metrics_text"),
+];
+
+/// Where the wire registry is pinned.
+const GOLDEN_FILE: &str = "crates/server/tests/golden_wire.rs";
+const GOLDEN_STATS: &str = "STATS_KEYS";
+const GOLDEN_METRICS: &str = "METRIC_NAMES";
+
+/// The ERR reason taxonomy (first word of every `ERR` reply) and the
+/// Metrics counter each class must bump. `shutting-down` is deliberately
+/// uncounted: it is the server's own lifecycle, not an anomaly.
+const ERR_TAXONOMY: &[(&str, Option<&str>)] = &[
+    ("timeout", Some("timeouts")),
+    ("overloaded", Some("shed")),
+    ("malformed", Some("errors")),
+    ("internal", Some("internal_errors")),
+    ("shutting-down", None),
+    ("reload-failed", Some("reload_failures")),
+];
+
+/// Where the taxonomy is documented: the protocol module's doc comments.
+const TAXONOMY_DOC_FILE: &str = "crates/server/src/protocol.rs";
+
+/// The declared lock order (DESIGN §10/§14): a thread holding the first
+/// lock may take the second, never the reverse.
+const DECLARED_LOCK_ORDER: &[(&str, &str)] = &[("server.state.engine", "server.cache.lru")];
+
+/// Method names too generic to resolve through the call-graph
+/// approximation: they collide with std container methods, so `map.get(…)`
+/// must not be read as a call into a same-named lock-taking fn.
+const UNRESOLVABLE_METHODS: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "get",
+    "insert",
+    "remove",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "clear",
+    "join",
+    "send",
+    "recv",
+    "next",
+    "take",
+    "contains",
+    "iter",
+    "drain",
+    "extend",
+    "write",
+    "read",
+    "lock",
+    "push_front",
+    "record",
+    "top",
+    "unlink",
+];
+
+/// Run every contract rule over the workspace. `docs` holds the prose
+/// documents (`README.md`, `DESIGN.md`) the wire registry must appear in.
+/// Vendored sources are out of contract scope.
+pub fn check(files: &[FileIndex], docs: &[(String, String)]) -> Vec<Violation> {
+    let files: Vec<&FileIndex> = files
+        .iter()
+        .filter(|f| !f.rel.starts_with("vendor/"))
+        .collect();
+    let mut out = Vec::new();
+    let stats_keys = l6_wire_drift(&files, docs, &mut out);
+    l7_taxonomy(&files, &stats_keys, &mut out);
+    l8_lock_order(&files, &mut out);
+    out
+}
+
+fn violation(rule: &'static str, file: &FileIndex, line0: usize, message: String) -> Violation {
+    Violation {
+        rule,
+        path: file.rel.clone(),
+        line: line0 + 1,
+        raw: file
+            .lines
+            .get(line0)
+            .map(|l| l.raw.clone())
+            .unwrap_or_default(),
+        message,
+    }
+}
+
+fn find_file<'a>(files: &[&'a FileIndex], rel: &str) -> Option<&'a FileIndex> {
+    files.iter().find(|f| f.rel == rel).copied()
+}
+
+/// A STATS wire key: `snake_case`, starting with a letter.
+fn is_stats_key(s: &str) -> bool {
+    s.starts_with(|c: char| c.is_ascii_lowercase())
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// A Prometheus series of ours.
+fn is_prom_name(s: &str) -> bool {
+    s.starts_with("pit_") && is_stats_key(s)
+}
+
+/// Name → first emit/pin site, collected from the string literals inside
+/// the named fns. Missing emitters are reported — a renamed fn must not
+/// silently shrink the contract.
+fn collect_names(
+    files: &[&FileIndex],
+    emitters: &[(&str, &str)],
+    filter: fn(&str) -> bool,
+    out: &mut Vec<Violation>,
+) -> BTreeMap<String, (String, usize)> {
+    let mut names = BTreeMap::new();
+    for (rel, fn_name) in emitters {
+        let Some(file) = find_file(files, rel) else {
+            continue; // fixture workspaces carry only the files under test
+        };
+        let Some(span) = file.find_fn(fn_name) else {
+            out.push(violation(
+                "L6",
+                file,
+                0,
+                format!(
+                    "contract emitter `fn {fn_name}` not found in {rel} — renamed? \
+                     update contracts.rs so the wire registry stays watched"
+                ),
+            ));
+            continue;
+        };
+        for (s, line) in file.strings_in_span(span.start, span.end) {
+            if filter(s) {
+                names
+                    .entry(s.to_string())
+                    .or_insert_with(|| (file.rel.clone(), line));
+            }
+        }
+    }
+    names
+}
+
+/// The names pinned in a golden const's span.
+fn collect_pinned(
+    golden: &FileIndex,
+    const_name: &str,
+    filter: fn(&str) -> bool,
+    out: &mut Vec<Violation>,
+) -> BTreeMap<String, usize> {
+    let Some(span) = golden.find_const(const_name) else {
+        out.push(violation(
+            "L6",
+            golden,
+            0,
+            format!(
+                "golden registry `const {const_name}` not found in {} — the wire \
+                 contract has lost its pin",
+                golden.rel
+            ),
+        ));
+        return BTreeMap::new();
+    };
+    let mut pinned = BTreeMap::new();
+    for (s, line) in golden.strings_in_span(span.start, span.end) {
+        if filter(s) {
+            pinned.entry(s.to_string()).or_insert(line);
+        }
+    }
+    pinned
+}
+
+/// Is `name` documented — in backticks — in any of the docs?
+fn documented(docs: &[(String, String)], name: &str) -> bool {
+    let needle = format!("`{name}`");
+    docs.iter().any(|(_, text)| text.contains(&needle))
+}
+
+/// L6: emitted ↔ pinned ↔ documented, both wire surfaces. Returns the
+/// emitted STATS key set for L7's counter checks.
+fn l6_wire_drift(
+    files: &[&FileIndex],
+    docs: &[(String, String)],
+    out: &mut Vec<Violation>,
+) -> BTreeSet<String> {
+    let Some(golden) = find_file(files, GOLDEN_FILE) else {
+        // Fixture workspaces without a golden file skip L6 entirely.
+        return BTreeSet::new();
+    };
+    let doc_names: Vec<&str> = docs.iter().map(|(n, _)| n.as_str()).collect();
+    #[allow(clippy::type_complexity)]
+    let surfaces: [(&str, &[(&str, &str)], fn(&str) -> bool, &str); 2] = [
+        ("STATS key", STATS_EMITTERS, is_stats_key, GOLDEN_STATS),
+        (
+            "Prometheus series",
+            PROM_EMITTERS,
+            is_prom_name,
+            GOLDEN_METRICS,
+        ),
+    ];
+    let mut stats_keys = BTreeSet::new();
+    for (what, emitters, filter, golden_const) in surfaces {
+        let emitted = collect_names(files, emitters, filter, out);
+        let pinned = collect_pinned(golden, golden_const, filter, out);
+        if what == "STATS key" {
+            stats_keys = emitted.keys().cloned().collect();
+        }
+        if pinned.is_empty() {
+            continue; // already reported the missing const
+        }
+        for (name, (rel, line)) in &emitted {
+            if !pinned.contains_key(name) {
+                let file = find_file(files, rel).expect("emitting file is in the set");
+                out.push(violation(
+                    "L6",
+                    file,
+                    *line,
+                    format!(
+                        "{what} `{name}` is emitted here but not pinned in \
+                         {GOLDEN_FILE} ({golden_const}) — add it to the golden \
+                         registry in the same change"
+                    ),
+                ));
+            }
+            if !documented(docs, name) {
+                let file = find_file(files, rel).expect("emitting file is in the set");
+                out.push(violation(
+                    "L6",
+                    file,
+                    *line,
+                    format!(
+                        "{what} `{name}` is emitted here but documented in none of \
+                         {doc_names:?} — operators read the docs, not the source"
+                    ),
+                ));
+            }
+        }
+        for (name, line) in &pinned {
+            if !emitted.contains_key(name) {
+                out.push(violation(
+                    "L6",
+                    golden,
+                    *line,
+                    format!(
+                        "{what} `{name}` is pinned in the golden registry but no \
+                         emitter produces it — a dead wire key; delete the pin or \
+                         restore the emitter"
+                    ),
+                ));
+            }
+        }
+    }
+    stats_keys
+}
+
+fn kebab_case(variant: &str) -> String {
+    sep_case(variant, '-')
+}
+
+fn snake_case(variant: &str) -> String {
+    sep_case(variant, '_')
+}
+
+fn sep_case(variant: &str, sep: char) -> String {
+    let mut out = String::new();
+    for (i, c) in variant.chars().enumerate() {
+        if c.is_ascii_uppercase() && i > 0 {
+            out.push(sep);
+        }
+        out.push(c.to_ascii_lowercase());
+    }
+    out
+}
+
+/// Does any non-test line of `file` within the fn `fn_name` contain the
+/// string literal `lit`?
+fn fn_span_has_literal(file: &FileIndex, fn_name: &str, lit: &str) -> bool {
+    file.find_fn(fn_name)
+        .map(|span| {
+            file.strings_in_span(span.start, span.end)
+                .iter()
+                .any(|(s, _)| *s == lit)
+        })
+        .unwrap_or(false)
+}
+
+/// L7: taxonomy exhaustiveness for `StaleReason`, `SearchError`, and the
+/// ERR word set.
+fn l7_taxonomy(files: &[&FileIndex], stats_keys: &BTreeSet<String>, out: &mut Vec<Violation>) {
+    l7_stale_reason(files, stats_keys, out);
+    l7_search_error(files, out);
+    l7_err_words(files, stats_keys, out);
+}
+
+fn l7_stale_reason(files: &[&FileIndex], stats_keys: &BTreeSet<String>, out: &mut Vec<Violation>) {
+    const CACHE: &str = "crates/server/src/cache.rs";
+    let Some(file) = find_file(files, CACHE) else {
+        return;
+    };
+    let Some(en) = file.find_enum("StaleReason") else {
+        out.push(violation(
+            "L7",
+            file,
+            0,
+            "enum StaleReason not found in cache.rs — renamed? update contracts.rs".into(),
+        ));
+        return;
+    };
+    let has_from_str = file.find_fn("from_str").is_some();
+    if !has_from_str {
+        out.push(violation(
+            "L7",
+            file,
+            en.start,
+            "StaleReason has no `from_str` parse arm — wire renderings must \
+             round-trip (operator tooling parses the `reason` label back)"
+                .into(),
+        ));
+    }
+    for (variant, line) in &en.variants {
+        let kebab = kebab_case(variant);
+        if !fn_span_has_literal(file, "as_str", &kebab) {
+            out.push(violation(
+                "L7",
+                file,
+                *line,
+                format!(
+                    "StaleReason::{variant} has no wire rendering: expected literal \
+                     `\"{kebab}\"` inside `fn as_str`"
+                ),
+            ));
+        }
+        if has_from_str && !fn_span_has_literal(file, "from_str", &kebab) {
+            out.push(violation(
+                "L7",
+                file,
+                *line,
+                format!(
+                    "StaleReason::{variant} has no parse arm: expected literal \
+                     `\"{kebab}\"` inside `fn from_str`"
+                ),
+            ));
+        }
+        let counter = format!("cache_stale_{}", snake_case(variant));
+        if !stats_keys.is_empty() && !stats_keys.contains(&counter) {
+            out.push(violation(
+                "L7",
+                file,
+                *line,
+                format!(
+                    "StaleReason::{variant} has no metrics counter: expected STATS \
+                     key `{counter}` from the cache snapshot"
+                ),
+            ));
+        }
+    }
+}
+
+fn l7_search_error(files: &[&FileIndex], out: &mut Vec<Violation>) {
+    const CANCEL: &str = "crates/search/src/cancel.rs";
+    let Some(file) = find_file(files, CANCEL) else {
+        return;
+    };
+    let Some(en) = file.find_enum("SearchError") else {
+        out.push(violation(
+            "L7",
+            file,
+            0,
+            "enum SearchError not found in cancel.rs — renamed? update contracts.rs".into(),
+        ));
+        return;
+    };
+    for (variant, line) in &en.variants {
+        let token = format!("SearchError::{variant}");
+        let in_display = file.find_fn("fmt").is_some_and(|span| {
+            (span.start..=span.end).any(|i| find_token(&file.lines[i].code, &token).is_some())
+        });
+        if !in_display {
+            out.push(violation(
+                "L7",
+                file,
+                *line,
+                format!(
+                    "SearchError::{variant} has no Display rendering: no `{token}` \
+                     arm inside `fn fmt`"
+                ),
+            ));
+        }
+        let mapped = files.iter().any(|f| {
+            f.rel.starts_with("crates/server/src/")
+                && f.lines
+                    .iter()
+                    .enumerate()
+                    .any(|(i, l)| !f.in_test[i] && find_token(&l.code, &token).is_some())
+        });
+        if !mapped {
+            out.push(violation(
+                "L7",
+                file,
+                *line,
+                format!(
+                    "SearchError::{variant} is never mapped by the server: no \
+                     `{token}` match in crates/server/src — a new error variant \
+                     must be translated onto the ERR taxonomy (and counted)"
+                ),
+            ));
+        }
+    }
+}
+
+/// The first string literal syntactically inside the `Response::Err(…)`
+/// call starting on line `idx`, scanning at most 3 continuation lines.
+fn err_literal(file: &FileIndex, idx: usize) -> Option<String> {
+    let code = &file.lines[idx].code;
+    let at = code.find("Response::Err(")? + "Response::Err(".len();
+    let mut depth = 1i32;
+    for (li, skip) in (idx..(idx + 4).min(file.lines.len())).map(|li| (li, li == idx)) {
+        let l = &file.lines[li];
+        let start = if skip { at } else { 0 };
+        // Literal contents are blanked in `code`, so every '"' is a
+        // delimiter; the k-th pair on the line is strings[k].
+        let quotes_before = l.code[..start].matches('"').count();
+        let mut quotes = quotes_before;
+        for c in l.code[start..].chars() {
+            match c {
+                '"' => {
+                    if quotes.is_multiple_of(2) {
+                        return l.strings.get(quotes / 2).cloned();
+                    }
+                    quotes += 1;
+                }
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return None; // the argument was a variable
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn l7_err_words(files: &[&FileIndex], stats_keys: &BTreeSet<String>, out: &mut Vec<Violation>) {
+    let server_files: Vec<&FileIndex> = files
+        .iter()
+        .copied()
+        .filter(|f| f.rel.starts_with("crates/server/src/"))
+        .collect();
+    if server_files.is_empty() {
+        return;
+    }
+    let words: Vec<&str> = ERR_TAXONOMY.iter().map(|(w, _)| *w).collect();
+
+    // Direction 1: every literal handed to Response::Err starts with a
+    // declared taxonomy word.
+    for &f in &server_files {
+        if crate::rules::is_test_path(&f.rel) {
+            continue;
+        }
+        for idx in 0..f.lines.len() {
+            if f.in_test[idx] {
+                continue;
+            }
+            let Some(lit) = err_literal(f, idx) else {
+                continue;
+            };
+            let word = lit
+                .split(|c: char| c == ':' || c.is_whitespace())
+                .next()
+                .unwrap_or("");
+            if !words.contains(&word) {
+                out.push(violation(
+                    "L7",
+                    f,
+                    idx,
+                    format!(
+                        "ERR reason `{lit}` starts with undeclared taxonomy word \
+                         `{word}` — the wire contract admits only {words:?}; extend \
+                         the taxonomy (docs + counter) or reuse an existing class"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Direction 2: every declared word is actually rendered somewhere, is
+    // documented in the protocol module, and its counter is emitted.
+    let taxonomy_doc = find_file(files, TAXONOMY_DOC_FILE);
+    for (word, counter) in ERR_TAXONOMY {
+        let rendered = server_files.iter().any(|f| {
+            !crate::rules::is_test_path(&f.rel)
+                && f.lines.iter().enumerate().any(|(i, l)| {
+                    !f.in_test[i]
+                        && l.strings.iter().any(|s| {
+                            s == word
+                                || s.starts_with(&format!("{word}:"))
+                                || s.starts_with(&format!("{word} "))
+                        })
+                })
+        });
+        if !rendered {
+            let f = server_files[0];
+            out.push(violation(
+                "L7",
+                f,
+                0,
+                format!(
+                    "taxonomy word `{word}` is declared but never rendered: no \
+                     server-side string literal starts with it — dead error class?"
+                ),
+            ));
+        }
+        if let Some(doc) = taxonomy_doc {
+            let in_comments = doc.lines.iter().any(|l| l.comment.contains(word));
+            if !in_comments {
+                out.push(violation(
+                    "L7",
+                    doc,
+                    0,
+                    format!(
+                        "taxonomy word `{word}` is not documented in the protocol \
+                         module's comments — the ERR taxonomy table must list it"
+                    ),
+                ));
+            }
+        }
+        if let Some(counter) = counter {
+            if !stats_keys.is_empty() && !stats_keys.contains(*counter) {
+                let f = server_files[0];
+                out.push(violation(
+                    "L7",
+                    f,
+                    0,
+                    format!(
+                        "taxonomy word `{word}` maps to counter `{counter}`, which \
+                         is not an emitted STATS key — errors of this class would \
+                         be invisible to operators"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// One lock-taking function, flattened for the L8 graph walk.
+struct LockFn {
+    crate_key: String,
+    file_idx: usize,
+    name: String,
+    start: usize,
+    end: usize,
+    /// (lock name, line, col, live-until line) — acquisitions with a
+    /// surviving guard are live to `live_end`; temporaries only on their
+    /// own line (col-ordered).
+    acqs: Vec<(String, usize, usize, usize)>,
+    /// (callee fn name, line, col)
+    calls: Vec<(String, usize, usize)>,
+}
+
+fn crate_key(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(c)) => format!("crates/{c}"),
+        _ => "root".to_string(),
+    }
+}
+
+/// L8: build the acquisition graph and fail on cycles or declared-order
+/// contradictions.
+fn l8_lock_order(files: &[&FileIndex], out: &mut Vec<Violation>) {
+    // Lock bindings are file-local: binding name → diagnostic lock name.
+    let mut lock_fns: Vec<LockFn> = Vec::new();
+    let mut fn_names: HashMap<String, HashMap<String, Vec<usize>>> = HashMap::new();
+    for (file_idx, f) in files.iter().enumerate() {
+        if crate::rules::is_test_path(&f.rel) {
+            continue;
+        }
+        let bindings: HashMap<&str, &str> = f
+            .locks
+            .iter()
+            .map(|l| (l.binding.as_str(), l.lock_name.as_str()))
+            .collect();
+        let ck = crate_key(&f.rel);
+        for span in &f.fns {
+            if f.in_test[span.start] {
+                continue;
+            }
+            let acqs = span_acquisitions(f, span.start, span.end, &bindings);
+            let id = lock_fns.len();
+            lock_fns.push(LockFn {
+                crate_key: ck.clone(),
+                file_idx,
+                name: span.name.clone(),
+                start: span.start,
+                end: span.end,
+                acqs,
+                calls: Vec::new(),
+            });
+            fn_names
+                .entry(ck.clone())
+                .or_default()
+                .entry(span.name.clone())
+                .or_default()
+                .push(id);
+        }
+    }
+
+    // Call sites, resolved intra-crate: bare calls prefer a same-file fn;
+    // method calls resolve only when the name is crate-unique and not a
+    // std-colliding method name.
+    for id in 0..lock_fns.len() {
+        let (ck, file_idx, start, end) = {
+            let lf = &lock_fns[id];
+            (lf.crate_key.clone(), lf.file_idx, lf.start, lf.end)
+        };
+        let f = files[file_idx];
+        let names = &fn_names[&ck];
+        let mut calls = Vec::new();
+        for line in start..=end.min(f.lines.len() - 1) {
+            if f.in_test[line] {
+                continue;
+            }
+            for (callee, col, is_method) in call_sites_on_line(&f.lines[line].code) {
+                let Some(candidates) = names.get(&callee) else {
+                    continue;
+                };
+                let target_ok = if is_method {
+                    candidates.len() == 1 && !UNRESOLVABLE_METHODS.contains(&callee.as_str())
+                } else {
+                    candidates.len() == 1
+                        || candidates.iter().any(|c| lock_fns[*c].file_idx == file_idx)
+                };
+                if target_ok {
+                    calls.push((callee, line, col));
+                }
+            }
+        }
+        lock_fns[id].calls = calls;
+    }
+
+    // Transitive lock sets per fn (what a call into it may acquire).
+    let mut memo: Vec<Option<BTreeSet<String>>> = vec![None; lock_fns.len()];
+    for id in 0..lock_fns.len() {
+        trans_locks(id, &lock_fns, &fn_names, &mut memo, &mut Vec::new());
+    }
+
+    // Edges: lock A held → lock B acquired, with first provenance.
+    let mut edges: BTreeMap<(String, String), (String, usize, String)> = BTreeMap::new();
+    for lf in &lock_fns {
+        let f = files[lf.file_idx];
+        for (held, h_line, h_col, h_end) in &lf.acqs {
+            let live_at = |line: usize, col: usize| {
+                (line == *h_line && col > *h_col) || (line > *h_line && line <= *h_end)
+            };
+            for (later, l_line, l_col, _) in &lf.acqs {
+                if later != held && live_at(*l_line, *l_col) {
+                    edges.entry((held.clone(), later.clone())).or_insert((
+                        f.rel.clone(),
+                        *l_line,
+                        format!("`{later}` acquired in `{}` while `{held}` is held", lf.name),
+                    ));
+                }
+            }
+            for (callee, c_line, c_col) in &lf.calls {
+                if !live_at(*c_line, *c_col) {
+                    continue;
+                }
+                let Some(resolved) =
+                    resolve_call(&lf.crate_key, callee, lf.file_idx, &lock_fns, &fn_names)
+                else {
+                    continue;
+                };
+                if let Some(set) = &memo[resolved] {
+                    for t in set {
+                        if t != held {
+                            edges.entry((held.clone(), t.clone())).or_insert((
+                                f.rel.clone(),
+                                *c_line,
+                                format!(
+                                    "call `{callee}(…)` in `{}` acquires `{t}` while \
+                                     `{held}` is held",
+                                    lf.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Declared-order contradictions.
+    for (first, second) in DECLARED_LOCK_ORDER {
+        if let Some((path, line, detail)) = edges.get(&(second.to_string(), first.to_string())) {
+            let file = files.iter().find(|f| f.rel == *path).expect("edge file");
+            out.push(violation(
+                "L8",
+                file,
+                *line,
+                format!(
+                    "lock order contradicts DESIGN's declared `{first}` → `{second}`: \
+                     {detail}"
+                ),
+            ));
+        }
+    }
+
+    // Cycles.
+    for cycle in find_cycles(&edges) {
+        let (path, line, detail) = &edges[&(cycle[0].clone(), cycle[1].clone())];
+        let file = files.iter().find(|f| f.rel == *path).expect("edge file");
+        out.push(violation(
+            "L8",
+            file,
+            *line,
+            format!(
+                "lock-order cycle {} — two threads interleaving these \
+                 acquisitions deadlock; first edge: {detail}",
+                cycle.join(" → ")
+            ),
+        ));
+    }
+}
+
+/// Acquisitions inside a fn span, with guard liveness resolved: a named
+/// guard lives until `drop(guard)` or the span end; a temporary lives only
+/// on its own line.
+fn span_acquisitions(
+    f: &FileIndex,
+    start: usize,
+    end: usize,
+    bindings: &HashMap<&str, &str>,
+) -> Vec<(String, usize, usize, usize)> {
+    let mut out = Vec::new();
+    for a in &f.acquisitions {
+        if a.line < start || a.line > end || f.in_test[a.line] {
+            continue;
+        }
+        let Some(lock) = bindings.get(a.binding.as_str()) else {
+            continue; // an unnamed lock, or not a lock at all
+        };
+        let live_end = match &a.guard {
+            None => a.line,
+            Some(g) => drop_line(f, a, g, end),
+        };
+        out.push((lock.to_string(), a.line, a.col, live_end));
+    }
+    out
+}
+
+/// The line a guard is dropped on, or the span end if it lives to scope
+/// exit. Explicit `drop(g)` only — early scope ends inside the fn are not
+/// modeled (over-approximation, documented in DESIGN §15).
+fn drop_line(f: &FileIndex, a: &Acquisition, guard: &str, span_end: usize) -> usize {
+    let needle = format!("drop({guard})");
+    ((a.line + 1)..=span_end.min(f.lines.len() - 1))
+        .find(|&i| {
+            let squashed: String = f.lines[i]
+                .code
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            squashed.contains(&needle)
+        })
+        .unwrap_or(span_end)
+}
+
+/// `(callee, col, is_method)` for each `ident(` on the line. Skips control
+/// keywords and macro invocations (`ident!(`).
+fn call_sites_on_line(code: &str) -> Vec<(String, usize, bool)> {
+    const KEYWORDS: &[&str] = &[
+        "if", "while", "match", "for", "loop", "return", "fn", "let", "in", "as", "move", "else",
+    ];
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if !(chars[i].is_alphabetic() || chars[i] == '_') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        let ident: String = chars[start..i].iter().collect();
+        if chars.get(i) != Some(&'(') || KEYWORDS.contains(&ident.as_str()) {
+            continue;
+        }
+        let is_method = start > 0 && chars[start - 1] == '.';
+        // `Path::ident(` associated calls count as bare (same-crate item).
+        out.push((ident, start, is_method));
+    }
+    out
+}
+
+fn resolve_call(
+    ck: &str,
+    callee: &str,
+    caller_file: usize,
+    lock_fns: &[LockFn],
+    fn_names: &HashMap<String, HashMap<String, Vec<usize>>>,
+) -> Option<usize> {
+    let candidates = fn_names.get(ck)?.get(callee)?;
+    candidates
+        .iter()
+        .find(|c| lock_fns[**c].file_idx == caller_file)
+        .or_else(|| candidates.first())
+        .copied()
+}
+
+/// All lock names a call into `id` may end up acquiring (direct plus
+/// transitive through resolved calls). Cycle-safe.
+fn trans_locks(
+    id: usize,
+    lock_fns: &[LockFn],
+    fn_names: &HashMap<String, HashMap<String, Vec<usize>>>,
+    memo: &mut Vec<Option<BTreeSet<String>>>,
+    visiting: &mut Vec<usize>,
+) -> BTreeSet<String> {
+    if let Some(set) = &memo[id] {
+        return set.clone();
+    }
+    if visiting.contains(&id) {
+        return BTreeSet::new(); // recursion: the fixpoint is fine for reporting
+    }
+    visiting.push(id);
+    let mut set: BTreeSet<String> = lock_fns[id].acqs.iter().map(|(l, ..)| l.clone()).collect();
+    let calls = lock_fns[id].calls.clone();
+    for (callee, ..) in &calls {
+        if let Some(resolved) = resolve_call(
+            &lock_fns[id].crate_key,
+            callee,
+            lock_fns[id].file_idx,
+            lock_fns,
+            fn_names,
+        ) {
+            set.extend(trans_locks(resolved, lock_fns, fn_names, memo, visiting));
+        }
+    }
+    visiting.pop();
+    memo[id] = Some(set.clone());
+    set
+}
+
+/// Cycles in the edge graph, each reported once as a node path
+/// `[a, b, …, a]`.
+fn find_cycles(edges: &BTreeMap<(String, String), (String, usize, String)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut cycles = Vec::new();
+    for start in nodes {
+        // DFS from `start`; a path closing back to `start` is a cycle.
+        // Each cycle is reported once: from its smallest node.
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        let mut seen: BTreeSet<&str> = std::iter::once(start).collect();
+        while let Some(&(node, next)) = stack.last() {
+            let nbrs: &[&str] = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if next >= nbrs.len() {
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            stack.last_mut().expect("nonempty").1 += 1;
+            let nb = nbrs[next];
+            if nb == start {
+                if path.iter().all(|n| *n >= start) {
+                    let mut cycle: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                    cycle.push(start.to_string());
+                    cycles.push(cycle);
+                }
+                continue;
+            }
+            if seen.insert(nb) {
+                stack.push((nb, 0));
+                path.push(nb);
+            }
+        }
+    }
+    cycles
+}

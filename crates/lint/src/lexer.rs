@@ -18,6 +18,11 @@ pub struct SourceLine {
     pub comment: String,
     /// The raw line, verbatim — what allowlist needles match against.
     pub raw: String,
+    /// Contents of string literals on this line, in order, escapes kept
+    /// verbatim. A literal spanning lines contributes one entry per line.
+    /// The extraction layer reads these (STATS keys, metric names, lock
+    /// names); the line rules never do — they match on the blanked `code`.
+    pub strings: Vec<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,13 +56,30 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
             }
         }};
     }
+    macro_rules! open_string {
+        () => {
+            cur.strings.push(String::new())
+        };
+    }
+    macro_rules! string_char {
+        ($c:expr) => {{
+            if cur.strings.is_empty() {
+                cur.strings.push(String::new());
+            }
+            cur.strings.last_mut().expect("just ensured").push($c);
+        }};
+    }
 
     while i < chars.len() {
         let c = chars[i];
         if c == '\n' {
             // Strings and block comments continue across lines; everything
-            // else resets at the newline.
+            // else resets at the newline. A still-open string starts a new
+            // contents entry on the next line.
             push_line!();
+            if matches!(state, State::Str(_) | State::RawStr(_)) {
+                open_string!();
+            }
             i += 1;
             continue;
         }
@@ -89,12 +111,16 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
             }
             State::Str(escaped) => {
                 if escaped {
+                    string_char!(c);
                     state = State::Str(false);
                 } else if c == '\\' {
+                    string_char!(c);
                     state = State::Str(true);
                 } else if c == '"' {
                     cur.code.push('"');
                     state = State::Code;
+                } else {
+                    string_char!(c);
                 }
                 i += 1;
             }
@@ -112,6 +138,7 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
                     state = State::Code;
                     i += 1 + hashes as usize;
                 } else {
+                    string_char!(c);
                     i += 1;
                 }
             }
@@ -147,6 +174,7 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
                     }
                     '"' => {
                         cur.code.push('"');
+                        open_string!();
                         state = State::Str(false);
                         i += 1;
                     }
@@ -167,6 +195,7 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
                             if chars.get(j) == Some(&'"') {
                                 cur.code.push('"');
                                 cur.raw.push('"');
+                                open_string!();
                                 state = State::Str(false);
                                 i = j + 1;
                                 continue;
@@ -194,6 +223,7 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
                             cur.code.push('#');
                         }
                         cur.code.push('"');
+                        open_string!();
                         state = State::RawStr(hashes);
                         i = j + 1;
                     }
@@ -476,6 +506,20 @@ mod tests {
             vec![false, true, true, true, true, false, false],
             "{regions:?}"
         );
+    }
+
+    #[test]
+    fn string_contents_are_captured_per_line() {
+        let lines = lex("emit(\"queries\", \"pit_queries_total\");\nplain();");
+        assert_eq!(lines[0].strings, vec!["queries", "pit_queries_total"]);
+        assert!(lines[1].strings.is_empty());
+        // Raw strings capture verbatim; escapes are kept as written.
+        let lines = lex("let a = r#\"ra\"w\"#; let b = \"es\\\"c\";");
+        assert_eq!(lines[0].strings, vec!["ra\"w", "es\\\"c"]);
+        // A multi-line string contributes one entry per line.
+        let lines = lex("let s = \"first\nsecond\";");
+        assert_eq!(lines[0].strings, vec!["first"]);
+        assert_eq!(lines[1].strings, vec!["second"]);
     }
 
     #[test]

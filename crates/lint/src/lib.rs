@@ -3,21 +3,29 @@
 //! Rules clippy cannot express because they encode *this repo's* invariants:
 //! which crates must never panic (the concurrent serving stack), which must
 //! be deterministic (the offline engine), which atomics orderings are
-//! audited, and where untrusted lengths must be bounded before allocation.
-//! Run it as `cargo run -p pit-lint -- --deny`; CI treats a non-zero exit
-//! as a build failure.
+//! audited, where untrusted lengths must be bounded before arithmetic — and,
+//! since v2, cross-file contracts: every wire-visible metrics name must be
+//! pinned and documented ([`contracts`] L6), every error-taxonomy variant
+//! must round-trip the wire and be counted (L7), and named locks must be
+//! acquired in one global order (L8). Run it as
+//! `cargo run -p pit-lint -- --deny`; CI treats a non-zero exit as a build
+//! failure.
 //!
 //! Exceptions live in `lint.allow` at the workspace root — one justified
-//! entry per waived site; see [`allowlist`]. Unused entries fail the run,
-//! so the allowlist tracks the code it excuses.
+//! entry per waived *site* (single-match semantics, see [`allowlist`]).
+//! Unused or ambiguous entries fail the run, so the allowlist tracks the
+//! code it excuses.
 
 #![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod contracts;
+pub mod extract;
 pub mod lexer;
 pub mod rules;
 
 use allowlist::Allowlist;
+use extract::FileIndex;
 use rules::Violation;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -34,17 +42,25 @@ pub struct LintReport {
     /// Allowlist entries that matched nothing — stale waivers, reported as
     /// errors by the CLI.
     pub unused_allow: Vec<String>,
+    /// Allowlist entries that matched more than one site without a line
+    /// anchor — over-broad waivers, reported as errors by the CLI.
+    pub allow_errors: Vec<String>,
 }
 
 impl LintReport {
-    /// Does the run pass (no violations, no stale allowlist entries)?
+    /// Does the run pass (no violations, no stale or ambiguous allowlist
+    /// entries)?
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty() && self.unused_allow.is_empty()
+        self.violations.is_empty() && self.unused_allow.is_empty() && self.allow_errors.is_empty()
     }
 }
 
 /// Directories never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Markdown files whose backticked mentions count as wire-name
+/// documentation for the L6 contract check.
+const DOC_FILES: &[&str] = &["README.md", "DESIGN.md"];
 
 /// Recursively collect every `.rs` file under `root`, sorted for stable
 /// output.
@@ -70,9 +86,13 @@ pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lint every `.rs` file under `root` against `allow`.
+/// Lint every `.rs` file under `root` against `allow`: lex and index each
+/// file once, run the per-file rules (L1–L5, L9) and the cross-file
+/// contract rules (L6–L8), then apply the allowlist to the combined set.
 pub fn run(root: &Path, allow: &Allowlist) -> std::io::Result<LintReport> {
     let mut report = LintReport::default();
+    let mut indices = Vec::new();
+    let mut candidates = Vec::new();
     for path in collect_rust_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -80,14 +100,24 @@ pub fn run(root: &Path, allow: &Allowlist) -> std::io::Result<LintReport> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = fs::read_to_string(&path)?;
-        let file = rules::check_file(&rel, &source, allow);
-        report.violations.extend(file.violations);
-        report.waived += file.waived;
+        let index = FileIndex::build(&rel, &source);
+        candidates.extend(rules::check_lines(&rel, &index.lines, &index.in_test));
+        indices.push(index);
         report.files_scanned += 1;
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    let mut docs = Vec::new();
+    for name in DOC_FILES {
+        if let Ok(text) = fs::read_to_string(root.join(name)) {
+            docs.push(((*name).to_string(), text));
+        }
+    }
+    candidates.extend(contracts::check(&indices, &docs));
+    candidates.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let applied = allow.apply(candidates);
+    report.violations = applied.violations;
+    report.waived = applied.waived;
+    report.allow_errors = applied.errors;
     report.unused_allow = allow
         .unused()
         .iter()

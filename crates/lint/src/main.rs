@@ -1,19 +1,30 @@
 //! `pit-lint` CLI. Usage:
 //!
 //! ```text
-//! cargo run -p pit-lint -- [--deny] [--root DIR] [--allow FILE]
+//! cargo run -p pit-lint -- [--deny] [--json] [--root DIR] [--allow FILE]
 //! ```
 //!
-//! `--deny` exits 1 on any violation or stale allowlist entry (CI mode);
-//! without it the report is informational. `--root` defaults to the
-//! enclosing workspace root; `--allow` defaults to `<root>/lint.allow`.
+//! Exit codes are stable so CI and tooling can branch on them:
+//!
+//! - `0` — clean (or `--deny` not set and only violations were found);
+//! - `1` — violations, stale allowlist entries, or ambiguous allowlist
+//!   entries, under `--deny`;
+//! - `2` — internal error: bad arguments, unreadable files, malformed
+//!   allowlist.
+//!
+//! `--json` replaces the human report with a single machine-readable JSON
+//! object on stdout (violations, allowlist errors, summary counts).
+//! `--root` defaults to the enclosing workspace root; `--allow` defaults to
+//! `<root>/lint.allow`.
 
 use pit_lint::allowlist::Allowlist;
+use pit_lint::LintReport;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut allow_path: Option<PathBuf> = None;
 
@@ -21,10 +32,11 @@ fn main() -> ExitCode {
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--deny" => deny = true,
+            "--json" => json = true,
             "--root" => root = argv.next().map(PathBuf::from),
             "--allow" => allow_path = argv.next().map(PathBuf::from),
             "--help" | "-h" => {
-                println!("pit-lint [--deny] [--root DIR] [--allow FILE]");
+                println!("pit-lint [--deny] [--json] [--root DIR] [--allow FILE]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -77,24 +89,97 @@ fn main() -> ExitCode {
         }
     };
 
-    for v in &report.violations {
-        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    if json {
+        println!("{}", render_json(&report, allow.len()));
+    } else {
+        render_human(&report, allow.len());
     }
-    for u in &report.unused_allow {
-        println!("{u}");
-    }
-    println!(
-        "pit-lint: {} files scanned, {} violations, {} waived ({} allowlist entries), {} stale entries",
-        report.files_scanned,
-        report.violations.len(),
-        report.waived,
-        allow.len(),
-        report.unused_allow.len()
-    );
 
     if deny && !report.is_clean() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn render_human(report: &LintReport, allow_entries: usize) {
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+    for e in &report.allow_errors {
+        println!("{e}");
+    }
+    for u in &report.unused_allow {
+        println!("{u}");
+    }
+    println!(
+        "pit-lint: {} files scanned, {} violations, {} waived ({} allowlist entries), {} stale entries, {} ambiguous entries",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived,
+        allow_entries,
+        report.unused_allow.len(),
+        report.allow_errors.len()
+    );
+}
+
+/// Render the report as one JSON object. Hand-rolled (the workspace policy
+/// is no new dependencies); all dynamic content goes through [`escape`].
+fn render_json(report: &LintReport, allow_entries: usize) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(v.rule),
+            escape(&v.path),
+            v.line,
+            escape(&v.message)
+        ));
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"allowlist_errors\": [");
+    let errors: Vec<&String> = report
+        .allow_errors
+        .iter()
+        .chain(&report.unused_allow)
+        .collect();
+    for (i, e) in errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\"", escape(e)));
+    }
+    if !errors.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"waived\": {},\n  \"allow_entries\": {},\n  \"clean\": {}\n}}",
+        report.files_scanned,
+        report.waived,
+        allow_entries,
+        report.is_clean()
+    ));
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

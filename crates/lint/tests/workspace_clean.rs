@@ -30,6 +30,7 @@ fn workspace_is_lint_clean() {
         .iter()
         .map(|v| format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message))
         .collect();
+    problems.extend(report.allow_errors.iter().cloned());
     problems.extend(report.unused_allow.iter().cloned());
     assert!(
         problems.is_empty(),

@@ -77,6 +77,21 @@ impl StaleReason {
         }
     }
 
+    /// Parse the wire spelling back into a reason — the inverse of
+    /// [`StaleReason::as_str`], used by operator tooling that reads the
+    /// `reason` label off STATS output. An inherent method rather than the
+    /// `FromStr` trait: a mismatch is just `None`, not an error type.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<StaleReason> {
+        match s {
+            "edge-added" => Some(StaleReason::EdgeAdded),
+            "edge-removed" => Some(StaleReason::EdgeRemoved),
+            "assignment-changed" => Some(StaleReason::AssignmentChanged),
+            "full-reload" => Some(StaleReason::FullReload),
+            _ => None,
+        }
+    }
+
     /// Dense index into per-reason counter arrays.
     fn index(self) -> usize {
         match self {
@@ -753,6 +768,14 @@ mod tests {
 
     fn key(user: u32) -> QueryKey {
         QueryKey::new(user, 10, vec![TermId(0)])
+    }
+
+    #[test]
+    fn stale_reason_wire_spelling_round_trips() {
+        for reason in StaleReason::ALL {
+            assert_eq!(StaleReason::from_str(reason.as_str()), Some(reason));
+        }
+        assert_eq!(StaleReason::from_str("edge-exploded"), None);
     }
 
     #[test]

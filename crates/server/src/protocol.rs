@@ -842,10 +842,21 @@ where
 /// Write `text` as one frame.
 ///
 /// # Errors
-/// Propagates I/O failures (including write-deadline expiry).
+/// Propagates I/O failures (including write-deadline expiry), and rejects
+/// payloads over [`MAX_FRAME_BYTES`] — a `debug_assert` would let a release
+/// build truncate the length prefix through the `as u32` cast and desync
+/// the peer's framing.
 pub fn write_frame<W: Write>(w: &mut W, text: &str) -> io::Result<()> {
     let bytes = text.as_bytes();
-    debug_assert!(bytes.len() <= MAX_FRAME_BYTES);
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "refusing to send a {}-byte frame (cap {MAX_FRAME_BYTES})",
+                bytes.len()
+            ),
+        ));
+    }
     // One write per frame: splitting the length prefix from the payload
     // triggers Nagle/delayed-ACK stalls (~40 ms) on real sockets.
     let mut frame = Vec::with_capacity(4 + bytes.len());

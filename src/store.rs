@@ -234,8 +234,7 @@ pub fn load_engine(dir: &Path) -> Result<PitEngine, StoreError> {
         1 => SummarizerKind::default_lrw(),
         _ => return Err(corrupt("unknown summarizer kind")),
     };
-    let max_expand_rounds =
-        u32::from_le_bytes(meta[6..10].try_into().expect("length checked")) as usize;
+    let max_expand_rounds = u32::from_le_bytes([meta[6], meta[7], meta[8], meta[9]]) as usize;
 
     // Cross-artifact consistency.
     if space.node_count() != graph.node_count()
