@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pit::{PitEngine, SummarizerKind};
 use pit_graph::{NodeId, TermId};
 use pit_router::ShardedEngine;
-use pit_search_core::{CancelToken, NoTracer};
+use pit_search_core::{CancelToken, NoTracer, SearchScratch};
 use pit_server::{LocalServeEngine, ServeEngine};
 use pit_topics::KeywordQuery;
 use std::sync::Arc;
@@ -38,7 +38,13 @@ fn engine() -> Arc<PitEngine> {
 fn run(e: &dyn ServeEngine, user: u32, term: TermId) {
     let q = KeywordQuery::new(NodeId(user), vec![term]);
     let out = e
-        .try_search(&q, 10, &CancelToken::none(), &mut NoTracer)
+        .try_search(
+            &q,
+            10,
+            &CancelToken::none(),
+            &mut NoTracer,
+            &mut SearchScratch::new(),
+        )
         .expect("bench query");
     assert!(out.partial.is_empty(), "healthy fleet answered partial");
 }

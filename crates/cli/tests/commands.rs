@@ -58,15 +58,10 @@ fn full_lifecycle() {
         "build --corpus {corpus} --out {engine} --reps 8 --walk-r 8 --walk-l 3"
     )))
     .expect("build succeeds");
-    for f in [
-        "graph.pitg",
-        "prop.pitp",
-        "reps.pitr",
-        "walks.pitw",
-        "meta.pitm",
-    ] {
-        assert!(dirs.engine.join(f).exists(), "missing engine file {f}");
-    }
+    assert!(
+        dirs.engine.join("engine.pitf").exists(),
+        "missing flat engine snapshot"
+    );
 
     // stats, query, audience all succeed against the built engine.
     commands::stats(&argv(&format!("stats --engine {engine}"))).expect("stats succeeds");
@@ -160,7 +155,9 @@ fn read_commands_reject_missing_engine() {
             _ => commands::audience(&p).unwrap_err(),
         };
         assert!(
-            err.contains("No such file") || err.contains("os error"),
+            err.contains("No such file")
+                || err.contains("os error")
+                || err.contains("no engine.pitf"),
             "{cmd}: {err}"
         );
     }

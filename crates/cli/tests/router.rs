@@ -9,7 +9,7 @@
 use pit::{store, PitEngine, SummarizerKind};
 use pit_graph::NodeId;
 use pit_router::{LocalTransport, ShardError, ShardTransport, ShardedEngine};
-use pit_search_core::{CancelToken, NoTracer};
+use pit_search_core::{CancelToken, NoTracer, SearchScratch};
 use pit_server::protocol::{read_frame, write_frame, Request, Response};
 use pit_server::{LocalServeEngine, ServeEngine};
 use pit_topics::KeywordQuery;
@@ -216,7 +216,13 @@ fn find_cross_shard_query(engine: &Arc<PitEngine>) -> (u32, u32, u32) {
         }
         let q = drill_query(engine, user);
         let out = router
-            .try_search(&q, K, &CancelToken::none(), &mut NoTracer)
+            .try_search(
+                &q,
+                K,
+                &CancelToken::none(),
+                &mut NoTracer,
+                &mut SearchScratch::new(),
+            )
             .expect("healthy scan query");
         if out.fanout_micros.len() != SHARDS as usize {
             continue;
@@ -247,7 +253,13 @@ fn find_cross_shard_query(engine: &Arc<PitEngine>) -> (u32, u32, u32) {
             .collect();
         let degraded = ShardedEngine::assemble(Arc::clone(engine), mixed)
             .expect("assemble degraded fleet")
-            .try_search(&q, K, &CancelToken::none(), &mut NoTracer);
+            .try_search(
+                &q,
+                K,
+                &CancelToken::none(),
+                &mut NoTracer,
+                &mut SearchScratch::new(),
+            );
         match degraded {
             Ok(out) if out.partial == vec![(dead, "timeout".to_string())] => {
                 assert_ne!(home, dead);

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static CALLS: AtomicUsize = AtomicUsize::new(0);
 
 /// A `System`-backed allocator that tracks live and peak heap bytes.
 pub struct CountingAllocator;
@@ -53,6 +54,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 }
 
 fn track_alloc(size: usize) {
+    CALLS.fetch_add(1, Ordering::Relaxed);
     let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
     // Racy max-update is fine for measurement purposes: a lost update can
     // only under-report by one allocation's worth in a pathological race.
@@ -82,6 +84,14 @@ fn track_dealloc(size: usize) {
 /// Live heap bytes right now (as seen by the counting allocator).
 pub fn current_bytes() -> usize {
     CURRENT.load(Ordering::Relaxed)
+}
+
+/// Total allocation calls (alloc + grow-side of realloc) since process
+/// start. Allocation-freedom tests bracket a code region and assert the
+/// delta is zero — a byte-based measure can miss alloc/free churn that
+/// nets out to nothing but still costs allocator round-trips.
+pub fn alloc_calls() -> usize {
+    CALLS.load(Ordering::Relaxed)
 }
 
 /// Peak heap bytes since the last [`reset_peak`].

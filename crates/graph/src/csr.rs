@@ -13,6 +13,7 @@
 
 use crate::error::{GraphError, Result};
 use crate::ids::NodeId;
+use pit_store::Sect;
 
 /// Immutable directed graph with per-edge transition probabilities, stored in
 /// CSR form for both adjacency directions.
@@ -20,20 +21,25 @@ use crate::ids::NodeId;
 /// Out-edges of `u` are the pairs `(v, Λ(u,v))`; in-edges of `v` are the pairs
 /// `(u, Λ(u,v))`. Edge targets within one node's slice are sorted by id, which
 /// enables binary-searched `edge_prob` lookups.
+///
+/// Each array is a [`Sect`]: owned when built in memory, a borrowed window of
+/// the snapshot mapping when loaded zero-copy from a flat snapshot. Every
+/// accessor goes through `Deref<Target = [_]>`, so the backing is invisible
+/// to traversal code.
 #[derive(Clone, Debug)]
 pub struct CsrGraph {
     /// `out_offsets[u] .. out_offsets[u+1]` delimits `u`'s out-edge slice.
-    out_offsets: Vec<u32>,
+    out_offsets: Sect<u32>,
     /// Targets of out-edges, grouped per source, sorted within a group.
-    out_targets: Vec<NodeId>,
+    out_targets: Sect<NodeId>,
     /// Transition probability of each out-edge, parallel to `out_targets`.
-    out_probs: Vec<f64>,
+    out_probs: Sect<f64>,
     /// `in_offsets[v] .. in_offsets[v+1]` delimits `v`'s in-edge slice.
-    in_offsets: Vec<u32>,
+    in_offsets: Sect<u32>,
     /// Sources of in-edges, grouped per target, sorted within a group.
-    in_sources: Vec<NodeId>,
+    in_sources: Sect<NodeId>,
     /// Transition probability of each in-edge, parallel to `in_sources`.
-    in_probs: Vec<f64>,
+    in_probs: Sect<f64>,
 }
 
 impl CsrGraph {
@@ -74,13 +80,130 @@ impl CsrGraph {
         }
 
         CsrGraph {
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            out_probs: out_probs.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+            in_probs: in_probs.into(),
+        }
+    }
+
+    /// Assemble a graph directly from its six CSR arrays (typically borrowed
+    /// windows of a flat-snapshot mapping). Performs only O(1) shape checks —
+    /// lengths, sentinel first/last offsets — so the zero-copy load path
+    /// stays O(sections); call [`CsrGraph::validate_deep`] for the
+    /// per-element invariants.
+    pub fn from_raw_parts(
+        out_offsets: Sect<u32>,
+        out_targets: Sect<NodeId>,
+        out_probs: Sect<f64>,
+        in_offsets: Sect<u32>,
+        in_sources: Sect<NodeId>,
+        in_probs: Sect<f64>,
+    ) -> std::result::Result<Self, String> {
+        if out_offsets.is_empty() || in_offsets.is_empty() {
+            return Err("CSR offset arrays must hold node_count + 1 entries".into());
+        }
+        if out_offsets.len() != in_offsets.len() {
+            return Err(format!(
+                "out/in offset arrays disagree on node count ({} vs {})",
+                out_offsets.len(),
+                in_offsets.len()
+            ));
+        }
+        if out_targets.len() != out_probs.len() || in_sources.len() != in_probs.len() {
+            return Err("edge id/prob arrays have mismatched lengths".into());
+        }
+        if out_targets.len() != in_sources.len() {
+            return Err(format!(
+                "out and in CSR disagree on edge count ({} vs {})",
+                out_targets.len(),
+                in_sources.len()
+            ));
+        }
+        let check_bookends = |offsets: &[u32], edges: usize, dir: &str| {
+            if offsets.first() != Some(&0) {
+                return Err(format!("{dir} offsets do not start at 0"));
+            }
+            if offsets.last().copied().map(|v| v as usize) != Some(edges) {
+                return Err(format!("{dir} offsets do not end at the edge count"));
+            }
+            Ok(())
+        };
+        check_bookends(&out_offsets, out_targets.len(), "out")?;
+        check_bookends(&in_offsets, in_sources.len(), "in")?;
+        Ok(CsrGraph {
             out_offsets,
             out_targets,
             out_probs,
             in_offsets,
             in_sources,
             in_probs,
-        }
+        })
+    }
+
+    /// Per-element CSR invariants — monotonic offsets, in-range ids, sorted
+    /// edge groups, finite probabilities in `[0, 1]`. O(|V| + |E|); the
+    /// owned (deep-validation) loader runs this, the zero-copy path skips it.
+    pub fn validate_deep(&self) -> std::result::Result<(), String> {
+        let n = self.node_count();
+        let check = |offsets: &[u32], ids: &[NodeId], probs: &[f64], dir: &str| {
+            for w in offsets.windows(2) {
+                if w[0] > w[1] {
+                    return Err(format!("{dir} offsets are not monotonic"));
+                }
+            }
+            for group in offsets.windows(2) {
+                let (lo, hi) = (group[0] as usize, group[1] as usize);
+                let slice = ids
+                    .get(lo..hi)
+                    .ok_or_else(|| format!("{dir} offsets overrun"))?;
+                for w in slice.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(format!("{dir} edge group is not strictly sorted"));
+                    }
+                }
+            }
+            for id in ids {
+                if id.index() >= n {
+                    return Err(format!("{dir} edge id {id} out of range (n = {n})"));
+                }
+            }
+            for &p in probs {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(format!("{dir} edge probability {p} outside [0, 1]"));
+                }
+            }
+            Ok(())
+        };
+        check(&self.out_offsets, &self.out_targets, &self.out_probs, "out")?;
+        check(&self.in_offsets, &self.in_sources, &self.in_probs, "in")
+    }
+
+    /// The six raw CSR arrays in `from_raw_parts` order, for snapshot
+    /// writers.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (&[u32], &[NodeId], &[f64], &[u32], &[NodeId], &[f64]) {
+        (
+            &self.out_offsets,
+            &self.out_targets,
+            &self.out_probs,
+            &self.in_offsets,
+            &self.in_sources,
+            &self.in_probs,
+        )
+    }
+
+    /// Bytes of this graph served by a snapshot mapping rather than owned
+    /// memory (0 for built graphs).
+    pub fn mapped_bytes(&self) -> usize {
+        self.out_offsets.mapped_bytes()
+            + self.out_targets.mapped_bytes()
+            + self.out_probs.mapped_bytes()
+            + self.in_offsets.mapped_bytes()
+            + self.in_sources.mapped_bytes()
+            + self.in_probs.mapped_bytes()
     }
 
     /// Number of nodes `|V|`.
@@ -239,14 +362,15 @@ impl CsrGraph {
         out
     }
 
-    /// Estimated resident heap size of the CSR arrays, in bytes.
+    /// Logical size of the CSR arrays in bytes, independent of whether they
+    /// are resident owned memory or borrowed snapshot windows.
     pub fn heap_size_bytes(&self) -> usize {
-        self.out_offsets.capacity() * std::mem::size_of::<u32>()
-            + self.out_targets.capacity() * std::mem::size_of::<NodeId>()
-            + self.out_probs.capacity() * std::mem::size_of::<f64>()
-            + self.in_offsets.capacity() * std::mem::size_of::<u32>()
-            + self.in_sources.capacity() * std::mem::size_of::<NodeId>()
-            + self.in_probs.capacity() * std::mem::size_of::<f64>()
+        self.out_offsets.size_bytes()
+            + self.out_targets.size_bytes()
+            + self.out_probs.size_bytes()
+            + self.in_offsets.size_bytes()
+            + self.in_sources.size_bytes()
+            + self.in_probs.size_bytes()
     }
 }
 

@@ -9,15 +9,20 @@ use std::fmt;
 /// Identifier of a social user (a node of the graph).
 ///
 /// Dense: valid ids are `0..graph.node_count()`.
+/// `repr(transparent)`: id arrays are layout-identical to `u32` arrays, so
+/// flat snapshots can view them in place (see the `Pod` impls below).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a topic in the topic space `T`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct TopicId(pub u32);
 
 /// Identifier of a query term (keyword) in the term vocabulary.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct TermId(pub u32);
 
 macro_rules! id_impls {
@@ -74,6 +79,33 @@ macro_rules! id_impls {
 id_impls!(NodeId, "NodeId");
 id_impls!(TopicId, "TopicId");
 id_impls!(TermId, "TermId");
+
+macro_rules! id_pod {
+    ($t:ident) => {
+        // SAFETY: `$t` is `#[repr(transparent)]` over `u32` — no padding, no
+        // niches, size == align == 4, and every 32-bit pattern is a valid id
+        // value (range checks are the reader's job, not the type's) — so the
+        // in-memory representation equals the on-disk little-endian `u32`
+        // representation on little-endian targets.
+        #[allow(unsafe_code)]
+        unsafe impl pit_store::Pod for $t {
+            const ELEM: pit_store::ElemType = pit_store::ElemType::U32;
+            const NAME: &'static str = stringify!($t);
+
+            fn put_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.0.to_le_bytes());
+            }
+
+            fn from_le(bytes: &[u8]) -> Self {
+                $t(<u32 as pit_store::Pod>::from_le(bytes))
+            }
+        }
+    };
+}
+
+id_pod!(NodeId);
+id_pod!(TopicId);
+id_pod!(TermId);
 
 #[cfg(test)]
 mod tests {

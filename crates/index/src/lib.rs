@@ -23,5 +23,5 @@ pub mod node;
 pub mod prop;
 pub mod snapshot;
 
-pub use node::NodePropagation;
+pub use node::{Gamma, NodePropagation};
 pub use prop::{PropIndexConfig, PropagationIndex};

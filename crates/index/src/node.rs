@@ -1,6 +1,125 @@
 //! Per-node materialization: the lookup table `Γ(v)` plus the marked subset.
+//!
+//! Two representations live here. [`NodePropagation`] is the *owned*
+//! per-node table the builder produces and the legacy codec round-trips.
+//! [`Gamma`] is the *borrowed* view the flattened [`crate::PropagationIndex`]
+//! hands out — three slices into the index's CSR arrays, which may in turn
+//! be zero-copy windows of a snapshot mapping. Readers take `Gamma`.
 
 use pit_graph::NodeId;
+
+/// Borrowed view of one node's propagation table: sorted `(node, prob)`
+/// pairs as parallel slices, plus the sorted marked subset `Γ*(v)`.
+///
+/// `Copy`: three fat pointers, pass it by value.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma<'a> {
+    nodes: &'a [NodeId],
+    probs: &'a [f64],
+    marked: &'a [NodeId],
+}
+
+impl<'a> Gamma<'a> {
+    /// Wrap pre-sorted parallel slices (the flattened index's accessor).
+    pub fn new(nodes: &'a [NodeId], probs: &'a [f64], marked: &'a [NodeId]) -> Self {
+        debug_assert_eq!(nodes.len(), probs.len());
+        Gamma {
+            nodes,
+            probs,
+            marked,
+        }
+    }
+
+    /// The empty table.
+    pub const EMPTY: Gamma<'static> = Gamma {
+        nodes: &[],
+        probs: &[],
+        marked: &[],
+    };
+
+    /// Number of nearby nodes `|Γ(v)|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `Γ(v)` is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The aggregated propagation probability of `u` toward this node
+    /// (the paper's `v.hashmap(u)`), or `None` when `u` is not nearby.
+    pub fn get(&self, u: NodeId) -> Option<f64> {
+        self.nodes
+            .binary_search(&u)
+            .ok()
+            .and_then(|i| self.probs.get(i).copied())
+    }
+
+    /// Whether `u ∈ Γ(v)`.
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.nodes.binary_search(&u).is_ok()
+    }
+
+    /// Iterate `(u, probability)` in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + 'a {
+        self.nodes.iter().copied().zip(self.probs.iter().copied())
+    }
+
+    /// Sorted nearby node ids.
+    pub fn nodes(&self) -> &'a [NodeId] {
+        self.nodes
+    }
+
+    /// Propagation probabilities, parallel to [`Gamma::nodes`].
+    pub fn probs(&self) -> &'a [f64] {
+        self.probs
+    }
+
+    /// The marked subset `Γ*(v)` (sorted).
+    #[inline]
+    pub fn marked(&self) -> &'a [NodeId] {
+        self.marked
+    }
+
+    /// Whether `u` is marked for expansion.
+    pub fn is_marked(&self, u: NodeId) -> bool {
+        self.marked.binary_search(&u).is_ok()
+    }
+
+    /// `maxEP`: the largest propagation value among marked nodes (Algorithm
+    /// 10 line 16); 0 when nothing is marked.
+    pub fn max_marked_prob(&self) -> f64 {
+        self.marked
+            .iter()
+            .filter_map(|&u| self.get(u))
+            .fold(0.0, f64::max)
+    }
+
+    /// Deep-copy into an owned table (refresh/slice paths).
+    pub fn to_table(&self) -> NodePropagation {
+        NodePropagation {
+            entries: self.iter().collect(),
+            marked: self.marked.to_vec(),
+        }
+    }
+}
+
+impl PartialEq for Gamma<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.probs == other.probs && self.marked == other.marked
+    }
+}
+
+impl PartialEq<NodePropagation> for Gamma<'_> {
+    fn eq(&self, t: &NodePropagation) -> bool {
+        self.len() == t.entries.len()
+            && self.marked == &t.marked[..]
+            && self.iter().eq(t.entries.iter().copied())
+    }
+}
 
 /// The materialized propagation table of one node `v`: for each nearby node
 /// `u`, the aggregated probability that `u`'s influence propagates to `v`

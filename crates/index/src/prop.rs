@@ -1,7 +1,8 @@
 //! Propagation-index construction (Section 5.1).
 
-use crate::node::NodePropagation;
+use crate::node::{Gamma, NodePropagation};
 use pit_graph::{CsrGraph, NodeId};
+use pit_store::Sect;
 use rustc_hash::FxHashMap;
 
 /// Construction parameters.
@@ -36,13 +37,29 @@ impl PropIndexConfig {
     }
 }
 
-/// The full personalized propagation index: one [`NodePropagation`] table per
-/// node, i.e. the paper's "materialize every node" requirement (Section 5,
-/// problem (1)).
+/// The full personalized propagation index: one table `Γ(v)` per node, i.e.
+/// the paper's "materialize every node" requirement (Section 5, problem (1)).
+///
+/// Stored flattened as five CSR arrays rather than one struct per node:
+/// `nodes[offsets[v]..offsets[v+1]]` / `probs[..]` hold `v`'s sorted
+/// `(node, probability)` entries, and `marked[marked_offsets[v]..]` its
+/// marked subset. Each array is a [`Sect`] — owned when built, a borrowed
+/// window of the snapshot mapping when loaded zero-copy — and
+/// [`PropagationIndex::gamma`] hands out a borrowed [`Gamma`] view either
+/// way.
 #[derive(Clone, Debug)]
 pub struct PropagationIndex {
     pub(crate) config: PropIndexConfig,
-    pub(crate) tables: Vec<NodePropagation>,
+    /// `offsets[v] .. offsets[v+1]` delimits `v`'s entry slice. `n + 1` long.
+    offsets: Sect<u64>,
+    /// Entry node ids, grouped per table, strictly sorted within a group.
+    nodes: Sect<NodeId>,
+    /// Propagation probabilities, parallel to `nodes`.
+    probs: Sect<f64>,
+    /// `marked_offsets[v] .. marked_offsets[v+1]` delimits `v`'s marks.
+    marked_offsets: Sect<u64>,
+    /// Marked node ids, grouped per table, each a subset of the entry group.
+    marked: Sect<NodeId>,
 }
 
 impl PropagationIndex {
@@ -83,8 +100,138 @@ impl PropagationIndex {
         })
         .expect("crossbeam scope failed");
         chunks.sort_by_key(|&(lo, _)| lo);
-        let tables = chunks.into_iter().flat_map(|(_, t)| t).collect();
-        PropagationIndex { config, tables }
+        let tables: Vec<NodePropagation> = chunks.into_iter().flat_map(|(_, t)| t).collect();
+        Self::from_tables(config, &tables)
+    }
+
+    /// Flatten per-node tables into the CSR representation.
+    pub fn from_tables(config: PropIndexConfig, tables: &[NodePropagation]) -> Self {
+        let total: usize = tables.iter().map(NodePropagation::len).sum();
+        let total_marked: usize = tables.iter().map(|t| t.marked.len()).sum();
+        let mut offsets = Vec::with_capacity(tables.len() + 1);
+        let mut nodes = Vec::with_capacity(total);
+        let mut probs = Vec::with_capacity(total);
+        let mut marked_offsets = Vec::with_capacity(tables.len() + 1);
+        let mut marked = Vec::with_capacity(total_marked);
+        offsets.push(0u64);
+        marked_offsets.push(0u64);
+        for t in tables {
+            for &(n, p) in &t.entries {
+                nodes.push(n);
+                probs.push(p);
+            }
+            marked.extend_from_slice(&t.marked);
+            offsets.push(nodes.len() as u64);
+            marked_offsets.push(marked.len() as u64);
+        }
+        PropagationIndex {
+            config,
+            offsets: offsets.into(),
+            nodes: nodes.into(),
+            probs: probs.into(),
+            marked_offsets: marked_offsets.into(),
+            marked: marked.into(),
+        }
+    }
+
+    /// Assemble an index from its five raw arrays (typically borrowed
+    /// windows of a flat-snapshot mapping). Performs only O(1) shape checks
+    /// so the zero-copy load path stays O(sections); call
+    /// [`PropagationIndex::validate_deep`] for the per-element invariants.
+    pub fn from_raw_parts(
+        config: PropIndexConfig,
+        offsets: Sect<u64>,
+        nodes: Sect<NodeId>,
+        probs: Sect<f64>,
+        marked_offsets: Sect<u64>,
+        marked: Sect<NodeId>,
+    ) -> Result<Self, String> {
+        if !(config.theta > 0.0 && config.theta <= 1.0) || config.max_depth == 0 {
+            return Err("invalid propagation configuration".into());
+        }
+        if offsets.is_empty() || marked_offsets.len() != offsets.len() {
+            return Err("propagation offset arrays have mismatched lengths".into());
+        }
+        if nodes.len() != probs.len() {
+            return Err("entry node/prob arrays have mismatched lengths".into());
+        }
+        if offsets.first() != Some(&0) || marked_offsets.first() != Some(&0) {
+            return Err("propagation offsets do not start at 0".into());
+        }
+        if offsets.last().copied().map(|v| v as usize) != Some(nodes.len()) {
+            return Err("propagation offsets do not cover the entry array".into());
+        }
+        if marked_offsets.last().copied().map(|v| v as usize) != Some(marked.len()) {
+            return Err("marked offsets do not cover the marked array".into());
+        }
+        Ok(PropagationIndex {
+            config,
+            offsets,
+            nodes,
+            probs,
+            marked_offsets,
+            marked,
+        })
+    }
+
+    /// Per-element invariants — monotonic offsets, strictly sorted in-range
+    /// entry groups, finite positive probabilities, marks a subset of their
+    /// entry group. O(index size); run by the deep-validation loader only.
+    pub fn validate_deep(&self) -> Result<(), String> {
+        let n = self.len();
+        if self.offsets.windows(2).any(|w| w[0] > w[1])
+            || self.marked_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("propagation offsets are not monotonic".into());
+        }
+        for v in 0..n {
+            let g = self.gamma(NodeId::from_index(v));
+            let mut prev: Option<NodeId> = None;
+            for (u, p) in g.iter() {
+                if u.index() >= n || u.index() == v {
+                    return Err(format!("Γ({v}) entry {u} out of range"));
+                }
+                if !(p.is_finite() && p > 0.0) {
+                    return Err(format!("Γ({v}) has invalid probability {p}"));
+                }
+                if prev.is_some_and(|q| q >= u) {
+                    return Err(format!("Γ({v}) entries are not strictly sorted"));
+                }
+                prev = Some(u);
+            }
+            let mut prev_mark: Option<NodeId> = None;
+            for &m in g.marked() {
+                if !g.contains(m) {
+                    return Err(format!("Γ({v}) mark {m} is not an entry"));
+                }
+                if prev_mark.is_some_and(|q| q >= m) {
+                    return Err(format!("Γ({v}) marks are not strictly sorted"));
+                }
+                prev_mark = Some(m);
+            }
+        }
+        Ok(())
+    }
+
+    /// The five raw arrays in `from_raw_parts` order, for snapshot writers.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (&[u64], &[NodeId], &[f64], &[u64], &[NodeId]) {
+        (
+            &self.offsets,
+            &self.nodes,
+            &self.probs,
+            &self.marked_offsets,
+            &self.marked,
+        )
+    }
+
+    /// Bytes of this index served by a snapshot mapping (0 for built ones).
+    pub fn mapped_bytes(&self) -> usize {
+        self.offsets.mapped_bytes()
+            + self.nodes.mapped_bytes()
+            + self.probs.mapped_bytes()
+            + self.marked_offsets.mapped_bytes()
+            + self.marked.mapped_bytes()
     }
 
     /// Materialize a single node's table (used by tests and on-demand paths).
@@ -99,18 +246,36 @@ impl PropagationIndex {
 
     /// Number of per-node tables (= node count of the graph).
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.len() == 0
     }
 
-    /// `Γ(v)` — the materialized table of node `v`.
+    /// `Γ(v)` — a borrowed view of node `v`'s table.
+    ///
+    /// Out-of-range `v` (or corrupt offsets on the structural-only load
+    /// path) yields the empty table rather than a panic — the search layer
+    /// treats an absent table as "no nearby influence".
     #[inline]
-    pub fn gamma(&self, v: NodeId) -> &NodePropagation {
-        &self.tables[v.index()]
+    pub fn gamma(&self, v: NodeId) -> Gamma<'_> {
+        let i = v.index();
+        let (Some(&lo), Some(&hi)) = (self.offsets.get(i), self.offsets.get(i + 1)) else {
+            return Gamma::EMPTY;
+        };
+        let (Some(&mlo), Some(&mhi)) = (self.marked_offsets.get(i), self.marked_offsets.get(i + 1))
+        else {
+            return Gamma::EMPTY;
+        };
+        let (lo, hi) = (lo as usize, hi as usize);
+        let (mlo, mhi) = (mlo as usize, mhi as usize);
+        Gamma::new(
+            self.nodes.get(lo..hi).unwrap_or(&[]),
+            self.probs.get(lo..hi).unwrap_or(&[]),
+            self.marked.get(mlo..mhi).unwrap_or(&[]),
+        )
     }
 
     /// Recompute the tables of `nodes` against (a possibly updated) `g`,
@@ -126,13 +291,30 @@ impl PropagationIndex {
     pub fn refresh_nodes(&mut self, g: &CsrGraph, nodes: &[NodeId]) {
         assert_eq!(
             g.node_count(),
-            self.tables.len(),
+            self.len(),
             "refresh requires the same node universe"
         );
-        let mut builder = TableBuilder::new(g, self.config);
+        let mut affected = vec![false; self.len()];
         for &v in nodes {
-            self.tables[v.index()] = builder.build_for(v);
+            affected[v.index()] = true;
         }
+        // The CSR layout cannot grow a table in place, so a refresh re-packs
+        // the arrays once: rebuilt tables for the affected set, copies of the
+        // existing Γ(v) views for everything else. One O(index) pass per
+        // delta, and the result is always owned (a mapped index detaches
+        // from its snapshot here).
+        let mut builder = TableBuilder::new(g, self.config);
+        let tables: Vec<NodePropagation> = (0..self.len())
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                if affected[i] {
+                    builder.build_for(v)
+                } else {
+                    self.gamma(v).to_table()
+                }
+            })
+            .collect();
+        *self = Self::from_tables(self.config, &tables);
     }
 
     /// A copy of this index that keeps only the tables of nodes selected by
@@ -142,36 +324,31 @@ impl PropagationIndex {
     /// working on a slice. This is how a shard holds just its own users'
     /// Γ(v) tables (see the `pit` crate's shard module).
     pub fn sliced(&self, keep: &dyn Fn(NodeId) -> bool) -> Self {
-        let tables = self
-            .tables
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                if keep(NodeId::from_index(i)) {
-                    t.clone()
+        let tables: Vec<NodePropagation> = (0..self.len())
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                if keep(v) {
+                    self.gamma(v).to_table()
                 } else {
                     NodePropagation::default()
                 }
             })
             .collect();
-        PropagationIndex {
-            config: self.config,
-            tables,
-        }
+        Self::from_tables(self.config, &tables)
     }
 
     /// Total entries across all tables (index size metric, Figures 13/14).
     pub fn total_entries(&self) -> usize {
-        self.tables.iter().map(NodePropagation::len).sum()
+        self.nodes.len()
     }
 
-    /// Estimated resident heap size in bytes.
+    /// Logical size of the index arrays in bytes, independent of backing.
     pub fn heap_size_bytes(&self) -> usize {
-        self.tables
-            .iter()
-            .map(NodePropagation::heap_size_bytes)
-            .sum::<usize>()
-            + self.tables.capacity() * std::mem::size_of::<NodePropagation>()
+        self.offsets.size_bytes()
+            + self.nodes.size_bytes()
+            + self.probs.size_bytes()
+            + self.marked_offsets.size_bytes()
+            + self.marked.size_bytes()
     }
 }
 
@@ -355,7 +532,7 @@ mod tests {
         let idx = PropagationIndex::build(&g, cfg);
         for v in g.nodes() {
             let single = PropagationIndex::build_for(&g, v, cfg);
-            assert_eq!(idx.gamma(v), &single, "mismatch at node {v}");
+            assert_eq!(idx.gamma(v), single, "mismatch at node {v}");
         }
     }
 

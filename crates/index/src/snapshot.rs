@@ -29,26 +29,23 @@ fn err(msg: &str) -> SnapshotError {
 
 /// Serialize the index into a self-describing buffer.
 pub fn encode(idx: &PropagationIndex) -> Bytes {
-    let total: usize = idx
-        .tables
-        .iter()
-        .map(|t| 16 + t.entries.len() * 12 + t.marked.len() * 4)
-        .sum();
-    let mut buf = BytesMut::with_capacity(32 + total);
+    let n = idx.len();
+    let mut buf = BytesMut::with_capacity(32 + n * 16 + idx.total_entries() * 12);
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
-    buf.put_f64_le(idx.config.theta);
-    buf.put_u32_le(idx.config.max_depth as u32);
-    buf.put_u64_le(idx.tables.len() as u64);
-    for t in &idx.tables {
-        buf.put_u32_le(t.entries.len() as u32);
-        for &(n, p) in &t.entries {
-            buf.put_u32_le(n.0);
+    buf.put_f64_le(idx.config().theta);
+    buf.put_u32_le(idx.config().max_depth as u32);
+    buf.put_u64_le(n as u64);
+    for v in 0..n {
+        let t = idx.gamma(NodeId(v as u32));
+        buf.put_u32_le(t.len() as u32);
+        for (u, p) in t.iter() {
+            buf.put_u32_le(u.0);
             buf.put_f64_le(p);
         }
-        buf.put_u32_le(t.marked.len() as u32);
-        for &n in &t.marked {
-            buf.put_u32_le(n.0);
+        buf.put_u32_le(t.marked().len() as u32);
+        for &u in t.marked() {
+            buf.put_u32_le(u.0);
         }
     }
     buf.freeze()
@@ -121,10 +118,10 @@ pub fn decode(mut data: &[u8]) -> Result<PropagationIndex, SnapshotError> {
     if data.has_remaining() {
         return Err(err("trailing bytes"));
     }
-    Ok(PropagationIndex {
-        config: PropIndexConfig { theta, max_depth },
-        tables,
-    })
+    Ok(PropagationIndex::from_tables(
+        PropIndexConfig { theta, max_depth },
+        &tables,
+    ))
 }
 
 #[cfg(test)]

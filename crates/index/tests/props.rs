@@ -117,8 +117,8 @@ proptest! {
         let (g, idx) = build(n, &edges, theta);
         for v in g.nodes() {
             let gamma = idx.gamma(v);
-            let members: FxHashSet<NodeId> = gamma.nodes().collect();
-            for x in gamma.nodes() {
+            let members: FxHashSet<NodeId> = gamma.nodes().iter().copied().collect();
+            for &x in gamma.nodes() {
                 let expect = g
                     .in_neighbors(x)
                     .iter()

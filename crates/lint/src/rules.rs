@@ -104,7 +104,11 @@ fn in_scope(rel: &str, scope: &[&str]) -> bool {
 /// Integration tests, benches, and build scripts are exempt from every rule
 /// except L2 (`unsafe` needs a SAFETY story no matter where it lives).
 pub(crate) fn is_test_path(rel: &str) -> bool {
-    rel.contains("/tests/") || rel.contains("/benches/") || rel.ends_with("build.rs")
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.ends_with("build.rs")
 }
 
 /// Check one file against the per-file rules, returning every candidate

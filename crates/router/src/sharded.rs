@@ -26,7 +26,7 @@ use pit::shard::slice_engine;
 use pit::{shard_of, Delta, PitEngine, ShardSpec, UpdateReport};
 use pit_graph::NodeId;
 use pit_search_core::{
-    CancelToken, DriverStep, SearchConfig, SearchDriver, SearchTracer, TableProbe,
+    CancelToken, DriverStep, SearchConfig, SearchDriver, SearchScratch, SearchTracer, TableProbe,
 };
 use pit_server::protocol::{ProbeTable, ROUTER_EXPAND_CHUNK};
 use pit_server::{LocalServeEngine, ServeEngine, ServeError, ServeOutcome};
@@ -194,6 +194,7 @@ impl ServeEngine for ShardedEngine {
         k: usize,
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
+        scratch: &mut SearchScratch,
     ) -> Result<ServeOutcome, ServeError> {
         let count = self.shards.len() as u32;
         let config = SearchConfig {
@@ -210,6 +211,7 @@ impl ServeEngine for ShardedEngine {
             self.meta.propagation().config().theta,
             cancel,
             tracer,
+            scratch,
         )
         .map_err(ServeError::Search)?;
 

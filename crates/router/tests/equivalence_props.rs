@@ -11,7 +11,7 @@ use pit::PitEngine;
 use pit_graph::{NodeId, TermId};
 use pit_index::PropIndexConfig;
 use pit_router::ShardedEngine;
-use pit_search_core::{CancelToken, NoTracer};
+use pit_search_core::{CancelToken, NoTracer, SearchScratch};
 use pit_server::{LocalServeEngine, ServeEngine, ServeOutcome};
 use pit_topics::KeywordQuery;
 use pit_walk::WalkConfig;
@@ -43,8 +43,14 @@ fn engine() -> &'static Arc<PitEngine> {
 }
 
 fn run(e: &dyn ServeEngine, q: &KeywordQuery, k: usize) -> ServeOutcome {
-    e.try_search(q, k, &CancelToken::none(), &mut NoTracer)
-        .expect("search succeeds")
+    e.try_search(
+        q,
+        k,
+        &CancelToken::none(),
+        &mut NoTracer,
+        &mut SearchScratch::new(),
+    )
+    .expect("search succeeds")
 }
 
 proptest! {

@@ -20,7 +20,7 @@ use pit_graph::fixtures::{self, user, FIGURE3_THETA};
 use pit_graph::{TermId, TopicId};
 use pit_index::{PropIndexConfig, PropagationIndex};
 use pit_router::{LocalTransport, ShardError, ShardTransport, ShardedEngine};
-use pit_search_core::{CancelToken, NoTracer, TopicRepIndex};
+use pit_search_core::{CancelToken, NoTracer, SearchScratch, TopicRepIndex};
 use pit_server::{LocalServeEngine, ServeEngine, ServeError, ServeOutcome};
 use pit_summarize::RepresentativeSet;
 use pit_topics::{KeywordQuery, TopicSpaceBuilder};
@@ -72,7 +72,13 @@ fn fig3_engine() -> PitEngine {
 
 fn search(engine: &dyn ServeEngine, query: &KeywordQuery, k: usize) -> ServeOutcome {
     engine
-        .try_search(query, k, &CancelToken::none(), &mut NoTracer)
+        .try_search(
+            query,
+            k,
+            &CancelToken::none(),
+            &mut NoTracer,
+            &mut SearchScratch::new(),
+        )
         .expect("search succeeds")
 }
 
@@ -276,7 +282,13 @@ fn dead_home_shard_fails_the_query_instead_of_degrading() {
     let router = ShardedEngine::assemble(Arc::clone(&engine), shards).expect("assemble");
     let q = KeywordQuery::new(user(8), vec![TermId(0)]);
     let err = router
-        .try_search(&q, 1, &CancelToken::none(), &mut NoTracer)
+        .try_search(
+            &q,
+            1,
+            &CancelToken::none(),
+            &mut NoTracer,
+            &mut SearchScratch::new(),
+        )
         .expect_err("a seedless search must fail");
     let ServeError::Shard(reason) = err else {
         panic!("expected a shard error, got a search error");
@@ -335,7 +347,13 @@ fn stale_generation_vector_refuses_to_answer() {
     // fleet serving generation 2 — refused at the seed, so the query fails
     // instead of mixing generations.
     let err = stale
-        .try_search(&q, 1, &CancelToken::none(), &mut NoTracer)
+        .try_search(
+            &q,
+            1,
+            &CancelToken::none(),
+            &mut NoTracer,
+            &mut SearchScratch::new(),
+        )
         .expect_err("stale generation vector must not answer");
     let ServeError::Shard(reason) = err else {
         panic!("expected a shard error");
@@ -375,7 +393,13 @@ fn fleet_reload_from_a_split_snapshot_serves_the_new_generation() {
 
     // The old router's generation vector predates the commit: refused.
     assert!(old
-        .try_search(&q, 1, &CancelToken::none(), &mut NoTracer)
+        .try_search(
+            &q,
+            1,
+            &CancelToken::none(),
+            &mut NoTracer,
+            &mut SearchScratch::new()
+        )
         .is_err());
     let _ = std::fs::remove_dir_all(&root);
 }

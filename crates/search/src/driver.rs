@@ -7,9 +7,17 @@
 //! nodes. Everything else — representative bookkeeping, score accumulation,
 //! upper-bound pruning, round control, ranking — is pure arithmetic over
 //! those probes. [`SearchDriver`] owns that arithmetic and asks its caller
-//! to perform the probes:
+//! to perform the probes. Two driving patterns exist:
 //!
 //! ```text
+//! // Allocation-free (the single-node hot path):
+//! while driver.round_begin(...)? {
+//!     while let Some((u, ep_u)) = driver.round_probe(i) {
+//!         driver.feed_gamma(..., Γ(u), ep_u)?; i += 1;
+//!     }
+//! }
+//!
+//! // Batched (the sharded router's scatter path):
 //! loop {
 //!     match driver.next_step(...)? {
 //!         DriverStep::Probe(list) => for each (u, ep_u):
@@ -20,12 +28,18 @@
 //! driver.finish(...)
 //! ```
 //!
-//! The single-node searcher drives it with local [`probe_gamma`] calls; the
-//! sharded router (`pit-router`) drives the *same* state machine with
-//! batched remote probes, one scatter per round. Because every score
-//! mutation happens here, in probe order, a sharded search is bit-identical
-//! to a single-node one by construction — there is no second ranking code
-//! path to diverge.
+//! The single-node searcher drives it with local [`Gamma`] views through
+//! [`SearchDriver::feed_gamma`]; the sharded router (`pit-router`) drives
+//! the *same* state machine with batched remote probes, one scatter per
+//! round. Because every score mutation happens here, in probe order, a
+//! sharded search is bit-identical to a single-node one by construction —
+//! there is no second ranking code path to diverge.
+//!
+//! All per-query buffers live in a caller-owned [`SearchScratch`] arena, so
+//! a serving worker that reuses one scratch across queries performs no
+//! steady-state heap allocation inside the probe/feed loop: frontiers,
+//! visited sets, probe buffers and score scratch all retain their capacity
+//! between queries.
 //!
 //! Probe replies must be fed back **in the order the probe list was
 //! issued**; that order is the absorption order of Algorithm 10/11, and
@@ -39,7 +53,7 @@ use crate::repindex::TopicRepIndex;
 use crate::searcher::{SearchConfig, SearchOutcome, TopicScore};
 use crate::trace::{SearchPhase, SearchTracer};
 use pit_graph::{NodeId, TopicId};
-use pit_index::NodePropagation;
+use pit_index::Gamma;
 use pit_topics::{KeywordQuery, TopicSpace};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -57,49 +71,86 @@ struct TopicState {
     pruned: bool,
 }
 
-/// Inverted per-query view of the loaded representative sets: representative
-/// node → the `(topic index, weight)` entries it carries. A representative is
-/// *absorbed* (removed) the first time a probed table contains it, which is
-/// exactly Algorithm 10/11's `S_i ← S_i \ vInner` bookkeeping — but allows a
-/// probed table to be intersected in one pass instead of rescanning every
-/// topic's remaining list.
+/// Reusable per-query buffers: every growable structure a query touches,
+/// owned by the caller (one per serving worker) so repeated queries reuse
+/// capacity instead of re-allocating. [`SearchDriver::begin`] clears the
+/// contents but keeps the capacity; a scratch is plain data with no query
+/// state of its own, so reusing one across arbitrary queries is always
+/// correct (and [`Default`] gives a fresh empty one).
 ///
-/// Entries live in one flat arena (a node's entries are a contiguous slice)
-/// so loading a query's representative sets costs two allocations, not one
-/// per shared representative.
-struct RepMap {
-    /// node → (start, len) into `entries`.
-    index: FxHashMap<NodeId, (u32, u32)>,
+/// The representative map lives here too, as the paper's per-query inverted
+/// view: `rep_index` maps a representative node to its `(start, len)` slice
+/// of `rep_entries`, a flat `(topic index, weight)` arena grouped by node. A
+/// representative is *absorbed* (removed from `rep_index`) the first time a
+/// probed table contains it — exactly Algorithm 10/11's `S_i ← S_i \ vInner`
+/// bookkeeping, but one hash probe per table entry instead of rescanning
+/// every topic's remaining list.
+#[derive(Default)]
+pub struct SearchScratch {
+    topics: Vec<TopicState>,
+    /// Gather-phase staging: `(node, topic index, weight)` triples.
+    triples: Vec<(NodeId, u32, f64)>,
+    /// Representative node → (start, len) into `rep_entries`.
+    rep_index: FxHashMap<NodeId, (u32, u32)>,
     /// Flat `(topic index, weight)` entries grouped by node.
-    entries: Vec<(u32, f64)>,
+    rep_entries: Vec<(u32, f64)>,
+    visited: FxHashSet<NodeId>,
+    /// The current ring, as produced by the previous round (may contain
+    /// duplicates and already-visited nodes; filtered when a round starts).
+    frontier: Vec<(NodeId, f64)>,
+    /// The ring being collected by the in-flight round.
+    next_frontier: Vec<(NodeId, f64)>,
+    /// Probe list of the in-flight round, in issue order.
+    pending: Vec<(NodeId, f64)>,
+    /// Round-start dedup set (first occurrence wins).
+    chosen: FxHashSet<NodeId>,
+    /// Probe buffer for [`SearchDriver::feed_gamma`].
+    probe: TableProbe,
+    /// Score buffer for the k-th-threshold selection.
+    scores: Vec<f64>,
 }
 
-impl RepMap {
-    /// Build from `(node, topic index, weight)` triples.
-    fn build(mut triples: Vec<(NodeId, u32, f64)>) -> Self {
-        triples.sort_unstable_by_key(|&(n, _, _)| n);
-        let mut index = FxHashMap::with_capacity_and_hasher(triples.len(), Default::default());
-        let mut entries = Vec::with_capacity(triples.len());
-        let mut i = 0;
-        while i < triples.len() {
-            let node = triples[i].0;
-            let start = entries.len() as u32;
-            while i < triples.len() && triples[i].0 == node {
-                entries.push((triples[i].1, triples[i].2));
-                i += 1;
-            }
-            index.insert(node, (start, entries.len() as u32 - start));
+impl SearchScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear all buffers, retaining capacity.
+    fn reset(&mut self) {
+        self.topics.clear();
+        self.triples.clear();
+        self.rep_index.clear();
+        self.rep_entries.clear();
+        self.visited.clear();
+        self.frontier.clear();
+        self.next_frontier.clear();
+        self.pending.clear();
+        self.chosen.clear();
+        self.probe.hits.clear();
+        self.probe.cands.clear();
+        self.scores.clear();
+    }
+}
+
+/// Group sorted `(node, topic, weight)` triples into the flat representative
+/// map (`rep_index` + `rep_entries`), reusing both containers' capacity.
+fn build_rep_map(
+    triples: &mut [(NodeId, u32, f64)],
+    index: &mut FxHashMap<NodeId, (u32, u32)>,
+    entries: &mut Vec<(u32, f64)>,
+) {
+    triples.sort_unstable_by_key(|&(n, _, _)| n);
+    index.reserve(triples.len());
+    let mut i = 0;
+    while i < triples.len() {
+        let node = triples[i].0;
+        let start = entries.len() as u32;
+        while i < triples.len() && triples[i].0 == node {
+            entries.push((triples[i].1, triples[i].2));
+            i += 1;
         }
-        RepMap { index, entries }
-    }
-
-    fn contains(&self, node: NodeId) -> bool {
-        self.index.contains_key(&node)
-    }
-
-    /// Remove and return the entry slice bounds for `node`, if present.
-    fn take(&mut self, node: NodeId) -> Option<(u32, u32)> {
-        self.index.remove(&node)
+        index.insert(node, (start, entries.len() as u32 - start));
     }
 }
 
@@ -131,30 +182,44 @@ impl TableProbe {
     }
 }
 
-/// Compute one table's [`TableProbe`]: intersect `Γ(u)` with the
-/// representative universe (membership via `is_rep`) and chain its marked
-/// nodes through `ep_u`. Iterates `Γ(u)` in storage order (ascending node
-/// id), so both output lists come out canonically ordered.
+/// Compute one table's [`TableProbe`] into a caller-owned buffer (cleared
+/// first): intersect `Γ(u)` with the representative universe (membership via
+/// `is_rep`) and chain its marked nodes through `ep_u`. Iterates `Γ(u)` in
+/// storage order (ascending node id), so both output lists come out
+/// canonically ordered. Allocation-free once `out`'s vectors are warm.
+pub fn probe_gamma_into(
+    gamma: Gamma<'_>,
+    ep_u: f64,
+    min_ep: f64,
+    is_rep: &dyn Fn(NodeId) -> bool,
+    out: &mut TableProbe,
+) {
+    out.hits.clear();
+    out.cands.clear();
+    for (x, p) in gamma.iter() {
+        if is_rep(x) {
+            out.hits.push((x, ep_u * p));
+        }
+    }
+    for &w in gamma.marked() {
+        let ep_w = ep_u * gamma.get(w).unwrap_or(0.0);
+        if ep_w >= min_ep {
+            out.cands.push((w, ep_w));
+        }
+    }
+}
+
+/// [`probe_gamma_into`] returning a freshly-allocated probe (the batching
+/// paths, where the probe outlives the table view anyway).
 pub fn probe_gamma(
-    gamma: &NodePropagation,
+    gamma: Gamma<'_>,
     ep_u: f64,
     min_ep: f64,
     is_rep: &dyn Fn(NodeId) -> bool,
 ) -> TableProbe {
-    let mut hits = Vec::new();
-    for (x, p) in gamma.iter() {
-        if is_rep(x) {
-            hits.push((x, ep_u * p));
-        }
-    }
-    let mut cands = Vec::new();
-    for &w in gamma.marked() {
-        let ep_w = ep_u * gamma.get(w).unwrap_or(0.0);
-        if ep_w >= min_ep {
-            cands.push((w, ep_w));
-        }
-    }
-    TableProbe { hits, cands }
+    let mut out = TableProbe::default();
+    probe_gamma_into(gamma, ep_u, min_ep, is_rep, &mut out);
+    out
 }
 
 /// The set of representative nodes a query can ever credit — the union of
@@ -228,21 +293,12 @@ enum RoundState {
 }
 
 /// The externally-probed Algorithm 10/11 state machine. See the module docs
-/// for the driving loop; [`crate::searcher::PersonalizedSearcher`] is the
-/// reference caller.
-pub struct SearchDriver {
+/// for the driving loops; [`crate::searcher::PersonalizedSearcher`] is the
+/// reference caller. Borrows its [`SearchScratch`] for the query's duration.
+pub struct SearchDriver<'a> {
+    scratch: &'a mut SearchScratch,
     config: SearchConfig,
     min_ep: f64,
-    topics: Vec<TopicState>,
-    rep_map: RepMap,
-    visited: FxHashSet<NodeId>,
-    /// The current ring, as produced by the previous round (may contain
-    /// duplicates and already-visited nodes; filtered when a round starts).
-    frontier: Vec<(NodeId, f64)>,
-    /// The ring being collected by the in-flight round.
-    next_frontier: Vec<(NodeId, f64)>,
-    /// Probe list of the in-flight round, in issue order.
-    pending: Vec<(NodeId, f64)>,
     fed: usize,
     /// This round's `maxEP` at the time it started (the pruning bound).
     round_bound: f64,
@@ -258,14 +314,16 @@ pub struct SearchDriver {
     until_check: u32,
 }
 
-impl SearchDriver {
+impl<'a> SearchDriver<'a> {
     /// Gather phase (Algorithm 10 lines 1–3): validate the user, load the
-    /// related topics' representative sets, and stage the seed probe of the
-    /// query user's own `Γ(v)`.
+    /// related topics' representative sets into `scratch`, and stage the
+    /// seed probe of the query user's own `Γ(v)`.
     ///
     /// `node_count` is the size of the indexed node universe (the
     /// propagation index has one table per node); `min_ep` is the expansion
     /// resolution θ — see [`crate::searcher::PersonalizedSearcher`].
+    /// `scratch` is cleared (capacity kept) and owned for the driver's
+    /// lifetime.
     ///
     /// # Errors
     /// [`SearchError::UserOutOfRange`] when `query.user` is not indexed.
@@ -282,7 +340,8 @@ impl SearchDriver {
         min_ep: f64,
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
-    ) -> Result<SearchDriver, SearchError> {
+        scratch: &'a mut SearchScratch,
+    ) -> Result<SearchDriver<'a>, SearchError> {
         assert!(config.k >= 1, "k must be positive");
         let v = query.user;
         if v.index() >= node_count {
@@ -298,14 +357,13 @@ impl SearchDriver {
 
         // Load the representative sets. This copy is the transient query
         // footprint the paper's space figures measure.
-        let mut topics: Vec<TopicState> = Vec::with_capacity(topic_ids.len());
-        let mut triples: Vec<(NodeId, u32, f64)> = Vec::new();
+        scratch.reset();
         for (ti, &t) in topic_ids.iter().enumerate() {
             let set = reps.get(t);
             for (node, w) in set.iter() {
-                triples.push((node, ti as u32, w));
+                scratch.triples.push((node, ti as u32, w));
             }
-            topics.push(TopicState {
+            scratch.topics.push(TopicState {
                 topic: t,
                 remaining_weight: set.total_weight(),
                 score: 0.0,
@@ -313,20 +371,19 @@ impl SearchDriver {
                 pruned: false,
             });
         }
-        let loaded_reps = triples.len();
-        let rep_map = RepMap::build(triples);
-        let mut visited = FxHashSet::default();
-        visited.insert(v);
+        let loaded_reps = scratch.triples.len();
+        build_rep_map(
+            &mut scratch.triples,
+            &mut scratch.rep_index,
+            &mut scratch.rep_entries,
+        );
+        scratch.visited.insert(v);
+        scratch.pending.push((v, 1.0));
 
         Ok(SearchDriver {
+            scratch,
             config,
             min_ep,
-            topics,
-            rep_map,
-            visited,
-            frontier: Vec::new(),
-            next_frontier: Vec::new(),
-            pending: vec![(v, 1.0)],
             fed: 0,
             round_bound: 0.0,
             tables_at_round_start: 0,
@@ -361,29 +418,21 @@ impl SearchDriver {
         self.expand_rounds
     }
 
-    /// Advance to the next step: either a probe list the caller must
-    /// resolve, or the stop verdict. Loop-top cancellation and upper-bound
-    /// pruning (Algorithm 10 lines 17–21) happen here.
-    ///
-    /// # Errors
-    /// [`SearchError::Cancelled`] when `cancel` has fired.
-    pub fn next_step(
+    /// Run the between-rounds state machine until either a probe list is
+    /// outstanding (`Ok(None)`) or the search has stopped (`Ok(Some)`).
+    fn ensure_round(
         &mut self,
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
-    ) -> Result<DriverStep, SearchError> {
+    ) -> Result<Option<StopCause>, SearchError> {
         loop {
             match self.state {
                 RoundState::Seed => {
                     self.state = RoundState::Probing;
-                    return Ok(DriverStep::Probe(self.pending.clone()));
+                    return Ok(None);
                 }
-                RoundState::Probing => {
-                    // Re-issue the outstanding tail (idempotent for callers
-                    // that interleave next_step with feeds).
-                    return Ok(DriverStep::Probe(self.pending[self.fed..].to_vec()));
-                }
-                RoundState::Finished(cause) => return Ok(DriverStep::Done(cause)),
+                RoundState::Probing => return Ok(None),
+                RoundState::Finished(cause) => return Ok(Some(cause)),
                 RoundState::Idle => {
                     if cancel.is_cancelled() {
                         return Err(SearchError::Cancelled {
@@ -391,12 +440,17 @@ impl SearchDriver {
                             expand_rounds: self.expand_rounds,
                         });
                     }
-                    let max_ep = self.frontier.iter().map(|&(_, ep)| ep).fold(0.0, f64::max);
+                    let max_ep = self
+                        .scratch
+                        .frontier
+                        .iter()
+                        .map(|&(_, ep)| ep)
+                        .fold(0.0, f64::max);
                     if self.config.prune {
                         self.prune_hopeless(max_ep);
                     }
                     let needs = self.needs_expansion();
-                    if !needs || self.frontier.is_empty() {
+                    if !needs || self.scratch.frontier.is_empty() {
                         let cause = if !needs {
                             StopCause::Settled
                         } else {
@@ -413,16 +467,24 @@ impl SearchDriver {
                     tracer.phase_begin(SearchPhase::ExpandRound);
                     self.round_bound = max_ep;
                     self.tables_at_round_start = self.probed_tables;
-                    self.next_frontier.clear();
 
                     // The round's probe list: frontier order, first
                     // occurrence only, already-visited and dead entries
                     // dropped (Algorithm 11's per-node visited check, hoisted
                     // so the whole round can be scattered at once).
-                    let mut chosen = FxHashSet::default();
-                    let mut pending = Vec::new();
-                    for &(u, ep_u) in &self.frontier {
-                        if ep_u <= 0.0 || self.visited.contains(&u) || !chosen.insert(u) {
+                    let SearchScratch {
+                        visited,
+                        frontier,
+                        next_frontier,
+                        pending,
+                        chosen,
+                        ..
+                    } = &mut *self.scratch;
+                    next_frontier.clear();
+                    chosen.clear();
+                    pending.clear();
+                    for &(u, ep_u) in frontier.iter() {
+                        if ep_u <= 0.0 || visited.contains(&u) || !chosen.insert(u) {
                             continue;
                         }
                         pending.push((u, ep_u));
@@ -434,16 +496,99 @@ impl SearchDriver {
                         if self.config.prune {
                             self.prune_hopeless(self.round_bound);
                         }
-                        self.frontier = std::mem::take(&mut self.next_frontier);
+                        self.swap_rings();
                         continue;
                     }
-                    self.pending = pending;
                     self.fed = 0;
                     self.state = RoundState::Probing;
-                    return Ok(DriverStep::Probe(self.pending.clone()));
+                    return Ok(None);
                 }
             }
         }
+    }
+
+    /// Make the ring collected by the finished round the current frontier,
+    /// keeping both buffers' capacity.
+    fn swap_rings(&mut self) {
+        std::mem::swap(&mut self.scratch.frontier, &mut self.scratch.next_frontier);
+        self.scratch.next_frontier.clear();
+    }
+
+    /// Advance to the next step: either a probe list the caller must
+    /// resolve, or the stop verdict. Loop-top cancellation and upper-bound
+    /// pruning (Algorithm 10 lines 17–21) happen here. This is the batching
+    /// API (it clones the probe list); the single-node hot path uses
+    /// [`SearchDriver::round_begin`] / [`SearchDriver::round_probe`] /
+    /// [`SearchDriver::feed_gamma`] instead, which allocate nothing.
+    ///
+    /// # Errors
+    /// [`SearchError::Cancelled`] when `cancel` has fired.
+    pub fn next_step(
+        &mut self,
+        cancel: &CancelToken,
+        tracer: &mut dyn SearchTracer,
+    ) -> Result<DriverStep, SearchError> {
+        match self.ensure_round(cancel, tracer)? {
+            Some(cause) => Ok(DriverStep::Done(cause)),
+            // Issue the outstanding tail (idempotent for callers that
+            // interleave next_step with feeds; the full list right after a
+            // round opens, since `fed` is 0 then).
+            None => Ok(DriverStep::Probe(self.scratch.pending[self.fed..].to_vec())),
+        }
+    }
+
+    /// Open the next round if the search is still live. `Ok(true)` means a
+    /// probe list is outstanding: resolve it index by index with
+    /// [`SearchDriver::round_probe`] + [`SearchDriver::feed_gamma`].
+    /// `Ok(false)` means the search stopped; call [`SearchDriver::finish`].
+    ///
+    /// # Errors
+    /// [`SearchError::Cancelled`] when `cancel` has fired.
+    pub fn round_begin(
+        &mut self,
+        cancel: &CancelToken,
+        tracer: &mut dyn SearchTracer,
+    ) -> Result<bool, SearchError> {
+        Ok(self.ensure_round(cancel, tracer)?.is_none())
+    }
+
+    /// The `i`-th probe of the current round, or `None` once the round's
+    /// list is exhausted (the feed of the last probe closes the round and
+    /// clears the list, so a `0..` scan terminates by itself).
+    pub fn round_probe(&self, i: usize) -> Option<(NodeId, f64)> {
+        self.scratch.pending.get(i).copied()
+    }
+
+    /// Probe a local table view and feed it in one step, using the scratch
+    /// probe buffer — the allocation-free equivalent of
+    /// [`SearchDriver::probe_local`] + [`SearchDriver::feed`].
+    ///
+    /// # Errors
+    /// Same as [`SearchDriver::feed`].
+    pub fn feed_gamma(
+        &mut self,
+        cancel: &CancelToken,
+        tracer: &mut dyn SearchTracer,
+        gamma: Gamma<'_>,
+        ep_u: f64,
+    ) -> Result<(), SearchError> {
+        // Take the probe buffer out of the scratch so `feed` can borrow the
+        // scratch mutably alongside it; an empty TableProbe is two dangling
+        // Vec headers, so the take/put-back pair never allocates.
+        let mut probe = std::mem::take(&mut self.scratch.probe);
+        {
+            let SearchScratch { rep_index, .. } = &*self.scratch;
+            probe_gamma_into(
+                gamma,
+                ep_u,
+                self.min_ep,
+                &|x| rep_index.contains_key(&x),
+                &mut probe,
+            );
+        }
+        let fed = self.feed(cancel, tracer, &probe);
+        self.scratch.probe = probe;
+        fed
     }
 
     /// Feed the reply for the next outstanding probe. Replies must arrive in
@@ -461,21 +606,30 @@ impl SearchDriver {
         probe: &TableProbe,
     ) -> Result<(), SearchError> {
         debug_assert!(
-            matches!(self.state, RoundState::Probing) && self.fed < self.pending.len(),
+            matches!(self.state, RoundState::Probing) && self.fed < self.scratch.pending.len(),
             "feed without an outstanding probe"
         );
-        let (u, _ep_u) = self.pending[self.fed];
-        self.visited.insert(u);
+        let (u, _ep_u) = self.scratch.pending[self.fed];
         self.probed_tables += 1;
-        for &(x, p) in &probe.hits {
-            if let Some(slice) = self.rep_map.take(x) {
-                let (start, len) = (slice.0 as usize, slice.1 as usize);
-                for &(ti, w) in &self.rep_map.entries[start..start + len] {
-                    let state = &mut self.topics[ti as usize];
-                    state.score += p * w;
-                    state.remaining_weight = (state.remaining_weight - w).max(0.0);
-                    if state.remaining_weight <= f64::EPSILON {
-                        state.alive = false; // S_i exhausted
+        {
+            let SearchScratch {
+                topics,
+                rep_index,
+                rep_entries,
+                visited,
+                ..
+            } = &mut *self.scratch;
+            visited.insert(u);
+            for &(x, p) in &probe.hits {
+                if let Some((start, len)) = rep_index.remove(&x) {
+                    let (start, len) = (start as usize, len as usize);
+                    for &(ti, w) in &rep_entries[start..start + len] {
+                        let state = &mut topics[ti as usize];
+                        state.score += p * w;
+                        state.remaining_weight = (state.remaining_weight - w).max(0.0);
+                        if state.remaining_weight <= f64::EPSILON {
+                            state.alive = false; // S_i exhausted
+                        }
                     }
                 }
             }
@@ -484,9 +638,14 @@ impl SearchDriver {
         // Candidates extend the ring only after a clean checkpoint, matching
         // the single-node order (absorb, checkpoint, collect marked).
         if checkpoint.is_ok() {
+            let SearchScratch {
+                visited,
+                next_frontier,
+                ..
+            } = &mut *self.scratch;
             for &(w, ep_w) in &probe.cands {
-                if ep_w >= self.min_ep && !self.visited.contains(&w) {
-                    self.next_frontier.push((w, ep_w));
+                if ep_w >= self.min_ep && !visited.contains(&w) {
+                    next_frontier.push((w, ep_w));
                 }
             }
             self.advance(tracer);
@@ -500,11 +659,11 @@ impl SearchDriver {
     /// not move.
     pub fn skip_probe(&mut self, tracer: &mut dyn SearchTracer) {
         debug_assert!(
-            matches!(self.state, RoundState::Probing) && self.fed < self.pending.len(),
+            matches!(self.state, RoundState::Probing) && self.fed < self.scratch.pending.len(),
             "skip without an outstanding probe"
         );
-        let (u, _ep_u) = self.pending[self.fed];
-        self.visited.insert(u);
+        let (u, _ep_u) = self.scratch.pending[self.fed];
+        self.scratch.visited.insert(u);
         self.advance(tracer);
     }
 
@@ -512,7 +671,7 @@ impl SearchDriver {
     /// the round (end-of-round pruning, ring swap).
     fn advance(&mut self, tracer: &mut dyn SearchTracer) {
         self.fed += 1;
-        if self.fed < self.pending.len() {
+        if self.fed < self.scratch.pending.len() {
             return;
         }
         if !self.seed_done {
@@ -530,6 +689,7 @@ impl SearchDriver {
                 // the next ring's entry points can be *larger* than this
                 // round's; the bound must cover both rings we know about.
                 let next_max = self
+                    .scratch
                     .next_frontier
                     .iter()
                     .map(|&(_, ep)| ep)
@@ -537,16 +697,19 @@ impl SearchDriver {
                 self.prune_hopeless(self.round_bound.max(next_max));
             }
         }
-        self.frontier = std::mem::take(&mut self.next_frontier);
-        self.pending.clear();
+        self.swap_rings();
+        self.scratch.pending.clear();
         self.fed = 0;
         self.state = RoundState::Idle;
     }
 
     /// Probe a locally-available table against the driver's own outstanding
-    /// representative map (the single-node fast path).
-    pub fn probe_local(&self, gamma: &NodePropagation, ep_u: f64) -> TableProbe {
-        probe_gamma(gamma, ep_u, self.min_ep, &|x| self.rep_map.contains(x))
+    /// representative map, into a fresh probe (the compatibility path; the
+    /// hot path is [`SearchDriver::feed_gamma`]).
+    pub fn probe_local(&self, gamma: Gamma<'_>, ep_u: f64) -> TableProbe {
+        probe_gamma(gamma, ep_u, self.min_ep, &|x| {
+            self.scratch.rep_index.contains_key(&x)
+        })
     }
 
     /// The probes a bound-driven stop left unexplored: the remaining
@@ -556,8 +719,8 @@ impl SearchDriver {
     pub fn unexplored(&self) -> Vec<(NodeId, f64)> {
         let mut chosen = FxHashSet::default();
         let mut out = Vec::new();
-        for &(u, ep_u) in &self.frontier {
-            if ep_u <= 0.0 || self.visited.contains(&u) || !chosen.insert(u) {
+        for &(u, ep_u) in &self.scratch.frontier {
+            if ep_u <= 0.0 || self.scratch.visited.contains(&u) || !chosen.insert(u) {
                 continue;
             }
             out.push((u, ep_u));
@@ -566,10 +729,11 @@ impl SearchDriver {
     }
 
     /// Rank and return the outcome (Algorithm 10's final sort). Call after
-    /// [`DriverStep::Done`].
+    /// [`DriverStep::Done`]. Releases the scratch borrow.
     pub fn finish(self, tracer: &mut dyn SearchTracer) -> SearchOutcome {
         tracer.phase_begin(SearchPhase::Rank);
         let mut ranked: Vec<TopicScore> = self
+            .scratch
             .topics
             .iter()
             .map(|t| TopicScore {
@@ -583,32 +747,21 @@ impl SearchDriver {
         SearchOutcome {
             top_k: ranked,
             candidate_topics: self.candidate_topics,
-            pruned_topics: self.topics.iter().filter(|t| t.pruned).count(),
+            pruned_topics: self.scratch.topics.iter().filter(|t| t.pruned).count(),
             expand_rounds: self.expand_rounds,
             probed_tables: self.probed_tables,
             loaded_reps: self.loaded_reps,
         }
     }
 
-    /// The current `min(T^k)`: the k-th largest score, or `None` when fewer
-    /// than `k` candidates exist (then nothing can be pruned by score).
-    fn topk_threshold(&self) -> Option<f64> {
-        if self.topics.len() <= self.config.k {
-            return None;
-        }
-        let mut scores: Vec<f64> = self.topics.iter().map(|t| t.score).collect();
-        let idx = self.config.k - 1;
-        scores.select_nth_unstable_by(idx, |a, b| b.total_cmp(a));
-        Some(scores[idx])
-    }
-
     /// Lines 17–20 / Algorithm 11 lines 10–12: stop refining topics whose
     /// upper bound cannot reach the current top-k.
     fn prune_hopeless(&mut self, max_ep: f64) {
-        let Some(threshold) = self.topk_threshold() else {
+        let SearchScratch { topics, scores, .. } = &mut *self.scratch;
+        let Some(threshold) = topk_threshold(topics, self.config.k, scores) else {
             return;
         };
-        for state in self.topics.iter_mut() {
+        for state in topics.iter_mut() {
             if !state.alive {
                 continue;
             }
@@ -622,12 +775,13 @@ impl SearchDriver {
 
     /// Algorithm 10 line 21: expansion continues only while some topic
     /// outside the current top-k is still alive (`T' \ T^k ≠ ∅`).
-    fn needs_expansion(&self) -> bool {
-        let Some(threshold) = self.topk_threshold() else {
+    fn needs_expansion(&mut self) -> bool {
+        let SearchScratch { topics, scores, .. } = &mut *self.scratch;
+        let Some(threshold) = topk_threshold(topics, self.config.k, scores) else {
             // Everything fits in the top-k: refining cannot change the set.
             return false;
         };
-        self.topics.iter().any(|t| t.alive && t.score < threshold)
+        topics.iter().any(|t| t.alive && t.score < threshold)
     }
 
     /// One per-probed-table cancellation checkpoint: fires every
@@ -645,4 +799,18 @@ impl SearchDriver {
         }
         Ok(())
     }
+}
+
+/// The current `min(T^k)`: the k-th largest score, or `None` when fewer
+/// than `k` candidates exist (then nothing can be pruned by score). Uses a
+/// caller-owned score buffer so repeated calls allocate nothing.
+fn topk_threshold(topics: &[TopicState], k: usize, scores: &mut Vec<f64>) -> Option<f64> {
+    if topics.len() <= k {
+        return None;
+    }
+    scores.clear();
+    scores.extend(topics.iter().map(|t| t.score));
+    let idx = k - 1;
+    scores.select_nth_unstable_by(idx, |a, b| b.total_cmp(a));
+    scores.get(idx).copied()
 }

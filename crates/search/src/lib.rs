@@ -26,7 +26,10 @@ pub mod trace;
 
 pub use audience::{find_audience, AudienceHit};
 pub use cancel::{CancelToken, SearchError};
-pub use driver::{probe_gamma, DriverStep, RepUniverse, SearchDriver, StopCause, TableProbe};
+pub use driver::{
+    probe_gamma, probe_gamma_into, DriverStep, RepUniverse, SearchDriver, SearchScratch, StopCause,
+    TableProbe,
+};
 pub use repindex::TopicRepIndex;
 pub use searcher::{PersonalizedSearcher, SearchConfig, SearchOutcome, SearchStats, TopicScore};
 pub use trace::{NoTracer, SearchPhase, SearchTracer};

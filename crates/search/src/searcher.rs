@@ -1,7 +1,7 @@
 //! Top-k personalized influential topic search (Algorithms 10 and 11).
 
 use crate::cancel::{CancelToken, SearchError};
-use crate::driver::{DriverStep, SearchDriver};
+use crate::driver::{SearchDriver, SearchScratch};
 use crate::repindex::TopicRepIndex;
 use crate::trace::{NoTracer, SearchTracer};
 use pit_graph::TopicId;
@@ -186,6 +186,25 @@ impl<'a> PersonalizedSearcher<'a> {
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
     ) -> Result<SearchOutcome, SearchError> {
+        let mut scratch = SearchScratch::new();
+        self.try_search_traced_with(query, cancel, tracer, &mut scratch)
+    }
+
+    /// [`PersonalizedSearcher::try_search_traced`] with a caller-owned
+    /// [`SearchScratch`]. A serving worker that keeps one scratch and
+    /// passes it to every query makes the whole probe/feed loop
+    /// allocation-free once the buffers are warm — the arena keeps its
+    /// capacity across queries (pit-eval's counting allocator pins this).
+    ///
+    /// # Errors
+    /// Same as [`PersonalizedSearcher::try_search`].
+    pub fn try_search_traced_with(
+        &self,
+        query: &KeywordQuery,
+        cancel: &CancelToken,
+        tracer: &mut dyn SearchTracer,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchOutcome, SearchError> {
         let mut driver = SearchDriver::begin(
             self.space,
             self.reps,
@@ -195,11 +214,13 @@ impl<'a> PersonalizedSearcher<'a> {
             self.prop.config().theta,
             cancel,
             tracer,
+            scratch,
         )?;
-        while let DriverStep::Probe(list) = driver.next_step(cancel, tracer)? {
-            for (u, ep_u) in list {
-                let probe = driver.probe_local(self.prop.gamma(u), ep_u);
-                driver.feed(cancel, tracer, &probe)?;
+        while driver.round_begin(cancel, tracer)? {
+            let mut i = 0;
+            while let Some((u, ep_u)) = driver.round_probe(i) {
+                driver.feed_gamma(cancel, tracer, self.prop.gamma(u), ep_u)?;
+                i += 1;
             }
         }
         Ok(driver.finish(tracer))

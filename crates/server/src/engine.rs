@@ -22,7 +22,7 @@ use crate::protocol::ProbeTable;
 use pit::{shard_of, Delta, PitEngine, ShardSpec, UpdateReport};
 use pit_graph::NodeId;
 use pit_search_core::{
-    probe_gamma, CancelToken, RepUniverse, SearchError, SearchStats, SearchTracer,
+    probe_gamma, CancelToken, RepUniverse, SearchError, SearchScratch, SearchStats, SearchTracer,
 };
 use pit_topics::KeywordQuery;
 use std::path::Path;
@@ -114,7 +114,9 @@ pub trait ServeEngine: Send + Sync {
     /// A `malformed …` reason naming the unknown keyword.
     fn resolve_terms(&self, keywords: &[String]) -> Result<Vec<pit_graph::TermId>, String>;
 
-    /// Run one search. The expensive path — called from worker threads.
+    /// Run one search. The expensive path — called from worker threads,
+    /// which pass their own reusable [`SearchScratch`] so a warm worker's
+    /// probe/feed loop allocates nothing.
     ///
     /// # Errors
     /// [`ServeError::Search`] for searcher failures, [`ServeError::Shard`]
@@ -125,7 +127,23 @@ pub trait ServeEngine: Send + Sync {
         k: usize,
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
+        scratch: &mut SearchScratch,
     ) -> Result<ServeOutcome, ServeError>;
+
+    /// The snapshot representation this generation serves from: `"owned"`
+    /// for deep-copied in-memory indexes (the default), `"flat-mapped"`
+    /// when the hot arrays are zero-copy views of a flat snapshot mapping.
+    /// Reported verbatim under the `snapshot_format` STATS key.
+    fn snapshot_format(&self) -> &'static str {
+        "owned"
+    }
+
+    /// Bytes of index data served directly from a read-only file mapping
+    /// (0 for fully-owned engines). Exported as the
+    /// `pit_reload_bytes_mapped` gauge.
+    fn mapped_bytes(&self) -> u64 {
+        0
+    }
 
     /// Answer a router's `EXPAND`: probe `Γ(u)` for each `(u, ep_u)`
     /// against the representative universe of a query with `terms`,
@@ -222,6 +240,14 @@ impl ServeEngine for LocalServeEngine {
         self.engine.index_bytes()
     }
 
+    fn snapshot_format(&self) -> &'static str {
+        self.engine.snapshot_format()
+    }
+
+    fn mapped_bytes(&self) -> u64 {
+        self.engine.mapped_bytes() as u64
+    }
+
     fn shard_spec(&self) -> Option<ShardSpec> {
         self.shard
     }
@@ -247,8 +273,11 @@ impl ServeEngine for LocalServeEngine {
         k: usize,
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
+        scratch: &mut SearchScratch,
     ) -> Result<ServeOutcome, ServeError> {
-        let outcome = self.engine.try_search_traced(query, k, cancel, tracer)?;
+        let outcome = self
+            .engine
+            .try_search_traced_with(query, k, cancel, tracer, scratch)?;
         Ok(ServeOutcome {
             ranked: outcome.top_k.iter().map(|s| (s.topic.0, s.score)).collect(),
             stats: outcome.stats(),
@@ -328,7 +357,12 @@ impl ServeEngine for LocalServeEngine {
                 describe(self.shard)
             ));
         }
-        let engine = pit::store::load_engine(dir).map_err(|e| format!("reload-failed: {e}"))?;
+        // RELOAD targets snapshots this deployment's own pipeline staged;
+        // the fast loader maps and validates the section geometry in
+        // O(sections) without re-hashing every payload, which is what keeps
+        // snapshot swaps at millisecond latency on large engines.
+        let engine =
+            pit::store::load_engine_fast(dir).map_err(|e| format!("reload-failed: {e}"))?;
         Ok(Arc::new(LocalServeEngine {
             engine: Arc::new(engine),
             shard: self.shard,

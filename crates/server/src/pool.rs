@@ -23,7 +23,7 @@ use crate::trace::TraceCtx;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use pit_obs::trace::Stage;
-use pit_search_core::{CancelToken, SearchError, SearchStats};
+use pit_search_core::{CancelToken, SearchError, SearchScratch, SearchStats};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -285,10 +285,16 @@ impl Drop for Sentinel {
 }
 
 fn worker_loop(rx: &Receiver<Job>, state: &ServerState) {
+    // One scratch arena per worker, reused across every query this thread
+    // ever runs: after the first few queries warm its buffers, the search's
+    // probe/feed loop performs no heap allocation at all. `begin` resets the
+    // contents each query, so a scratch abandoned mid-search by a panic
+    // (caught below) is safe to reuse.
+    let mut scratch = SearchScratch::new();
     while let Ok(job) = rx.recv() {
         Metrics::dec(&state.metrics().queued_jobs);
         match job {
-            Job::Query(job) => run_query(job, state),
+            Job::Query(job) => run_query(job, state, &mut scratch),
             Job::Expand(job) => run_expand(job, state),
         }
     }
@@ -344,7 +350,7 @@ fn run_expand(job: ExpandJob, state: &ServerState) {
     let _ = job.reply.send(response);
 }
 
-fn run_query(mut job: QueryJob, state: &ServerState) {
+fn run_query(mut job: QueryJob, state: &ServerState, scratch: &mut SearchScratch) {
     {
         let waited = job.enqueued.elapsed();
         state.metrics().queue_wait.observe(waited);
@@ -375,7 +381,7 @@ fn run_query(mut job: QueryJob, state: &ServerState) {
         }
         let exec_started = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            state.try_execute(&job.engine, &job.key, &job.cancel, &mut job.trace)
+            state.try_execute(&job.engine, &job.key, &job.cancel, &mut job.trace, scratch)
         }));
         let (reply, outcome, stats): (JobReply, &'static str, Option<SearchStats>) = match result {
             Ok(Ok((ranked, serve))) => {

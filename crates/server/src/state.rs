@@ -23,7 +23,7 @@ use parking_lot::{Mutex, RwLock};
 use pit::{Delta, DeltaScope, PitEngine, UpdateReport};
 use pit_graph::NodeId;
 use pit_obs::prom;
-use pit_search_core::{CancelToken, SearchTracer};
+use pit_search_core::{CancelToken, SearchScratch, SearchTracer};
 use pit_topics::KeywordQuery;
 use std::path::Path;
 use std::sync::atomic::AtomicBool;
@@ -519,6 +519,7 @@ impl ServerState {
         key: &QueryKey,
         cancel: &CancelToken,
         tracer: &mut dyn SearchTracer,
+        scratch: &mut SearchScratch,
     ) -> Result<(RankedTopics, ServeOutcome), ServeError> {
         if self.config.poison_user == Some(key.user) {
             panic!("poisoned query for user {} (fault injection)", key.user);
@@ -531,7 +532,9 @@ impl ServerState {
             cancel
         };
         let query = KeywordQuery::new(NodeId(key.user), key.terms.clone());
-        let outcome = engine.engine.try_search(&query, key.k, cancel, tracer)?;
+        let outcome = engine
+            .engine
+            .try_search(&query, key.k, cancel, tracer, scratch)?;
         let ranked: RankedTopics = Arc::new(outcome.ranked.clone());
         Metrics::add(
             &self.metrics.shards_pruned,
@@ -583,6 +586,10 @@ impl ServerState {
             current.engine.index_bytes().to_string(),
         ));
         pairs.push(("shards".into(), current.engine.shard_count().to_string()));
+        pairs.push((
+            "snapshot_format".into(),
+            current.engine.snapshot_format().to_string(),
+        ));
         pairs
     }
 
@@ -722,6 +729,12 @@ impl ServerState {
             "pit_warmup_coverage",
             "Fraction of the last warmup run's target keys repopulated",
             self.metrics.warmup_coverage(),
+        );
+        prom::gauge(
+            &mut out,
+            "pit_reload_bytes_mapped",
+            "Index bytes served zero-copy from the flat snapshot mapping",
+            current.engine.mapped_bytes(),
         );
         out
     }

@@ -79,6 +79,9 @@ const STATS_KEYS: &[&str] = &[
     "topics",
     "index_bytes",
     "shards",
+    // Flat-snapshot backing: "flat-mapped" when the index arrays are
+    // borrowed windows of the snapshot mapping, "owned" otherwise.
+    "snapshot_format",
 ];
 
 /// Every Prometheus series the `METRICS` reply exposes, in reply order.
@@ -135,6 +138,7 @@ const METRIC_NAMES: &[(&str, &str)] = &[
     ("pit_index_bytes", "gauge"),
     ("pit_shards", "gauge"),
     ("pit_warmup_coverage", "gauge"),
+    ("pit_reload_bytes_mapped", "gauge"),
 ];
 
 fn tiny_engine() -> PitEngine {

@@ -1,0 +1,92 @@
+//! The typed corruption taxonomy of the flat container.
+//!
+//! Every way a flat snapshot can be malformed maps to exactly one variant,
+//! so the fuzz battery can assert "typed error, never a panic" and callers
+//! can distinguish version skew (re-run the offline stage) from corruption
+//! (restore from a good copy).
+
+use std::fmt;
+
+/// Why a flat snapshot was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatError {
+    /// The file does not start with the `PITF` magic — not a flat snapshot.
+    BadMagic,
+    /// The container version is one this build does not read.
+    UnsupportedVersion { found: u16, supported: u16 },
+    /// The file ends before the named region does.
+    Truncated { what: String },
+    /// A section's payload offset violates the 16-byte alignment rule.
+    Misaligned { kind: u16, offset: u64 },
+    /// Two sections' payload ranges intersect.
+    Overlap { kind: u16, prev_kind: u16 },
+    /// Section table entries are not sorted by payload offset.
+    OutOfOrder { kind: u16 },
+    /// The same section kind appears twice in the table.
+    DuplicateSection { kind: u16 },
+    /// A checksum does not match the named region's bytes.
+    ChecksumMismatch { what: String },
+    /// A section carries an element-type code this build does not know.
+    BadElemType { kind: u16, code: u8 },
+    /// A section exists but holds a different element type than requested.
+    WrongElemType { kind: u16, want: &'static str },
+    /// A required section kind is absent from the table.
+    MissingSection { kind: u16 },
+    /// A header or table field exceeds a format limit (section count,
+    /// payload size) — rejected before any size-proportional work.
+    LimitExceeded { what: String },
+    /// The header's recorded file length disagrees with the actual file.
+    LengthMismatch { recorded: u64, actual: u64 },
+    /// The operating system failed to open, read, or map the file.
+    Io(String),
+}
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatError::BadMagic => write!(f, "bad magic (not a flat snapshot)"),
+            FlatError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported-version: flat container v{found}, this build reads v{supported}"
+            ),
+            FlatError::Truncated { what } => write!(f, "truncated {what}"),
+            FlatError::Misaligned { kind, offset } => {
+                write!(
+                    f,
+                    "section {kind} payload at {offset} is not 16-byte aligned"
+                )
+            }
+            FlatError::Overlap { kind, prev_kind } => {
+                write!(f, "section {kind} overlaps section {prev_kind}")
+            }
+            FlatError::OutOfOrder { kind } => {
+                write!(f, "section {kind} is out of payload order in the table")
+            }
+            FlatError::DuplicateSection { kind } => {
+                write!(f, "section kind {kind} appears twice")
+            }
+            FlatError::ChecksumMismatch { what } => write!(f, "checksum mismatch in {what}"),
+            FlatError::BadElemType { kind, code } => {
+                write!(f, "section {kind} has unknown element-type code {code}")
+            }
+            FlatError::WrongElemType { kind, want } => {
+                write!(f, "section {kind} does not hold {want} elements")
+            }
+            FlatError::MissingSection { kind } => write!(f, "missing section kind {kind}"),
+            FlatError::LimitExceeded { what } => write!(f, "{what} exceeds the format limit"),
+            FlatError::LengthMismatch { recorded, actual } => write!(
+                f,
+                "header records {recorded} bytes but the file holds {actual}"
+            ),
+            FlatError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+impl From<std::io::Error> for FlatError {
+    fn from(e: std::io::Error) -> Self {
+        FlatError::Io(e.to_string())
+    }
+}

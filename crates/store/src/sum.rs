@@ -1,0 +1,66 @@
+//! The container checksum: FNV-1a 64 folded over 8-byte little-endian words.
+//!
+//! Word-at-a-time FNV keeps the full-file `verify_checksums` pass cheap
+//! enough to be the default load path while still catching every single-bit
+//! flip (FNV-1a has no colliding single-bit deltas within a word, and the
+//! avalanche across the multiply propagates word-to-word). The tail is
+//! zero-padded into a final word, and the total byte length is folded in
+//! last so payloads that differ only by trailing zeros hash differently.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes`, consumed as little-endian 8-byte words plus a
+/// zero-padded tail, with the byte length folded in at the end.
+pub fn fnv64_words(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(chunk);
+        hash = fold(hash, u64::from_le_bytes(word));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut word = [0u8; 8];
+        word[..rem.len()].copy_from_slice(rem);
+        hash = fold(hash, u64::from_le_bytes(word));
+    }
+    fold(hash, bytes.len() as u64)
+}
+
+fn fold(hash: u64, word: u64) -> u64 {
+    (hash ^ word).wrapping_mul(FNV_PRIME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_stable_and_distinct_from_zero_word() {
+        assert_eq!(fnv64_words(b""), fnv64_words(b""));
+        assert_ne!(fnv64_words(b""), fnv64_words(&[0u8; 8]));
+    }
+
+    #[test]
+    fn trailing_zeros_change_the_sum() {
+        // The length fold distinguishes payloads the zero-padded tail alone
+        // would conflate.
+        assert_ne!(fnv64_words(&[1, 2, 3]), fnv64_words(&[1, 2, 3, 0]));
+        assert_ne!(fnv64_words(&[]), fnv64_words(&[0]));
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_sum() {
+        let base: Vec<u8> = (0..37u8).collect();
+        let h0 = fnv64_words(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(fnv64_words(&flipped), h0, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

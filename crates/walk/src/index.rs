@@ -2,6 +2,7 @@
 
 use crate::engine::{sample_walk, WalkConfig};
 use pit_graph::{CsrGraph, NodeId};
+use pit_store::Sect;
 
 /// Which parts of the index to materialize.
 ///
@@ -41,20 +42,22 @@ impl WalkIndexParts {
 /// Immutable sampled-walk index over a graph.
 ///
 /// See the crate docs for the mapping to the paper's `I`, `H` and `I_L`.
+/// The five big arrays are [`Sect`]s: owned when built, borrowed windows of
+/// the snapshot mapping when loaded zero-copy from a flat snapshot.
 #[derive(Clone, Debug)]
 pub struct WalkIndex {
     pub(crate) config: WalkConfig,
     pub(crate) node_count: usize,
     pub(crate) parts: WalkIndexParts,
     /// Walk `(w, i)` occupies `walk_data[walk_offsets[w*r+i] .. walk_offsets[w*r+i+1]]`.
-    pub(crate) walk_offsets: Vec<u32>,
-    pub(crate) walk_data: Vec<NodeId>,
+    pub(crate) walk_offsets: Sect<u32>,
+    pub(crate) walk_data: Sect<NodeId>,
     /// `freq[(j-1) * n + v]` = `H[j][v]` for `j ∈ 1..=L`.
-    pub(crate) freq: Vec<f32>,
+    pub(crate) freq: Sect<f32>,
     /// `reach_data[reach_offsets[v] .. reach_offsets[v+1]]` = sorted origins
     /// whose sampled walks reached `v` within `L` hops.
-    pub(crate) reach_offsets: Vec<u64>,
-    pub(crate) reach_data: Vec<NodeId>,
+    pub(crate) reach_offsets: Sect<u64>,
+    pub(crate) reach_data: Sect<NodeId>,
 }
 
 /// Per-chunk build output, merged in node order.
@@ -161,12 +164,113 @@ impl WalkIndex {
             config,
             node_count: n,
             parts,
+            walk_offsets: walk_offsets.into(),
+            walk_data: walk_data.into(),
+            freq: freq.into(),
+            reach_offsets: reach_offsets.into(),
+            reach_data: reach_data.into(),
+        }
+    }
+
+    /// Assemble an index from its five raw arrays (typically borrowed
+    /// windows of a flat-snapshot mapping). Performs only O(1) shape checks
+    /// — array lengths against `config`/`node_count`, sentinel last offsets
+    /// — so the zero-copy load path stays O(sections); the owned loader
+    /// does per-element validation separately.
+    #[allow(clippy::too_many_arguments)] // mirrors the five snapshot sections
+    pub fn from_raw_parts(
+        config: WalkConfig,
+        node_count: usize,
+        parts: WalkIndexParts,
+        walk_offsets: Sect<u32>,
+        walk_data: Sect<NodeId>,
+        freq: Sect<f32>,
+        reach_offsets: Sect<u64>,
+        reach_data: Sect<NodeId>,
+    ) -> Result<Self, String> {
+        if config.l == 0 || config.r == 0 {
+            return Err("walk config has zero L or R".into());
+        }
+        if parts.walks {
+            if walk_offsets.len() != node_count.saturating_mul(config.r) + 1 {
+                return Err("walk offset table has wrong length".into());
+            }
+            if walk_offsets.last().copied().unwrap_or(1) as usize != walk_data.len() {
+                return Err("walk offsets do not cover walk data".into());
+            }
+        } else if !walk_offsets.is_empty() || !walk_data.is_empty() {
+            return Err("walk arrays present but not materialized per flags".into());
+        }
+        if parts.freq {
+            if freq.len() != config.l.saturating_mul(node_count) {
+                return Err("frequency table has wrong length".into());
+            }
+        } else if !freq.is_empty() {
+            return Err("frequency array present but not materialized per flags".into());
+        }
+        if parts.reach {
+            if reach_offsets.len() != node_count + 1 {
+                return Err("reach offset table has wrong length".into());
+            }
+            if reach_offsets.last().copied().unwrap_or(1) as usize != reach_data.len() {
+                return Err("reach offsets do not cover reach data".into());
+            }
+        } else if !reach_offsets.is_empty() || !reach_data.is_empty() {
+            return Err("reach arrays present but not materialized per flags".into());
+        }
+        Ok(WalkIndex {
+            config,
+            node_count,
+            parts,
             walk_offsets,
             walk_data,
             freq,
             reach_offsets,
             reach_data,
+        })
+    }
+
+    /// Per-element invariants — monotonic, covering offsets and in-range
+    /// node ids. O(index size); run by the deep-validation loader only.
+    pub fn validate_deep(&self) -> Result<(), String> {
+        if self.parts.walks && self.walk_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("walk offsets not monotonic".into());
         }
+        if self.parts.reach && self.reach_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("reach offsets not monotonic".into());
+        }
+        for n in self.walk_data.iter().chain(self.reach_data.iter()) {
+            if n.index() >= self.node_count {
+                return Err(format!("walk node id {n} out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Which parts are materialized.
+    pub fn parts(&self) -> WalkIndexParts {
+        self.parts
+    }
+
+    /// The five raw arrays in `from_raw_parts` order, for snapshot writers.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (&[u32], &[NodeId], &[f32], &[u64], &[NodeId]) {
+        (
+            &self.walk_offsets,
+            &self.walk_data,
+            &self.freq,
+            &self.reach_offsets,
+            &self.reach_data,
+        )
+    }
+
+    /// Bytes of this index served by a snapshot mapping (0 for built ones).
+    pub fn mapped_bytes(&self) -> usize {
+        self.walk_offsets.mapped_bytes()
+            + self.walk_data.mapped_bytes()
+            + self.freq.mapped_bytes()
+            + self.reach_offsets.mapped_bytes()
+            + self.reach_data.mapped_bytes()
     }
 
     /// The build configuration.
@@ -275,21 +379,21 @@ impl WalkIndex {
             config: self.config,
             node_count: self.node_count,
             parts: self.parts,
-            walk_offsets: offsets,
-            walk_data: data,
+            walk_offsets: offsets.into(),
+            walk_data: data.into(),
             freq: self.freq.clone(),
             reach_offsets: self.reach_offsets.clone(),
             reach_data: self.reach_data.clone(),
         }
     }
 
-    /// Estimated resident heap size in bytes.
+    /// Logical size of the index arrays in bytes, independent of backing.
     pub fn heap_size_bytes(&self) -> usize {
-        self.walk_offsets.capacity() * 4
-            + self.walk_data.capacity() * 4
-            + self.freq.capacity() * 4
-            + self.reach_offsets.capacity() * 8
-            + self.reach_data.capacity() * 4
+        self.walk_offsets.size_bytes()
+            + self.walk_data.size_bytes()
+            + self.freq.size_bytes()
+            + self.reach_offsets.size_bytes()
+            + self.reach_data.size_bytes()
     }
 }
 

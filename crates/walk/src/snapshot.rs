@@ -188,11 +188,11 @@ pub fn decode(mut data: &[u8]) -> Result<WalkIndex, SnapshotError> {
         config: WalkConfig { l, r, policy, seed },
         node_count,
         parts,
-        walk_offsets,
-        walk_data,
-        freq,
-        reach_offsets,
-        reach_data,
+        walk_offsets: walk_offsets.into(),
+        walk_data: walk_data.into(),
+        freq: freq.into(),
+        reach_offsets: reach_offsets.into(),
+        reach_data: reach_data.into(),
     })
 }
 

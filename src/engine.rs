@@ -209,13 +209,31 @@ impl PitEngine {
         cancel: &CancelToken,
         tracer: &mut dyn pit_search_core::SearchTracer,
     ) -> Result<SearchOutcome, SearchError> {
+        let mut scratch = pit_search_core::SearchScratch::new();
+        self.try_search_traced_with(query, k, cancel, tracer, &mut scratch)
+    }
+
+    /// [`PitEngine::try_search_traced`] with a caller-owned
+    /// [`pit_search_core::SearchScratch`]: serving workers keep one scratch
+    /// per thread so repeated queries reuse every per-query buffer.
+    ///
+    /// # Errors
+    /// Same as [`PitEngine::try_search`].
+    pub fn try_search_traced_with(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        cancel: &CancelToken,
+        tracer: &mut dyn pit_search_core::SearchTracer,
+        scratch: &mut pit_search_core::SearchScratch,
+    ) -> Result<SearchOutcome, SearchError> {
         let config = SearchConfig {
             k,
             max_expand_rounds: self.max_expand_rounds,
             prune: true,
         };
         PersonalizedSearcher::new(&self.space, &self.prop, &self.reps, config)
-            .try_search_traced(query, cancel, tracer)
+            .try_search_traced_with(query, cancel, tracer, scratch)
     }
 
     /// Convenience: single-term query by id.
@@ -293,6 +311,24 @@ impl PitEngine {
     /// Total resident size of the three offline indexes, in bytes.
     pub fn index_bytes(&self) -> usize {
         self.walks.heap_size_bytes() + self.prop.heap_size_bytes() + self.reps.heap_size_bytes()
+    }
+
+    /// Bytes of index data served zero-copy from a flat snapshot mapping
+    /// (0 for engines built in memory or deep-copied off disk). Feeds the
+    /// `pit_reload_bytes_mapped` gauge.
+    pub fn mapped_bytes(&self) -> usize {
+        self.graph.mapped_bytes() + self.walks.mapped_bytes() + self.prop.mapped_bytes()
+    }
+
+    /// How this engine's arrays are backed: `"flat-mapped"` when any index
+    /// section is a borrowed window of the snapshot mapping, `"owned"`
+    /// otherwise. Surfaced as the `snapshot_format` STATS key.
+    pub fn snapshot_format(&self) -> &'static str {
+        if self.mapped_bytes() > 0 {
+            "flat-mapped"
+        } else {
+            "owned"
+        }
     }
 }
 

@@ -383,14 +383,10 @@ mod tests {
         store::save_engine(&src, &engine).unwrap();
         split_snapshot(&src, &out, 2).unwrap();
 
-        // Overwrite shard-0's Γ tables with shard-1's slice (manifest still
+        // Overwrite shard-0's snapshot with shard-1's slice (manifest still
         // says shard 0): owned tables are now empty where they must match.
         let wrong = slice_engine(&engine, ShardSpec::new(1, 2));
-        fs::write(
-            out.join("shard-0").join("prop.pitp"),
-            pit_index::snapshot::encode(wrong.propagation()),
-        )
-        .unwrap();
+        store::save_shard(&out.join("shard-0"), &wrong, ShardSpec::new(0, 2)).unwrap();
         let dirs: Vec<PathBuf> = (0..2).map(|i| out.join(format!("shard-{i}"))).collect();
         assert!(matches!(
             verify_split(&engine, &dirs),
